@@ -1,0 +1,134 @@
+//! Criterion microbenchmarks for the core data structures: the cache
+//! model, the B+-tree, the lock manager, slotted pages, Algorithm 1, and
+//! a small end-to-end replay.
+
+use addict_core::algorithm1::find_migration_points;
+use addict_sim::{BlockAddr, CacheGeometry, SetAssocCache};
+use addict_storage::btree::BTree;
+use addict_storage::heap::PageAllocator;
+use addict_storage::lock::{LockManager, LockMode, Resource};
+use addict_storage::page::SlottedPage;
+use addict_trace::{TraceEvent, XctTrace, XctTypeId};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_cache(c: &mut Criterion) {
+    let geom = CacheGeometry::new(32 * 1024, 8);
+    c.bench_function("cache/sequential_fill_32k", |b| {
+        b.iter(|| {
+            let mut cache = SetAssocCache::new(geom);
+            for i in 0..512u64 {
+                black_box(cache.access(BlockAddr(i)));
+            }
+        })
+    });
+    c.bench_function("cache/hit_loop", |b| {
+        let mut cache = SetAssocCache::new(geom);
+        for i in 0..512u64 {
+            cache.access(BlockAddr(i));
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 512;
+            black_box(cache.access(BlockAddr(i)))
+        })
+    });
+}
+
+fn bench_btree(c: &mut Criterion) {
+    c.bench_function("btree/insert_10k_sequential", |b| {
+        b.iter(|| {
+            let mut alloc = PageAllocator::new();
+            let mut t = BTree::new(&mut alloc);
+            for k in 0..10_000u64 {
+                t.insert(&mut alloc, k, k).unwrap();
+            }
+            black_box(t.len())
+        })
+    });
+    c.bench_function("btree/probe_warm", |b| {
+        let mut alloc = PageAllocator::new();
+        let mut t = BTree::new(&mut alloc);
+        for k in 0..100_000u64 {
+            t.insert(&mut alloc, k * 2, k).unwrap();
+        }
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 7919) % 200_000;
+            black_box(t.probe(k).value)
+        })
+    });
+}
+
+fn bench_lock_manager(c: &mut Criterion) {
+    c.bench_function("locks/acquire_release_cycle", |b| {
+        let mut lm = LockManager::new();
+        let mut key = 0u64;
+        b.iter(|| {
+            key += 1;
+            lm.acquire(1, Resource::Record { table: 0, key }, LockMode::X);
+            if key % 64 == 0 {
+                lm.release_all(1);
+            }
+        })
+    });
+}
+
+fn bench_page(c: &mut Criterion) {
+    c.bench_function("page/insert_until_full", |b| {
+        let rec = [7u8; 100];
+        b.iter(|| {
+            let mut p = SlottedPage::new();
+            while p.fits(rec.len()) {
+                p.insert(&rec).unwrap();
+            }
+            black_box(p.n_records())
+        })
+    });
+}
+
+fn synthetic_trace(i: u64) -> XctTrace {
+    XctTrace {
+        xct_type: XctTypeId(0),
+        events: vec![
+            TraceEvent::XctBegin { xct_type: XctTypeId(0) },
+            TraceEvent::OpBegin { op: addict_trace::OpKind::Probe },
+            TraceEvent::Instr { block: BlockAddr(0x10_0000), n_blocks: 700, ipb: 10 },
+            TraceEvent::Data { block: BlockAddr(0x1000_0000 + i), write: false },
+            TraceEvent::OpEnd { op: addict_trace::OpKind::Probe },
+            TraceEvent::XctEnd,
+        ],
+    }
+}
+
+fn bench_algorithm1(c: &mut Criterion) {
+    let traces: Vec<XctTrace> = (0..64).map(synthetic_trace).collect();
+    let l1i = CacheGeometry::new(32 * 1024, 8);
+    c.bench_function("algorithm1/find_points_64_traces", |b| {
+        b.iter(|| black_box(find_migration_points(black_box(&traces), l1i)))
+    });
+}
+
+fn bench_replay(c: &mut Criterion) {
+    use addict_core::replay::ReplayConfig;
+    use addict_core::sched::{run_scheduler, SchedulerKind};
+    let traces: Vec<XctTrace> = (0..64).map(synthetic_trace).collect();
+    let cfg = ReplayConfig::paper_default();
+    let map = find_migration_points(&traces, cfg.sim.l1i);
+    c.bench_function("replay/addict_64_synthetic_xcts", |b| {
+        b.iter(|| {
+            black_box(run_scheduler(
+                SchedulerKind::Addict,
+                black_box(&traces),
+                Some(&map),
+                &cfg,
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_cache, bench_btree, bench_lock_manager, bench_page, bench_algorithm1, bench_replay
+);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Ablation bench for the DESIGN.md §3 design choices (beyond the paper):
+//!
+//! * dynamic core reassignment on/off (Section 3.2.3),
+//! * frequency-proportional replication on/off,
+//! * OoO data-miss hiding factor sweep,
+//! * batching by type vs mixed batches (via batch size 1 grouping).
+
+use addict_bench::{arg_xcts, header, migration_map, norm, profile_and_eval};
+use addict_core::plan::{AssignmentPlan, PlanConfig};
+use addict_core::replay::ReplayConfig;
+use addict_core::sched::{addict, run_scheduler, SchedulerKind};
+use addict_workloads::Benchmark;
+
+fn main() {
+    let n = arg_xcts(400);
+    header("Ablation", "ADDICT design-choice ablations (TPC-C)", n);
+    let (profile, eval) = profile_and_eval(Benchmark::TpcC, n, n);
+    let cfg = ReplayConfig::paper_default();
+    let map = migration_map(&profile, &cfg);
+    let base = run_scheduler(SchedulerKind::Baseline, &eval.xcts, Some(&map), &cfg);
+
+    println!("\n{:<44} {:>12} {:>12}", "variant", "exec cycles", "L1-I mpki");
+    let report = |label: &str, r: &addict_core::replay::ReplayResult| {
+        println!(
+            "{:<44} {:>12.2} {:>12.2}",
+            label,
+            norm(r.total_cycles, base.total_cycles),
+            norm(r.stats.l1i_mpki(), base.stats.l1i_mpki())
+        );
+    };
+
+    // Full design.
+    let plan = AssignmentPlan::build(&map, PlanConfig::new(cfg.sim.n_cores));
+    let full = addict::run_with_options(&eval.xcts, &plan, &cfg, false);
+    report("ADDICT (replication, no stealing)", &full);
+
+    // Dynamic reassignment (idle-core stealing) on.
+    let steal = addict::run_with_options(&eval.xcts, &plan, &cfg, true);
+    report("ADDICT + dynamic idle-core stealing", &steal);
+
+    // No replication: one core per slot.
+    let plan_norep = AssignmentPlan::build(
+        &map,
+        PlanConfig { n_cores: cfg.sim.n_cores, replicate: false },
+    );
+    let norep = addict::run_with_options(&eval.xcts, &plan_norep, &cfg, false);
+    report("ADDICT without slot replication", &norep);
+
+    // No replication but stealing compensates.
+    let norep_steal = addict::run_with_options(&eval.xcts, &plan_norep, &cfg, true);
+    report("ADDICT no replication + stealing", &norep_steal);
+
+    // OoO hiding-factor sweep: how much of the conclusion rests on the
+    // asymmetry between instruction and data stalls.
+    println!("\nOoO on-chip data-miss hiding sweep (ADDICT exec cycles over Baseline):");
+    for hide in [0.0, 0.35, 0.7, 0.9] {
+        let mut sim = cfg.sim.clone();
+        sim.ooo_hide_onchip = hide;
+        let c = ReplayConfig { sim, ..ReplayConfig::paper_default() };
+        let b = run_scheduler(SchedulerKind::Baseline, &eval.xcts, Some(&map), &c);
+        let a = run_scheduler(SchedulerKind::Addict, &eval.xcts, Some(&map), &c);
+        println!("  hide={hide:.2}: {:.2}", norm(a.total_cycles, b.total_cycles));
+    }
+
+    // Next-line L1-I prefetcher (commodity-server default; orthogonal to
+    // ADDICT per the paper's related work).
+    println!("\nNext-line L1-I prefetcher (normalized L1-I mpki / exec cycles over the no-prefetch Baseline):");
+    {
+        let mut sim = cfg.sim.clone();
+        sim.l1i_next_line_prefetch = true;
+        let c = ReplayConfig { sim, ..ReplayConfig::paper_default() };
+        let b = run_scheduler(SchedulerKind::Baseline, &eval.xcts, Some(&map), &c);
+        let a = run_scheduler(SchedulerKind::Addict, &eval.xcts, Some(&map), &c);
+        println!(
+            "  Baseline+NL: l1i {:.2}, cycles {:.2} | ADDICT+NL: l1i {:.2}, cycles {:.2}",
+            norm(b.stats.l1i_mpki(), base.stats.l1i_mpki()),
+            norm(b.total_cycles, base.total_cycles),
+            norm(a.stats.l1i_mpki(), base.stats.l1i_mpki()),
+            norm(a.total_cycles, base.total_cycles)
+        );
+    }
+
+    // Migration-cost sensitivity (the paper estimates ~90 cycles).
+    println!("\nMigration-cost sweep (ADDICT exec cycles over Baseline):");
+    for cost in [0.0, 90.0, 450.0, 1800.0] {
+        let mut sim = cfg.sim.clone();
+        sim.migration_cycles = cost;
+        let c = ReplayConfig { sim, ..ReplayConfig::paper_default() };
+        let b = run_scheduler(SchedulerKind::Baseline, &eval.xcts, Some(&map), &c);
+        let a = run_scheduler(SchedulerKind::Addict, &eval.xcts, Some(&map), &c);
+        println!("  cost={cost:>6.0} cycles: {:.2}", norm(a.total_cycles, b.total_cycles));
+    }
+}

@@ -1,0 +1,42 @@
+//! Figure 1: flow graph of the common database operations with the
+//! percentage of instruction footprint per significant code part, measured
+//! over transactions of the TPC-C mix.
+
+use addict_analysis::op_flow;
+use addict_bench::{arg_xcts, header, profile_and_eval};
+use addict_trace::OpKind;
+use addict_workloads::Benchmark;
+
+fn main() {
+    let n = arg_xcts(1000);
+    header("Figure 1", "operation flow-graph footprint percentages (TPC-C mix)", n);
+    let (trace, _) = profile_and_eval(Benchmark::TpcC, n, 0);
+
+    for op in [OpKind::Probe, OpKind::Scan, OpKind::Update, OpKind::Insert, OpKind::Delete] {
+        let edges = op_flow(&trace, op);
+        if edges.is_empty() {
+            continue;
+        }
+        println!("\n{}:", match op {
+            OpKind::Probe => "index probe",
+            OpKind::Scan => "index scan",
+            OpKind::Update => "update tuple",
+            OpKind::Insert => "insert tuple",
+            OpKind::Delete => "delete tuple (paper omits: \"similar to insert\")",
+        });
+        println!(
+            "  {:<22} -> {:<26} {:>9} {:>7} {}",
+            "from", "to", "measured", "paper", "path"
+        );
+        for e in edges {
+            println!(
+                "  {:<22} -> {:<26} {:>8.1}% {:>6.1}% {}",
+                e.from,
+                e.to,
+                e.measured_pct,
+                e.paper_pct,
+                if e.conditional { "(conditional)" } else { "" }
+            );
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Figure 5: ADDICT's impact on instruction and data misses — L1-I, L1-D,
+//! and L2 (shared LLC) misses per 1000 instructions, normalized over
+//! Baseline, for STREX, SLICC, and ADDICT on the three benchmarks.
+
+use addict_bench::{arg_xcts, header, migration_map, norm, profile_and_eval, run_all};
+use addict_core::replay::ReplayConfig;
+use addict_workloads::Benchmark;
+
+fn main() {
+    let n = arg_xcts(600);
+    header("Figure 5", "L1-I / L1-D / L2 MPKI normalized over Baseline", n);
+    let cfg = ReplayConfig::paper_default();
+
+    println!(
+        "\n{:<8} {:<9} {:>10} {:>10} {:>10}   (normalized; Baseline = 1.00)",
+        "bench", "sched", "L1-I", "L1-D", "L2"
+    );
+    for bench in Benchmark::ALL {
+        let (profile, eval) = profile_and_eval(bench, n, n);
+        let map = migration_map(&profile, &cfg);
+        let results = run_all(&eval, &map, &cfg);
+        let base = &results[0];
+        for r in &results {
+            println!(
+                "{:<8} {:<9} {:>10.2} {:>10.2} {:>10.2}   (abs: {:.2} / {:.2} / {:.3} mpki)",
+                bench.name(),
+                r.scheduler,
+                norm(r.stats.l1i_mpki(), base.stats.l1i_mpki()),
+                norm(r.stats.l1d_mpki(), base.stats.l1d_mpki()),
+                norm(r.stats.llc_mpki(), base.stats.llc_mpki()),
+                r.stats.l1i_mpki(),
+                r.stats.l1d_mpki(),
+                r.stats.llc_mpki(),
+            );
+        }
+        println!();
+    }
+    println!("Paper: L1-I reduction ADDICT 85% > SLICC 60% > STREX 20%;");
+    println!("L1-D increase SLICC ~40% / ADDICT ~25%, STREX slightly better;");
+    println!("L2 ADDICT/SLICC ~-20%, STREX ~+50% (needs >LLC-sized data; see EXPERIMENTS.md).");
+}

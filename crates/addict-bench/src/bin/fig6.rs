@@ -1,0 +1,40 @@
+//! Figure 6: impact on performance — total execution cycles to complete
+//! the traces (left) and average transaction latency (right), normalized
+//! over Baseline.
+
+use addict_bench::{arg_xcts, header, migration_map, norm, profile_and_eval, run_all};
+use addict_core::replay::ReplayConfig;
+use addict_workloads::Benchmark;
+
+fn main() {
+    let n = arg_xcts(600);
+    header("Figure 6", "total execution cycles + avg transaction latency", n);
+    let cfg = ReplayConfig::paper_default();
+
+    println!(
+        "\n{:<8} {:<9} {:>12} {:>12}   (normalized; Baseline = 1.00)",
+        "bench", "sched", "exec cycles", "latency"
+    );
+    for bench in Benchmark::ALL {
+        let (profile, eval) = profile_and_eval(bench, n, n);
+        let map = migration_map(&profile, &cfg);
+        let results = run_all(&eval, &map, &cfg);
+        let base = &results[0];
+        for r in &results {
+            println!(
+                "{:<8} {:<9} {:>12.2} {:>12.2}   (abs: {:.2e} cycles, {:.2e} cyc/xct)",
+                bench.name(),
+                r.scheduler,
+                norm(r.total_cycles, base.total_cycles),
+                norm(r.avg_latency_cycles, base.avg_latency_cycles),
+                r.total_cycles,
+                r.avg_latency_cycles,
+            );
+        }
+        println!();
+    }
+    println!("Paper: exec-time reduction ADDICT 45% > SLICC 35% > STREX 17%;");
+    println!("latency increase: STREX 7-8x worst, ADDICT lowest (~1.6x).");
+    println!("Note: our Baseline latency contains no queueing by construction,");
+    println!("so mechanism/Baseline latency ratios overstate (EXPERIMENTS.md).");
+}

@@ -1,0 +1,51 @@
+//! Development diagnostic: per-core utilization and plan shape for ADDICT
+//! on TPC-C.
+
+use addict_core::find_migration_points;
+use addict_core::plan::{AssignmentPlan, PlanConfig};
+use addict_core::replay::ReplayConfig;
+use addict_core::sched::{run_scheduler, SchedulerKind};
+use addict_workloads::{collect_traces, Benchmark};
+
+fn main() {
+    let (mut engine, mut workload) = Benchmark::TpcC.setup();
+    let profile = collect_traces(&mut engine, workload.as_mut(), 300, 1);
+    let eval = collect_traces(&mut engine, workload.as_mut(), 300, 2);
+    let cfg = ReplayConfig::paper_default();
+    let map = find_migration_points(&profile.xcts, cfg.sim.l1i);
+    let plan = AssignmentPlan::build(&map, PlanConfig::new(cfg.sim.n_cores));
+
+    for ty in map.xct_types() {
+        let name = &profile.xct_type_names[ty.0 as usize];
+        let share = map.type_frequency(ty);
+        let wrapper = map.wrapper_instructions(ty);
+        println!("type {name} (n={share}) wrapper_instr={wrapper}");
+        let xp = plan.of(ty).unwrap();
+        println!("  entry slot cores: {:?}", xp.slots[xp.entry_slot].cores);
+        for (op, p) in &xp.ops {
+            println!(
+                "  {:?}: freq={} instr={} entry_cores={:?} points={:?}",
+                op,
+                map.frequency(ty, *op),
+                map.op_instructions(ty, *op),
+                xp.slots[p.entry_slot].cores,
+                p.points.iter().map(|pt| &xp.slots[pt.slot].cores).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    for kind in [SchedulerKind::Baseline, SchedulerKind::Addict] {
+        let r = run_scheduler(kind, &eval.xcts, Some(&map), &cfg);
+        println!("--- {} cycles={:.0} l1i_mpki={:.2}", r.scheduler, r.total_cycles, r.stats.l1i_mpki());
+        let max_i = r.stats.cores.iter().map(|c| c.instructions).max().unwrap();
+        for (c, s) in r.stats.cores.iter().enumerate() {
+            println!(
+                "  core {c:2}: instr {:>10} ({:>5.1}%) l1i_miss {:>8} migr_in {:>6}",
+                s.instructions,
+                100.0 * s.instructions as f64 / max_i as f64,
+                s.l1i_misses,
+                s.migrations_in
+            );
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! End-to-end pipeline sanity check used during development: collect
+//! traces, run Algorithm 1, replay all four schedulers, print the key
+//! Figure 5/6/9 metrics. Not part of the published benches (those live in
+//! `addict-bench`).
+
+use addict_core::replay::ReplayConfig;
+use addict_core::sched::{run_scheduler, SchedulerKind};
+use addict_core::find_migration_points;
+use addict_workloads::{collect_traces, Benchmark};
+
+fn main() {
+    let n_profile = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200usize);
+    let n_eval = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200usize);
+
+    for bench in [Benchmark::TpcB, Benchmark::TpcC, Benchmark::TpcE] {
+        let t0 = std::time::Instant::now();
+        let (mut engine, mut workload) = bench.setup();
+        let profile = collect_traces(&mut engine, workload.as_mut(), n_profile, 1);
+        let eval = collect_traces(&mut engine, workload.as_mut(), n_eval, 2);
+        let cfg = ReplayConfig::paper_default();
+        let map = find_migration_points(&profile.xcts, cfg.sim.l1i);
+        println!(
+            "=== {} ({} profile + {} eval traces, setup {:.1}s) ===",
+            bench.name(),
+            profile.xcts.len(),
+            eval.xcts.len(),
+            t0.elapsed().as_secs_f64()
+        );
+        let avg_instr: f64 = eval.xcts.iter().map(|t| t.instructions() as f64).sum::<f64>()
+            / eval.xcts.len() as f64;
+        println!("    avg instructions/xct: {avg_instr:.0}");
+
+        let mut baseline_cycles = 0.0;
+        let mut baseline_latency = 0.0;
+        let mut baseline = None;
+        for kind in SchedulerKind::ALL {
+            let t = std::time::Instant::now();
+            let r = run_scheduler(kind, &eval.xcts, Some(&map), &cfg);
+            if kind == SchedulerKind::Baseline {
+                baseline_cycles = r.total_cycles;
+                baseline_latency = r.avg_latency_cycles;
+                baseline = Some(r.stats.clone());
+            }
+            let b = baseline.as_ref().expect("baseline first");
+            println!(
+                "  {:<9} cycles {:>12.0} ({:>5.2}x) lat {:>5.2}x  L1I-mpki {:>6.2} ({:>5.2}x)  L1D {:>6.2} ({:>5.2}x)  LLC {:>5.2} ({:>5.2}x)  sw/ki {:>6.3}  ovh {:>5.2}%  pwr {:>5.2}W  [{:.1}s]",
+                r.scheduler,
+                r.total_cycles,
+                r.total_cycles / baseline_cycles,
+                r.avg_latency_cycles / baseline_latency,
+                r.stats.l1i_mpki(),
+                r.stats.l1i_mpki() / b.l1i_mpki(),
+                r.stats.l1d_mpki(),
+                r.stats.l1d_mpki() / b.l1d_mpki(),
+                r.stats.llc_mpki(),
+                r.stats.llc_mpki() / b.llc_mpki().max(1e-9),
+                r.stats.switches_per_ki(),
+                100.0 * r.overhead_fraction(),
+                r.power.per_core_power_w,
+                t.elapsed().as_secs_f64(),
+            );
+        }
+    }
+}

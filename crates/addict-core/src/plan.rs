@@ -1,0 +1,507 @@
+//! Algorithm 2, lines 1–14: core assignment, plus the Section 3.2.3 load
+//! balancing.
+//!
+//! Each transaction type gets a *plan*: a list of **slots** (core groups),
+//! one for the transaction entry, one per operation entry, and one per
+//! migration point. Load balancing follows Section 3.2.3:
+//!
+//! * **more slots than cores** (per type) — internal migration points are
+//!   dropped, least-frequent operation first, last point first, until the
+//!   plan fits; if even `1 + #ops` entries exceed the cores, the plan
+//!   falls back to traditional scheduling for that type;
+//! * **cross-type placement** — the paper runs "multiple batches of
+//!   transactions in parallel" when cores allow; we realize that by
+//!   placing *all* types' slots onto physical cores with weighted
+//!   longest-processing-time packing (weight = type share × operation
+//!   frequency), so a frequent type's hot action does not share a core
+//!   with another frequent action while other cores idle;
+//! * **fewer slots than cores** — spare cores replicate the heaviest
+//!   slots (frequency-proportional replication: with ten cores in the
+//!   paper's example every probe slot gets a second core and the leftover
+//!   goes to update's entry).
+
+use std::collections::HashMap;
+
+use addict_sim::BlockAddr;
+use addict_trace::{OpKind, XctTypeId};
+
+use crate::algorithm1::MigrationMap;
+
+/// Plan-construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanConfig {
+    /// Cores available.
+    pub n_cores: usize,
+    /// Replicate heavy slots onto idle cores (Section 3.2.3). Disable for
+    /// the ablation bench.
+    pub replicate: bool,
+}
+
+impl PlanConfig {
+    /// Plan for a machine with `n_cores` cores.
+    pub fn new(n_cores: usize) -> Self {
+        PlanConfig { n_cores, replicate: true }
+    }
+}
+
+/// A group of cores serving one program location.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Slot {
+    /// Physical core ids (≥1 after assignment unless the plan fell back).
+    pub cores: Vec<usize>,
+}
+
+/// One migration point within an operation plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedPoint {
+    /// The instruction block that triggers the migration.
+    pub addr: BlockAddr,
+    /// Slot index within the owning [`XctPlan`].
+    pub slot: usize,
+}
+
+/// Per-operation plan.
+#[derive(Debug, Clone)]
+pub struct OpPlan {
+    /// The operation.
+    pub op: OpKind,
+    /// Slot for the operation's entry.
+    pub entry_slot: usize,
+    /// Ordered migration points (order encodes the `prev` chain of
+    /// Algorithm 2 line 25).
+    pub points: Vec<PlannedPoint>,
+}
+
+/// Per-transaction-type plan.
+#[derive(Debug, Clone)]
+pub struct XctPlan {
+    /// Slot for the transaction entry (core0 in the paper).
+    pub entry_slot: usize,
+    /// Operation plans, keyed by kind.
+    pub ops: HashMap<OpKind, OpPlan>,
+    /// The slots, indexed by the ids above.
+    pub slots: Vec<Slot>,
+    /// True when the machine has too few cores even for the operation
+    /// entries; the scheduler should run this type traditionally.
+    pub fallback: bool,
+}
+
+impl XctPlan {
+    /// Total migration points planned (diagnostics).
+    pub fn n_points(&self) -> usize {
+        self.ops.values().map(|o| o.points.len()).sum()
+    }
+}
+
+/// Plans for every transaction type of a workload.
+#[derive(Debug, Clone, Default)]
+pub struct AssignmentPlan {
+    per_type: HashMap<XctTypeId, XctPlan>,
+}
+
+impl AssignmentPlan {
+    /// Build plans for every transaction type in the migration map.
+    pub fn build(map: &MigrationMap, cfg: PlanConfig) -> AssignmentPlan {
+        Builder::new(map, cfg).build()
+    }
+
+    /// The plan for one transaction type.
+    pub fn of(&self, xct: XctTypeId) -> Option<&XctPlan> {
+        self.per_type.get(&xct)
+    }
+
+    /// Transaction types covered.
+    pub fn types(&self) -> impl Iterator<Item = XctTypeId> + '_ {
+        self.per_type.keys().copied()
+    }
+}
+
+/// A slot skeleton before physical cores are assigned.
+struct ProtoSlot {
+    xct: XctTypeId,
+    slot_idx: usize,
+    weight: f64,
+}
+
+struct Builder<'m> {
+    map: &'m MigrationMap,
+    cfg: PlanConfig,
+}
+
+impl<'m> Builder<'m> {
+    fn new(map: &'m MigrationMap, cfg: PlanConfig) -> Self {
+        Builder { map, cfg }
+    }
+
+    fn build(self) -> AssignmentPlan {
+        let mut plan = AssignmentPlan::default();
+        let mut protos: Vec<ProtoSlot> = Vec::new();
+
+        // Phase 1: per-type skeletons (entries + trimmed points), weights.
+        let total_traces: f64 = self
+            .map
+            .xct_types()
+            .iter()
+            .map(|&x| self.map.type_frequency(x) as f64)
+            .sum::<f64>()
+            .max(1.0);
+        for xct in self.map.xct_types() {
+            let share = self.map.type_frequency(xct) as f64 / total_traces;
+            let (xp, weights) = self.skeleton(xct, share);
+            for (slot_idx, weight) in weights.into_iter().enumerate() {
+                if !xp.fallback {
+                    protos.push(ProtoSlot { xct, slot_idx, weight });
+                }
+            }
+            plan.per_type.insert(xct, xp);
+        }
+
+        // Phase 2: frequency-proportional replica counts per type. While a
+        // type's batch is in flight its slots are the machine's pipeline
+        // stages, so each slot gets cores proportional to its share of the
+        // type's work (the paper's ten-core example, generalized): replicas
+        // sum to n_cores per type. Without replication every slot gets one
+        // core (the simplified Algorithm 2).
+        let mut placements: Vec<(XctTypeId, usize, f64)> = Vec::new(); // (type, slot, per-replica weight)
+        let mut by_type: HashMap<XctTypeId, Vec<&ProtoSlot>> = HashMap::new();
+        for p in &protos {
+            by_type.entry(p.xct).or_default().push(p);
+        }
+        let mut types: Vec<XctTypeId> = by_type.keys().copied().collect();
+        types.sort_unstable();
+        for xct in types {
+            let slots = &by_type[&xct];
+            let total_w: f64 = slots.iter().map(|p| p.weight).sum::<f64>().max(1e-9);
+            let mut replicas: Vec<usize> = if self.cfg.replicate {
+                slots
+                    .iter()
+                    .map(|p| {
+                        ((p.weight / total_w * self.cfg.n_cores as f64).floor() as usize).max(1)
+                    })
+                    .collect()
+            } else {
+                vec![1; slots.len()]
+            };
+            // The minimum-one bump can overshoot on tiny machines: shed
+            // replicas from the most-replicated slots until the type fits.
+            if self.cfg.replicate {
+                let mut assigned: usize = replicas.iter().sum();
+                while assigned > self.cfg.n_cores {
+                    let i = (0..slots.len())
+                        .filter(|&i| replicas[i] > 1)
+                        .max_by_key(|&i| replicas[i])
+                        .expect("some slot has spare replicas");
+                    replicas[i] -= 1;
+                    assigned -= 1;
+                }
+            }
+            // Largest-remainder distribution of leftover cores; ties favor
+            // slots with fewer replicas (the paper hands its leftover to
+            // update's entry rather than tripling probe's).
+            if self.cfg.replicate {
+                let mut assigned: usize = replicas.iter().sum();
+                while assigned < self.cfg.n_cores {
+                    let i = (0..slots.len())
+                        .max_by(|&a, &b| {
+                            let ra = slots[a].weight / replicas[a] as f64;
+                            let rb = slots[b].weight / replicas[b] as f64;
+                            ra.partial_cmp(&rb)
+                                .expect("finite")
+                                .then_with(|| replicas[b].cmp(&replicas[a]))
+                                .then_with(|| slots[b].slot_idx.cmp(&slots[a].slot_idx))
+                        })
+                        .expect("non-empty");
+                    replicas[i] += 1;
+                    assigned += 1;
+                }
+            }
+            for (p, n) in slots.iter().zip(&replicas) {
+                for _ in 0..*n {
+                    placements.push((p.xct, p.slot_idx, p.weight / *n as f64));
+                }
+            }
+        }
+
+        // Phase 3: weighted LPT packing of every replica onto physical
+        // cores, balanced *per type*: batches run one type at a time, so
+        // each type's batch has the whole machine to itself and its slots
+        // must spread over all cores. Cross-type overlap on a core is
+        // time-separated by batching (the paper's "non-overlapping
+        // footprint must first be loaded by the first few transactions" at
+        // batch switches). A slot's replicas land on distinct cores.
+        placements.sort_by(|a, b| {
+            b.2.partial_cmp(&a.2)
+                .expect("finite")
+                .then_with(|| a.0.cmp(&b.0))
+                .then_with(|| a.1.cmp(&b.1))
+        });
+        let mut type_load: HashMap<XctTypeId, Vec<f64>> = HashMap::new();
+        for (xct, slot_idx, w) in placements {
+            let core_load =
+                type_load.entry(xct).or_insert_with(|| vec![0.0; self.cfg.n_cores]);
+            let taken: &[usize] = &plan.per_type[&xct].slots[slot_idx].cores;
+            let core = (0..self.cfg.n_cores)
+                .filter(|c| !taken.contains(c))
+                .min_by(|&a, &b| core_load[a].partial_cmp(&core_load[b]).expect("finite"))
+                .unwrap_or_else(|| {
+                    (0..self.cfg.n_cores)
+                        .min_by(|&a, &b| {
+                            core_load[a].partial_cmp(&core_load[b]).expect("finite")
+                        })
+                        .expect("cores > 0")
+                });
+            core_load[core] += w.max(1e-6);
+            plan.per_type
+                .get_mut(&xct)
+                .expect("type inserted in phase 1")
+                .slots[slot_idx]
+                .cores
+                .push(core);
+        }
+
+        plan
+    }
+
+    /// Build one type's slot skeleton and per-slot weights (Algorithm 2
+    /// lines 1-14 plus the scarcity trimming of Section 3.2.3).
+    fn skeleton(&self, xct: XctTypeId, share: f64) -> (XctPlan, Vec<f64>) {
+        let map = self.map;
+        let ops = map.ops_of(xct);
+
+        // How many migration points each op keeps.
+        let mut kept: HashMap<OpKind, usize> = ops
+            .iter()
+            .map(|&op| (op, map.points(xct, op).map_or(0, Vec::len)))
+            .collect();
+        let needed =
+            |kept: &HashMap<OpKind, usize>| 1 + ops.len() + kept.values().sum::<usize>();
+
+        if needed(&kept) > self.cfg.n_cores {
+            // Drop internal points: least frequent op first, last point
+            // first.
+            let mut by_freq = ops.clone();
+            by_freq.sort_by_key(|&op| map.frequency(xct, op));
+            'trim: loop {
+                let mut dropped_any = false;
+                for &op in &by_freq {
+                    if needed(&kept) <= self.cfg.n_cores {
+                        break 'trim;
+                    }
+                    let k = kept.get_mut(&op).expect("op present");
+                    if *k > 0 {
+                        *k -= 1;
+                        dropped_any = true;
+                    }
+                }
+                if needed(&kept) <= self.cfg.n_cores || !dropped_any {
+                    break;
+                }
+            }
+        }
+        if needed(&kept) > self.cfg.n_cores {
+            return (
+                XctPlan {
+                    entry_slot: 0,
+                    ops: HashMap::new(),
+                    slots: vec![Slot { cores: (0..self.cfg.n_cores).collect() }],
+                    fallback: true,
+                },
+                Vec::new(),
+            );
+        }
+
+        let mut slots = Vec::new();
+        let mut weights = Vec::new();
+        let new_slot = |slots: &mut Vec<Slot>, weights: &mut Vec<f64>, w: f64| {
+            let id = slots.len();
+            slots.push(Slot::default());
+            weights.push(w);
+            id
+        };
+        // Slot weights are the *work share* each slot serves: an
+        // operation's profiled instructions spread over its slots (the
+        // points split the op at L1-I-capacity boundaries, so actions are
+        // near-equal), scaled by the type's share of the mix. The
+        // transaction entry serves the begin/commit wrapper.
+        let entry_slot =
+            new_slot(&mut slots, &mut weights, share * map.wrapper_instructions(xct) as f64);
+        let mut op_plans = HashMap::new();
+        for &op in &ops {
+            let n_op_slots = 1 + kept[&op];
+            let w = share * map.op_instructions(xct, op) as f64 / n_op_slots as f64;
+            let op_entry = new_slot(&mut slots, &mut weights, w);
+            let mut points = Vec::new();
+            if let Some(seq) = map.points(xct, op) {
+                for &addr in seq.iter().take(kept[&op]) {
+                    let slot = new_slot(&mut slots, &mut weights, w);
+                    points.push(PlannedPoint { addr, slot });
+                }
+            }
+            op_plans.insert(op, OpPlan { op, entry_slot: op_entry, points });
+        }
+        (XctPlan { entry_slot, ops: op_plans, slots, fallback: false }, weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm1::find_migration_points;
+    use addict_sim::CacheGeometry;
+    use addict_trace::{TraceEvent, XctTrace};
+
+    /// Build a MigrationMap resembling the paper's Section 3.1.2 example:
+    /// probe with 2 points (frequency 10), update with 1 point
+    /// (frequency 5).
+    fn example_map() -> MigrationMap {
+        let tiny = CacheGeometry::new(8 * 64, 2); // 8-block window
+        let mut traces = Vec::new();
+        for i in 0..10 {
+            let mut events = vec![TraceEvent::XctBegin { xct_type: XctTypeId(2) }];
+            events.push(TraceEvent::OpBegin { op: OpKind::Probe });
+            // 20 blocks -> 2 overflow points.
+            events.push(TraceEvent::Instr { block: BlockAddr(0x98560), n_blocks: 20, ipb: 10 });
+            events.push(TraceEvent::OpEnd { op: OpKind::Probe });
+            if i < 5 {
+                events.push(TraceEvent::OpBegin { op: OpKind::Update });
+                // 12 blocks -> 1 overflow point.
+                events.push(TraceEvent::Instr {
+                    block: BlockAddr(0x95570),
+                    n_blocks: 12,
+                    ipb: 10,
+                });
+                events.push(TraceEvent::OpEnd { op: OpKind::Update });
+            }
+            events.push(TraceEvent::XctEnd);
+            traces.push(XctTrace { xct_type: XctTypeId(2), events });
+        }
+        find_migration_points(&traces, tiny)
+    }
+
+    #[test]
+    fn exact_fit_assigns_one_core_per_slot() {
+        let map = example_map();
+        // Slots: xct entry + probe entry + 2 + update entry + 1 = 6.
+        let plan = AssignmentPlan::build(&map, PlanConfig::new(6));
+        let xp = plan.of(XctTypeId(2)).unwrap();
+        assert!(!xp.fallback);
+        assert_eq!(xp.slots.len(), 6);
+        assert!(xp.slots.iter().all(|s| s.cores.len() == 1));
+        // All cores distinct, covering 0..6.
+        let mut cores: Vec<usize> =
+            xp.slots.iter().flat_map(|s| s.cores.iter().copied()).collect();
+        cores.sort_unstable();
+        assert_eq!(cores, (0..6).collect::<Vec<_>>());
+        assert_eq!(xp.n_points(), 3);
+    }
+
+    #[test]
+    fn scarce_cores_drop_points_of_infrequent_ops_first() {
+        // Section 3.2.3: with 4 cores, update's point goes first (freq 5 <
+        // 10), then probe's LAST point.
+        let map = example_map();
+        let plan = AssignmentPlan::build(&map, PlanConfig::new(4));
+        let xp = plan.of(XctTypeId(2)).unwrap();
+        assert!(!xp.fallback);
+        assert_eq!(xp.slots.len(), 4);
+        let update = &xp.ops[&OpKind::Update];
+        assert!(update.points.is_empty(), "update's internal point dropped");
+        let probe = &xp.ops[&OpKind::Probe];
+        assert_eq!(probe.points.len(), 1, "probe keeps only its first point");
+        let full = map.points(XctTypeId(2), OpKind::Probe).unwrap();
+        assert_eq!(probe.points[0].addr, full[0], "the LAST point is the dropped one");
+    }
+
+    #[test]
+    fn plentiful_cores_replicate_frequent_ops_first() {
+        // Section 3.2.3's ten-core example: probe (twice update's work)
+        // gets its slots replicated ahead of update's, and every core is
+        // put to use.
+        let map = example_map();
+        let plan = AssignmentPlan::build(&map, PlanConfig::new(10));
+        let xp = plan.of(XctTypeId(2)).unwrap();
+        let probe = &xp.ops[&OpKind::Probe];
+        let update = &xp.ops[&OpKind::Update];
+        // Every probe slot is at least double-provisioned...
+        assert!(xp.slots[probe.entry_slot].cores.len() >= 2);
+        for p in &probe.points {
+            assert!(xp.slots[p.slot].cores.len() >= 2);
+        }
+        // ...and no update slot gets more cores than a probe slot.
+        let probe_min = std::iter::once(probe.entry_slot)
+            .chain(probe.points.iter().map(|p| p.slot))
+            .map(|s| xp.slots[s].cores.len())
+            .min()
+            .unwrap();
+        let update_max = std::iter::once(update.entry_slot)
+            .chain(update.points.iter().map(|p| p.slot))
+            .map(|s| xp.slots[s].cores.len())
+            .max()
+            .unwrap();
+        assert!(update_max <= probe_min + 1, "update over-provisioned");
+        // Every core used exactly once.
+        let total: usize = xp.slots.iter().map(|s| s.cores.len()).sum();
+        assert_eq!(total, 10);
+        // A slot's replicas land on distinct cores.
+        for s in &xp.slots {
+            let mut c = s.cores.clone();
+            c.dedup();
+            assert_eq!(c.len(), s.cores.len());
+        }
+    }
+
+    #[test]
+    fn too_few_cores_falls_back() {
+        let map = example_map();
+        // 1 xct entry + 2 op entries = 3 minimum; 2 cores cannot fit.
+        let plan = AssignmentPlan::build(&map, PlanConfig::new(2));
+        let xp = plan.of(XctTypeId(2)).unwrap();
+        assert!(xp.fallback);
+    }
+
+    #[test]
+    fn replication_disabled_leaves_spares_idle() {
+        let map = example_map();
+        let plan =
+            AssignmentPlan::build(&map, PlanConfig { n_cores: 10, replicate: false });
+        let xp = plan.of(XctTypeId(2)).unwrap();
+        assert!(xp.slots.iter().all(|s| s.cores.len() == 1));
+        assert_eq!(xp.slots.len(), 6);
+    }
+
+    /// Two types with equal slot demand: cross-type placement must spread
+    /// both types' slots over all cores rather than stacking them on the
+    /// same low core ids.
+    #[test]
+    fn cross_type_slots_spread_over_all_cores() {
+        let tiny = CacheGeometry::new(8 * 64, 2);
+        let mut traces = Vec::new();
+        for ty in [0u16, 1] {
+            for _ in 0..10 {
+                let mut events = vec![TraceEvent::XctBegin { xct_type: XctTypeId(ty) }];
+                events.push(TraceEvent::OpBegin { op: OpKind::Probe });
+                events.push(TraceEvent::Instr {
+                    block: BlockAddr(0x10000 + u64::from(ty) * 0x1000),
+                    n_blocks: 20,
+                    ipb: 10,
+                });
+                events.push(TraceEvent::OpEnd { op: OpKind::Probe });
+                events.push(TraceEvent::XctEnd);
+                traces.push(XctTrace { xct_type: XctTypeId(ty), events });
+            }
+        }
+        let map = find_migration_points(&traces, tiny);
+        // Each type: 1 entry + 1 op entry + 2 points = 4 slots; 8 cores
+        // fit both types exactly.
+        let plan = AssignmentPlan::build(&map, PlanConfig::new(8));
+        let mut used: Vec<usize> = Vec::new();
+        for ty in [XctTypeId(0), XctTypeId(1)] {
+            let xp = plan.of(ty).unwrap();
+            assert!(!xp.fallback);
+            used.extend(xp.slots.iter().flat_map(|s| s.cores.iter().copied()));
+        }
+        used.sort_unstable();
+        used.dedup();
+        assert_eq!(used.len(), 8, "both types' slots must cover all 8 cores");
+    }
+}

@@ -1,0 +1,653 @@
+//! Trace replay: a discrete-event cluster where threads (transactions)
+//! occupy cores, queue, yield, migrate, and execute their traced memory
+//! events against the `addict-sim` machine.
+//!
+//! The replay engine is policy-parameterized: a [`Policy`] decides, per
+//! event, whether a thread keeps running on its core, yields the core
+//! (STREX-style time multiplexing), or migrates to another core
+//! (SLICC / ADDICT). Everything else — per-core clocks, FIFO run queues,
+//! latency bookkeeping, machine accounting — is shared by every scheduler,
+//! so measured differences come from scheduling decisions alone.
+
+use std::collections::VecDeque;
+
+use addict_sim::{CoreId, Machine, MachineStats, PowerModel, PowerReport, SimConfig};
+use addict_trace::event::FlatEvent;
+use addict_trace::{TraceEvent, XctTrace, XctTypeId};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one replay run.
+#[derive(Debug, Clone)]
+pub struct ReplayConfig {
+    /// The simulated machine.
+    pub sim: SimConfig,
+    /// Batch size for the batching schedulers (paper default: #cores).
+    pub batch_size: usize,
+    /// STREX: L1-I misses a thread absorbs before yielding the core.
+    pub strex_miss_threshold: u64,
+    /// SLICC: L1-I misses since arriving on a core before the thread
+    /// considers its working set resident elsewhere and migrates.
+    pub slicc_fill_threshold: u64,
+    /// Power model for the Figure 8(b) report.
+    pub power: PowerModel,
+}
+
+impl ReplayConfig {
+    /// Paper-default replay on the Table 1 machine.
+    pub fn paper_default() -> Self {
+        let sim = SimConfig::paper_default();
+        ReplayConfig {
+            batch_size: sim.n_cores,
+            sim,
+            strex_miss_threshold: 64,
+            slicc_fill_threshold: 48,
+            power: PowerModel::default(),
+        }
+    }
+
+    /// Same configuration with a different batch size (Section 4.5).
+    pub fn with_batch_size(mut self, b: usize) -> Self {
+        self.batch_size = b.max(1);
+        self
+    }
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// The outcome of replaying one workload under one scheduler.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReplayResult {
+    /// Scheduler name.
+    pub scheduler: String,
+    /// Transactions replayed.
+    pub n_xcts: usize,
+    /// Dynamic instructions executed.
+    pub instructions: u64,
+    /// Makespan: cycles to complete all traces (Figure 6, left).
+    pub total_cycles: f64,
+    /// Mean per-transaction latency in cycles (Figure 6, right).
+    pub avg_latency_cycles: f64,
+    /// Machine counters (MPKIs for Figure 5, switches for Figure 9).
+    pub stats: MachineStats,
+    /// Power accounting (Figure 8(b)).
+    pub power: PowerReport,
+}
+
+impl ReplayResult {
+    /// Migration/context-switch overhead share of total cycles (Figure 9,
+    /// right). Overhead cycles accumulate across cores, so normalize by
+    /// aggregate busy time (makespan x cores).
+    pub fn overhead_fraction(&self) -> f64 {
+        let total = self.total_cycles * self.stats.cores.len() as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.stats.overhead_cycles() / total
+        }
+    }
+}
+
+/// What a policy tells the engine to do with the pending event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Execute the event here.
+    Continue,
+    /// Put the thread at the back of this core's queue (context switch)
+    /// and run the next queued thread.
+    Yield,
+    /// Move the thread to the given core's queue.
+    MigrateTo(usize),
+}
+
+/// Scheduling policy: consulted before (`pre`) and after (`post`) each
+/// event. `pre` migrations leave the event unconsumed (it executes at the
+/// destination — how ADDICT gets the migration-point block fetched on its
+/// assigned core); `post` decisions run after the event completed (how
+/// miss-driven heuristics react).
+pub trait Policy {
+    /// Decide before executing `ev` on `core`.
+    fn pre(
+        &mut self,
+        _tid: usize,
+        _ev: FlatEvent,
+        _core: usize,
+        _machine: &Machine,
+        _cluster: &Cluster,
+        _now: f64,
+    ) -> Action {
+        Action::Continue
+    }
+
+    /// Observe the executed event; `missed` reports an L1-I miss for
+    /// instruction events.
+    fn post(
+        &mut self,
+        _tid: usize,
+        _ev: FlatEvent,
+        _core: usize,
+        _missed: bool,
+        _machine: &Machine,
+        _cluster: &Cluster,
+        _now: f64,
+    ) -> Action {
+        Action::Continue
+    }
+
+    /// Reset per-thread state after a migration or yield completed.
+    fn on_moved(&mut self, _tid: usize, _to_core: usize) {}
+}
+
+/// Per-core clocks and FIFO run queues.
+#[derive(Debug)]
+pub struct Cluster {
+    /// Cycle at which each core finishes its current work.
+    pub free_at: Vec<f64>,
+    /// Queued thread ids per core.
+    pub queues: Vec<VecDeque<usize>>,
+    /// Cores currently executing a segment (their `free_at` is stale
+    /// until the segment retires).
+    pub busy: Vec<bool>,
+}
+
+impl Cluster {
+    /// An idle cluster of `n` cores.
+    pub fn new(n: usize) -> Self {
+        Cluster {
+            free_at: vec![0.0; n],
+            queues: vec![VecDeque::new(); n],
+            busy: vec![false; n],
+        }
+    }
+
+    /// Is `core` idle right now (not mid-segment, no queue, not busy past
+    /// `now`)?
+    pub fn is_idle(&self, core: usize, now: f64) -> bool {
+        !self.busy[core] && self.queues[core].is_empty() && self.free_at[core] <= now
+    }
+
+    /// The core among `candidates` that can start work soonest.
+    pub fn earliest_of(&self, candidates: &[usize]) -> usize {
+        *candidates
+            .iter()
+            .min_by(|&&a, &&b| {
+                let penalty = |c: usize| {
+                    self.free_at[c]
+                        + 1e4 * self.queues[c].len() as f64
+                        + if self.busy[c] { 1e4 } else { 0.0 }
+                };
+                penalty(a).partial_cmp(&penalty(b)).expect("clocks are finite")
+            })
+            .expect("non-empty candidate list")
+    }
+}
+
+/// Cursor over a trace's run-length-encoded events, yielding flat events.
+#[derive(Debug, Clone, Copy)]
+struct Cursor {
+    idx: usize,
+    off: u16,
+}
+
+impl Cursor {
+    fn peek(self, trace: &XctTrace) -> Option<FlatEvent> {
+        let ev = trace.events.get(self.idx)?;
+        Some(match *ev {
+            TraceEvent::XctBegin { xct_type } => FlatEvent::XctBegin(xct_type),
+            TraceEvent::XctEnd => FlatEvent::XctEnd,
+            TraceEvent::OpBegin { op } => FlatEvent::OpBegin(op),
+            TraceEvent::OpEnd { op } => FlatEvent::OpEnd(op),
+            TraceEvent::Data { block, write } => FlatEvent::Data { block, write },
+            TraceEvent::Instr { block, ipb, .. } => FlatEvent::Instr {
+                block: addict_sim::BlockAddr(block.0 + u64::from(self.off)),
+                n_instr: ipb,
+            },
+        })
+    }
+
+    fn advance(&mut self, trace: &XctTrace) {
+        if let Some(TraceEvent::Instr { n_blocks, .. }) = trace.events.get(self.idx) {
+            if self.off + 1 < *n_blocks {
+                self.off += 1;
+                return;
+            }
+        }
+        self.idx += 1;
+        self.off = 0;
+    }
+}
+
+#[derive(Debug)]
+struct Thread {
+    cursor: Cursor,
+    ready_at: f64,
+    started_at: Option<f64>,
+    finished_at: Option<f64>,
+}
+
+/// Group trace indexes into same-type batches of `batch_size`, preserving
+/// request order (Algorithm 2 line 16-17). Returns the dispatch order.
+pub fn batch_order(traces: &[XctTrace], batch_size: usize) -> Vec<Vec<usize>> {
+    let mut pending: Vec<(XctTypeId, Vec<usize>)> = Vec::new();
+    let mut batches = Vec::new();
+    for (i, t) in traces.iter().enumerate() {
+        let entry = match pending.iter_mut().find(|(ty, _)| *ty == t.xct_type) {
+            Some(e) => e,
+            None => {
+                pending.push((t.xct_type, Vec::new()));
+                pending.last_mut().expect("just pushed")
+            }
+        };
+        entry.1.push(i);
+        if entry.1.len() == batch_size {
+            batches.push(std::mem::take(&mut entry.1));
+        }
+    }
+    // Flush partial batches in type order of first appearance.
+    for (_, rest) in pending {
+        if !rest.is_empty() {
+            batches.push(rest);
+        }
+    }
+    batches
+}
+
+/// Run the discrete-event replay.
+///
+/// `placement(dispatch_index, trace)` gives each thread its initial core;
+/// threads are enqueued in `order`. The policy steers everything after
+/// that.
+pub fn run_des<P: Policy>(
+    machine: &mut Machine,
+    traces: &[XctTrace],
+    order: &[usize],
+    placement: impl Fn(usize, &XctTrace) -> usize,
+    policy: &mut P,
+    scheduler_name: &str,
+    cfg: &ReplayConfig,
+) -> ReplayResult {
+    run_des_admitted(machine, traces, order, placement, policy, scheduler_name, cfg, Admission::All)
+}
+
+/// Admission policy for [`run_des_admitted`].
+#[derive(Debug, Clone)]
+pub enum Admission {
+    /// Everything dispatches immediately (Baseline, STREX).
+    All,
+    /// At most this many transactions in flight.
+    Bounded(usize),
+    /// At most `inflight` transactions in flight AND batches drain before
+    /// the next batch enters (ADDICT/SLICC batch semantics; `batch_of`
+    /// maps dispatch index to batch id).
+    BatchSerial {
+        /// In-flight bound (the batch size).
+        inflight: usize,
+        /// Batch id per dispatch index.
+        batch_of: Vec<usize>,
+    },
+}
+
+/// [`run_des`] with an in-flight bound: at most `max_inflight` transactions
+/// are admitted at once (Section 3.2.5: ADDICT "does not batch more
+/// transactions than the number of available cores in the system, [so] it
+/// does not change the data contention patterns"). `None` admits everything
+/// immediately (Baseline dispatch, STREX's overloaded cores).
+#[allow(clippy::too_many_arguments)]
+pub fn run_des_admitted<P: Policy>(
+    machine: &mut Machine,
+    traces: &[XctTrace],
+    order: &[usize],
+    placement: impl Fn(usize, &XctTrace) -> usize,
+    policy: &mut P,
+    scheduler_name: &str,
+    cfg: &ReplayConfig,
+    admission: Admission,
+) -> ReplayResult {
+    let n_cores = machine.n_cores();
+    let mut cluster = Cluster::new(n_cores);
+    let mut threads: Vec<Thread> = traces
+        .iter()
+        .map(|_| Thread {
+            cursor: Cursor { idx: 0, off: 0 },
+            ready_at: 0.0,
+            started_at: None,
+            finished_at: None,
+        })
+        .collect();
+
+    // Admission queue: (tid, initial core, batch id) in dispatch order.
+    let mut pending: VecDeque<(usize, usize, usize)> = order
+        .iter()
+        .enumerate()
+        .map(|(dispatch_idx, &tid)| {
+            let batch = match &admission {
+                Admission::BatchSerial { batch_of, .. } => batch_of[dispatch_idx],
+                _ => 0,
+            };
+            (tid, placement(dispatch_idx, &traces[tid]), batch)
+        })
+        .collect();
+    let mut inflight = 0usize;
+    let mut inflight_batch = 0usize; // id of the oldest in-flight batch
+    let mut inflight_of_batch = 0usize;
+    let admit =
+        |pending: &mut VecDeque<(usize, usize, usize)>,
+         cluster: &mut Cluster,
+         inflight: &mut usize,
+         inflight_batch: &mut usize,
+         inflight_of_batch: &mut usize| {
+            loop {
+                let Some(&(tid, core, batch)) = pending.front() else { return };
+                let admit_ok = match &admission {
+                    Admission::All => true,
+                    Admission::Bounded(max) => *inflight < (*max).max(1),
+                    Admission::BatchSerial { inflight: max, .. } => {
+                        // Batches run one after another: a new batch may
+                        // only trickle in once the previous one is nearly
+                        // drained, so two types' actions do not thrash
+                        // each other's cores mid-batch.
+                        *inflight < (*max).max(1)
+                            && (batch == *inflight_batch
+                                || *inflight_of_batch * 4 <= (*max).max(1))
+                    }
+                };
+                if !admit_ok {
+                    return;
+                }
+                pending.pop_front();
+                if batch != *inflight_batch {
+                    *inflight_batch = batch;
+                    *inflight_of_batch = 0;
+                }
+                *inflight += 1;
+                *inflight_of_batch += 1;
+                cluster.queues[core].push_back(tid);
+            }
+        };
+    admit(
+        &mut pending,
+        &mut cluster,
+        &mut inflight,
+        &mut inflight_batch,
+        &mut inflight_of_batch,
+    );
+
+    loop {
+        // Pick the runnable queue head that can start earliest.
+        let mut best: Option<(usize, f64)> = None;
+        for core in 0..n_cores {
+            if let Some(&tid) = cluster.queues[core].front() {
+                let start = cluster.free_at[core].max(threads[tid].ready_at);
+                if best.is_none_or(|(_, b)| start < b) {
+                    best = Some((core, start));
+                }
+            }
+        }
+        let Some((core, start)) = best else { break };
+        let tid = cluster.queues[core].pop_front().expect("non-empty queue");
+        cluster.busy[core] = true;
+
+        let mut now = start;
+        threads[tid].started_at.get_or_insert(now);
+
+        // Execute the segment.
+        loop {
+            let Some(ev) = threads[tid].cursor.peek(&traces[tid]) else {
+                threads[tid].finished_at = Some(now);
+                // A slot freed: admit whatever is allowed next.
+                inflight = inflight.saturating_sub(1);
+                if inflight_of_batch > 0 {
+                    inflight_of_batch -= 1;
+                }
+                admit(
+                    &mut pending,
+                    &mut cluster,
+                    &mut inflight,
+                    &mut inflight_batch,
+                    &mut inflight_of_batch,
+                );
+                break;
+            };
+            match policy.pre(tid, ev, core, machine, &cluster, now) {
+                Action::Continue => {}
+                Action::Yield => {
+                    let cost = machine.context_switch(CoreId(core));
+                    now += cost;
+                    threads[tid].ready_at = now;
+                    cluster.queues[core].push_back(tid);
+                    policy.on_moved(tid, core);
+                    break;
+                }
+                Action::MigrateTo(dest) => {
+                    debug_assert_ne!(dest, core, "pre-migration to the same core");
+                    let cost = machine.migrate(CoreId(core), CoreId(dest));
+                    threads[tid].ready_at = now + cost;
+                    cluster.queues[dest].push_back(tid);
+                    policy.on_moved(tid, dest);
+                    break;
+                }
+            }
+
+            // Execute the event.
+            let miss_before = machine.stats().cores[core].l1i_misses;
+            let cycles = match ev {
+                FlatEvent::Instr { block, n_instr } => {
+                    machine.fetch_instr(CoreId(core), block, u64::from(n_instr))
+                }
+                FlatEvent::Data { block, write } => {
+                    machine.access_data(CoreId(core), block, write)
+                }
+                _ => 0.0,
+            };
+            now += cycles;
+            threads[tid].cursor.advance(&traces[tid]);
+            let missed = machine.stats().cores[core].l1i_misses > miss_before;
+
+            match policy.post(tid, ev, core, missed, machine, &cluster, now) {
+                Action::Continue => {}
+                Action::Yield => {
+                    let cost = machine.context_switch(CoreId(core));
+                    now += cost;
+                    threads[tid].ready_at = now;
+                    cluster.queues[core].push_back(tid);
+                    policy.on_moved(tid, core);
+                    break;
+                }
+                Action::MigrateTo(dest) => {
+                    if dest != core {
+                        let cost = machine.migrate(CoreId(core), CoreId(dest));
+                        threads[tid].ready_at = now + cost;
+                        cluster.queues[dest].push_back(tid);
+                        policy.on_moved(tid, dest);
+                        break;
+                    }
+                }
+            }
+        }
+        cluster.busy[core] = false;
+        cluster.free_at[core] = cluster.free_at[core].max(now);
+    }
+
+    let total_cycles = cluster.free_at.iter().copied().fold(0.0f64, f64::max);
+    let latencies: Vec<f64> = threads
+        .iter()
+        .map(|t| {
+            t.finished_at.expect("all threads finish") - t.started_at.expect("all threads start")
+        })
+        .collect();
+    let avg_latency_cycles =
+        if latencies.is_empty() { 0.0 } else { latencies.iter().sum::<f64>() / latencies.len() as f64 };
+    let stats = machine.stats().clone();
+    let power = cfg.power.report(&stats, total_cycles, machine.config());
+    ReplayResult {
+        scheduler: scheduler_name.to_owned(),
+        n_xcts: traces.len(),
+        instructions: stats.instructions(),
+        total_cycles,
+        avg_latency_cycles,
+        stats,
+        power,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use addict_sim::BlockAddr;
+
+    fn mini_trace(ty: u16, base: u64) -> XctTrace {
+        XctTrace {
+            xct_type: XctTypeId(ty),
+            events: vec![
+                TraceEvent::XctBegin { xct_type: XctTypeId(ty) },
+                TraceEvent::Instr { block: BlockAddr(base), n_blocks: 4, ipb: 10 },
+                TraceEvent::Data { block: BlockAddr(0x9000 + base), write: false },
+                TraceEvent::XctEnd,
+            ],
+        }
+    }
+
+    struct NoopPolicy;
+    impl Policy for NoopPolicy {}
+
+    #[test]
+    fn des_executes_all_events_and_reports() {
+        let traces: Vec<XctTrace> = (0..8).map(|i| mini_trace(0, i * 100)).collect();
+        let cfg = ReplayConfig { sim: SimConfig::paper_default().with_cores(4), ..Default::default() };
+        let mut machine = Machine::new(&cfg.sim);
+        let order: Vec<usize> = (0..traces.len()).collect();
+        let result = run_des(
+            &mut machine,
+            &traces,
+            &order,
+            |i, _| i % 4,
+            &mut NoopPolicy,
+            "test",
+            &cfg,
+        );
+        assert_eq!(result.n_xcts, 8);
+        // 8 traces x 4 blocks x 10 instructions.
+        assert_eq!(result.instructions, 320);
+        assert!(result.total_cycles > 0.0);
+        assert!(result.avg_latency_cycles > 0.0);
+        // Round-robin over 4 cores: makespan ~ 2 threads per core; latency
+        // of each thread is at most the makespan.
+        assert!(result.avg_latency_cycles <= result.total_cycles);
+        assert_eq!(result.stats.migrations_in(), 0);
+    }
+
+    #[test]
+    fn cursor_expands_runs_in_order() {
+        let t = mini_trace(0, 0x40);
+        let mut c = Cursor { idx: 0, off: 0 };
+        let mut blocks = Vec::new();
+        while let Some(ev) = c.peek(&t) {
+            if let FlatEvent::Instr { block, .. } = ev {
+                blocks.push(block.0);
+            }
+            c.advance(&t);
+        }
+        assert_eq!(blocks, vec![0x40, 0x41, 0x42, 0x43]);
+    }
+
+    #[test]
+    fn batch_order_groups_same_type() {
+        let traces: Vec<XctTrace> = [0u16, 1, 0, 0, 1, 0, 1, 1, 0]
+            .iter()
+            .map(|&ty| mini_trace(ty, 0))
+            .collect();
+        let batches = batch_order(&traces, 3);
+        // Type 0 at indexes 0,2,3 completes a batch first, then type 1 at
+        // 1,4,6; the leftovers flush at the end.
+        assert_eq!(batches[0], vec![0, 2, 3]);
+        assert_eq!(batches[1], vec![1, 4, 6]);
+        // Every index appears exactly once.
+        let mut all: Vec<usize> = batches.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..9).collect::<Vec<_>>());
+        // Batches after the first two are the partial remainders.
+        for b in &batches[2..] {
+            let ty = traces[b[0]].xct_type;
+            assert!(b.iter().all(|&i| traces[i].xct_type == ty));
+        }
+    }
+
+    struct YieldOncePolicy {
+        yielded: Vec<bool>,
+    }
+    impl Policy for YieldOncePolicy {
+        fn post(
+            &mut self,
+            tid: usize,
+            ev: FlatEvent,
+            _core: usize,
+            _missed: bool,
+            _machine: &Machine,
+            _cluster: &Cluster,
+            _now: f64,
+        ) -> Action {
+            if !self.yielded[tid] && matches!(ev, FlatEvent::Instr { .. }) {
+                self.yielded[tid] = true;
+                Action::Yield
+            } else {
+                Action::Continue
+            }
+        }
+    }
+
+    #[test]
+    fn yield_time_multiplexes_one_core() {
+        let traces: Vec<XctTrace> = (0..3).map(|i| mini_trace(0, i * 100)).collect();
+        let cfg = ReplayConfig { sim: SimConfig::paper_default().with_cores(2), ..Default::default() };
+        let mut machine = Machine::new(&cfg.sim);
+        let order: Vec<usize> = (0..3).collect();
+        let mut policy = YieldOncePolicy { yielded: vec![false; 3] };
+        let result =
+            run_des(&mut machine, &traces, &order, |_, _| 0, &mut policy, "yield", &cfg);
+        // All three threads shared core 0; each yielded once.
+        assert_eq!(result.stats.context_switches(), 3);
+        assert_eq!(result.stats.cores[0].context_switches, 3);
+        assert!(result.stats.cores[1].instructions == 0);
+    }
+
+    struct MigrateOncePolicy {
+        moved: Vec<bool>,
+    }
+    impl Policy for MigrateOncePolicy {
+        fn post(
+            &mut self,
+            tid: usize,
+            ev: FlatEvent,
+            core: usize,
+            _missed: bool,
+            _machine: &Machine,
+            _cluster: &Cluster,
+            _now: f64,
+        ) -> Action {
+            if !self.moved[tid] && matches!(ev, FlatEvent::Instr { .. }) {
+                self.moved[tid] = true;
+                Action::MigrateTo(core + 1)
+            } else {
+                Action::Continue
+            }
+        }
+    }
+
+    #[test]
+    fn migration_moves_work_and_counts() {
+        let traces = vec![mini_trace(0, 0)];
+        let cfg = ReplayConfig { sim: SimConfig::paper_default().with_cores(2), ..Default::default() };
+        let mut machine = Machine::new(&cfg.sim);
+        let mut policy = MigrateOncePolicy { moved: vec![false] };
+        let result = run_des(&mut machine, &traces, &[0], |_, _| 0, &mut policy, "mig", &cfg);
+        assert_eq!(result.stats.migrations_in(), 1);
+        assert_eq!(result.stats.cores[1].migrations_in, 1);
+        // Both cores executed instructions.
+        assert!(result.stats.cores[0].instructions > 0);
+        assert!(result.stats.cores[1].instructions > 0);
+        assert!(result.overhead_fraction() > 0.0);
+    }
+}

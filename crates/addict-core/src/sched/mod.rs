@@ -1,0 +1,79 @@
+//! The four scheduling mechanisms of Section 4.1.
+//!
+//! | Mechanism | Placement | Movement |
+//! |-----------|-----------|----------|
+//! | Baseline  | one core per transaction | none |
+//! | STREX     | one core per same-type batch | yields the core after a burst of L1-I misses (stratified time multiplexing) |
+//! | SLICC     | batch spread over cores | migrates when the L1-I has absorbed a stratum, preferring cores that already hold the current code |
+//! | ADDICT    | batch enters at the planned entry core | migrates at the software-planned migration points (Algorithm 2) |
+
+pub mod addict;
+pub mod baseline;
+pub mod slicc;
+pub mod strex;
+
+use addict_trace::XctTrace;
+
+use crate::algorithm1::MigrationMap;
+use crate::plan::{AssignmentPlan, PlanConfig};
+use crate::replay::{ReplayConfig, ReplayResult};
+
+/// Which scheduler to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedulerKind {
+    /// Traditional scheduling: a transaction runs start-to-finish on one
+    /// core.
+    Baseline,
+    /// STREX (Atta et al., ISCA 2013).
+    Strex,
+    /// SLICC (Atta et al., MICRO 2012).
+    Slicc,
+    /// ADDICT (this paper).
+    Addict,
+}
+
+impl SchedulerKind {
+    /// All four, in the paper's presentation order.
+    pub const ALL: [SchedulerKind; 4] = [
+        SchedulerKind::Baseline,
+        SchedulerKind::Strex,
+        SchedulerKind::Slicc,
+        SchedulerKind::Addict,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::Baseline => "Baseline",
+            SchedulerKind::Strex => "STREX",
+            SchedulerKind::Slicc => "SLICC",
+            SchedulerKind::Addict => "ADDICT",
+        }
+    }
+}
+
+/// Replay `traces` under the chosen scheduler.
+///
+/// ADDICT requires the migration map produced by Algorithm 1 over a
+/// *separate* profiling trace set (the paper profiles on traces 1–1000 and
+/// evaluates on 1001–2000).
+///
+/// # Panics
+/// Panics if `kind` is [`SchedulerKind::Addict`] and `map` is `None`.
+pub fn run_scheduler(
+    kind: SchedulerKind,
+    traces: &[XctTrace],
+    map: Option<&MigrationMap>,
+    cfg: &ReplayConfig,
+) -> ReplayResult {
+    match kind {
+        SchedulerKind::Baseline => baseline::run(traces, cfg),
+        SchedulerKind::Strex => strex::run(traces, cfg),
+        SchedulerKind::Slicc => slicc::run(traces, cfg),
+        SchedulerKind::Addict => {
+            let map = map.expect("ADDICT needs Algorithm 1's migration map");
+            let plan = AssignmentPlan::build(map, PlanConfig::new(cfg.sim.n_cores));
+            addict::run(traces, &plan, cfg)
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Heterogeneous-core hinting (the paper's Section 6 outlook).
+//!
+//! "We envision ADDICT as a task scheduler on emerging heterogeneous
+//! many-core processors where cores are specialized for various database
+//! functionalities. In such a setting, ADDICT can also guide developers
+//! while making decisions about which granularity each database operation
+//! should be specialized at."
+//!
+//! This module turns a profiling run plus an assignment plan into exactly
+//! that guidance: for every slot (action) it reports which storage-manager
+//! routines the action executes and how large its instruction footprint
+//! is — the specification a core specializer would start from.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use addict_sim::BlockAddr;
+use addict_trace::codemap::{CodeMap, Routine};
+use addict_trace::event::FlatEvent;
+use addict_trace::{OpKind, XctTrace, XctTypeId};
+use serde::Serialize;
+
+use crate::plan::{AssignmentPlan, XctPlan};
+
+/// The instruction profile of one slot (one action).
+#[derive(Debug, Clone, Serialize)]
+pub struct SlotProfile {
+    /// Owning transaction type.
+    pub xct_type: u16,
+    /// Slot index within the type's plan.
+    pub slot: usize,
+    /// Human-readable role ("entry", "probe entry", "probe point 1", ...).
+    pub role: String,
+    /// Distinct instruction blocks the action touches.
+    pub footprint_blocks: usize,
+    /// Instructions executed in the action across the profiling traces.
+    pub instructions: u64,
+    /// Routines executed, with their block counts within the action,
+    /// largest first.
+    pub routines: Vec<(String, usize)>,
+}
+
+impl SlotProfile {
+    /// Does this action fit an L1-I of `blocks` capacity? The whole point
+    /// of ADDICT's granularity choice.
+    pub fn fits_l1i(&self, blocks: usize) -> bool {
+        self.footprint_blocks <= blocks
+    }
+}
+
+/// Walk profiling traces through the plan's migration state machine,
+/// attributing every instruction block to the slot that would execute it.
+pub fn specialization_report(
+    traces: &[XctTrace],
+    plan: &AssignmentPlan,
+) -> Vec<SlotProfile> {
+    // (type, slot) -> (footprint, instructions)
+    let mut acc: BTreeMap<(XctTypeId, usize), (BTreeSet<BlockAddr>, u64)> = BTreeMap::new();
+
+    for trace in traces {
+        let Some(xp) = plan.of(trace.xct_type) else { continue };
+        if xp.fallback {
+            continue;
+        }
+        let mut slot = xp.entry_slot;
+        let mut current_op: Option<OpKind> = None;
+        let mut next_point = 0usize;
+        for ev in trace.flat_events() {
+            match ev {
+                FlatEvent::XctBegin(_) => {
+                    slot = xp.entry_slot;
+                    current_op = None;
+                }
+                FlatEvent::OpBegin(op) => {
+                    current_op = Some(op);
+                    next_point = 0;
+                    if let Some(p) = xp.ops.get(&op) {
+                        slot = p.entry_slot;
+                    }
+                }
+                FlatEvent::OpEnd(_) => {
+                    current_op = None;
+                    slot = xp.entry_slot;
+                }
+                FlatEvent::Instr { block, n_instr } => {
+                    if let Some(op) = current_op {
+                        if let Some(p) = xp.ops.get(&op) {
+                            if next_point < p.points.len()
+                                && p.points[next_point].addr == block
+                            {
+                                slot = p.points[next_point].slot;
+                                next_point += 1;
+                            }
+                        }
+                    }
+                    let e = acc
+                        .entry((trace.xct_type, slot))
+                        .or_insert_with(|| (BTreeSet::new(), 0));
+                    e.0.insert(block);
+                    e.1 += u64::from(n_instr);
+                }
+                FlatEvent::Data { .. } | FlatEvent::XctEnd => {}
+            }
+        }
+    }
+
+    let map = CodeMap::global();
+    let mut out = Vec::new();
+    for ((ty, slot), (footprint, instructions)) in acc {
+        let mut per_routine: BTreeMap<Routine, usize> = BTreeMap::new();
+        for &b in &footprint {
+            if let Some(r) = map.routine_of(b) {
+                *per_routine.entry(r).or_insert(0) += 1;
+            }
+        }
+        let mut routines: Vec<(String, usize)> =
+            per_routine.into_iter().map(|(r, n)| (format!("{r:?}"), n)).collect();
+        routines.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let role = role_of(plan.of(ty).expect("profiled type"), slot);
+        out.push(SlotProfile {
+            xct_type: ty.0,
+            slot,
+            role,
+            footprint_blocks: footprint.len(),
+            instructions,
+            routines,
+        });
+    }
+    out
+}
+
+fn role_of(xp: &XctPlan, slot: usize) -> String {
+    if slot == xp.entry_slot {
+        return "transaction entry".to_owned();
+    }
+    for (op, p) in &xp.ops {
+        if p.entry_slot == slot {
+            return format!("{} entry", op.name());
+        }
+        for (i, point) in p.points.iter().enumerate() {
+            if point.slot == slot {
+                return format!("{} point {}", op.name(), i + 1);
+            }
+        }
+    }
+    "unused".to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm1::find_migration_points;
+    use crate::plan::PlanConfig;
+    use addict_sim::CacheGeometry;
+    use addict_trace::TraceEvent;
+
+    const XT: XctTypeId = XctTypeId(0);
+
+    fn trace() -> XctTrace {
+        let map = CodeMap::global();
+        let mut events = vec![TraceEvent::XctBegin { xct_type: XT }];
+        events.push(TraceEvent::Instr {
+            block: map.base(Routine::XctBegin),
+            n_blocks: map.n_blocks(Routine::XctBegin) as u16,
+            ipb: 10,
+        });
+        events.push(TraceEvent::OpBegin { op: OpKind::Probe });
+        for r in [Routine::FindKey, Routine::BtreeLookup, Routine::BtreeTraverse] {
+            events.push(TraceEvent::Instr {
+                block: map.base(r),
+                n_blocks: map.n_blocks(r) as u16,
+                ipb: 10,
+            });
+        }
+        // Re-walk traverse twice more: enough to overflow a small window
+        // and create migration points inside the op.
+        for _ in 0..2 {
+            events.push(TraceEvent::Instr {
+                block: map.base(Routine::BtreeTraverse),
+                n_blocks: map.n_blocks(Routine::BtreeTraverse) as u16,
+                ipb: 10,
+            });
+        }
+        events.push(TraceEvent::OpEnd { op: OpKind::Probe });
+        events.push(TraceEvent::XctEnd);
+        XctTrace { xct_type: XT, events }
+    }
+
+    #[test]
+    fn report_attributes_footprint_to_slots() {
+        let traces: Vec<XctTrace> = (0..4).map(|_| trace()).collect();
+        let l1i = CacheGeometry::new(256 * 64, 8); // 256-block window
+        let map = find_migration_points(&traces, l1i);
+        let plan = AssignmentPlan::build(&map, PlanConfig::new(8));
+        let report = specialization_report(&traces, &plan);
+        assert!(!report.is_empty());
+        // Roles are meaningful and footprints positive.
+        let roles: Vec<&str> = report.iter().map(|s| s.role.as_str()).collect();
+        assert!(roles.contains(&"transaction entry"));
+        assert!(roles.iter().any(|r| r.starts_with("probe")));
+        for s in &report {
+            assert!(s.footprint_blocks > 0);
+            assert!(s.instructions > 0);
+            assert!(!s.routines.is_empty());
+        }
+        // Total instructions attributed = total trace instructions.
+        let total: u64 = report.iter().map(|s| s.instructions).sum();
+        let expected: u64 = traces.iter().map(XctTrace::instructions).sum();
+        assert_eq!(total, expected);
+        // Every profiled action fits the L1-I window the plan was built
+        // for, modulo the window's own capacity (the entry action holds
+        // whatever precedes the first point).
+        for s in &report {
+            if s.role.contains("point") {
+                assert!(
+                    s.fits_l1i(2 * 256),
+                    "{}: {} blocks is far beyond the window",
+                    s.role,
+                    s.footprint_blocks
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fallback_types_are_skipped() {
+        let traces: Vec<XctTrace> = (0..2).map(|_| trace()).collect();
+        let l1i = CacheGeometry::new(256 * 64, 8);
+        let map = find_migration_points(&traces, l1i);
+        // One core: the plan falls back; nothing to specialize.
+        let plan = AssignmentPlan::build(&map, PlanConfig::new(1));
+        assert!(specialization_report(&traces, &plan).is_empty());
+    }
+}

@@ -1,0 +1,65 @@
+//! Cache-block addressing.
+//!
+//! Everything in the simulator (and in the trace format of `addict-trace`)
+//! operates at the granularity of 64-byte cache blocks, matching the block
+//! size the paper measures footprints in ("the unique 64 byte cache blocks
+//! requested by each operation", Section 2.1).
+
+use serde::{Deserialize, Serialize};
+
+/// Size of a cache block in bytes. Fixed at 64 B to match Table 1.
+pub const BLOCK_BYTES: u64 = 64;
+
+/// The address of one 64-byte cache block.
+///
+/// A `BlockAddr` is a *block number*, not a byte address: byte address
+/// `0x8b5f40` lives in block `0x8b5f40 / 64`. Instruction and data blocks
+/// share this type but live in disjoint synthetic address regions (see
+/// `addict-trace::codemap`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BlockAddr(pub u64);
+
+impl BlockAddr {
+    /// Block containing the given byte address.
+    #[inline]
+    pub fn from_byte_addr(addr: u64) -> Self {
+        BlockAddr(addr / BLOCK_BYTES)
+    }
+
+    /// First byte address covered by this block.
+    #[inline]
+    pub fn byte_addr(self) -> u64 {
+        self.0 * BLOCK_BYTES
+    }
+}
+
+impl std::fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "0x{:x}", self.byte_addr())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_from_byte_addr_rounds_down() {
+        assert_eq!(BlockAddr::from_byte_addr(0), BlockAddr(0));
+        assert_eq!(BlockAddr::from_byte_addr(63), BlockAddr(0));
+        assert_eq!(BlockAddr::from_byte_addr(64), BlockAddr(1));
+        assert_eq!(BlockAddr::from_byte_addr(6400), BlockAddr(100));
+    }
+
+    #[test]
+    fn byte_addr_is_block_start() {
+        assert_eq!(BlockAddr(3).byte_addr(), 192);
+        let b = BlockAddr::from_byte_addr(1000);
+        assert!(b.byte_addr() <= 1000 && 1000 < b.byte_addr() + BLOCK_BYTES);
+    }
+
+    #[test]
+    fn display_is_hex_byte_address() {
+        assert_eq!(format!("{}", BlockAddr(1)), "0x40");
+    }
+}

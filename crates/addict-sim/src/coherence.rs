@@ -1,0 +1,212 @@
+//! MESI-style directory coherence for the private L1-D caches.
+//!
+//! Table 1 lists "MESI-coherence for L1-D". The simulator needs coherence
+//! for two observable effects:
+//!
+//! 1. when a migrated transaction writes data it dirtied on its previous
+//!    core, the stale copy must be invalidated (SLICC/ADDICT "leave their
+//!    data behind", Section 4.3), and
+//! 2. dirty blocks fetched from a remote L1-D cost a cache-to-cache
+//!    transfer rather than a memory round trip.
+//!
+//! We model a full-map directory: per block, a sharer bitmask and an optional
+//! modified owner. The instruction stream is read-only so L1-I needs no
+//! coherence.
+
+use std::collections::HashMap;
+
+use crate::block::BlockAddr;
+
+/// Cores that must act for a coherence transaction to complete.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoherenceAction {
+    /// Cores whose L1-D copy must be invalidated.
+    pub invalidate: Vec<usize>,
+    /// Core that holds the block modified and must supply it / downgrade
+    /// (charged as a cache-to-cache transfer).
+    pub supplier: Option<usize>,
+}
+
+impl CoherenceAction {
+    /// True when no remote cache needs to do anything.
+    pub fn is_silent(&self) -> bool {
+        self.invalidate.is_empty() && self.supplier.is_none()
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct DirEntry {
+    /// Bitmask of cores holding the block (shared or modified).
+    sharers: u64,
+    /// Core holding the block in Modified state, if any.
+    owner: Option<usize>,
+}
+
+/// Full-map directory for up to 64 cores.
+#[derive(Debug, Default)]
+pub struct Directory {
+    entries: HashMap<BlockAddr, DirEntry>,
+}
+
+impl Directory {
+    /// Empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Core `core` reads `block`. Returns the remote work required.
+    /// After this call the directory records `core` as a sharer.
+    pub fn on_read(&mut self, core: usize, block: BlockAddr) -> CoherenceAction {
+        debug_assert!(core < 64);
+        let entry = self.entries.entry(block).or_default();
+        let mut action = CoherenceAction::default();
+        if let Some(owner) = entry.owner {
+            if owner != core {
+                // M -> S at the owner; it supplies the data.
+                action.supplier = Some(owner);
+                entry.owner = None;
+            }
+        }
+        entry.sharers |= 1 << core;
+        action
+    }
+
+    /// Core `core` writes `block`. All other copies are invalidated and
+    /// `core` becomes the modified owner.
+    pub fn on_write(&mut self, core: usize, block: BlockAddr) -> CoherenceAction {
+        debug_assert!(core < 64);
+        let entry = self.entries.entry(block).or_default();
+        let mut action = CoherenceAction::default();
+        if let Some(owner) = entry.owner {
+            if owner != core {
+                action.supplier = Some(owner);
+            }
+        }
+        let others = entry.sharers & !(1 << core);
+        for c in 0..64 {
+            if others & (1 << c) != 0 && Some(c) != action.supplier {
+                action.invalidate.push(c);
+            }
+        }
+        if let Some(s) = action.supplier {
+            // The supplier's copy is also invalidated on a write miss.
+            action.invalidate.push(s);
+        }
+        entry.sharers = 1 << core;
+        entry.owner = Some(core);
+        action
+    }
+
+    /// Core `core` evicted `block` from its L1-D (silently for clean lines,
+    /// with a writeback for dirty ones — the caller models the writeback).
+    pub fn on_evict(&mut self, core: usize, block: BlockAddr) {
+        if let Some(entry) = self.entries.get_mut(&block) {
+            entry.sharers &= !(1 << core);
+            if entry.owner == Some(core) {
+                entry.owner = None;
+            }
+            if entry.sharers == 0 {
+                self.entries.remove(&block);
+            }
+        }
+    }
+
+    /// Is `core` recorded as holding `block`?
+    pub fn is_sharer(&self, core: usize, block: BlockAddr) -> bool {
+        self.entries
+            .get(&block)
+            .is_some_and(|e| e.sharers & (1 << core) != 0)
+    }
+
+    /// The modified owner of `block`, if any.
+    pub fn owner(&self, block: BlockAddr) -> Option<usize> {
+        self.entries.get(&block).and_then(|e| e.owner)
+    }
+
+    /// Number of blocks with at least one sharer (diagnostics).
+    pub fn tracked_blocks(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const B: BlockAddr = BlockAddr(42);
+
+    #[test]
+    fn first_read_is_silent() {
+        let mut d = Directory::new();
+        let a = d.on_read(0, B);
+        assert!(a.is_silent());
+        assert!(d.is_sharer(0, B));
+    }
+
+    #[test]
+    fn read_after_remote_write_downgrades_owner() {
+        let mut d = Directory::new();
+        assert!(d.on_write(1, B).is_silent());
+        assert_eq!(d.owner(B), Some(1));
+        let a = d.on_read(0, B);
+        assert_eq!(a.supplier, Some(1));
+        assert!(a.invalidate.is_empty());
+        assert_eq!(d.owner(B), None);
+        assert!(d.is_sharer(0, B) && d.is_sharer(1, B));
+    }
+
+    #[test]
+    fn write_invalidates_all_sharers() {
+        let mut d = Directory::new();
+        d.on_read(0, B);
+        d.on_read(1, B);
+        d.on_read(2, B);
+        let a = d.on_write(3, B);
+        let mut inv = a.invalidate.clone();
+        inv.sort_unstable();
+        assert_eq!(inv, vec![0, 1, 2]);
+        assert_eq!(d.owner(B), Some(3));
+        assert!(!d.is_sharer(0, B));
+        assert!(d.is_sharer(3, B));
+    }
+
+    #[test]
+    fn write_after_remote_write_transfers_and_invalidates() {
+        let mut d = Directory::new();
+        d.on_write(5, B);
+        let a = d.on_write(6, B);
+        assert_eq!(a.supplier, Some(5));
+        assert_eq!(a.invalidate, vec![5]);
+        assert_eq!(d.owner(B), Some(6));
+    }
+
+    #[test]
+    fn rewrite_by_owner_is_silent() {
+        let mut d = Directory::new();
+        d.on_write(2, B);
+        assert!(d.on_write(2, B).is_silent());
+        assert_eq!(d.owner(B), Some(2));
+    }
+
+    #[test]
+    fn evict_clears_state() {
+        let mut d = Directory::new();
+        d.on_write(0, B);
+        d.on_evict(0, B);
+        assert_eq!(d.owner(B), None);
+        assert!(!d.is_sharer(0, B));
+        assert_eq!(d.tracked_blocks(), 0);
+        // Fresh write afterwards is silent again.
+        assert!(d.on_write(1, B).is_silent());
+    }
+
+    #[test]
+    fn evict_of_one_sharer_keeps_others() {
+        let mut d = Directory::new();
+        d.on_read(0, B);
+        d.on_read(1, B);
+        d.on_evict(0, B);
+        assert!(d.is_sharer(1, B));
+        assert_eq!(d.tracked_blocks(), 1);
+    }
+}

@@ -1,0 +1,210 @@
+//! Simulation configuration mirroring Table 1 of the paper.
+
+use serde::{Deserialize, Serialize};
+
+use crate::block::BLOCK_BYTES;
+
+/// Geometry of one set-associative cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (lines per set).
+    pub ways: u32,
+}
+
+impl CacheGeometry {
+    /// Construct a geometry, validating that it divides into whole sets.
+    ///
+    /// # Panics
+    /// Panics if the capacity is not an exact multiple of `ways * 64 B`.
+    pub fn new(size_bytes: u64, ways: u32) -> Self {
+        assert!(ways > 0, "cache must have at least one way");
+        assert!(
+            size_bytes % (u64::from(ways) * BLOCK_BYTES) == 0,
+            "cache size {size_bytes} not divisible into {ways}-way sets of 64 B blocks"
+        );
+        CacheGeometry { size_bytes, ways }
+    }
+
+    /// Number of sets.
+    pub fn n_sets(&self) -> u64 {
+        self.size_bytes / (u64::from(self.ways) * BLOCK_BYTES)
+    }
+
+    /// Total number of blocks the cache can hold.
+    pub fn n_blocks(&self) -> u64 {
+        self.size_bytes / BLOCK_BYTES
+    }
+}
+
+/// Shape of the on-chip memory hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HierarchyKind {
+    /// Table 1 baseline: private L1s, shared NUCA L2 as the last-level cache.
+    Shallow,
+    /// Section 4.6: an extra 256 KB private L2 per core; the shared NUCA
+    /// cache becomes an L3.
+    Deep,
+}
+
+/// All simulator parameters. `paper_default()` reproduces Table 1.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Number of cores (Table 1: 16 OoO cores).
+    pub n_cores: usize,
+    /// Core clock in GHz (Table 1: 2.5 GHz).
+    pub clock_ghz: f64,
+    /// Shallow (Table 1) or deep (Section 4.6) hierarchy.
+    pub hierarchy: HierarchyKind,
+    /// Private L1-I geometry (Table 1: 32 KB, 8-way).
+    pub l1i: CacheGeometry,
+    /// Private L1-D geometry (Table 1: 32 KB, 8-way).
+    pub l1d: CacheGeometry,
+    /// Private L2 geometry, used only when `hierarchy == Deep`
+    /// (Section 4.6: 256 KB per core).
+    pub l2_private: CacheGeometry,
+    /// Shared NUCA last-level cache: capacity *per core* (Table 1: 1 MB/core,
+    /// 16-way, one bank per core).
+    pub llc_per_core: CacheGeometry,
+    /// L1 hit (load-to-use) latency in cycles (Table 1: 3).
+    pub l1_hit_cycles: f64,
+    /// Private-L2 hit latency in cycles (Section 4.6: 7).
+    pub l2_private_hit_cycles: f64,
+    /// Shared-LLC bank hit latency in cycles, before torus hops (Table 1: 16).
+    pub llc_hit_cycles: f64,
+    /// Torus hop latency in cycles (Table 1: 1).
+    pub hop_cycles: f64,
+    /// Main-memory access latency in nanoseconds (Table 1: 42 ns).
+    pub mem_latency_ns: f64,
+    /// Base cycles-per-instruction of the core with no memory stalls.
+    /// The modeled core is 6-wide with a 4-IPC practical peak; OLTP code has
+    /// enough branches and dependencies that we default to 0.4 CPI (2.5 IPC)
+    /// for the non-stalled portion.
+    pub base_cpi: f64,
+    /// Fraction of an *on-chip* L1-D miss penalty hidden by the OoO core
+    /// (Section 4.3: "modern OoO cores are capable of hiding the latency of a
+    /// few additional L1 data misses that end up being serviced by the
+    /// on-chip memory hierarchy").
+    pub ooo_hide_onchip: f64,
+    /// Fraction of an off-chip (memory) data-miss penalty hidden.
+    pub ooo_hide_offchip: f64,
+    /// Cycles to migrate a thread between cores (Section 3.2.4: ~90 cycles;
+    /// six cache lines of register state through the LLC).
+    pub migration_cycles: f64,
+    /// Extra latency charged to the requester when a dirty block must be
+    /// fetched from a remote L1-D (cache-to-cache transfer).
+    pub coherence_transfer_cycles: f64,
+    /// Next-line L1-I prefetcher: on an instruction miss, the following
+    /// block is pulled into the L1-I in the background. The paper's related
+    /// work notes commodity servers ship exactly this low-cost prefetcher;
+    /// it is orthogonal to (and combinable with) ADDICT.
+    pub l1i_next_line_prefetch: bool,
+}
+
+impl SimConfig {
+    /// The Table 1 configuration: 16 cores, shallow hierarchy.
+    pub fn paper_default() -> Self {
+        SimConfig {
+            n_cores: 16,
+            clock_ghz: 2.5,
+            hierarchy: HierarchyKind::Shallow,
+            l1i: CacheGeometry::new(32 * 1024, 8),
+            l1d: CacheGeometry::new(32 * 1024, 8),
+            l2_private: CacheGeometry::new(256 * 1024, 8),
+            llc_per_core: CacheGeometry::new(1024 * 1024, 16),
+            l1_hit_cycles: 3.0,
+            l2_private_hit_cycles: 7.0,
+            llc_hit_cycles: 16.0,
+            hop_cycles: 1.0,
+            mem_latency_ns: 42.0,
+            base_cpi: 0.4,
+            ooo_hide_onchip: 0.70,
+            ooo_hide_offchip: 0.15,
+            migration_cycles: 90.0,
+            coherence_transfer_cycles: 20.0,
+            l1i_next_line_prefetch: false,
+        }
+    }
+
+    /// The Section 4.6 configuration: adds a 256 KB private L2 per core and
+    /// demotes the shared NUCA cache to an L3.
+    pub fn paper_deep() -> Self {
+        SimConfig {
+            hierarchy: HierarchyKind::Deep,
+            ..Self::paper_default()
+        }
+    }
+
+    /// Same machine with a different core count (used by load-balancing tests
+    /// and the batch-size sweep of Section 4.5).
+    pub fn with_cores(mut self, n: usize) -> Self {
+        assert!(n > 0, "need at least one core");
+        self.n_cores = n;
+        self
+    }
+
+    /// Main-memory latency in core cycles.
+    pub fn mem_latency_cycles(&self) -> f64 {
+        self.mem_latency_ns * self.clock_ghz
+    }
+
+    /// Total shared-LLC capacity in bytes (1 MB per core by default).
+    pub fn llc_total_bytes(&self) -> u64 {
+        self.llc_per_core.size_bytes * self.n_cores as u64
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_table1() {
+        let c = SimConfig::paper_default();
+        assert_eq!(c.n_cores, 16);
+        assert_eq!(c.l1i.size_bytes, 32 * 1024);
+        assert_eq!(c.l1i.ways, 8);
+        assert_eq!(c.l1i.n_sets(), 64);
+        assert_eq!(c.llc_per_core.size_bytes, 1024 * 1024);
+        assert_eq!(c.llc_per_core.ways, 16);
+        assert_eq!(c.llc_total_bytes(), 16 * 1024 * 1024);
+        assert_eq!(c.hierarchy, HierarchyKind::Shallow);
+        // 42 ns at 2.5 GHz = 105 cycles.
+        assert!((c.mem_latency_cycles() - 105.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deep_config_only_changes_hierarchy() {
+        let c = SimConfig::paper_deep();
+        assert_eq!(c.hierarchy, HierarchyKind::Deep);
+        assert_eq!(c.l2_private.size_bytes, 256 * 1024);
+        assert_eq!(c.n_cores, 16);
+    }
+
+    #[test]
+    fn geometry_counts() {
+        let g = CacheGeometry::new(32 * 1024, 8);
+        assert_eq!(g.n_blocks(), 512);
+        assert_eq!(g.n_sets(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn geometry_rejects_ragged_sizes() {
+        let _ = CacheGeometry::new(1000, 3);
+    }
+
+    #[test]
+    fn with_cores_scales_llc() {
+        let c = SimConfig::paper_default().with_cores(4);
+        assert_eq!(c.n_cores, 4);
+        assert_eq!(c.llc_total_bytes(), 4 * 1024 * 1024);
+    }
+}

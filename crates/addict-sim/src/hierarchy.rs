@@ -1,0 +1,432 @@
+//! The multi-level memory hierarchy: private L1s (plus an optional private
+//! L2 in the deep configuration), a shared banked NUCA LLC, directory
+//! coherence for L1-D, and main memory.
+//!
+//! Simplifications, applied equally to every scheduler (documented here and
+//! in DESIGN.md):
+//!
+//! * the LLC is non-inclusive; LLC evictions do not back-invalidate L1s,
+//! * LLC bank conflicts and NoC contention are not modeled,
+//! * the directory tracks L1-D copies only; in the deep hierarchy a stale
+//!   private-L2 copy may be re-read after its L1 line was invalidated, which
+//!   slightly undercounts coherence traffic (timing-only effect, no values
+//!   are stored).
+
+use crate::block::BlockAddr;
+use crate::cache::SetAssocCache;
+use crate::coherence::Directory;
+use crate::config::{HierarchyKind, SimConfig};
+use crate::interconnect::Torus;
+
+/// Which level of the hierarchy serviced a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServiceLevel {
+    /// Private L1 (I or D) hit.
+    L1,
+    /// Private L2 hit (deep hierarchy only).
+    L2Private,
+    /// Shared NUCA LLC hit.
+    Llc,
+    /// Dirty block supplied by another core's L1-D (cache-to-cache).
+    RemoteL1,
+    /// Off-chip main memory.
+    Memory,
+}
+
+/// Everything the machine needs to account for one access.
+#[derive(Debug, Clone, Copy)]
+pub struct MemAccessResult {
+    /// Level that serviced the request.
+    pub level: ServiceLevel,
+    /// Torus hops (one way) between the requesting core and the LLC bank,
+    /// if LLC/NoC traffic occurred.
+    pub hops: u32,
+    /// Whether the private L2 was looked up / hit (deep hierarchy).
+    pub l2p_accessed: bool,
+    /// Private L2 hit.
+    pub l2p_hit: bool,
+    /// Whether an LLC bank was looked up.
+    pub llc_accessed: bool,
+    /// LLC lookup hit (or was satisfied on-chip by a remote L1).
+    pub llc_hit: bool,
+    /// Remote L1-D lines invalidated by this access (writes).
+    pub invalidated_cores: u32,
+    /// A remote L1-D supplied the block.
+    pub c2c: bool,
+    /// A dirty L1-D victim was written back.
+    pub writeback: bool,
+    /// Core that supplied / was downgraded, for stats attribution.
+    pub supplier: Option<usize>,
+}
+
+impl MemAccessResult {
+    fn l1_hit() -> Self {
+        MemAccessResult {
+            level: ServiceLevel::L1,
+            hops: 0,
+            l2p_accessed: false,
+            l2p_hit: false,
+            llc_accessed: false,
+            llc_hit: false,
+            invalidated_cores: 0,
+            c2c: false,
+            writeback: false,
+            supplier: None,
+        }
+    }
+}
+
+/// Private caches of one core.
+#[derive(Debug)]
+struct CoreCaches {
+    l1i: SetAssocCache,
+    l1d: SetAssocCache,
+    l2p: Option<SetAssocCache>,
+}
+
+/// The full memory hierarchy shared by all cores.
+#[derive(Debug)]
+pub struct Hierarchy {
+    cores: Vec<CoreCaches>,
+    llc_banks: Vec<SetAssocCache>,
+    directory: Directory,
+    torus: Torus,
+    next_line_prefetch: bool,
+    prefetches_issued: u64,
+}
+
+impl Hierarchy {
+    /// Build the hierarchy described by `cfg`.
+    pub fn new(cfg: &SimConfig) -> Self {
+        let cores = (0..cfg.n_cores)
+            .map(|_| CoreCaches {
+                l1i: SetAssocCache::new(cfg.l1i),
+                l1d: SetAssocCache::new(cfg.l1d),
+                l2p: matches!(cfg.hierarchy, HierarchyKind::Deep)
+                    .then(|| SetAssocCache::new(cfg.l2_private)),
+            })
+            .collect();
+        let llc_banks = (0..cfg.n_cores)
+            .map(|_| SetAssocCache::new(cfg.llc_per_core))
+            .collect();
+        Hierarchy {
+            cores,
+            llc_banks,
+            directory: Directory::new(),
+            torus: Torus::for_nodes(cfg.n_cores),
+            next_line_prefetch: cfg.l1i_next_line_prefetch,
+            prefetches_issued: 0,
+        }
+    }
+
+    /// Next-line prefetches issued so far.
+    pub fn prefetches_issued(&self) -> u64 {
+        self.prefetches_issued
+    }
+
+    /// Number of cores.
+    pub fn n_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    #[inline]
+    fn bank_of(&self, block: BlockAddr) -> (usize, BlockAddr) {
+        // Low bits interleave blocks across banks; the remaining bits index
+        // within the bank so bank sets are used uniformly.
+        let n = self.llc_banks.len() as u64;
+        ((block.0 % n) as usize, BlockAddr(block.0 / n))
+    }
+
+    /// Look up the LLC, filling on miss. Returns (hit, hops).
+    fn llc_access(&mut self, core: usize, block: BlockAddr) -> (bool, u32) {
+        let (bank, bank_block) = self.bank_of(block);
+        let hops = self.torus.hops(core, bank);
+        let out = self.llc_banks[bank].access(bank_block);
+        (out.hit, hops)
+    }
+
+    /// Fill the LLC with `block` without classifying hit/miss (writebacks,
+    /// M->S downgrades).
+    fn llc_fill(&mut self, block: BlockAddr) {
+        let (bank, bank_block) = self.bank_of(block);
+        self.llc_banks[bank].access_write(bank_block);
+    }
+
+    /// Fetch one instruction block on `core`.
+    pub fn fetch_instr(&mut self, core: usize, block: BlockAddr) -> MemAccessResult {
+        let mut res = MemAccessResult::l1_hit();
+        let hit = self.cores[core].l1i.access(block).hit;
+        if self.next_line_prefetch {
+            // Pull the sequentially next block into the L1-I in the
+            // background on every fetch (no demand latency charged; the
+            // prefetch also warms the LLC, like a real next-line engine).
+            let next = BlockAddr(block.0 + 1);
+            if !self.cores[core].l1i.contains(next) {
+                self.cores[core].l1i.access(next);
+                let (bank, bank_block) = self.bank_of(next);
+                self.llc_banks[bank].access(bank_block);
+                self.prefetches_issued += 1;
+            }
+        }
+        if hit {
+            return res;
+        }
+        if let Some(l2p) = self.cores[core].l2p.as_mut() {
+            res.l2p_accessed = true;
+            if l2p.access(block).hit {
+                res.level = ServiceLevel::L2Private;
+                res.l2p_hit = true;
+                return res;
+            }
+        }
+        res.llc_accessed = true;
+        let (hit, hops) = self.llc_access(core, block);
+        res.hops = hops;
+        res.llc_hit = hit;
+        res.level = if hit { ServiceLevel::Llc } else { ServiceLevel::Memory };
+        res
+    }
+
+    /// Access one data block on `core`.
+    pub fn access_data(&mut self, core: usize, block: BlockAddr, write: bool) -> MemAccessResult {
+        let mut res = MemAccessResult::l1_hit();
+
+        // Coherence: establish ownership / sharing before the local lookup.
+        let action = if write {
+            self.directory.on_write(core, block)
+        } else {
+            self.directory.on_read(core, block)
+        };
+        for &victim_core in &action.invalidate {
+            if self.cores[victim_core].l1d.invalidate(block).is_some() {
+                res.invalidated_cores += 1;
+            }
+        }
+        if let Some(supplier) = action.supplier {
+            // Dirty remote copy: on a read it downgrades and writes back to
+            // the LLC; on a write it was invalidated above. Either way the
+            // LLC now holds the block and the data travels cache-to-cache.
+            if !write {
+                self.cores[supplier].l1d.clean(block);
+            }
+            self.llc_fill(block);
+            res.c2c = true;
+            res.supplier = Some(supplier);
+        }
+
+        // Local L1-D lookup.
+        let l1_out = if write {
+            self.cores[core].l1d.access_write(block)
+        } else {
+            self.cores[core].l1d.access(block)
+        };
+        if let Some(victim) = l1_out.evicted {
+            let dirty = self.directory.owner(victim) == Some(core);
+            self.directory.on_evict(core, victim);
+            if dirty {
+                self.llc_fill(victim);
+                res.writeback = true;
+            }
+        }
+        if l1_out.hit {
+            // Still an L1 hit for timing even if remote copies were
+            // invalidated (upgrade latency not modeled).
+            return res;
+        }
+
+        if res.c2c {
+            // The block is being supplied by a remote L1 through the LLC.
+            res.level = ServiceLevel::RemoteL1;
+            res.llc_accessed = true;
+            res.llc_hit = true;
+            let (bank, _) = self.bank_of(block);
+            res.hops = self.torus.hops(core, bank);
+            if let Some(l2p) = self.cores[core].l2p.as_mut() {
+                l2p.access(block);
+            }
+            return res;
+        }
+
+        if let Some(l2p) = self.cores[core].l2p.as_mut() {
+            res.l2p_accessed = true;
+            if l2p.access(block).hit {
+                res.level = ServiceLevel::L2Private;
+                res.l2p_hit = true;
+                return res;
+            }
+        }
+
+        res.llc_accessed = true;
+        let (hit, hops) = self.llc_access(core, block);
+        res.hops = hops;
+        res.llc_hit = hit;
+        res.level = if hit { ServiceLevel::Llc } else { ServiceLevel::Memory };
+        res
+    }
+
+    /// Does `core`'s L1-I currently hold `block`? (SLICC's remote-presence
+    /// heuristic probes this; probing does not disturb recency.)
+    pub fn l1i_contains(&self, core: usize, block: BlockAddr) -> bool {
+        self.cores[core].l1i.contains(block)
+    }
+
+    /// Valid lines currently in `core`'s L1-I.
+    pub fn l1i_occupancy(&self, core: usize) -> usize {
+        self.cores[core].l1i.occupancy()
+    }
+
+    /// Drop all lines of `core`'s L1-I.
+    pub fn flush_l1i(&mut self, core: usize) {
+        self.cores[core].l1i.flush();
+    }
+
+    /// Directory diagnostics: number of tracked data blocks.
+    pub fn tracked_data_blocks(&self) -> usize {
+        self.directory.tracked_blocks()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shallow() -> Hierarchy {
+        Hierarchy::new(&SimConfig::paper_default().with_cores(4))
+    }
+
+    fn deep() -> Hierarchy {
+        Hierarchy::new(&SimConfig::paper_deep().with_cores(4))
+    }
+
+    #[test]
+    fn instr_first_touch_goes_to_memory_then_llc_then_l1() {
+        let mut h = shallow();
+        let b = BlockAddr(0x1000);
+        assert_eq!(h.fetch_instr(0, b).level, ServiceLevel::Memory);
+        // Second fetch on the same core: L1 hit.
+        assert_eq!(h.fetch_instr(0, b).level, ServiceLevel::L1);
+        // Same block on another core: LLC hit (constructive sharing).
+        assert_eq!(h.fetch_instr(1, b).level, ServiceLevel::Llc);
+    }
+
+    #[test]
+    fn deep_hierarchy_inserts_private_l2() {
+        let mut h = deep();
+        let b = BlockAddr(0x2000);
+        assert_eq!(h.fetch_instr(0, b).level, ServiceLevel::Memory);
+        // Evict it from L1-I by filling the set; 32KB 8-way, 64 sets: blocks
+        // congruent mod 64 collide.
+        for i in 1..=8u64 {
+            h.fetch_instr(0, BlockAddr(0x2000 + i * 64));
+        }
+        // L1 misses now, but the private L2 still holds it.
+        let res = h.fetch_instr(0, b);
+        assert_eq!(res.level, ServiceLevel::L2Private);
+        assert!(res.l2p_accessed && res.l2p_hit);
+    }
+
+    #[test]
+    fn data_write_invalidates_remote_copies() {
+        let mut h = shallow();
+        let b = BlockAddr(0x3000);
+        h.access_data(0, b, false);
+        h.access_data(1, b, false);
+        let res = h.access_data(2, b, true);
+        assert_eq!(res.invalidated_cores, 2);
+        // Core 0 re-reads: its copy is gone, but the LLC has it.
+        let res = h.access_data(0, b, false);
+        assert_ne!(res.level, ServiceLevel::L1);
+    }
+
+    #[test]
+    fn dirty_remote_block_supplied_cache_to_cache() {
+        let mut h = shallow();
+        let b = BlockAddr(0x4000);
+        h.access_data(0, b, true); // core 0 dirties it
+        let res = h.access_data(1, b, false);
+        assert_eq!(res.level, ServiceLevel::RemoteL1);
+        assert!(res.c2c);
+        assert_eq!(res.supplier, Some(0));
+        // After the downgrade both cores share it cleanly; core 1 hits.
+        assert_eq!(h.access_data(1, b, false).level, ServiceLevel::L1);
+    }
+
+    #[test]
+    fn migration_leaves_data_behind() {
+        // The Section 4.3 effect: a thread moving cores misses on data it
+        // already touched.
+        let mut h = shallow();
+        let b = BlockAddr(0x5000);
+        h.access_data(0, b, false);
+        assert_eq!(h.access_data(0, b, false).level, ServiceLevel::L1);
+        // "Migrate" to core 3: the first access there is not an L1 hit.
+        let res = h.access_data(3, b, false);
+        assert_eq!(res.level, ServiceLevel::Llc);
+    }
+
+    #[test]
+    fn l1i_probe_and_flush() {
+        let mut h = shallow();
+        let b = BlockAddr(0x6000);
+        h.fetch_instr(2, b);
+        assert!(h.l1i_contains(2, b));
+        assert!(!h.l1i_contains(0, b));
+        assert_eq!(h.l1i_occupancy(2), 1);
+        h.flush_l1i(2);
+        assert!(!h.l1i_contains(2, b));
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let mut h = shallow();
+        // Dirty a block, then evict it by filling its L1-D set (8 ways,
+        // 64 sets -> blocks congruent mod 64).
+        let b = BlockAddr(0x7000);
+        h.access_data(0, b, true);
+        let mut saw_writeback = false;
+        for i in 1..=8u64 {
+            let r = h.access_data(0, BlockAddr(0x7000 + i * 64), false);
+            saw_writeback |= r.writeback;
+        }
+        assert!(saw_writeback, "dirty victim should have been written back");
+        // The written-back block is now an LLC hit from any core.
+        assert_eq!(h.access_data(1, b, false).level, ServiceLevel::Llc);
+    }
+
+    #[test]
+    fn next_line_prefetch_hides_sequential_misses() {
+        let mut cfg = SimConfig::paper_default().with_cores(2);
+        cfg.l1i_next_line_prefetch = true;
+        let mut h = Hierarchy::new(&cfg);
+        // Sequential fetch: every second block was prefetched.
+        let mut misses = 0;
+        for i in 0..64u64 {
+            if h.fetch_instr(0, BlockAddr(0x4000 + i)).level != ServiceLevel::L1 {
+                misses += 1;
+            }
+        }
+        assert!(misses <= 2, "sequential stream should be nearly all hits, got {misses}");
+        assert!(h.prefetches_issued() >= 32);
+
+        // Without the prefetcher every cold block misses.
+        let mut h = Hierarchy::new(&SimConfig::paper_default().with_cores(2));
+        let mut misses = 0;
+        for i in 0..64u64 {
+            if h.fetch_instr(0, BlockAddr(0x4000 + i)).level != ServiceLevel::L1 {
+                misses += 1;
+            }
+        }
+        assert_eq!(misses, 64);
+        assert_eq!(h.prefetches_issued(), 0);
+    }
+
+    #[test]
+    fn llc_interleaves_across_banks() {
+        let h = shallow();
+        let (b0, _) = h.bank_of(BlockAddr(0));
+        let (b1, _) = h.bank_of(BlockAddr(1));
+        let (b4, _) = h.bank_of(BlockAddr(4));
+        assert_ne!(b0, b1);
+        assert_eq!(b0, b4); // 4 cores -> 4 banks, wraps around
+    }
+}

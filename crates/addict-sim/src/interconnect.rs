@@ -1,0 +1,114 @@
+//! 2D-torus interconnect model (Table 1: "2D Torus, 1-cycle hop latency").
+//!
+//! Cores and shared-cache banks are co-located on a `k x k` torus (16 cores
+//! -> 4x4). The only thing the timing model needs from the interconnect is
+//! the hop count between a requesting core and the NUCA bank (or remote core)
+//! that services the request; contention within the network is not modeled,
+//! which is conservative for every scheduler equally.
+
+/// A `width x height` torus.
+#[derive(Debug, Clone, Copy)]
+pub struct Torus {
+    width: usize,
+    height: usize,
+}
+
+impl Torus {
+    /// Build the smallest near-square torus with at least `n` nodes.
+    pub fn for_nodes(n: usize) -> Self {
+        assert!(n > 0, "torus needs at least one node");
+        let mut width = (n as f64).sqrt().floor() as usize;
+        while width > 1 && n % width != 0 {
+            width -= 1;
+        }
+        let width = width.max(1);
+        Torus { width, height: n / width }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Torus (wrap-around Manhattan) hop distance between two node ids.
+    pub fn hops(&self, a: usize, b: usize) -> u32 {
+        let (ax, ay) = (a % self.width, a / self.width);
+        let (bx, by) = (b % self.width, b / self.width);
+        let dx = ax.abs_diff(bx).min(self.width - ax.abs_diff(bx));
+        let dy = ay.abs_diff(by).min(self.height - ay.abs_diff(by));
+        (dx + dy) as u32
+    }
+
+    /// Average hop distance from `a` to every node (including itself).
+    /// Useful for sanity checks and the power model's NoC activity estimate.
+    pub fn mean_hops_from(&self, a: usize) -> f64 {
+        let total: u32 = (0..self.nodes()).map(|b| self.hops(a, b)).sum();
+        f64::from(total) / self.nodes() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_nodes_is_4x4() {
+        let t = Torus::for_nodes(16);
+        assert_eq!(t.nodes(), 16);
+        assert_eq!((t.width, t.height), (4, 4));
+    }
+
+    #[test]
+    fn self_distance_is_zero() {
+        let t = Torus::for_nodes(16);
+        for n in 0..16 {
+            assert_eq!(t.hops(n, n), 0);
+        }
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let t = Torus::for_nodes(16);
+        for a in 0..16 {
+            for b in 0..16 {
+                assert_eq!(t.hops(a, b), t.hops(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn wraparound_shortens_paths() {
+        let t = Torus::for_nodes(16); // 4x4
+        // Node 0 (0,0) to node 3 (3,0): wrap gives 1 hop, not 3.
+        assert_eq!(t.hops(0, 3), 1);
+        // Corner to far corner (3,3): 1+1 via wrap.
+        assert_eq!(t.hops(0, 15), 2);
+    }
+
+    #[test]
+    fn max_distance_on_4x4_is_four() {
+        let t = Torus::for_nodes(16);
+        let max = (0..16)
+            .flat_map(|a| (0..16).map(move |b| (a, b)))
+            .map(|(a, b)| t.hops(a, b))
+            .max()
+            .unwrap();
+        assert_eq!(max, 4); // 2 in each dimension
+    }
+
+    #[test]
+    fn odd_core_counts_still_form_a_torus() {
+        let t = Torus::for_nodes(6);
+        assert_eq!(t.nodes(), 6);
+        let t = Torus::for_nodes(7); // degenerate 1x7 ring
+        assert_eq!(t.nodes(), 7);
+        assert_eq!(t.hops(0, 6), 1); // ring wrap
+    }
+
+    #[test]
+    fn mean_hops_positive_on_multinode() {
+        let t = Torus::for_nodes(16);
+        assert!(t.mean_hops_from(0) > 0.0);
+        assert!(t.mean_hops_from(0) < 4.0);
+    }
+}

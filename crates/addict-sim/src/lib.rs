@@ -1,0 +1,51 @@
+//! # addict-sim
+//!
+//! A multicore cache-hierarchy, timing, and power simulator — the substrate
+//! the ADDICT reproduction replays transaction traces on. It stands in for
+//! the Zesto cycle-level x86 simulator and the McPAT power model used by the
+//! paper (Tözün et al., *ADDICT: Advanced Instruction Chasing for
+//! Transactions*, VLDB 2014).
+//!
+//! The simulator models, per Table 1 of the paper:
+//!
+//! * 16 cores (configurable) at 2.5 GHz,
+//! * private 32 KB / 64 B-block / 8-way L1 instruction and data caches with a
+//!   3-cycle load-to-use latency,
+//! * a shared NUCA L2 of 1 MB per core, 16-way, 16 banks, 16-cycle hit
+//!   latency, reached over a 2D torus with 1-cycle hop latency,
+//! * optionally (for the paper's Section 4.6 "deeper hierarchy" experiments)
+//!   an additional 256 KB private L2 with 7-cycle latency, which turns the
+//!   shared cache into an L3,
+//! * DDR3-like main memory with a 42 ns access latency,
+//! * MESI-style invalidation coherence for the L1-D caches,
+//! * a ~90-cycle thread-migration cost (six cache lines of architectural
+//!   state through the LLC, Section 3.2.4 of the paper).
+//!
+//! Timing is block-granular rather than cycle-accurate: every instruction
+//! block fetch and every data access is charged a latency derived from the
+//! level of the hierarchy that services it, with an out-of-order *hiding
+//! factor* applied to data misses serviced on-chip (modern OoO cores overlap
+//! short data-miss stalls far better than instruction-fetch stalls — the
+//! asymmetry Section 4.3 of the paper leans on).
+//!
+//! The crate is deliberately free of any scheduling policy: schedulers live
+//! in `addict-core` and drive a [`Machine`] through its public API.
+
+pub mod block;
+pub mod cache;
+pub mod coherence;
+pub mod config;
+pub mod hierarchy;
+pub mod interconnect;
+pub mod machine;
+pub mod power;
+pub mod stats;
+pub mod timing;
+
+pub use block::BlockAddr;
+pub use cache::{AccessOutcome, SetAssocCache};
+pub use config::{CacheGeometry, HierarchyKind, SimConfig};
+pub use hierarchy::ServiceLevel;
+pub use machine::{CoreId, Machine};
+pub use power::{PowerModel, PowerReport};
+pub use stats::{CoreStats, MachineStats};

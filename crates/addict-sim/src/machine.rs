@@ -1,0 +1,244 @@
+//! The simulated multicore machine: hierarchy + timing + statistics.
+//!
+//! A [`Machine`] is driven by a scheduler (in `addict-core`): the scheduler
+//! decides *which* context runs *where*, calls [`Machine::fetch_instr`] /
+//! [`Machine::access_data`] for the trace events of that context, and charges
+//! the returned latencies to its own per-core clocks. The machine itself is
+//! policy-free.
+
+use crate::block::BlockAddr;
+use crate::config::SimConfig;
+use crate::hierarchy::{Hierarchy, MemAccessResult, ServiceLevel};
+use crate::stats::MachineStats;
+use crate::timing::TimingModel;
+
+/// Identifier of a simulated core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CoreId(pub usize);
+
+/// A multicore machine executing block-granularity memory traces.
+#[derive(Debug)]
+pub struct Machine {
+    hierarchy: Hierarchy,
+    timing: TimingModel,
+    stats: MachineStats,
+}
+
+impl Machine {
+    /// Build a machine from a configuration.
+    pub fn new(cfg: &SimConfig) -> Self {
+        Machine {
+            hierarchy: Hierarchy::new(cfg),
+            timing: TimingModel::new(cfg.clone()),
+            stats: MachineStats::new(cfg.n_cores),
+        }
+    }
+
+    /// The configuration the machine was built with.
+    pub fn config(&self) -> &SimConfig {
+        self.timing.config()
+    }
+
+    /// Number of cores.
+    pub fn n_cores(&self) -> usize {
+        self.hierarchy.n_cores()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &MachineStats {
+        &self.stats
+    }
+
+    /// The timing model (exposed for drivers that need raw latencies).
+    pub fn timing(&self) -> &TimingModel {
+        &self.timing
+    }
+
+    fn record_common(&mut self, core: usize, res: &MemAccessResult) {
+        let c = &mut self.stats.cores[core];
+        if res.l2p_accessed {
+            c.l2p_accesses += 1;
+            if !res.l2p_hit {
+                c.l2p_misses += 1;
+            }
+        }
+        if res.llc_accessed {
+            c.llc_accesses += 1;
+            c.noc_hops += u64::from(res.hops) * 2;
+            if !res.llc_hit {
+                c.llc_misses += 1;
+            }
+        }
+        if res.level == ServiceLevel::Memory {
+            c.mem_accesses += 1;
+        }
+        if res.writeback {
+            c.writebacks += 1;
+        }
+        if res.c2c {
+            if let Some(s) = res.supplier {
+                self.stats.cores[s].c2c_supplied += 1;
+            }
+        }
+    }
+
+    /// Execute `n_instr` instructions on `core`, all fetched from the
+    /// instruction block `block`. Returns the cycles charged (execution +
+    /// any fetch stall).
+    pub fn fetch_instr(&mut self, core: CoreId, block: BlockAddr, n_instr: u64) -> f64 {
+        let res = self.hierarchy.fetch_instr(core.0, block);
+        {
+            let c = &mut self.stats.cores[core.0];
+            c.instructions += n_instr;
+            c.l1i_accesses += 1;
+            if res.level != ServiceLevel::L1 {
+                c.l1i_misses += 1;
+            }
+        }
+        self.record_common(core.0, &res);
+        let base = self.timing.execute(n_instr);
+        let stall = self.timing.instr_miss(res.level, res.hops);
+        let c = &mut self.stats.cores[core.0];
+        c.base_cycles += base;
+        c.instr_stall_cycles += stall;
+        base + stall
+    }
+
+    /// Access a data block on `core`. Returns the cycles charged (after OoO
+    /// hiding).
+    pub fn access_data(&mut self, core: CoreId, block: BlockAddr, write: bool) -> f64 {
+        let res = self.hierarchy.access_data(core.0, block, write);
+        {
+            let c = &mut self.stats.cores[core.0];
+            c.l1d_accesses += 1;
+            if res.level != ServiceLevel::L1 {
+                c.l1d_misses += 1;
+            }
+            c.invalidations_received += u64::from(res.invalidated_cores);
+        }
+        self.record_common(core.0, &res);
+        let charged = self.timing.data_access(res.level, res.hops);
+        self.stats.cores[core.0].data_stall_cycles += charged;
+        charged
+    }
+
+    /// Migrate a thread from `from` to `to`; returns the overhead cycles the
+    /// destination core is charged.
+    pub fn migrate(&mut self, from: CoreId, to: CoreId) -> f64 {
+        debug_assert_ne!(from, to, "migration to the same core is a context switch");
+        let cost = self.timing.migration();
+        let c = &mut self.stats.cores[to.0];
+        c.migrations_in += 1;
+        c.overhead_cycles += cost;
+        cost
+    }
+
+    /// A same-core context switch (STREX-style time multiplexing).
+    pub fn context_switch(&mut self, core: CoreId) -> f64 {
+        let cost = self.timing.context_switch();
+        let c = &mut self.stats.cores[core.0];
+        c.context_switches += 1;
+        c.overhead_cycles += cost;
+        cost
+    }
+
+    /// Probe whether `core`'s L1-I holds `block` (SLICC heuristic).
+    pub fn l1i_contains(&self, core: CoreId, block: BlockAddr) -> bool {
+        self.hierarchy.l1i_contains(core.0, block)
+    }
+
+    /// Valid lines resident in `core`'s L1-I.
+    pub fn l1i_occupancy(&self, core: CoreId) -> usize {
+        self.hierarchy.l1i_occupancy(core.0)
+    }
+
+    /// Drop all of `core`'s L1-I contents.
+    pub fn flush_l1i(&mut self, core: CoreId) {
+        self.hierarchy.flush_l1i(core.0);
+    }
+
+    /// Next-line L1-I prefetches issued (0 unless enabled in the config).
+    pub fn prefetches_issued(&self) -> u64 {
+        self.hierarchy.prefetches_issued()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> Machine {
+        Machine::new(&SimConfig::paper_default().with_cores(4))
+    }
+
+    #[test]
+    fn fetch_updates_instruction_counters() {
+        let mut m = machine();
+        let b = BlockAddr(100);
+        let cycles = m.fetch_instr(CoreId(0), b, 16);
+        // First fetch misses all the way to memory.
+        assert!(cycles > m.timing().execute(16));
+        assert_eq!(m.stats().instructions(), 16);
+        assert_eq!(m.stats().l1i_accesses(), 1);
+        assert_eq!(m.stats().l1i_misses(), 1);
+        assert_eq!(m.stats().mem_accesses(), 1);
+
+        // Re-fetch: pure execution cost.
+        let cycles = m.fetch_instr(CoreId(0), b, 16);
+        assert!((cycles - m.timing().execute(16)).abs() < 1e-9);
+        assert_eq!(m.stats().l1i_misses(), 1);
+    }
+
+    #[test]
+    fn data_access_counters_and_hiding() {
+        let mut m = machine();
+        let b = BlockAddr(0xdead);
+        let miss_cycles = m.access_data(CoreId(1), b, false);
+        assert_eq!(m.stats().l1d_misses(), 1);
+        // Off-chip, partially hidden: cheaper than the raw instruction miss.
+        let mut m2 = machine();
+        let instr_miss = m2.fetch_instr(CoreId(1), b, 1) - m2.timing().execute(1);
+        assert!(miss_cycles < instr_miss);
+        let hit_cycles = m.access_data(CoreId(1), b, false);
+        assert_eq!(hit_cycles, 0.0);
+        assert_eq!(m.stats().l1d_accesses(), 2);
+    }
+
+    #[test]
+    fn migration_is_counted_and_charged() {
+        let mut m = machine();
+        let cost = m.migrate(CoreId(0), CoreId(2));
+        assert!((cost - 90.0).abs() < 1e-9);
+        assert_eq!(m.stats().migrations_in(), 1);
+        assert_eq!(m.stats().cores[2].migrations_in, 1);
+        assert!((m.stats().overhead_cycles() - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn context_switch_counted_separately() {
+        let mut m = machine();
+        m.context_switch(CoreId(3));
+        assert_eq!(m.stats().context_switches(), 1);
+        assert_eq!(m.stats().migrations_in(), 0);
+    }
+
+    #[test]
+    fn writes_to_shared_data_count_invalidations() {
+        let mut m = machine();
+        let b = BlockAddr(7);
+        m.access_data(CoreId(0), b, false);
+        m.access_data(CoreId(1), b, false);
+        m.access_data(CoreId(2), b, true);
+        assert_eq!(m.stats().invalidations_received(), 2);
+    }
+
+    #[test]
+    fn mpki_reflects_activity() {
+        let mut m = machine();
+        for i in 0..100u64 {
+            m.fetch_instr(CoreId(0), BlockAddr(i), 10);
+        }
+        // 100 distinct blocks, all cold misses: 100 misses / 1000 instr.
+        assert!((m.stats().l1i_mpki() - 100.0).abs() < 1e-9);
+    }
+}

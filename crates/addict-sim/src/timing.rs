@@ -1,0 +1,161 @@
+//! Latency model.
+//!
+//! The simulator charges cycles per event rather than simulating a pipeline:
+//!
+//! * executing `n` instructions costs `n * base_cpi` cycles (this folds in
+//!   the 3-cycle L1 load-to-use latency of hits, which a 128-entry-ROB OoO
+//!   core hides completely),
+//! * an L1-I miss stalls the front end and is charged in full — superscalar
+//!   OoO cores cannot hide instruction-fetch stalls (Section 4.3),
+//! * an L1-D miss is charged with an out-of-order *hiding factor*: misses
+//!   serviced on-chip are mostly overlapped with useful work, off-chip
+//!   misses mostly are not.
+//!
+//! All latencies are `f64` cycles; drivers keep per-core `f64` clocks and
+//! round only for reporting.
+
+use crate::config::SimConfig;
+use crate::hierarchy::ServiceLevel;
+
+/// Computes charged latencies from the configuration.
+#[derive(Debug, Clone)]
+pub struct TimingModel {
+    cfg: SimConfig,
+}
+
+impl TimingModel {
+    /// Build a timing model over a configuration.
+    pub fn new(cfg: SimConfig) -> Self {
+        TimingModel { cfg }
+    }
+
+    /// The configuration this model was built from.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Cycles to execute `n_instr` instructions, excluding miss stalls.
+    #[inline]
+    pub fn execute(&self, n_instr: u64) -> f64 {
+        n_instr as f64 * self.cfg.base_cpi
+    }
+
+    /// Raw (unhidden) service latency for a request resolved at `level`,
+    /// having traversed `hops` torus hops each way for any LLC traffic.
+    pub fn raw_service_latency(&self, level: ServiceLevel, hops: u32) -> f64 {
+        let llc_round = self.cfg.llc_hit_cycles + 2.0 * f64::from(hops) * self.cfg.hop_cycles;
+        match level {
+            ServiceLevel::L1 => 0.0,
+            ServiceLevel::L2Private => self.cfg.l2_private_hit_cycles,
+            ServiceLevel::Llc => llc_round,
+            ServiceLevel::RemoteL1 => llc_round + self.cfg.coherence_transfer_cycles,
+            ServiceLevel::Memory => llc_round + self.cfg.mem_latency_cycles(),
+        }
+    }
+
+    /// Charged latency of an instruction-fetch miss resolved at `level`
+    /// (full penalty: the front end stalls).
+    pub fn instr_miss(&self, level: ServiceLevel, hops: u32) -> f64 {
+        self.raw_service_latency(level, hops)
+    }
+
+    /// Charged latency of a data access resolved at `level`, after OoO
+    /// hiding.
+    pub fn data_access(&self, level: ServiceLevel, hops: u32) -> f64 {
+        let raw = self.raw_service_latency(level, hops);
+        let hide = match level {
+            ServiceLevel::L1 => 0.0,
+            ServiceLevel::L2Private | ServiceLevel::Llc | ServiceLevel::RemoteL1 => {
+                self.cfg.ooo_hide_onchip
+            }
+            ServiceLevel::Memory => self.cfg.ooo_hide_offchip,
+        };
+        raw * (1.0 - hide)
+    }
+
+    /// Cycles charged for migrating a thread between cores.
+    pub fn migration(&self) -> f64 {
+        self.cfg.migration_cycles
+    }
+
+    /// Cycles charged for a same-core context switch (STREX-style). Modeled
+    /// at the same ~6-cache-line state save/restore cost as a migration.
+    pub fn context_switch(&self) -> f64 {
+        self.cfg.migration_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> TimingModel {
+        TimingModel::new(SimConfig::paper_default())
+    }
+
+    #[test]
+    fn execute_uses_base_cpi() {
+        let t = model();
+        assert!((t.execute(1000) - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn l1_hits_are_free_beyond_base_cpi() {
+        let t = model();
+        assert_eq!(t.data_access(ServiceLevel::L1, 0), 0.0);
+        assert_eq!(t.instr_miss(ServiceLevel::L1, 0), 0.0);
+    }
+
+    #[test]
+    fn instruction_misses_charged_in_full() {
+        let t = model();
+        // LLC at 2 hops: 16 + 2*2*1 = 20 cycles.
+        assert!((t.instr_miss(ServiceLevel::Llc, 2) - 20.0).abs() < 1e-9);
+        // Memory: 16 + 105 = 121 at zero hops.
+        assert!((t.instr_miss(ServiceLevel::Memory, 0) - 121.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn onchip_data_misses_mostly_hidden() {
+        let t = model();
+        let llc = t.data_access(ServiceLevel::Llc, 0);
+        // 16 cycles * (1 - 0.7) = 4.8.
+        assert!((llc - 4.8).abs() < 1e-9);
+        // Data miss charged less than the equivalent instruction miss.
+        assert!(llc < t.instr_miss(ServiceLevel::Llc, 0));
+    }
+
+    #[test]
+    fn offchip_data_misses_mostly_exposed() {
+        let t = model();
+        let mem = t.data_access(ServiceLevel::Memory, 0);
+        let raw = 16.0 + 105.0;
+        assert!((mem - raw * 0.85).abs() < 1e-9);
+        // Off-chip dominates on-chip even after hiding.
+        assert!(mem > t.data_access(ServiceLevel::Llc, 4));
+    }
+
+    #[test]
+    fn remote_l1_costs_more_than_llc() {
+        let t = model();
+        assert!(
+            t.raw_service_latency(ServiceLevel::RemoteL1, 1)
+                > t.raw_service_latency(ServiceLevel::Llc, 1)
+        );
+    }
+
+    #[test]
+    fn migration_cost_matches_paper() {
+        let t = model();
+        assert!((t.migration() - 90.0).abs() < 1e-9);
+        assert_eq!(t.migration(), t.context_switch());
+    }
+
+    #[test]
+    fn deep_hierarchy_private_l2_latency() {
+        let t = TimingModel::new(SimConfig::paper_deep());
+        assert!((t.instr_miss(ServiceLevel::L2Private, 0) - 7.0).abs() < 1e-9);
+        // Private L2 far cheaper than the shared LLC.
+        assert!(t.instr_miss(ServiceLevel::L2Private, 0) < t.instr_miss(ServiceLevel::Llc, 0));
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for the set-associative cache and the coherence
+//! directory: LRU behaviour, occupancy bounds, and directory/cache
+//! consistency under random access sequences.
+
+use addict_sim::cache::SetAssocCache;
+use addict_sim::coherence::Directory;
+use addict_sim::config::CacheGeometry;
+use addict_sim::BlockAddr;
+use proptest::prelude::*;
+
+fn small_cache() -> SetAssocCache {
+    // 4 sets x 4 ways = 16 blocks.
+    SetAssocCache::new(CacheGeometry::new(16 * 64, 4))
+}
+
+proptest! {
+    /// Occupancy never exceeds capacity, and every evicted block was
+    /// previously resident.
+    #[test]
+    fn occupancy_bounded_and_evictions_valid(addrs in prop::collection::vec(0u64..64, 1..300)) {
+        let mut c = small_cache();
+        let mut resident = std::collections::HashSet::new();
+        for a in addrs {
+            let b = BlockAddr(a);
+            let out = c.access(b);
+            if let Some(v) = out.evicted {
+                prop_assert!(resident.remove(&v), "evicted non-resident block {v:?}");
+            }
+            prop_assert_eq!(out.hit, !resident.insert(b) || out.hit);
+            resident.insert(b);
+            prop_assert!(c.occupancy() <= c.capacity_blocks());
+            prop_assert_eq!(c.occupancy(), resident.len());
+        }
+        // The cache's own view agrees with the model.
+        for &b in &resident {
+            prop_assert!(c.contains(b));
+        }
+    }
+
+    /// An access immediately followed by the same access always hits
+    /// (temporal locality is never lost instantly).
+    #[test]
+    fn immediate_reaccess_hits(addrs in prop::collection::vec(0u64..1024, 1..200)) {
+        let mut c = small_cache();
+        for a in addrs {
+            c.access(BlockAddr(a));
+            prop_assert!(c.access(BlockAddr(a)).hit);
+        }
+    }
+
+    /// Within one set, the most recently used `ways` distinct blocks are
+    /// always resident (true-LRU property).
+    #[test]
+    fn lru_keeps_most_recent_ways(addrs in prop::collection::vec(0u64..40, 1..300)) {
+        let ways = 4usize;
+        let n_sets = 4u64;
+        let mut c = small_cache();
+        let mut per_set_recency: Vec<Vec<BlockAddr>> = vec![Vec::new(); n_sets as usize];
+        for a in addrs {
+            let b = BlockAddr(a);
+            c.access(b);
+            let set = (a % n_sets) as usize;
+            per_set_recency[set].retain(|&x| x != b);
+            per_set_recency[set].push(b);
+            let recent: Vec<_> = per_set_recency[set].iter().rev().take(ways).collect();
+            for &&r in &recent {
+                prop_assert!(c.contains(r), "recently used {r:?} evicted too early");
+            }
+        }
+    }
+
+    /// Flush always empties the cache, regardless of prior history.
+    #[test]
+    fn flush_resets(addrs in prop::collection::vec(0u64..256, 0..100)) {
+        let mut c = small_cache();
+        for a in addrs {
+            c.access(BlockAddr(a));
+        }
+        c.flush();
+        prop_assert_eq!(c.occupancy(), 0);
+    }
+
+    /// Directory invariant: after any interleaving of reads/writes/evicts,
+    /// a block has at most one modified owner, and the owner is a sharer.
+    #[test]
+    fn directory_single_owner(ops in prop::collection::vec((0usize..4, 0u64..8, 0u8..3), 1..200)) {
+        let mut d = Directory::new();
+        for (core, addr, kind) in ops {
+            let b = BlockAddr(addr);
+            match kind {
+                0 => { d.on_read(core, b); }
+                1 => { d.on_write(core, b); }
+                _ => { d.on_evict(core, b); }
+            }
+            if let Some(owner) = d.owner(b) {
+                prop_assert!(d.is_sharer(owner, b), "owner not a sharer");
+                // A write by anyone else would have cleared this owner, so
+                // at most one core can believe it owns the block.
+                for other in 0..4 {
+                    if other != owner {
+                        prop_assert_ne!(d.owner(b), Some(other));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! The buffer pool: pin-counted residency tracking with clock eviction.
+//!
+//! Pages themselves are owned by heap files and B+-trees (the database is
+//! memory-resident, as in the paper's setup: "the buffer-pool is configured
+//! to keep the whole database in memory"). The buffer pool tracks which
+//! pages occupy frames, enforces pin counts, and evicts with a clock hand
+//! when capacity is exceeded — the control structures whose (shared) data
+//! accesses Section 2.2.2 attributes to the buffer pool.
+
+use std::collections::HashMap;
+
+use crate::error::{StorageError, StorageResult};
+
+/// Outcome of fixing a page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixOutcome {
+    /// Frame the page occupies (drives the control-block data address).
+    pub frame: u64,
+    /// Whether the page was already resident.
+    pub hit: bool,
+    /// Page evicted to make room, if any.
+    pub evicted: Option<u64>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    page: u64,
+    pin_count: u32,
+    dirty: bool,
+    referenced: bool,
+    occupied: bool,
+}
+
+const EMPTY_FRAME: Frame =
+    Frame { page: 0, pin_count: 0, dirty: false, referenced: false, occupied: false };
+
+/// Buffer-pool statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufferPoolStats {
+    /// Fix calls that found the page resident.
+    pub hits: u64,
+    /// Fix calls that had to install the page.
+    pub misses: u64,
+    /// Evictions performed.
+    pub evictions: u64,
+    /// Dirty evictions (would be write-backs on a disk system).
+    pub dirty_evictions: u64,
+}
+
+/// A clock-eviction buffer pool.
+#[derive(Debug)]
+pub struct BufferPool {
+    frames: Vec<Frame>,
+    resident: HashMap<u64, usize>,
+    hand: usize,
+    stats: BufferPoolStats,
+}
+
+impl BufferPool {
+    /// A pool with `capacity` frames.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer pool needs at least one frame");
+        BufferPool {
+            frames: vec![EMPTY_FRAME; capacity],
+            resident: HashMap::with_capacity(capacity),
+            hand: 0,
+            stats: BufferPoolStats::default(),
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> BufferPoolStats {
+        self.stats
+    }
+
+    /// Number of resident pages.
+    pub fn resident_pages(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Current pin count of a page (0 if not resident).
+    pub fn pin_count(&self, page: u64) -> u32 {
+        self.resident.get(&page).map_or(0, |&f| self.frames[f].pin_count)
+    }
+
+    /// Fix (pin) a page, installing it if absent.
+    ///
+    /// # Errors
+    /// [`StorageError::BufferPoolExhausted`] when every frame is pinned.
+    pub fn fix(&mut self, page: u64) -> StorageResult<FixOutcome> {
+        if let Some(&f) = self.resident.get(&page) {
+            let frame = &mut self.frames[f];
+            frame.pin_count += 1;
+            frame.referenced = true;
+            self.stats.hits += 1;
+            return Ok(FixOutcome { frame: f as u64, hit: true, evicted: None });
+        }
+        self.stats.misses += 1;
+        let (f, evicted) = self.find_victim()?;
+        if let Some(old) = evicted {
+            self.resident.remove(&old);
+            self.stats.evictions += 1;
+            if self.frames[f].dirty {
+                self.stats.dirty_evictions += 1;
+            }
+        }
+        self.frames[f] =
+            Frame { page, pin_count: 1, dirty: false, referenced: true, occupied: true };
+        self.resident.insert(page, f);
+        Ok(FixOutcome { frame: f as u64, hit: false, evicted })
+    }
+
+    /// Unfix (unpin) a page, optionally marking it dirty.
+    ///
+    /// # Panics
+    /// Panics if the page is not resident or not pinned.
+    pub fn unfix(&mut self, page: u64, dirty: bool) {
+        let &f = self.resident.get(&page).expect("unfix of non-resident page");
+        let frame = &mut self.frames[f];
+        assert!(frame.pin_count > 0, "unfix of unpinned page");
+        frame.pin_count -= 1;
+        frame.dirty |= dirty;
+    }
+
+    /// Find a free frame or clock victim. Returns `(frame, evicted_page)`.
+    fn find_victim(&mut self) -> StorageResult<(usize, Option<u64>)> {
+        // Free frame first.
+        if let Some(f) = self.frames.iter().position(|fr| !fr.occupied) {
+            return Ok((f, None));
+        }
+        // Clock: two full sweeps (first clears reference bits).
+        for _ in 0..2 * self.frames.len() {
+            let f = self.hand;
+            self.hand = (self.hand + 1) % self.frames.len();
+            let frame = &mut self.frames[f];
+            if frame.pin_count > 0 {
+                continue;
+            }
+            if frame.referenced {
+                frame.referenced = false;
+                continue;
+            }
+            return Ok((f, Some(frame.page)));
+        }
+        Err(StorageError::BufferPoolExhausted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fix_hit_and_miss_accounting() {
+        let mut bp = BufferPool::new(4);
+        let a = bp.fix(10).unwrap();
+        assert!(!a.hit);
+        let b = bp.fix(10).unwrap();
+        assert!(b.hit);
+        assert_eq!(a.frame, b.frame);
+        assert_eq!(bp.stats(), BufferPoolStats { hits: 1, misses: 1, ..Default::default() });
+        assert_eq!(bp.pin_count(10), 2);
+    }
+
+    #[test]
+    fn eviction_prefers_unreferenced_unpinned() {
+        let mut bp = BufferPool::new(2);
+        bp.fix(1).unwrap();
+        bp.fix(2).unwrap();
+        bp.unfix(1, false);
+        bp.unfix(2, false);
+        // Page 3 must evict one of them.
+        let out = bp.fix(3).unwrap();
+        assert!(out.evicted.is_some());
+        assert_eq!(bp.resident_pages(), 2);
+        assert_eq!(bp.stats().evictions, 1);
+    }
+
+    #[test]
+    fn pinned_pages_never_evicted() {
+        let mut bp = BufferPool::new(2);
+        bp.fix(1).unwrap(); // stays pinned
+        bp.fix(2).unwrap();
+        bp.unfix(2, false);
+        let out = bp.fix(3).unwrap();
+        assert_eq!(out.evicted, Some(2), "only the unpinned page is evictable");
+        assert_eq!(bp.pin_count(1), 1);
+    }
+
+    #[test]
+    fn exhausted_when_all_pinned() {
+        let mut bp = BufferPool::new(2);
+        bp.fix(1).unwrap();
+        bp.fix(2).unwrap();
+        assert_eq!(bp.fix(3), Err(StorageError::BufferPoolExhausted));
+    }
+
+    #[test]
+    fn dirty_evictions_counted() {
+        let mut bp = BufferPool::new(1);
+        bp.fix(1).unwrap();
+        bp.unfix(1, true);
+        bp.fix(2).unwrap();
+        assert_eq!(bp.stats().dirty_evictions, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unfix of unpinned")]
+    fn double_unfix_panics() {
+        let mut bp = BufferPool::new(2);
+        bp.fix(1).unwrap();
+        bp.unfix(1, false);
+        bp.unfix(1, false);
+    }
+
+    #[test]
+    fn clock_gives_second_chance() {
+        let mut bp = BufferPool::new(3);
+        for p in [1, 2, 3] {
+            bp.fix(p).unwrap();
+            bp.unfix(p, false);
+        }
+        // First eviction sweeps all reference bits clear, then takes the
+        // frame the hand wrapped to (page 1).
+        let out = bp.fix(4).unwrap();
+        assert_eq!(out.evicted, Some(1));
+        bp.unfix(4, false);
+        // Re-reference page 2: its bit is set again.
+        bp.fix(2).unwrap();
+        bp.unfix(2, false);
+        // Next eviction must skip the re-referenced page 2 and take page 3,
+        // whose bit stayed clear.
+        let out = bp.fix(5).unwrap();
+        assert_eq!(out.evicted, Some(3), "second chance protected page 2");
+        assert_eq!(bp.pin_count(2), 0);
+        assert!(bp.fix(2).unwrap().hit, "page 2 survived");
+    }
+}

@@ -1,0 +1,73 @@
+//! Storage-manager error types.
+
+use crate::rid::Rid;
+
+/// Errors surfaced by the storage manager.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// Key not present in the index.
+    KeyNotFound {
+        /// The missing key.
+        key: u64,
+    },
+    /// Inserting a key that already exists in a unique index.
+    DuplicateKey {
+        /// The duplicate key.
+        key: u64,
+    },
+    /// A record id points at nothing.
+    InvalidRid(Rid),
+    /// Record bytes do not fit in any page.
+    RecordTooLarge {
+        /// Record size in bytes.
+        size: usize,
+    },
+    /// Unknown table id.
+    NoSuchTable(u32),
+    /// Unknown index id.
+    NoSuchIndex(u32),
+    /// Unknown transaction id (already finished, or never begun).
+    NoSuchXct(u64),
+    /// Lock request denied because a conflicting transaction holds it and
+    /// wait-die policy says the requester must abort.
+    LockConflict {
+        /// The transaction that must back off.
+        loser: u64,
+        /// A transaction currently holding the lock.
+        holder: u64,
+    },
+    /// Waiting for this lock would close a cycle in the waits-for graph.
+    Deadlock {
+        /// The requesting transaction.
+        waiter: u64,
+    },
+    /// Buffer pool has no evictable frame (all pinned).
+    BufferPoolExhausted,
+    /// Operation attempted on a transaction that already aborted.
+    XctAborted(u64),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::KeyNotFound { key } => write!(f, "key {key} not found"),
+            StorageError::DuplicateKey { key } => write!(f, "duplicate key {key}"),
+            StorageError::InvalidRid(rid) => write!(f, "invalid rid {rid:?}"),
+            StorageError::RecordTooLarge { size } => write!(f, "record of {size} bytes too large"),
+            StorageError::NoSuchTable(t) => write!(f, "no such table {t}"),
+            StorageError::NoSuchIndex(i) => write!(f, "no such index {i}"),
+            StorageError::NoSuchXct(x) => write!(f, "no such transaction {x}"),
+            StorageError::LockConflict { loser, holder } => {
+                write!(f, "lock conflict: xct {loser} must abort (holder {holder})")
+            }
+            StorageError::Deadlock { waiter } => write!(f, "deadlock detected for xct {waiter}"),
+            StorageError::BufferPoolExhausted => write!(f, "buffer pool exhausted"),
+            StorageError::XctAborted(x) => write!(f, "transaction {x} already aborted"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Convenience result alias.
+pub type StorageResult<T> = Result<T, StorageError>;

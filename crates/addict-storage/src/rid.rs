@@ -1,0 +1,56 @@
+//! Record identifiers: `(page, slot)` pairs, packable into a `u64` so they
+//! can live as B+-tree values.
+
+/// A record id: which page, which slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Rid {
+    /// Owning page id.
+    pub page: u64,
+    /// Slot within the page.
+    pub slot: u16,
+}
+
+impl Rid {
+    /// Construct a rid.
+    pub fn new(page: u64, slot: u16) -> Self {
+        Rid { page, slot }
+    }
+
+    /// Pack into a `u64` (page in the high 48 bits, slot in the low 16).
+    ///
+    /// # Panics
+    /// Panics if the page id exceeds 48 bits.
+    pub fn pack(self) -> u64 {
+        assert!(self.page < (1 << 48), "page id overflows rid packing");
+        (self.page << 16) | u64::from(self.slot)
+    }
+
+    /// Unpack from a `u64`.
+    pub fn unpack(v: u64) -> Self {
+        Rid { page: v >> 16, slot: (v & 0xFFFF) as u16 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_roundtrip() {
+        for rid in [Rid::new(0, 0), Rid::new(1, 65535), Rid::new((1 << 48) - 1, 7)] {
+            assert_eq!(Rid::unpack(rid.pack()), rid);
+        }
+    }
+
+    #[test]
+    fn pack_orders_by_page_then_slot() {
+        assert!(Rid::new(1, 0).pack() < Rid::new(2, 0).pack());
+        assert!(Rid::new(1, 3).pack() < Rid::new(1, 4).pack());
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn oversized_page_rejected() {
+        let _ = Rid::new(1 << 48, 0).pack();
+    }
+}

@@ -1,0 +1,164 @@
+//! Failure-injection tests: the engine under resource exhaustion,
+//! conflicting transactions, and invalid inputs.
+
+use addict_storage::{Engine, EngineConfig, StorageError};
+use addict_trace::XctTypeId;
+
+const T0: XctTypeId = XctTypeId(0);
+
+/// An engine with a pathologically small buffer pool.
+fn tiny_bp_engine() -> Engine {
+    Engine::new(EngineConfig { bufferpool_frames: 4, btree_max_keys: 8 })
+}
+
+#[test]
+fn tiny_buffer_pool_still_serves_transactions() {
+    // 4 frames with clock eviction: every operation re-fixes pages, so the
+    // pool churns constantly but must stay correct.
+    let mut e = tiny_bp_engine();
+    let t = e.create_table("t");
+    let i = e.create_index(t, "pk").unwrap();
+    e.set_tracing(false);
+    let x = e.begin(T0);
+    for k in 0..200u64 {
+        e.insert_tuple(x, t, &[(i, k)], format!("row{k:05}").as_bytes()).unwrap();
+    }
+    e.commit(x).unwrap();
+    e.set_tracing(true);
+
+    let x = e.begin(T0);
+    for k in (0..200u64).step_by(17) {
+        assert!(e.index_probe(x, i, k).unwrap().is_some(), "key {k}");
+    }
+    e.commit(x).unwrap();
+    let stats = e.bufferpool_stats();
+    assert!(stats.evictions > 0, "a 4-frame pool must evict");
+    assert!(stats.misses > stats.evictions / 2);
+}
+
+#[test]
+fn oversized_record_rejected_cleanly() {
+    let mut e = Engine::new(EngineConfig::default());
+    let t = e.create_table("t");
+    let i = e.create_index(t, "pk").unwrap();
+    let x = e.begin(T0);
+    let huge = vec![0u8; 16 * 1024];
+    let err = e.insert_tuple(x, t, &[(i, 1)], &huge).unwrap_err();
+    assert!(matches!(err, StorageError::RecordTooLarge { .. }));
+    // The transaction can continue with a sane insert and commit.
+    e.insert_tuple(x, t, &[(i, 1)], b"fine").unwrap();
+    e.commit(x).unwrap();
+    assert!(e.peek_index(i, 1).unwrap().is_some());
+}
+
+#[test]
+fn duplicate_key_insert_fails_without_corruption() {
+    let mut e = Engine::new(EngineConfig::default());
+    let t = e.create_table("t");
+    let i = e.create_index(t, "pk").unwrap();
+    let x = e.begin(T0);
+    let rid1 = e.insert_tuple(x, t, &[(i, 42)], b"first").unwrap();
+    let err = e.insert_tuple(x, t, &[(i, 42)], b"second").unwrap_err();
+    assert!(matches!(err, StorageError::DuplicateKey { key: 42 }));
+    e.commit(x).unwrap();
+    // The original row is intact; the failed insert's heap record is an
+    // orphan (a real system would undo it; ours documents the behavior).
+    assert_eq!(e.peek_index(i, 42).unwrap(), Some(rid1));
+    assert_eq!(e.peek(t, rid1).unwrap(), b"first");
+}
+
+#[test]
+fn wait_die_resolves_contention_storm() {
+    // Many interleaved transactions fighting over few records: wait-die
+    // (young aborts) must keep the system live and deadlock-free.
+    let mut e = Engine::new(EngineConfig::default());
+    let t = e.create_table("t");
+    let i = e.create_index(t, "pk").unwrap();
+    e.set_tracing(false);
+    let x = e.begin(T0);
+    for k in 0..4u64 {
+        e.insert_tuple(x, t, &[(i, k)], &[7u8; 64]).unwrap();
+    }
+    e.commit(x).unwrap();
+    e.set_tracing(true);
+
+    let mut completed = 0;
+    let mut aborted = 0;
+    let mut open = Vec::new();
+    for round in 0..50u64 {
+        let x = e.begin(T0);
+        // Two hot keys with up to three transactions in flight: collisions
+        // are guaranteed.
+        let key = round % 2;
+        match e.index_probe_rid(x, i, key) {
+            Ok(Some(rid)) => match e.update_tuple(x, t, rid, &[round as u8; 64]) {
+                Ok(()) => {
+                    open.push(x);
+                    if open.len() >= 3 {
+                        for x in open.drain(..) {
+                            e.commit(x).unwrap();
+                            completed += 1;
+                        }
+                    }
+                }
+                Err(StorageError::LockConflict { .. } | StorageError::Deadlock { .. }) => {
+                    e.abort(x).unwrap();
+                    aborted += 1;
+                }
+                Err(other) => panic!("unexpected error {other}"),
+            },
+            Ok(None) => panic!("populated key missing"),
+            Err(StorageError::LockConflict { .. } | StorageError::Deadlock { .. }) => {
+                e.abort(x).unwrap();
+                aborted += 1;
+            }
+            Err(other) => panic!("unexpected error {other}"),
+        }
+    }
+    for x in open {
+        e.commit(x).unwrap();
+        completed += 1;
+    }
+    assert!(completed > 0, "the system must make progress");
+    assert!(aborted > 0, "the storm must produce real conflicts");
+    assert_eq!(e.locks().n_locked(), 0, "no lock leaks after the storm");
+}
+
+#[test]
+fn abort_releases_everything() {
+    let mut e = Engine::new(EngineConfig::default());
+    let t = e.create_table("t");
+    let i = e.create_index(t, "pk").unwrap();
+    let x0 = e.begin(T0);
+    e.insert_tuple(x0, t, &[(i, 1)], b"r").unwrap();
+    e.commit(x0).unwrap();
+
+    let x1 = e.begin(T0);
+    let rid = e.index_probe_rid(x1, i, 1).unwrap().unwrap();
+    e.update_tuple(x1, t, rid, b"x").unwrap();
+    assert!(e.locks().n_locked() > 0);
+    e.abort(x1).unwrap();
+    assert_eq!(e.locks().n_locked(), 0);
+    // A new transaction acquires the same locks without conflict.
+    let x2 = e.begin(T0);
+    assert!(e.index_probe(x2, i, 1).unwrap().is_some());
+    e.commit(x2).unwrap();
+}
+
+#[test]
+fn operations_on_unknown_handles_fail_fast() {
+    let mut e = Engine::new(EngineConfig::default());
+    let t = e.create_table("t");
+    let i = e.create_index(t, "pk").unwrap();
+    let ghost = addict_storage::XctId(9999);
+    assert!(matches!(e.index_probe(ghost, i, 1), Err(StorageError::NoSuchXct(_))));
+    assert!(matches!(e.commit(ghost), Err(StorageError::NoSuchXct(_))));
+    // Unknown index id.
+    let x = e.begin(T0);
+    assert!(matches!(
+        e.index_probe(x, addict_storage::IndexId(99), 1),
+        Err(StorageError::NoSuchIndex(99))
+    ));
+    let _ = t;
+    e.commit(x).unwrap();
+}

@@ -1,0 +1,356 @@
+//! The synthetic code map: every storage-manager routine owns a stable
+//! region of instruction blocks.
+//!
+//! This is the heart of the Pin substitution. Each routine of the
+//! `addict-storage` engine is registered here with:
+//!
+//! * an **exclusive footprint** in 64-byte blocks, calibrated so that the
+//!   *inclusive* footprints (routine + everything it calls) reproduce the
+//!   percentages of Figure 1 of the paper (e.g. `lookup` ≈ 73% of
+//!   `find key`, `allocate page` ≈ 47% of `create record`), and the total
+//!   code size lands inside Shore-MT's measured 128–256 KB instruction
+//!   footprint;
+//! * a static **call graph** mirroring Figure 1's flow graph, used by the
+//!   Figure 1 analysis to attribute inclusive footprints;
+//! * an **instructions-per-block** density used when the recorder emits the
+//!   routine's block walk.
+//!
+//! Because regions are deterministic, different *instances* of the same
+//! operation touch the same instruction blocks — the high instruction
+//! overlap of Section 2.2.1 — while conditional routines (page allocation,
+//! structural modification) diversify the stream exactly when the real
+//! engine takes those paths.
+
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+use addict_sim::BlockAddr;
+
+use crate::layout::CODE_BASE;
+
+/// Every instrumented routine of the storage manager.
+///
+/// The names follow Figure 1 of the paper where the figure names them
+/// (`find key`, `lookup`, `traverse`, `initialize cursor`, `fetch next`,
+/// `pin record page`, `update page`, `create record`, `create index entry`,
+/// `allocate page`, `structural modification`) plus the infrastructure
+/// routines every operation leans on (buffer pool, latches, locks, log).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Routine {
+    /// Transaction begin: allocate xct state, write begin log record.
+    XctBegin,
+    /// Transaction commit: release locks, write commit record.
+    XctCommit,
+    /// Buffer-pool fix (hash lookup, pin).
+    BpFix,
+    /// Buffer-pool unfix.
+    BpUnfix,
+    /// Page latch acquire.
+    LatchAcquire,
+    /// Page latch release.
+    LatchRelease,
+    /// Lock-manager acquire (hash, queue, grant).
+    LockAcquire,
+    /// Lock-manager release.
+    LockRelease,
+    /// Log-manager record insertion.
+    LogInsert,
+    /// Tuple/record format encode-decode.
+    TupleLayout,
+    /// Storage-manager probe API (`find key` in Figure 1).
+    FindKey,
+    /// Index lookup dispatch (`lookup`).
+    BtreeLookup,
+    /// Root-to-leaf descent (`traverse`).
+    BtreeTraverse,
+    /// Record retrieval after the descent.
+    RecordFetch,
+    /// Scan start (`initialize cursor`).
+    InitCursor,
+    /// Scan iteration (`fetch next`).
+    FetchNext,
+    /// Update API entry.
+    UpdateTupleApi,
+    /// `pin record page`.
+    PinRecordPage,
+    /// `update page` (record rewrite + log).
+    UpdatePage,
+    /// Insert API entry.
+    InsertTupleApi,
+    /// `create record`.
+    CreateRecord,
+    /// `allocate page` (conditional: only when no page has space).
+    AllocatePage,
+    /// `create index entry`.
+    CreateIndexEntry,
+    /// `structural modification` (conditional: splits, new roots).
+    StructuralModification,
+    /// Delete API entry.
+    DeleteTupleApi,
+    /// Record removal.
+    DeleteRecord,
+    /// Index-entry removal.
+    DeleteIndexEntry,
+}
+
+/// Static metadata for one routine.
+#[derive(Debug, Clone, Copy)]
+struct RoutineMeta {
+    routine: Routine,
+    /// Exclusive footprint in 64-byte blocks.
+    blocks: u64,
+    /// Dynamic instructions charged per block visit.
+    instrs_per_block: u16,
+    /// Static callees (Figure 1 flow graph + infrastructure).
+    calls: &'static [Routine],
+}
+
+use Routine::*;
+
+/// The calibrated table. Region bases are assigned in declaration order
+/// starting at [`CODE_BASE`]. Total: 2798 blocks ≈ 179 KB, inside
+/// Shore-MT's 128–256 KB (Section 4.6 of the paper).
+const ROUTINES: &[RoutineMeta] = &[
+    RoutineMeta { routine: XctBegin, blocks: 48, instrs_per_block: 11, calls: &[LogInsert] },
+    RoutineMeta { routine: XctCommit, blocks: 96, instrs_per_block: 10, calls: &[LogInsert, LockRelease] },
+    RoutineMeta { routine: BpFix, blocks: 56, instrs_per_block: 9, calls: &[] },
+    RoutineMeta { routine: BpUnfix, blocks: 16, instrs_per_block: 8, calls: &[] },
+    RoutineMeta { routine: LatchAcquire, blocks: 12, instrs_per_block: 8, calls: &[] },
+    RoutineMeta { routine: LatchRelease, blocks: 8, instrs_per_block: 8, calls: &[] },
+    RoutineMeta { routine: LockAcquire, blocks: 96, instrs_per_block: 12, calls: &[] },
+    RoutineMeta { routine: LockRelease, blocks: 48, instrs_per_block: 10, calls: &[] },
+    RoutineMeta { routine: LogInsert, blocks: 80, instrs_per_block: 11, calls: &[] },
+    RoutineMeta { routine: TupleLayout, blocks: 48, instrs_per_block: 13, calls: &[] },
+    RoutineMeta { routine: FindKey, blocks: 64, instrs_per_block: 10, calls: &[BtreeLookup, LockAcquire, RecordFetch] },
+    RoutineMeta { routine: BtreeLookup, blocks: 112, instrs_per_block: 11, calls: &[BtreeTraverse] },
+    RoutineMeta { routine: BtreeTraverse, blocks: 160, instrs_per_block: 12, calls: &[BpFix, LatchAcquire, LatchRelease, LockAcquire] },
+    RoutineMeta { routine: RecordFetch, blocks: 64, instrs_per_block: 10, calls: &[BpFix, TupleLayout] },
+    RoutineMeta { routine: InitCursor, blocks: 180, instrs_per_block: 11, calls: &[BtreeLookup, LockAcquire] },
+    RoutineMeta { routine: FetchNext, blocks: 120, instrs_per_block: 14, calls: &[TupleLayout, LatchAcquire, LatchRelease] },
+    RoutineMeta { routine: UpdateTupleApi, blocks: 48, instrs_per_block: 10, calls: &[PinRecordPage, UpdatePage] },
+    RoutineMeta { routine: PinRecordPage, blocks: 150, instrs_per_block: 10, calls: &[BpFix, LatchAcquire] },
+    RoutineMeta { routine: UpdatePage, blocks: 130, instrs_per_block: 11, calls: &[TupleLayout, LogInsert] },
+    RoutineMeta { routine: InsertTupleApi, blocks: 56, instrs_per_block: 10, calls: &[CreateRecord, CreateIndexEntry, LockAcquire] },
+    RoutineMeta { routine: CreateRecord, blocks: 350, instrs_per_block: 11, calls: &[BpFix, TupleLayout, LogInsert, AllocatePage] },
+    RoutineMeta { routine: AllocatePage, blocks: 220, instrs_per_block: 10, calls: &[BpFix, LogInsert] },
+    RoutineMeta { routine: CreateIndexEntry, blocks: 100, instrs_per_block: 11, calls: &[BtreeTraverse, LogInsert, StructuralModification] },
+    RoutineMeta { routine: StructuralModification, blocks: 220, instrs_per_block: 10, calls: &[AllocatePage, LogInsert, LatchAcquire, LatchRelease] },
+    RoutineMeta { routine: DeleteTupleApi, blocks: 56, instrs_per_block: 10, calls: &[DeleteRecord, DeleteIndexEntry, LockAcquire] },
+    RoutineMeta { routine: DeleteRecord, blocks: 120, instrs_per_block: 10, calls: &[BpFix, TupleLayout, LogInsert] },
+    RoutineMeta { routine: DeleteIndexEntry, blocks: 140, instrs_per_block: 11, calls: &[BtreeTraverse, LogInsert, StructuralModification] },
+];
+
+/// All routines, in region order.
+pub const ALL_ROUTINES: [Routine; 27] = [
+    XctBegin, XctCommit, BpFix, BpUnfix, LatchAcquire, LatchRelease, LockAcquire, LockRelease,
+    LogInsert, TupleLayout, FindKey, BtreeLookup, BtreeTraverse, RecordFetch, InitCursor,
+    FetchNext, UpdateTupleApi, PinRecordPage, UpdatePage, InsertTupleApi, CreateRecord,
+    AllocatePage, CreateIndexEntry, StructuralModification, DeleteTupleApi, DeleteRecord,
+    DeleteIndexEntry,
+];
+
+/// The immutable code map: region assignment + call graph queries.
+#[derive(Debug)]
+pub struct CodeMap {
+    /// Region base block per routine (indexed by discriminant).
+    bases: Vec<u64>,
+}
+
+impl CodeMap {
+    fn build() -> CodeMap {
+        let mut bases = Vec::with_capacity(ROUTINES.len());
+        let mut next = CODE_BASE;
+        for meta in ROUTINES {
+            debug_assert_eq!(meta.routine as usize, bases.len(), "table order mismatch");
+            bases.push(next);
+            next += meta.blocks;
+        }
+        CodeMap { bases }
+    }
+
+    /// The process-wide code map.
+    pub fn global() -> &'static CodeMap {
+        static MAP: OnceLock<CodeMap> = OnceLock::new();
+        MAP.get_or_init(CodeMap::build)
+    }
+
+    #[inline]
+    fn meta(r: Routine) -> &'static RoutineMeta {
+        &ROUTINES[r as usize]
+    }
+
+    /// First block of `r`'s region.
+    pub fn base(&self, r: Routine) -> BlockAddr {
+        BlockAddr(self.bases[r as usize])
+    }
+
+    /// Exclusive footprint of `r` in blocks.
+    pub fn n_blocks(&self, r: Routine) -> u64 {
+        Self::meta(r).blocks
+    }
+
+    /// Instructions charged per block visit of `r`.
+    pub fn instrs_per_block(&self, r: Routine) -> u16 {
+        Self::meta(r).instrs_per_block
+    }
+
+    /// Static callees of `r` (the Figure 1 flow graph).
+    pub fn calls(&self, r: Routine) -> &'static [Routine] {
+        Self::meta(r).calls
+    }
+
+    /// The routine owning instruction block `block`, if any.
+    pub fn routine_of(&self, block: BlockAddr) -> Option<Routine> {
+        if block.0 < CODE_BASE || block.0 >= CODE_BASE + self.total_blocks() {
+            return None;
+        }
+        // Regions are contiguous and sorted: binary search the bases.
+        let idx = match self.bases.binary_search(&block.0) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        Some(ALL_ROUTINES[idx])
+    }
+
+    /// Total code footprint in blocks.
+    pub fn total_blocks(&self) -> u64 {
+        ROUTINES.iter().map(|m| m.blocks).sum()
+    }
+
+    /// Transitive closure of `r` over the static call graph (including `r`).
+    pub fn closure(&self, r: Routine) -> HashSet<Routine> {
+        let mut seen = HashSet::new();
+        let mut stack = vec![r];
+        while let Some(cur) = stack.pop() {
+            if seen.insert(cur) {
+                stack.extend(self.calls(cur).iter().copied());
+            }
+        }
+        seen
+    }
+
+    /// Inclusive footprint of `r` in blocks: the union of the exclusive
+    /// footprints of its call closure. This is the quantity Figure 1's
+    /// percentages are expressed in.
+    pub fn inclusive_blocks(&self, r: Routine) -> u64 {
+        self.closure(r).iter().map(|&x| self.n_blocks(x)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_contiguous_and_disjoint() {
+        let m = CodeMap::global();
+        let mut expected = CODE_BASE;
+        for &r in &ALL_ROUTINES {
+            assert_eq!(m.base(r).0, expected, "{r:?}");
+            expected += m.n_blocks(r);
+        }
+    }
+
+    #[test]
+    fn total_footprint_matches_shore_mt_range() {
+        let m = CodeMap::global();
+        let kb = m.total_blocks() * 64 / 1024;
+        assert!(
+            (128..=256).contains(&kb),
+            "total code footprint {kb} KB outside Shore-MT's 128-256 KB"
+        );
+    }
+
+    #[test]
+    fn routine_of_inverts_regions() {
+        let m = CodeMap::global();
+        for &r in &ALL_ROUTINES {
+            let base = m.base(r);
+            assert_eq!(m.routine_of(base), Some(r));
+            let last = BlockAddr(base.0 + m.n_blocks(r) - 1);
+            assert_eq!(m.routine_of(last), Some(r));
+        }
+        assert_eq!(m.routine_of(BlockAddr(0)), None);
+        assert_eq!(m.routine_of(BlockAddr(CODE_BASE + m.total_blocks())), None);
+    }
+
+    #[test]
+    fn figure1_probe_ratios() {
+        // Figure 1: lookup ~73% of find key, traverse ~71% of lookup,
+        // lock ~33% of traverse. Allow +-10 percentage points.
+        let m = CodeMap::global();
+        let fk = m.inclusive_blocks(FindKey) as f64;
+        let lu = m.inclusive_blocks(BtreeLookup) as f64;
+        let tr = m.inclusive_blocks(BtreeTraverse) as f64;
+        let lk = m.inclusive_blocks(LockAcquire) as f64;
+        assert!((lu / fk - 0.73).abs() < 0.10, "lookup/find_key = {}", lu / fk);
+        assert!((tr / lu - 0.71).abs() < 0.10, "traverse/lookup = {}", tr / lu);
+        assert!((lk / tr - 0.335).abs() < 0.10, "lock/traverse = {}", lk / tr);
+    }
+
+    #[test]
+    fn figure1_scan_ratios() {
+        // initialize cursor ~75% of scan; fetch next ~3x smaller.
+        let m = CodeMap::global();
+        let ic = m.inclusive_blocks(InitCursor) as f64;
+        let fnx = m.inclusive_blocks(FetchNext) as f64;
+        let ratio = ic / fnx;
+        assert!((2.0..=4.5).contains(&ratio), "init/fetch = {ratio}");
+    }
+
+    #[test]
+    fn figure1_update_ratios() {
+        // pin record page ~40%, update page ~46% of update tuple.
+        let m = CodeMap::global();
+        let up: u64 = m
+            .closure(UpdateTupleApi)
+            .iter()
+            .map(|&r| m.n_blocks(r))
+            .sum();
+        let pin = m.inclusive_blocks(PinRecordPage) as f64 / up as f64;
+        let upd = m.inclusive_blocks(UpdatePage) as f64 / up as f64;
+        assert!((pin - 0.40).abs() < 0.10, "pin share = {pin}");
+        assert!((upd - 0.46).abs() < 0.10, "update page share = {upd}");
+    }
+
+    #[test]
+    fn figure1_insert_ratios() {
+        // create record vs create index entry roughly comparable (44/56),
+        // allocate page ~47% of create record, SMO ~65% of create index entry.
+        let m = CodeMap::global();
+        let cr = m.inclusive_blocks(CreateRecord) as f64;
+        let cie = m.inclusive_blocks(CreateIndexEntry) as f64;
+        let ratio = cr / cie;
+        assert!((0.55..=1.1).contains(&ratio), "CR/CIE = {ratio}");
+        let alloc = m.inclusive_blocks(AllocatePage) as f64 / cr;
+        assert!((alloc - 0.47).abs() < 0.12, "alloc/CR = {alloc}");
+        let smo = m.inclusive_blocks(StructuralModification) as f64 / cie;
+        assert!((smo - 0.65).abs() < 0.15, "SMO/CIE = {smo}");
+    }
+
+    #[test]
+    fn closures_contain_self_and_callees() {
+        let m = CodeMap::global();
+        let c = m.closure(FindKey);
+        assert!(c.contains(&FindKey));
+        assert!(c.contains(&BtreeTraverse));
+        assert!(c.contains(&BpFix));
+        assert!(!c.contains(&CreateRecord));
+        // Leaf routine closure is itself.
+        assert_eq!(m.closure(LogInsert).len(), 1);
+    }
+
+    #[test]
+    fn operations_exceed_l1i_together() {
+        // A transaction executing probe + insert + update must overflow a
+        // 32 KB (512-block) L1-I: that is the premise of the whole paper.
+        let m = CodeMap::global();
+        let mut all = HashSet::new();
+        for r in [FindKey, InsertTupleApi, UpdateTupleApi, XctBegin, XctCommit] {
+            all.extend(m.closure(r));
+        }
+        let blocks: u64 = all.iter().map(|&r| m.n_blocks(r)).sum();
+        assert!(blocks > 512, "combined ops fit L1-I ({blocks} blocks)");
+    }
+}

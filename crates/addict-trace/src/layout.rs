@@ -1,0 +1,157 @@
+//! The synthetic address-space layout.
+//!
+//! All trace addresses are 64-byte block numbers ([`addict_sim::BlockAddr`]).
+//! Instruction and data live in disjoint regions so analyses can classify a
+//! block by address alone:
+//!
+//! ```text
+//! 0x0010_0000 ..             storage-manager code (codemap regions)
+//! 0x0100_0000 ..             catalog / schema metadata
+//! 0x0200_0000 ..             lock-manager hash table
+//! 0x0300_0000 ..             buffer-pool control structures
+//! 0x0400_0000 ..             log-buffer blocks
+//! 0x1000_0000 ..             database pages (page_id * BLOCKS_PER_PAGE)
+//! ```
+//!
+//! The frequently-shared data the paper observes (Section 2.2.2: "metadata
+//! information, lock manager, buffer pool structures, and index root pages")
+//! lives in the low data regions; record and leaf pages live in the sparse
+//! page region where overlap across transactions is naturally rare.
+
+use addict_sim::BlockAddr;
+
+/// First instruction block of the code region.
+pub const CODE_BASE: u64 = 0x0010_0000;
+/// First block of catalog/schema metadata.
+pub const METADATA_BASE: u64 = 0x0100_0000;
+/// First block of the lock-manager hash table.
+pub const LOCK_TABLE_BASE: u64 = 0x0200_0000;
+/// First block of buffer-pool control structures.
+pub const BUFFERPOOL_BASE: u64 = 0x0300_0000;
+/// First block of the log buffer.
+pub const LOG_BASE: u64 = 0x0400_0000;
+/// First block of per-transaction private state (transaction descriptors,
+/// cursors, lock lists — the thread-private data a migrating transaction
+/// "leaves behind", Section 4.3 of the paper).
+pub const XCT_STATE_BASE: u64 = 0x0500_0000;
+/// First block of the database-page region.
+pub const PAGE_BASE: u64 = 0x1000_0000;
+
+/// Private-state blocks per live transaction.
+pub const XCT_STATE_BLOCKS: u64 = 8;
+
+/// Block address of private-state block `i` of transaction `xct`.
+pub fn xct_state_block(xct: u64, i: u64) -> BlockAddr {
+    // 2^20 concurrent descriptors cycle through the arena, like a real
+    // transaction-object pool.
+    BlockAddr(XCT_STATE_BASE + (xct % (1 << 20)) * XCT_STATE_BLOCKS + (i % XCT_STATE_BLOCKS))
+}
+
+/// Simulated page size (8 KB, Shore-MT's default).
+pub const PAGE_BYTES: u64 = 8192;
+/// Blocks per page.
+pub const BLOCKS_PER_PAGE: u64 = PAGE_BYTES / 64;
+
+/// Is this block an instruction block?
+pub fn is_code(block: BlockAddr) -> bool {
+    (CODE_BASE..METADATA_BASE).contains(&block.0)
+}
+
+/// Is this block a database-page block?
+pub fn is_page(block: BlockAddr) -> bool {
+    block.0 >= PAGE_BASE
+}
+
+/// Is this block one of the small shared service structures (metadata,
+/// locks, buffer-pool control, log)?
+pub fn is_service(block: BlockAddr) -> bool {
+    (METADATA_BASE..PAGE_BASE).contains(&block.0)
+}
+
+/// Block address of byte `offset` within page `page_id`.
+pub fn page_block(page_id: u64, offset: u64) -> BlockAddr {
+    debug_assert!(offset < PAGE_BYTES, "offset {offset} beyond page");
+    BlockAddr(PAGE_BASE + page_id * BLOCKS_PER_PAGE + offset / 64)
+}
+
+/// Block address of lock-table bucket `bucket`.
+pub fn lock_bucket_block(bucket: u64) -> BlockAddr {
+    BlockAddr(LOCK_TABLE_BASE + bucket)
+}
+
+/// Block address of buffer-pool frame-table entry `frame`.
+pub fn bufferpool_block(frame: u64) -> BlockAddr {
+    BlockAddr(BUFFERPOOL_BASE + frame / 4)
+}
+
+/// Block address of catalog entry for table/index `object_id`.
+pub fn metadata_block(object_id: u64) -> BlockAddr {
+    BlockAddr(METADATA_BASE + object_id)
+}
+
+/// Block address of the log buffer at byte offset `log_tail` (the log wraps
+/// around a fixed in-memory window, like a real log buffer).
+pub fn log_block(log_tail: u64) -> BlockAddr {
+    const LOG_WINDOW_BLOCKS: u64 = 1024; // 64 KB in-memory log window
+    BlockAddr(LOG_BASE + (log_tail / 64) % LOG_WINDOW_BLOCKS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_disjoint_and_ordered() {
+        assert!(CODE_BASE < METADATA_BASE);
+        assert!(METADATA_BASE < LOCK_TABLE_BASE);
+        assert!(LOCK_TABLE_BASE < BUFFERPOOL_BASE);
+        assert!(BUFFERPOOL_BASE < LOG_BASE);
+        assert!(LOG_BASE < PAGE_BASE);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(is_code(BlockAddr(CODE_BASE)));
+        assert!(!is_code(BlockAddr(METADATA_BASE)));
+        assert!(is_page(page_block(0, 0)));
+        assert!(is_service(lock_bucket_block(3)));
+        assert!(is_service(metadata_block(1)));
+        assert!(is_service(log_block(12345)));
+        assert!(is_service(xct_state_block(7, 0)));
+        assert!(!is_service(page_block(9, 100)));
+    }
+
+    #[test]
+    fn xct_state_is_private_per_transaction() {
+        // Distinct transactions get disjoint block runs.
+        let a: Vec<_> = (0..XCT_STATE_BLOCKS).map(|i| xct_state_block(1, i)).collect();
+        let b: Vec<_> = (0..XCT_STATE_BLOCKS).map(|i| xct_state_block(2, i)).collect();
+        assert!(a.iter().all(|x| !b.contains(x)));
+        // Indices wrap within the transaction's own run.
+        assert_eq!(xct_state_block(1, 0), xct_state_block(1, XCT_STATE_BLOCKS));
+    }
+
+    #[test]
+    fn page_blocks_distinct_across_pages() {
+        let a = page_block(0, 0);
+        let b = page_block(1, 0);
+        assert_eq!(b.0 - a.0, BLOCKS_PER_PAGE);
+        // Offsets within a page map within the page's block run.
+        assert_eq!(page_block(0, 8191).0 - a.0, BLOCKS_PER_PAGE - 1);
+    }
+
+    #[test]
+    fn log_wraps_in_window() {
+        let first = log_block(0);
+        let wrapped = log_block(1024 * 64);
+        assert_eq!(first, wrapped);
+        assert_ne!(log_block(0), log_block(64));
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond page")]
+    #[cfg(debug_assertions)]
+    fn page_offset_bounds_checked() {
+        let _ = page_block(0, PAGE_BYTES);
+    }
+}

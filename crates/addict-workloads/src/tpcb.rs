@@ -1,0 +1,301 @@
+//! TPC-B: the single-transaction banking benchmark.
+//!
+//! Schema: Branch, Teller (10 per branch), Account (many per branch), and
+//! the index-less History table. The one transaction type, `AccountUpdate`,
+//! updates an account, its teller, and its branch balance, then appends a
+//! History row — the exact flow Section 2.2.1 of the paper analyzes
+//! (History's lack of an index is what makes TPC-B's insert footprint
+//! deviate only on the rare `allocate page` path).
+
+use addict_storage::{Engine, EngineConfig, IndexId, StorageResult, TableId};
+use addict_trace::XctTypeId;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::rows::{encode_row, get_field_i64, set_field_i64};
+use crate::WorkloadRunner;
+
+/// The `AccountUpdate` transaction type id.
+pub const ACCOUNT_UPDATE: XctTypeId = XctTypeId(0);
+
+/// TPC-B scale configuration.
+#[derive(Debug, Clone)]
+pub struct TpcBConfig {
+    /// Number of branches.
+    pub branches: u64,
+    /// Tellers per branch (spec: 10).
+    pub tellers_per_branch: u64,
+    /// Accounts per branch (spec: 100 000; scaled down by default).
+    pub accounts_per_branch: u64,
+}
+
+impl Default for TpcBConfig {
+    fn default() -> Self {
+        TpcBConfig { branches: 16, tellers_per_branch: 10, accounts_per_branch: 8_000 }
+    }
+}
+
+impl TpcBConfig {
+    /// Tiny scale for unit tests.
+    pub fn small() -> Self {
+        TpcBConfig { branches: 2, tellers_per_branch: 4, accounts_per_branch: 100 }
+    }
+}
+
+/// Row widths (bytes) — compact versions of the spec's 100-byte rows.
+const BRANCH_ROW: usize = 100;
+const TELLER_ROW: usize = 100;
+const ACCOUNT_ROW: usize = 100;
+const HISTORY_ROW: usize = 50;
+
+/// Field indexes within rows: `[id, balance]`.
+const F_BALANCE: usize = 1;
+
+/// The populated TPC-B database handles.
+#[derive(Debug)]
+pub struct TpcB {
+    cfg: TpcBConfig,
+    branch: TableId,
+    branch_pk: IndexId,
+    teller: TableId,
+    teller_pk: IndexId,
+    account: TableId,
+    account_pk: IndexId,
+    history: TableId,
+}
+
+impl TpcB {
+    /// Create tables and populate (untraced); tracing is on when this
+    /// returns.
+    pub fn setup(cfg: TpcBConfig) -> (Engine, TpcB) {
+        let mut e = Engine::new(EngineConfig::default());
+        let branch = e.create_table("branch");
+        let branch_pk = e.create_index(branch, "branch_pk").expect("table exists");
+        let teller = e.create_table("teller");
+        let teller_pk = e.create_index(teller, "teller_pk").expect("table exists");
+        let account = e.create_table("account");
+        let account_pk = e.create_index(account, "account_pk").expect("table exists");
+        // History deliberately has no index (spec + paper).
+        let history = e.create_table("history");
+
+        let w = TpcB { cfg, branch, branch_pk, teller, teller_pk, account, account_pk, history };
+        w.populate(&mut e);
+        (e, w)
+    }
+
+    fn populate(&self, e: &mut Engine) {
+        e.set_tracing(false);
+        let x = e.begin(ACCOUNT_UPDATE);
+        for b in 0..self.cfg.branches {
+            e.insert_tuple(x, self.branch, &[(self.branch_pk, b)], &encode_row(BRANCH_ROW, &[b, 0]))
+                .expect("populate branch");
+            for t in 0..self.cfg.tellers_per_branch {
+                let tid = b * self.cfg.tellers_per_branch + t;
+                e.insert_tuple(
+                    x,
+                    self.teller,
+                    &[(self.teller_pk, tid)],
+                    &encode_row(TELLER_ROW, &[tid, 0]),
+                )
+                .expect("populate teller");
+            }
+            for a in 0..self.cfg.accounts_per_branch {
+                let aid = b * self.cfg.accounts_per_branch + a;
+                e.insert_tuple(
+                    x,
+                    self.account,
+                    &[(self.account_pk, aid)],
+                    &encode_row(ACCOUNT_ROW, &[aid, 1_000]),
+                )
+                .expect("populate account");
+            }
+        }
+        e.commit(x).expect("populate commit");
+        e.set_tracing(true);
+    }
+
+    /// Probe a row by key, apply `delta` to its balance field, write back.
+    fn probe_and_adjust(
+        &self,
+        e: &mut Engine,
+        x: addict_storage::XctId,
+        index: IndexId,
+        table: TableId,
+        key: u64,
+        delta: i64,
+    ) -> StorageResult<i64> {
+        let rid = e
+            .index_probe_rid(x, index, key)?
+            .unwrap_or_else(|| panic!("populated key {key} missing"));
+        let mut row = e.peek(table, rid)?;
+        let balance = get_field_i64(&row, F_BALANCE) + delta;
+        set_field_i64(&mut row, F_BALANCE, balance);
+        e.update_tuple(x, table, rid, &row)?;
+        Ok(balance)
+    }
+
+    /// One `AccountUpdate` transaction.
+    pub fn account_update(&self, e: &mut Engine, rng: &mut StdRng) -> StorageResult<()> {
+        let b = rng.gen_range(0..self.cfg.branches);
+        let t = b * self.cfg.tellers_per_branch + rng.gen_range(0..self.cfg.tellers_per_branch);
+        let a = b * self.cfg.accounts_per_branch + rng.gen_range(0..self.cfg.accounts_per_branch);
+        let delta = rng.gen_range(-99_999i64..=99_999);
+
+        let x = e.begin(ACCOUNT_UPDATE);
+        self.probe_and_adjust(e, x, self.account_pk, self.account, a, delta)?;
+        self.probe_and_adjust(e, x, self.teller_pk, self.teller, t, delta)?;
+        self.probe_and_adjust(e, x, self.branch_pk, self.branch, b, delta)?;
+        e.insert_tuple(x, self.history, &[], &encode_row(HISTORY_ROW, &[a, t, b, delta as u64]))?;
+        e.commit(x)
+    }
+
+    /// Account primary index (tests, verification).
+    pub fn account_index(&self) -> IndexId {
+        self.account_pk
+    }
+
+    /// Account table (tests, verification).
+    pub fn account_table(&self) -> TableId {
+        self.account
+    }
+
+    /// The configured scale.
+    pub fn config(&self) -> &TpcBConfig {
+        &self.cfg
+    }
+}
+
+impl WorkloadRunner for TpcB {
+    fn name(&self) -> &'static str {
+        "TPC-B"
+    }
+
+    fn xct_type_names(&self) -> Vec<String> {
+        vec!["AccountUpdate".to_owned()]
+    }
+
+    fn run_one(&mut self, engine: &mut Engine, rng: &mut StdRng) -> StorageResult<XctTypeId> {
+        self.account_update(engine, rng)?;
+        Ok(ACCOUNT_UPDATE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use addict_trace::{OpKind, TraceEvent};
+    use rand::SeedableRng;
+
+    #[test]
+    fn populate_builds_all_tables() {
+        let (e, w) = TpcB::setup(TpcBConfig::small());
+        let c = e.catalog();
+        assert_eq!(c.table(w.branch).unwrap().heap.n_records() as u64, 2);
+        assert_eq!(c.table(w.teller).unwrap().heap.n_records() as u64, 8);
+        assert_eq!(c.table(w.account).unwrap().heap.n_records() as u64, 200);
+        assert_eq!(c.table(w.history).unwrap().heap.n_records(), 0);
+    }
+
+    #[test]
+    fn account_update_moves_money_and_appends_history() {
+        let (mut e, w) = TpcB::setup(TpcBConfig::small());
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            w.account_update(&mut e, &mut rng).unwrap();
+        }
+        assert_eq!(e.catalog().table(w.history).unwrap().heap.n_records(), 20);
+        let traces = e.take_traces();
+        assert_eq!(traces.len(), 20);
+        // Every AccountUpdate: 3 probes, 3 updates, 1 insert.
+        for t in &traces {
+            let mut probes = 0;
+            let mut updates = 0;
+            let mut inserts = 0;
+            for (op, _) in t.op_slices() {
+                match op {
+                    OpKind::Probe => probes += 1,
+                    OpKind::Update => updates += 1,
+                    OpKind::Insert => inserts += 1,
+                    other => panic!("unexpected {other:?} in AccountUpdate"),
+                }
+            }
+            assert_eq!((probes, updates, inserts), (3, 3, 1));
+        }
+    }
+
+    #[test]
+    fn balances_stay_consistent() {
+        let (mut e, w) = TpcB::setup(TpcBConfig::small());
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            w.account_update(&mut e, &mut rng).unwrap();
+        }
+        // Sum of branch balances equals sum of teller balances equals the
+        // net delta applied to accounts (minus initial account endowment).
+        let sum = |table, skip_initial: i64| -> i64 {
+            e.catalog()
+                .table(table)
+                .unwrap()
+                .heap
+                .iter()
+                .map(|(_, r)| crate::rows::get_field_i64(r, F_BALANCE) - skip_initial)
+                .sum()
+        };
+        let branches = sum(w.branch, 0);
+        let tellers = sum(w.teller, 0);
+        let accounts = sum(w.account, 1_000);
+        assert_eq!(branches, tellers);
+        assert_eq!(branches, accounts);
+    }
+
+    #[test]
+    fn history_insert_never_touches_index_code() {
+        let (mut e, w) = TpcB::setup(TpcBConfig::small());
+        let mut rng = StdRng::seed_from_u64(5);
+        w.account_update(&mut e, &mut rng).unwrap();
+        let traces = e.take_traces();
+        let map = addict_trace::CodeMap::global();
+        // Inside the insert op span, no CreateIndexEntry blocks.
+        for t in &traces {
+            for (op, range) in t.op_slices() {
+                if op != OpKind::Insert {
+                    continue;
+                }
+                for ev in &t.events[range] {
+                    if let TraceEvent::Instr { block, .. } = ev {
+                        assert_ne!(
+                            map.routine_of(*block),
+                            Some(addict_trace::Routine::CreateIndexEntry),
+                            "index-less History insert ran create_index_entry"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| {
+            let (mut e, w) = TpcB::setup(TpcBConfig::small());
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..10 {
+                w.account_update(&mut e, &mut rng).unwrap();
+            }
+            e.take_traces()
+        };
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.events, y.events, "same seed must give identical traces");
+        }
+        // A different seed touches different accounts: the data-block
+        // streams diverge even though the op structure is identical.
+        let c = run(43);
+        assert!(
+            a.iter().zip(&c).any(|(x, y)| x.events != y.events),
+            "different seeds should produce different data accesses"
+        );
+    }
+}
