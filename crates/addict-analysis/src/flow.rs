@@ -35,7 +35,10 @@ fn closure_blocks(footprint: &BTreeSet<BlockAddr>, r: Routine) -> usize {
     let closure = map.closure(r);
     footprint
         .iter()
-        .filter(|b| map.routine_of(**b).is_some_and(|owner| closure.contains(&owner)))
+        .filter(|b| {
+            map.routine_of(**b)
+                .is_some_and(|owner| closure.contains(&owner))
+        })
         .count()
 }
 
@@ -84,21 +87,70 @@ pub fn op_flow(trace: &WorkloadTrace, op: OpKind) -> Vec<FlowEdge> {
 
     match op {
         OpKind::Probe => vec![
-            edge("find key", "lookup", BtreeLookup, Some(FindKey), 73.0, false),
-            edge("lookup", "traverse", BtreeTraverse, Some(BtreeLookup), 71.0, false),
-            edge("traverse", "lock", LockAcquire, Some(BtreeTraverse), 33.5, false),
+            edge(
+                "find key",
+                "lookup",
+                BtreeLookup,
+                Some(FindKey),
+                73.0,
+                false,
+            ),
+            edge(
+                "lookup",
+                "traverse",
+                BtreeTraverse,
+                Some(BtreeLookup),
+                71.0,
+                false,
+            ),
+            edge(
+                "traverse",
+                "lock",
+                LockAcquire,
+                Some(BtreeTraverse),
+                33.5,
+                false,
+            ),
         ],
         OpKind::Scan => vec![
-            edge("index scan", "initialize cursor", InitCursor, None, 75.0, false),
+            edge(
+                "index scan",
+                "initialize cursor",
+                InitCursor,
+                None,
+                75.0,
+                false,
+            ),
             edge("index scan", "fetch next", FetchNext, None, 25.0, false),
         ],
         OpKind::Update => vec![
-            edge("update tuple", "pin record page", PinRecordPage, None, 40.0, false),
+            edge(
+                "update tuple",
+                "pin record page",
+                PinRecordPage,
+                None,
+                40.0,
+                false,
+            ),
             edge("update tuple", "update page", UpdatePage, None, 46.0, false),
         ],
         OpKind::Insert => vec![
-            edge("insert tuple", "create record", CreateRecord, None, 44.0, false),
-            edge("insert tuple", "create index entry", CreateIndexEntry, None, 56.0, false),
+            edge(
+                "insert tuple",
+                "create record",
+                CreateRecord,
+                None,
+                44.0,
+                false,
+            ),
+            edge(
+                "insert tuple",
+                "create index entry",
+                CreateIndexEntry,
+                None,
+                56.0,
+                false,
+            ),
             edge(
                 "create record",
                 "allocate page",
@@ -117,8 +169,22 @@ pub fn op_flow(trace: &WorkloadTrace, op: OpKind) -> Vec<FlowEdge> {
             ),
         ],
         OpKind::Delete => vec![
-            edge("delete tuple", "delete record", DeleteRecord, None, 44.0, false),
-            edge("delete tuple", "delete index entry", DeleteIndexEntry, None, 56.0, false),
+            edge(
+                "delete tuple",
+                "delete record",
+                DeleteRecord,
+                None,
+                44.0,
+                false,
+            ),
+            edge(
+                "delete tuple",
+                "delete index entry",
+                DeleteIndexEntry,
+                None,
+                56.0,
+                false,
+            ),
         ],
     }
 }
@@ -131,7 +197,9 @@ mod tests {
     /// Build a trace whose probe op walks the full FindKey closure.
     fn synthetic_probe_trace() -> WorkloadTrace {
         let map = CodeMap::global();
-        let mut events = vec![TraceEvent::XctBegin { xct_type: XctTypeId(0) }];
+        let mut events = vec![TraceEvent::XctBegin {
+            xct_type: XctTypeId(0),
+        }];
         events.push(TraceEvent::OpBegin { op: OpKind::Probe });
         for r in [
             Routine::FindKey,
@@ -155,7 +223,10 @@ mod tests {
         WorkloadTrace {
             name: "synthetic".into(),
             xct_type_names: vec!["T".into()],
-            xcts: vec![XctTrace { xct_type: XctTypeId(0), events }],
+            xcts: vec![XctTrace {
+                xct_type: XctTypeId(0),
+                events,
+            }],
         }
     }
 
@@ -188,7 +259,9 @@ mod tests {
     fn partial_footprint_shrinks_child_share() {
         // Touch FindKey fully but only a sliver of the lookup closure.
         let map = CodeMap::global();
-        let mut events = vec![TraceEvent::XctBegin { xct_type: XctTypeId(0) }];
+        let mut events = vec![TraceEvent::XctBegin {
+            xct_type: XctTypeId(0),
+        }];
         events.push(TraceEvent::OpBegin { op: OpKind::Probe });
         events.push(TraceEvent::Instr {
             block: map.base(Routine::FindKey),
@@ -205,7 +278,10 @@ mod tests {
         let w = WorkloadTrace {
             name: "s".into(),
             xct_type_names: vec!["T".into()],
-            xcts: vec![XctTrace { xct_type: XctTypeId(0), events }],
+            xcts: vec![XctTrace {
+                xct_type: XctTypeId(0),
+                events,
+            }],
         };
         let edges = op_flow(&w, OpKind::Probe);
         let lookup = &edges[0];

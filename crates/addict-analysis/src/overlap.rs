@@ -146,13 +146,29 @@ mod tests {
         XctTrace {
             xct_type: XctTypeId(ty),
             events: vec![
-                TraceEvent::XctBegin { xct_type: XctTypeId(ty) },
+                TraceEvent::XctBegin {
+                    xct_type: XctTypeId(ty),
+                },
                 TraceEvent::OpBegin { op: OpKind::Probe },
                 // 10 shared blocks + 10 instance-specific ones.
-                TraceEvent::Instr { block: BlockAddr(0x100), n_blocks: 10, ipb: 10 },
-                TraceEvent::Instr { block: BlockAddr(instr_base), n_blocks: 10, ipb: 10 },
-                TraceEvent::Data { block: BlockAddr(0x9000), write: false },
-                TraceEvent::Data { block: BlockAddr(data_base), write: false },
+                TraceEvent::Instr {
+                    block: BlockAddr(0x100),
+                    n_blocks: 10,
+                    ipb: 10,
+                },
+                TraceEvent::Instr {
+                    block: BlockAddr(instr_base),
+                    n_blocks: 10,
+                    ipb: 10,
+                },
+                TraceEvent::Data {
+                    block: BlockAddr(0x9000),
+                    write: false,
+                },
+                TraceEvent::Data {
+                    block: BlockAddr(data_base),
+                    write: false,
+                },
                 TraceEvent::OpEnd { op: OpKind::Probe },
                 TraceEvent::XctEnd,
             ],

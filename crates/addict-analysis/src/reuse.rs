@@ -134,15 +134,42 @@ mod tests {
                 .map(|i| XctTrace {
                     xct_type: XctTypeId(0),
                     events: vec![
-                        TraceEvent::XctBegin { xct_type: XctTypeId(0) },
+                        TraceEvent::XctBegin {
+                            xct_type: XctTypeId(0),
+                        },
                         TraceEvent::OpBegin { op: OpKind::Probe },
-                        TraceEvent::Instr { block: BlockAddr(0x100), n_blocks: 1, ipb: 5 },
-                        TraceEvent::Instr { block: BlockAddr(0x100), n_blocks: 1, ipb: 5 },
-                        TraceEvent::Instr { block: BlockAddr(0x100), n_blocks: 1, ipb: 5 },
-                        TraceEvent::Instr { block: BlockAddr(0x200 + i), n_blocks: 1, ipb: 5 },
-                        TraceEvent::Data { block: BlockAddr(0x900), write: false },
-                        TraceEvent::Data { block: BlockAddr(0x900), write: true },
-                        TraceEvent::Data { block: BlockAddr(0xA00 + i), write: false },
+                        TraceEvent::Instr {
+                            block: BlockAddr(0x100),
+                            n_blocks: 1,
+                            ipb: 5,
+                        },
+                        TraceEvent::Instr {
+                            block: BlockAddr(0x100),
+                            n_blocks: 1,
+                            ipb: 5,
+                        },
+                        TraceEvent::Instr {
+                            block: BlockAddr(0x100),
+                            n_blocks: 1,
+                            ipb: 5,
+                        },
+                        TraceEvent::Instr {
+                            block: BlockAddr(0x200 + i),
+                            n_blocks: 1,
+                            ipb: 5,
+                        },
+                        TraceEvent::Data {
+                            block: BlockAddr(0x900),
+                            write: false,
+                        },
+                        TraceEvent::Data {
+                            block: BlockAddr(0x900),
+                            write: true,
+                        },
+                        TraceEvent::Data {
+                            block: BlockAddr(0xA00 + i),
+                            write: false,
+                        },
                         TraceEvent::OpEnd { op: OpKind::Probe },
                         TraceEvent::XctEnd,
                     ],

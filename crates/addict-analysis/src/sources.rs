@@ -132,7 +132,9 @@ pub fn data_sources(trace: &WorkloadTrace) -> HashMap<DataRegion, RegionStats> {
     let half = trace.xcts.len().div_ceil(2);
     let mut out: HashMap<DataRegion, RegionStats> = HashMap::new();
     for (block, (accesses, reads, xcts)) in per_block {
-        let Some(region) = DataRegion::of(block) else { continue };
+        let Some(region) = DataRegion::of(block) else {
+            continue;
+        };
         let s = out.entry(region).or_default();
         s.footprint_blocks += 1;
         s.accesses += accesses;
@@ -155,20 +157,35 @@ mod tests {
             xcts.push(XctTrace {
                 xct_type: XctTypeId(0),
                 events: vec![
-                    TraceEvent::XctBegin { xct_type: XctTypeId(0) },
+                    TraceEvent::XctBegin {
+                        xct_type: XctTypeId(0),
+                    },
                     TraceEvent::OpBegin { op: OpKind::Probe },
                     // Shared metadata read by everyone.
-                    TraceEvent::Data { block: layout::metadata_block(1), write: false },
+                    TraceEvent::Data {
+                        block: layout::metadata_block(1),
+                        write: false,
+                    },
                     // Private page block per transaction.
-                    TraceEvent::Data { block: layout::page_block(100 + i, 0), write: true },
+                    TraceEvent::Data {
+                        block: layout::page_block(100 + i, 0),
+                        write: true,
+                    },
                     // Lock bucket, written.
-                    TraceEvent::Data { block: layout::lock_bucket_block(5), write: true },
+                    TraceEvent::Data {
+                        block: layout::lock_bucket_block(5),
+                        write: true,
+                    },
                     TraceEvent::OpEnd { op: OpKind::Probe },
                     TraceEvent::XctEnd,
                 ],
             });
         }
-        WorkloadTrace { name: "t".into(), xct_type_names: vec!["A".into()], xcts }
+        WorkloadTrace {
+            name: "t".into(),
+            xct_type_names: vec!["A".into()],
+            xcts,
+        }
     }
 
     #[test]
@@ -177,8 +194,14 @@ mod tests {
         let meta = &s[&DataRegion::Metadata];
         assert_eq!(meta.footprint_blocks, 1);
         assert_eq!(meta.accesses, 10);
-        assert!((meta.read_share() - 1.0).abs() < 1e-9, "metadata is read-only");
-        assert!((meta.common_share() - 1.0).abs() < 1e-9, "metadata shared by all");
+        assert!(
+            (meta.read_share() - 1.0).abs() < 1e-9,
+            "metadata is read-only"
+        );
+        assert!(
+            (meta.common_share() - 1.0).abs() < 1e-9,
+            "metadata shared by all"
+        );
 
         let pages = &s[&DataRegion::Pages];
         assert_eq!(pages.footprint_blocks, 10);
@@ -192,12 +215,27 @@ mod tests {
 
     #[test]
     fn region_of_respects_layout() {
-        assert_eq!(DataRegion::of(layout::metadata_block(0)), Some(DataRegion::Metadata));
-        assert_eq!(DataRegion::of(layout::lock_bucket_block(0)), Some(DataRegion::LockTable));
-        assert_eq!(DataRegion::of(layout::bufferpool_block(0)), Some(DataRegion::BufferPool));
+        assert_eq!(
+            DataRegion::of(layout::metadata_block(0)),
+            Some(DataRegion::Metadata)
+        );
+        assert_eq!(
+            DataRegion::of(layout::lock_bucket_block(0)),
+            Some(DataRegion::LockTable)
+        );
+        assert_eq!(
+            DataRegion::of(layout::bufferpool_block(0)),
+            Some(DataRegion::BufferPool)
+        );
         assert_eq!(DataRegion::of(layout::log_block(0)), Some(DataRegion::Log));
-        assert_eq!(DataRegion::of(layout::xct_state_block(1, 0)), Some(DataRegion::XctState));
-        assert_eq!(DataRegion::of(layout::page_block(0, 0)), Some(DataRegion::Pages));
+        assert_eq!(
+            DataRegion::of(layout::xct_state_block(1, 0)),
+            Some(DataRegion::XctState)
+        );
+        assert_eq!(
+            DataRegion::of(layout::page_block(0, 0)),
+            Some(DataRegion::Pages)
+        );
         assert_eq!(DataRegion::of(BlockAddr(0)), None, "code space is not data");
     }
 }

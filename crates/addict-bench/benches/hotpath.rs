@@ -1,0 +1,157 @@
+//! Criterion microbenchmarks for the replay hot path: L1-I segment walks
+//! vs per-block cache accesses, the open-addressed coherence directory,
+//! and full flat-vs-segment replay under every scheduler.
+//!
+//! Run with `cargo bench --bench hotpath`. The `bench` binary
+//! (`cargo run --release --bin bench`) regenerates `BENCH_1.json` with the
+//! headline events/sec numbers on the TPC-C workload.
+
+use addict_core::algorithm1::find_migration_points;
+use addict_core::replay::ReplayConfig;
+use addict_core::sched::{run_scheduler, SchedulerKind};
+use addict_sim::coherence::Directory;
+use addict_sim::{BlockAddr, CacheGeometry, CoreId, Machine, SetAssocCache, SimConfig};
+use addict_trace::{OpKind, TraceEvent, XctTrace, XctTypeId};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_cache_walks(c: &mut Criterion) {
+    let geom = CacheGeometry::new(32 * 1024, 8);
+    // Warm 512 consecutive blocks; both benches then walk the resident run.
+    let mut warm = SetAssocCache::new(geom);
+    for i in 0..512u64 {
+        warm.access(BlockAddr(i));
+    }
+    c.bench_function("cache/per_block_512_hits", |b| {
+        let mut cache = warm.clone();
+        b.iter(|| {
+            let mut hits = 0u32;
+            for i in 0..512u64 {
+                hits += u32::from(cache.access(BlockAddr(i)).hit);
+            }
+            black_box(hits)
+        })
+    });
+    c.bench_function("cache/run_hits_512", |b| {
+        let mut cache = warm.clone();
+        b.iter(|| {
+            let a = cache.run_hits(BlockAddr(0), 256);
+            let b2 = cache.run_hits(BlockAddr(256), 256);
+            black_box(a + b2)
+        })
+    });
+}
+
+fn bench_directory(c: &mut Criterion) {
+    c.bench_function("directory/read_write_evict_churn", |b| {
+        let mut d = Directory::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let block = BlockAddr(i % 4096);
+            let core = (i % 16) as usize;
+            match i % 4 {
+                0 => black_box(d.on_write(core, block).is_silent()),
+                3 => {
+                    d.on_evict(core, block);
+                    true
+                }
+                _ => black_box(d.on_read(core, block).is_silent()),
+            }
+        })
+    });
+    c.bench_function("directory/write_storm_16_sharers", |b| {
+        let mut d = Directory::new();
+        for core in 0..16 {
+            d.on_read(core, BlockAddr(7));
+        }
+        let mut w = 0usize;
+        b.iter(|| {
+            w = (w + 1) % 16;
+            let act = d.on_write(w, BlockAddr(7));
+            // Re-establish the sharers so every iteration invalidates.
+            for core in 0..16 {
+                d.on_read(core, BlockAddr(7));
+            }
+            black_box(act.invalidate.count())
+        })
+    });
+}
+
+/// Synthetic OLTP-ish trace: long shared instruction runs with scattered
+/// private data, the shape the paper's workloads exhibit.
+fn synthetic_trace(i: u64) -> XctTrace {
+    let mut events = vec![TraceEvent::XctBegin {
+        xct_type: XctTypeId(0),
+    }];
+    for (op, base) in [(OpKind::Probe, 0x10_000u64), (OpKind::Update, 0x12_000)] {
+        events.push(TraceEvent::OpBegin { op });
+        events.push(TraceEvent::Instr {
+            block: BlockAddr(base),
+            n_blocks: 350,
+            ipb: 10,
+        });
+        events.push(TraceEvent::Data {
+            block: BlockAddr(0x1000_0000 + i * 4),
+            write: op == OpKind::Update,
+        });
+        events.push(TraceEvent::OpEnd { op });
+    }
+    events.push(TraceEvent::XctEnd);
+    XctTrace {
+        xct_type: XctTypeId(0),
+        events,
+    }
+}
+
+fn bench_replay_modes(c: &mut Criterion) {
+    let traces: Vec<XctTrace> = (0..64).map(synthetic_trace).collect();
+    let base_cfg = ReplayConfig {
+        sim: SimConfig::paper_default().with_cores(8),
+        ..ReplayConfig::paper_default()
+    }
+    .with_batch_size(8);
+    let map = find_migration_points(&traces, base_cfg.sim.l1i);
+    for kind in SchedulerKind::ALL {
+        for (mode, segment) in [("flat", false), ("segment", true)] {
+            let cfg = ReplayConfig {
+                segment_exec: segment,
+                ..base_cfg.clone()
+            };
+            let name = format!("replay/{}_{mode}_64_xcts", kind.name().to_lowercase());
+            c.bench_function(&name, |b| {
+                b.iter(|| black_box(run_scheduler(kind, black_box(&traces), Some(&map), &cfg)))
+            });
+        }
+    }
+}
+
+fn bench_machine_fetch(c: &mut Criterion) {
+    let cfg = SimConfig::paper_default().with_cores(2);
+    c.bench_function("machine/fetch_instr_run_warm_400", |b| {
+        let mut m = Machine::new(&cfg);
+        for i in 0..400u64 {
+            m.fetch_instr(CoreId(0), BlockAddr(i), 10);
+        }
+        b.iter(|| black_box(m.fetch_instr_run(CoreId(0), BlockAddr(0), 400, 10, 0.0, true)))
+    });
+    c.bench_function("machine/fetch_instr_warm_400_per_block", |b| {
+        let mut m = Machine::new(&cfg);
+        for i in 0..400u64 {
+            m.fetch_instr(CoreId(0), BlockAddr(i), 10);
+        }
+        b.iter(|| {
+            let mut cycles = 0.0f64;
+            for i in 0..400u64 {
+                cycles += m.fetch_instr(CoreId(0), BlockAddr(i), 10);
+            }
+            black_box(cycles)
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_cache_walks, bench_directory, bench_machine_fetch, bench_replay_modes
+);
+criterion_main!(benches);

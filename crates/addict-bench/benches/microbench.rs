@@ -66,7 +66,7 @@ fn bench_lock_manager(c: &mut Criterion) {
         b.iter(|| {
             key += 1;
             lm.acquire(1, Resource::Record { table: 0, key }, LockMode::X);
-            if key % 64 == 0 {
+            if key.is_multiple_of(64) {
                 lm.release_all(1);
             }
         })
@@ -90,11 +90,24 @@ fn synthetic_trace(i: u64) -> XctTrace {
     XctTrace {
         xct_type: XctTypeId(0),
         events: vec![
-            TraceEvent::XctBegin { xct_type: XctTypeId(0) },
-            TraceEvent::OpBegin { op: addict_trace::OpKind::Probe },
-            TraceEvent::Instr { block: BlockAddr(0x10_0000), n_blocks: 700, ipb: 10 },
-            TraceEvent::Data { block: BlockAddr(0x1000_0000 + i), write: false },
-            TraceEvent::OpEnd { op: addict_trace::OpKind::Probe },
+            TraceEvent::XctBegin {
+                xct_type: XctTypeId(0),
+            },
+            TraceEvent::OpBegin {
+                op: addict_trace::OpKind::Probe,
+            },
+            TraceEvent::Instr {
+                block: BlockAddr(0x10_0000),
+                n_blocks: 700,
+                ipb: 10,
+            },
+            TraceEvent::Data {
+                block: BlockAddr(0x1000_0000 + i),
+                write: false,
+            },
+            TraceEvent::OpEnd {
+                op: addict_trace::OpKind::Probe,
+            },
             TraceEvent::XctEnd,
         ],
     }

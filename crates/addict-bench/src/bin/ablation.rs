@@ -19,7 +19,10 @@ fn main() {
     let map = migration_map(&profile, &cfg);
     let base = run_scheduler(SchedulerKind::Baseline, &eval.xcts, Some(&map), &cfg);
 
-    println!("\n{:<44} {:>12} {:>12}", "variant", "exec cycles", "L1-I mpki");
+    println!(
+        "\n{:<44} {:>12} {:>12}",
+        "variant", "exec cycles", "L1-I mpki"
+    );
     let report = |label: &str, r: &addict_core::replay::ReplayResult| {
         println!(
             "{:<44} {:>12.2} {:>12.2}",
@@ -41,7 +44,10 @@ fn main() {
     // No replication: one core per slot.
     let plan_norep = AssignmentPlan::build(
         &map,
-        PlanConfig { n_cores: cfg.sim.n_cores, replicate: false },
+        PlanConfig {
+            n_cores: cfg.sim.n_cores,
+            replicate: false,
+        },
     );
     let norep = addict::run_with_options(&eval.xcts, &plan_norep, &cfg, false);
     report("ADDICT without slot replication", &norep);
@@ -56,10 +62,16 @@ fn main() {
     for hide in [0.0, 0.35, 0.7, 0.9] {
         let mut sim = cfg.sim.clone();
         sim.ooo_hide_onchip = hide;
-        let c = ReplayConfig { sim, ..ReplayConfig::paper_default() };
+        let c = ReplayConfig {
+            sim,
+            ..ReplayConfig::paper_default()
+        };
         let b = run_scheduler(SchedulerKind::Baseline, &eval.xcts, Some(&map), &c);
         let a = run_scheduler(SchedulerKind::Addict, &eval.xcts, Some(&map), &c);
-        println!("  hide={hide:.2}: {:.2}", norm(a.total_cycles, b.total_cycles));
+        println!(
+            "  hide={hide:.2}: {:.2}",
+            norm(a.total_cycles, b.total_cycles)
+        );
     }
 
     // Next-line L1-I prefetcher (commodity-server default; orthogonal to
@@ -68,7 +80,10 @@ fn main() {
     {
         let mut sim = cfg.sim.clone();
         sim.l1i_next_line_prefetch = true;
-        let c = ReplayConfig { sim, ..ReplayConfig::paper_default() };
+        let c = ReplayConfig {
+            sim,
+            ..ReplayConfig::paper_default()
+        };
         let b = run_scheduler(SchedulerKind::Baseline, &eval.xcts, Some(&map), &c);
         let a = run_scheduler(SchedulerKind::Addict, &eval.xcts, Some(&map), &c);
         println!(
@@ -85,9 +100,15 @@ fn main() {
     for cost in [0.0, 90.0, 450.0, 1800.0] {
         let mut sim = cfg.sim.clone();
         sim.migration_cycles = cost;
-        let c = ReplayConfig { sim, ..ReplayConfig::paper_default() };
+        let c = ReplayConfig {
+            sim,
+            ..ReplayConfig::paper_default()
+        };
         let b = run_scheduler(SchedulerKind::Baseline, &eval.xcts, Some(&map), &c);
         let a = run_scheduler(SchedulerKind::Addict, &eval.xcts, Some(&map), &c);
-        println!("  cost={cost:>6.0} cycles: {:.2}", norm(a.total_cycles, b.total_cycles));
+        println!(
+            "  cost={cost:>6.0} cycles: {:.2}",
+            norm(a.total_cycles, b.total_cycles)
+        );
     }
 }

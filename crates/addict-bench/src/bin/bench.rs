@@ -1,0 +1,164 @@
+//! `bench`: the replay-throughput trajectory artifact.
+//!
+//! Replays the TPC-C evaluation traces under all four schedulers, timing
+//! the per-block *flat* path against the segment-granular fast path, and
+//! writes `BENCH_1.json` with events/sec and sim-cycles/sec per scheduler
+//! plus the segment-over-flat speedup. Both modes are also cross-checked
+//! for bit-identical simulation output on every run, so the artifact can
+//! never record a speedup bought with accuracy.
+//!
+//! Usage: `cargo run --release --bin bench [n_xcts] [out.json]`
+//! (defaults: 400 transactions, `BENCH_1.json` in the current directory).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use addict_bench::{arg_xcts, migration_map, profile_and_eval};
+use addict_core::replay::{ReplayConfig, ReplayResult};
+use addict_core::sched::{run_scheduler, SchedulerKind};
+use addict_trace::{TraceEvent, XctTrace};
+use addict_workloads::Benchmark;
+
+/// Block-granular events in a trace set (instruction runs expanded).
+fn total_events(traces: &[XctTrace]) -> u64 {
+    traces
+        .iter()
+        .flat_map(|t| t.events.iter())
+        .map(|e| match e {
+            TraceEvent::Instr { n_blocks, .. } => u64::from(*n_blocks),
+            _ => 1,
+        })
+        .sum()
+}
+
+struct ModeTiming {
+    seconds: f64,
+    events_per_sec: f64,
+    sim_cycles_per_sec: f64,
+}
+
+/// Best-of-`reps` wall time for one scheduler/mode.
+fn time_mode(
+    kind: SchedulerKind,
+    traces: &[XctTrace],
+    map: &addict_core::algorithm1::MigrationMap,
+    cfg: &ReplayConfig,
+    events: u64,
+    reps: usize,
+) -> (ModeTiming, ReplayResult) {
+    let mut best = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let r = run_scheduler(kind, traces, Some(map), cfg);
+        let s = t.elapsed().as_secs_f64();
+        if s < best {
+            best = s;
+        }
+        result = Some(r);
+    }
+    let result = result.expect("reps >= 1");
+    let timing = ModeTiming {
+        seconds: best,
+        events_per_sec: events as f64 / best,
+        sim_cycles_per_sec: result.total_cycles / best,
+    };
+    (timing, result)
+}
+
+fn json_mode(out: &mut String, label: &str, t: &ModeTiming) {
+    let _ = write!(
+        out,
+        "    \"{label}\": {{ \"seconds\": {:.6}, \"events_per_sec\": {:.1}, \"sim_cycles_per_sec\": {:.1} }}",
+        t.seconds, t.events_per_sec, t.sim_cycles_per_sec
+    );
+}
+
+fn main() {
+    let n = arg_xcts(400);
+    let out_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "BENCH_1.json".to_owned());
+    let reps = 3;
+
+    eprintln!("bench: generating {n}+{n} TPC-C traces...");
+    let (profile, eval) = profile_and_eval(Benchmark::TpcC, n, n);
+    let cfg = ReplayConfig::paper_default();
+    let map = migration_map(&profile, &cfg);
+    let events = total_events(&eval.xcts);
+    eprintln!(
+        "bench: {} eval transactions, {} block-granular events, {} cores",
+        eval.xcts.len(),
+        events,
+        cfg.sim.n_cores
+    );
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = write!(
+        out,
+        "  \"artifact\": \"BENCH_1\",\n  \"workload\": \"TPC-C\",\n  \"n_xcts\": {},\n  \"events\": {},\n  \"n_cores\": {},\n  \"reps_best_of\": {reps},\n  \"schedulers\": [\n",
+        eval.xcts.len(),
+        events,
+        cfg.sim.n_cores
+    );
+
+    for (i, kind) in SchedulerKind::ALL.iter().enumerate() {
+        let flat_cfg = ReplayConfig {
+            segment_exec: false,
+            ..cfg.clone()
+        };
+        let seg_cfg = ReplayConfig {
+            segment_exec: true,
+            ..cfg.clone()
+        };
+        // Warm up caches/allocator before timing.
+        let _ = run_scheduler(*kind, &eval.xcts, Some(&map), &seg_cfg);
+        let (flat_t, flat_r) = time_mode(*kind, &eval.xcts, &map, &flat_cfg, events, reps);
+        let (seg_t, seg_r) = time_mode(*kind, &eval.xcts, &map, &seg_cfg, events, reps);
+
+        // Equivalence guard: the fast path must not change the simulation.
+        assert_eq!(
+            seg_r.stats,
+            flat_r.stats,
+            "{}: segment path diverged",
+            kind.name()
+        );
+        assert_eq!(
+            seg_r.total_cycles.to_bits(),
+            flat_r.total_cycles.to_bits(),
+            "{}: makespan diverged",
+            kind.name()
+        );
+
+        let speedup = flat_t.seconds / seg_t.seconds;
+        eprintln!(
+            "bench: {:<9} flat {:>10.0} ev/s | segment {:>10.0} ev/s | speedup {:.2}x",
+            kind.name(),
+            flat_t.events_per_sec,
+            seg_t.events_per_sec,
+            speedup
+        );
+
+        let _ = write!(
+            out,
+            "  {{\n    \"scheduler\": \"{}\",\n    \"instructions\": {},\n    \"total_sim_cycles\": {:.1},\n",
+            kind.name(),
+            seg_r.instructions,
+            seg_r.total_cycles
+        );
+        json_mode(&mut out, "flat", &flat_t);
+        out.push_str(",\n");
+        json_mode(&mut out, "segment", &seg_t);
+        let _ = write!(out, ",\n    \"segment_speedup\": {speedup:.3}\n  }}");
+        out.push_str(if i + 1 < SchedulerKind::ALL.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, out).expect("write benchmark artifact");
+    eprintln!("bench: wrote {out_path}");
+}

@@ -9,24 +9,37 @@ use addict_workloads::Benchmark;
 
 fn main() {
     let n = arg_xcts(1000);
-    header("Figure 1", "operation flow-graph footprint percentages (TPC-C mix)", n);
+    header(
+        "Figure 1",
+        "operation flow-graph footprint percentages (TPC-C mix)",
+        n,
+    );
     let (trace, _) = profile_and_eval(Benchmark::TpcC, n, 0);
 
-    for op in [OpKind::Probe, OpKind::Scan, OpKind::Update, OpKind::Insert, OpKind::Delete] {
+    for op in [
+        OpKind::Probe,
+        OpKind::Scan,
+        OpKind::Update,
+        OpKind::Insert,
+        OpKind::Delete,
+    ] {
         let edges = op_flow(&trace, op);
         if edges.is_empty() {
             continue;
         }
-        println!("\n{}:", match op {
-            OpKind::Probe => "index probe",
-            OpKind::Scan => "index scan",
-            OpKind::Update => "update tuple",
-            OpKind::Insert => "insert tuple",
-            OpKind::Delete => "delete tuple (paper omits: \"similar to insert\")",
-        });
         println!(
-            "  {:<22} -> {:<26} {:>9} {:>7} {}",
-            "from", "to", "measured", "paper", "path"
+            "\n{}:",
+            match op {
+                OpKind::Probe => "index probe",
+                OpKind::Scan => "index scan",
+                OpKind::Update => "update tuple",
+                OpKind::Insert => "insert tuple",
+                OpKind::Delete => "delete tuple (paper omits: \"similar to insert\")",
+            }
+        );
+        println!(
+            "  {:<22} -> {:<26} {:>9} {:>7} path",
+            "from", "to", "measured", "paper"
         );
         for e in edges {
             println!(

@@ -22,8 +22,20 @@ fn row(label: &str, h: Option<(OverlapHistogram, OverlapHistogram)>) {
             h.buckets[4] * 100.0
         )
     };
-    println!("  {:<28} instr ({:>5} inst, {:>6} blk): {}", label, i.instances, i.footprint_blocks, fmt(&i));
-    println!("  {:<28} data  ({:>5} inst, {:>6} blk): {}", "", d.instances, d.footprint_blocks, fmt(&d));
+    println!(
+        "  {:<28} instr ({:>5} inst, {:>6} blk): {}",
+        label,
+        i.instances,
+        i.footprint_blocks,
+        fmt(&i)
+    );
+    println!(
+        "  {:<28} data  ({:>5} inst, {:>6} blk): {}",
+        "",
+        d.instances,
+        d.footprint_blocks,
+        fmt(&d)
+    );
     println!(
         "  {:<28} instr >=90% common: {:>5.1}%   data >=90% common: {:>5.1}%",
         "",
@@ -46,35 +58,53 @@ fn main() {
     // the whole mix.
     let (tpcb, _) = profile_and_eval(Benchmark::TpcB, n, 0);
     println!("\nTPC-B (mix = AccountUpdate):");
-    pies(&tpcb, &[
-        ("insert (mix)", OverlapScope::Op(OpKind::Insert)),
-        ("update (mix)", OverlapScope::Op(OpKind::Update)),
-        ("probe (mix)", OverlapScope::Op(OpKind::Probe)),
-        ("all (mix)", OverlapScope::Mix),
-    ]);
+    pies(
+        &tpcb,
+        &[
+            ("insert (mix)", OverlapScope::Op(OpKind::Insert)),
+            ("update (mix)", OverlapScope::Op(OpKind::Update)),
+            ("probe (mix)", OverlapScope::Op(OpKind::Probe)),
+            ("all (mix)", OverlapScope::Mix),
+        ],
+    );
 
     // TPC-C: the figure's NewOrder column plus the mix.
     let (tpcc_t, _) = profile_and_eval(Benchmark::TpcC, n, 0);
     let no = tpcc::NEW_ORDER;
     println!("\nTPC-C (NewOrder = most frequent type):");
-    pies(&tpcc_t, &[
-        ("NewOrder insert", OverlapScope::OpInType(no, OpKind::Insert)),
-        ("NewOrder update", OverlapScope::OpInType(no, OpKind::Update)),
-        ("NewOrder probe", OverlapScope::OpInType(no, OpKind::Probe)),
-        ("NewOrder (same-type)", OverlapScope::XctType(no)),
-        ("all (mix)", OverlapScope::Mix),
-    ]);
+    pies(
+        &tpcc_t,
+        &[
+            (
+                "NewOrder insert",
+                OverlapScope::OpInType(no, OpKind::Insert),
+            ),
+            (
+                "NewOrder update",
+                OverlapScope::OpInType(no, OpKind::Update),
+            ),
+            ("NewOrder probe", OverlapScope::OpInType(no, OpKind::Probe)),
+            ("NewOrder (same-type)", OverlapScope::XctType(no)),
+            ("all (mix)", OverlapScope::Mix),
+        ],
+    );
 
     // TPC-E: the figure's TradeStatus column plus the mix.
     let (tpce_t, _) = profile_and_eval(Benchmark::TpcE, n, 0);
     let ts = tpce::TRADE_STATUS;
     println!("\nTPC-E (TradeStatus = most frequent type, 19% of mix):");
-    pies(&tpce_t, &[
-        ("TradeStatus probe", OverlapScope::OpInType(ts, OpKind::Probe)),
-        ("TradeStatus scan", OverlapScope::OpInType(ts, OpKind::Scan)),
-        ("TradeStatus (same-type)", OverlapScope::XctType(ts)),
-        ("all (mix)", OverlapScope::Mix),
-    ]);
+    pies(
+        &tpce_t,
+        &[
+            (
+                "TradeStatus probe",
+                OverlapScope::OpInType(ts, OpKind::Probe),
+            ),
+            ("TradeStatus scan", OverlapScope::OpInType(ts, OpKind::Scan)),
+            ("TradeStatus (same-type)", OverlapScope::XctType(ts)),
+            ("all (mix)", OverlapScope::Mix),
+        ],
+    );
 
     // Section 2.2.2: where the few commonly accessed data blocks live.
     println!("\nSources of shared data (Section 2.2.2, TPC-C mix):");

@@ -9,12 +9,23 @@ use addict_workloads::{tpcb, Benchmark};
 
 fn summarize(title: &str, points: &[ReusePoint]) {
     // Bucket the x-axis (commonality) as the figure's left-to-right order.
-    let buckets = [(0.0, 0.3), (0.3, 0.6), (0.6, 0.9), (0.9, 1.0 - 1e-9), (1.0 - 1e-9, 1.1)];
+    let buckets = [
+        (0.0, 0.3),
+        (0.3, 0.6),
+        (0.6, 0.9),
+        (0.9, 1.0 - 1e-9),
+        (1.0 - 1e-9, 1.1),
+    ];
     println!("  {title}");
-    println!("    {:<18} {:>8} {:>12}", "commonality", "blocks", "avg reuse");
+    println!(
+        "    {:<18} {:>8} {:>12}",
+        "commonality", "blocks", "avg reuse"
+    );
     for (lo, hi) in buckets {
-        let sel: Vec<&ReusePoint> =
-            points.iter().filter(|p| p.commonality >= lo && p.commonality < hi).collect();
+        let sel: Vec<&ReusePoint> = points
+            .iter()
+            .filter(|p| p.commonality >= lo && p.commonality < hi)
+            .collect();
         if sel.is_empty() {
             continue;
         }
@@ -35,7 +46,11 @@ fn summarize(title: &str, points: &[ReusePoint]) {
 
 fn main() {
     let n = arg_xcts(1000);
-    header("Figure 3", "per-instance reuse vs cross-instance commonality (TPC-B)", n);
+    header(
+        "Figure 3",
+        "per-instance reuse vs cross-instance commonality (TPC-B)",
+        n,
+    );
     let (trace, _) = profile_and_eval(Benchmark::TpcB, n, 0);
 
     println!("\nAccountUpdate transaction:");

@@ -10,20 +10,30 @@ use addict_workloads::{collect_traces, tpcc, Benchmark};
 fn main() {
     // Scaled defaults: the paper profiles on 1000 and validates on up to
     // 10000 further traces. First argv overrides the smaller count.
-    let base: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(500);
+    let base: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(500);
     let large = base * 10;
     header("Figure 4", "migration-point stability vs trace count", base);
     let cfg = ReplayConfig::paper_default();
 
     let cases: [(Benchmark, XctTypeId, &str); 3] = [
-        (Benchmark::TpcB, addict_workloads::tpcb::ACCOUNT_UPDATE, "TPC-B AccountUpdate"),
+        (
+            Benchmark::TpcB,
+            addict_workloads::tpcb::ACCOUNT_UPDATE,
+            "TPC-B AccountUpdate",
+        ),
         (Benchmark::TpcC, tpcc::NEW_ORDER, "TPC-C NewOrder"),
         (Benchmark::TpcC, tpcc::PAYMENT, "TPC-C Payment"),
     ];
 
     println!(
         "\n{:<22} {:<8} {:>12} {:>12}",
-        "transaction", "op", format!("{base} traces"), format!("{large} traces")
+        "transaction",
+        "op",
+        format!("{base} traces"),
+        format!("{large} traces")
     );
     for (bench, ty, label) in cases {
         let (mut engine, mut workload) = bench.setup();
@@ -33,7 +43,13 @@ fn main() {
         // (streamed in chunks to bound memory, like the paper's 10k runs).
         let small = collect_traces(&mut engine, workload.as_mut(), base, PROFILE_SEED + 100);
         let mut printed_any = false;
-        for op in [OpKind::Probe, OpKind::Update, OpKind::Insert, OpKind::Scan, OpKind::Delete] {
+        for op in [
+            OpKind::Probe,
+            OpKind::Update,
+            OpKind::Insert,
+            OpKind::Scan,
+            OpKind::Delete,
+        ] {
             let Some(s_small) = map.stability(&small.xcts, cfg.sim.l1i, ty, op) else {
                 continue;
             };
@@ -52,7 +68,11 @@ fn main() {
                     chunks += 1;
                 }
             }
-            let s_large = if chunks > 0 { matched / chunks as f64 } else { 0.0 };
+            let s_large = if chunks > 0 {
+                matched / chunks as f64
+            } else {
+                0.0
+            };
             println!(
                 "{:<22} {:<8} {:>11.1}% {:>11.1}%",
                 if printed_any { "" } else { label },

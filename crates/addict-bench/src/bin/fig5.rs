@@ -8,7 +8,11 @@ use addict_workloads::Benchmark;
 
 fn main() {
     let n = arg_xcts(600);
-    header("Figure 5", "L1-I / L1-D / L2 MPKI normalized over Baseline", n);
+    header(
+        "Figure 5",
+        "L1-I / L1-D / L2 MPKI normalized over Baseline",
+        n,
+    );
     let cfg = ReplayConfig::paper_default();
 
     println!(

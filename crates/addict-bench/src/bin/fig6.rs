@@ -8,7 +8,11 @@ use addict_workloads::Benchmark;
 
 fn main() {
     let n = arg_xcts(600);
-    header("Figure 6", "total execution cycles + avg transaction latency", n);
+    header(
+        "Figure 6",
+        "total execution cycles + avg transaction latency",
+        n,
+    );
     let cfg = ReplayConfig::paper_default();
 
     println!(

@@ -10,7 +10,11 @@ use addict_workloads::Benchmark;
 
 fn main() {
     let n = arg_xcts(600);
-    header("Figure 8", "deeper hierarchy (a) + power (b): ADDICT over Baseline", n);
+    header(
+        "Figure 8",
+        "deeper hierarchy (a) + power (b): ADDICT over Baseline",
+        n,
+    );
 
     println!(
         "\n{:<8} {:>16} {:>16} {:>14}",
@@ -21,10 +25,14 @@ fn main() {
 
         let mut ratios = Vec::new();
         let mut power_ratio = 0.0;
-        for (label, sim) in
-            [("shallow", SimConfig::paper_default()), ("deep", SimConfig::paper_deep())]
-        {
-            let cfg = ReplayConfig { sim, ..ReplayConfig::paper_default() };
+        for (label, sim) in [
+            ("shallow", SimConfig::paper_default()),
+            ("deep", SimConfig::paper_deep()),
+        ] {
+            let cfg = ReplayConfig {
+                sim,
+                ..ReplayConfig::paper_default()
+            };
             let map = migration_map(&profile, &cfg);
             let base = run_scheduler(SchedulerKind::Baseline, &eval.xcts, Some(&map), &cfg);
             let addict = run_scheduler(SchedulerKind::Addict, &eval.xcts, Some(&map), &cfg);

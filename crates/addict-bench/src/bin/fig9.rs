@@ -7,7 +7,11 @@ use addict_workloads::Benchmark;
 
 fn main() {
     let n = arg_xcts(600);
-    header("Figure 9", "switch rate + overhead share of execution cycles", n);
+    header(
+        "Figure 9",
+        "switch rate + overhead share of execution cycles",
+        n,
+    );
     let cfg = ReplayConfig::paper_default();
 
     println!(

@@ -6,8 +6,14 @@ fn main() {
     let c = SimConfig::paper_default();
     println!("Table 1: System Parameters (simulated)");
     println!("---------------------------------------------------------");
-    println!("Processing   {} OoO cores, {:.1} GHz", c.n_cores, c.clock_ghz);
-    println!("Cores        base CPI {:.2} (6-wide, 4-IPC practical peak)", c.base_cpi);
+    println!(
+        "Processing   {} OoO cores, {:.1} GHz",
+        c.n_cores, c.clock_ghz
+    );
+    println!(
+        "Cores        base CPI {:.2} (6-wide, 4-IPC practical peak)",
+        c.base_cpi
+    );
     println!(
         "Private L1   {} KB I + {} KB D, 64 B blocks, {}-way",
         c.l1i.size_bytes / 1024,
@@ -28,7 +34,10 @@ fn main() {
         "             64 B blocks, {} banks, {:.0}-cycle hit latency",
         c.n_cores, c.llc_hit_cycles
     );
-    println!("Interconnect 2D torus, {:.0}-cycle hop latency", c.hop_cycles);
+    println!(
+        "Interconnect 2D torus, {:.0}-cycle hop latency",
+        c.hop_cycles
+    );
     println!(
         "Memory       {:.0} ns latency ({:.0} cycles at {:.1} GHz)",
         c.mem_latency_ns,

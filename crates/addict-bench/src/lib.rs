@@ -16,6 +16,7 @@
 //! | `fig8`   | Figure 8 — deeper hierarchy + power (Sections 4.6, 4.7) |
 //! | `fig9`   | Figure 9 — context switches + overhead breakdown |
 //! | `ablation` | DESIGN.md §3 design-choice ablations (beyond the paper) |
+//! | `bench`  | `BENCH_n.json` — replay throughput (events/sec) per scheduler, flat vs segment-granular execution (see BENCHMARKS.md) |
 //!
 //! Every binary accepts the trace count as its first argument (default
 //! 600; the paper uses 1000 for profiling and 1000 for evaluation —
@@ -24,9 +25,9 @@
 //! disjoint trace ranges.
 
 use addict_core::algorithm1::MigrationMap;
+use addict_core::find_migration_points;
 use addict_core::replay::{ReplayConfig, ReplayResult};
 use addict_core::sched::{run_scheduler, SchedulerKind};
-use addict_core::find_migration_points;
 use addict_trace::WorkloadTrace;
 use addict_workloads::{collect_traces, Benchmark};
 
@@ -37,7 +38,10 @@ pub const EVAL_SEED: u64 = 2;
 
 /// Trace count from argv (first positional argument), default 600.
 pub fn arg_xcts(default: usize) -> usize {
-    std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(default)
+    std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
 }
 
 /// Build a benchmark and collect disjoint profiling and evaluation traces.
@@ -58,11 +62,7 @@ pub fn migration_map(profile: &WorkloadTrace, cfg: &ReplayConfig) -> MigrationMa
 }
 
 /// Replay the evaluation traces under all four schedulers, Baseline first.
-pub fn run_all(
-    eval: &WorkloadTrace,
-    map: &MigrationMap,
-    cfg: &ReplayConfig,
-) -> Vec<ReplayResult> {
+pub fn run_all(eval: &WorkloadTrace, map: &MigrationMap, cfg: &ReplayConfig) -> Vec<ReplayResult> {
     SchedulerKind::ALL
         .iter()
         .map(|&kind| run_scheduler(kind, &eval.xcts, Some(map), cfg))

@@ -29,14 +29,22 @@ fn main() {
                 map.frequency(ty, *op),
                 map.op_instructions(ty, *op),
                 xp.slots[p.entry_slot].cores,
-                p.points.iter().map(|pt| &xp.slots[pt.slot].cores).collect::<Vec<_>>()
+                p.points
+                    .iter()
+                    .map(|pt| &xp.slots[pt.slot].cores)
+                    .collect::<Vec<_>>()
             );
         }
     }
 
     for kind in [SchedulerKind::Baseline, SchedulerKind::Addict] {
         let r = run_scheduler(kind, &eval.xcts, Some(&map), &cfg);
-        println!("--- {} cycles={:.0} l1i_mpki={:.2}", r.scheduler, r.total_cycles, r.stats.l1i_mpki());
+        println!(
+            "--- {} cycles={:.0} l1i_mpki={:.2}",
+            r.scheduler,
+            r.total_cycles,
+            r.stats.l1i_mpki()
+        );
         let max_i = r.stats.cores.iter().map(|c| c.instructions).max().unwrap();
         for (c, s) in r.stats.cores.iter().enumerate() {
             println!(

@@ -3,9 +3,9 @@
 //! Figure 5/6/9 metrics. Not part of the published benches (those live in
 //! `addict-bench`).
 
+use addict_core::find_migration_points;
 use addict_core::replay::ReplayConfig;
 use addict_core::sched::{run_scheduler, SchedulerKind};
-use addict_core::find_migration_points;
 use addict_workloads::{collect_traces, Benchmark};
 
 fn main() {
@@ -32,7 +32,11 @@ fn main() {
             eval.xcts.len(),
             t0.elapsed().as_secs_f64()
         );
-        let avg_instr: f64 = eval.xcts.iter().map(|t| t.instructions() as f64).sum::<f64>()
+        let avg_instr: f64 = eval
+            .xcts
+            .iter()
+            .map(|t| t.instructions() as f64)
+            .sum::<f64>()
             / eval.xcts.len() as f64;
         println!("    avg instructions/xct: {avg_instr:.0}");
 

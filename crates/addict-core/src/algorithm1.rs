@@ -56,8 +56,12 @@ impl MigrationMap {
 
     /// Operations profiled for a transaction type, sorted by kind.
     pub fn ops_of(&self, xct: XctTypeId) -> Vec<OpKind> {
-        let mut v: Vec<OpKind> =
-            self.chosen.keys().filter(|&&(x, _)| x == xct).map(|&(_, o)| o).collect();
+        let mut v: Vec<OpKind> = self
+            .chosen
+            .keys()
+            .filter(|&&(x, _)| x == xct)
+            .map(|&(_, o)| o)
+            .collect();
         v.sort_unstable();
         v
     }
@@ -149,7 +153,11 @@ pub fn find_migration_points(traces: &[XctTrace], l1i: CacheGeometry) -> Migrati
 /// The eviction sequences of every operation instance in one trace
 /// (lines 1–16 of Algorithm 1).
 pub fn per_instance_sequences(trace: &XctTrace, l1i: CacheGeometry) -> Vec<(OpKind, Sequence)> {
-    scan_trace(trace, l1i).0.into_iter().map(|(op, seq, _)| (op, seq)).collect()
+    scan_trace(trace, l1i)
+        .0
+        .into_iter()
+        .map(|(op, seq, _)| (op, seq))
+        .collect()
 }
 
 /// Full Algorithm 1 scan of one trace: per-operation eviction sequences
@@ -212,7 +220,11 @@ mod tests {
             events: vec![
                 TraceEvent::XctBegin { xct_type: XT },
                 TraceEvent::OpBegin { op },
-                TraceEvent::Instr { block: BlockAddr(base), n_blocks: blocks, ipb: 10 },
+                TraceEvent::Instr {
+                    block: BlockAddr(base),
+                    n_blocks: blocks,
+                    ipb: 10,
+                },
                 TraceEvent::OpEnd { op },
                 TraceEvent::XctEnd,
             ],
@@ -236,7 +248,11 @@ mod tests {
         let t = trace_with_op(OpKind::Insert, 0x200, 20);
         let seqs = per_instance_sequences(&t, tiny_l1i());
         let seq = &seqs[0].1;
-        assert_eq!(seq.len(), 2, "20 blocks / 8-block window -> 2 overflows, got {seq:?}");
+        assert_eq!(
+            seq.len(),
+            2,
+            "20 blocks / 8-block window -> 2 overflows, got {seq:?}"
+        );
         assert_eq!(seq[0], BlockAddr(0x208));
         assert_eq!(seq[1], BlockAddr(0x210));
     }
@@ -246,8 +262,9 @@ mod tests {
         // Nine instances walk 20 blocks (two points); one walks 28 (three
         // points) — the common-case sequence must win, as in the paper's
         // Section 3.1.2 example.
-        let mut traces: Vec<XctTrace> =
-            (0..9).map(|_| trace_with_op(OpKind::Insert, 0x200, 20)).collect();
+        let mut traces: Vec<XctTrace> = (0..9)
+            .map(|_| trace_with_op(OpKind::Insert, 0x200, 20))
+            .collect();
         traces.push(trace_with_op(OpKind::Insert, 0x200, 28));
         let map = find_migration_points(&traces, tiny_l1i());
         let points = map.points(XT, OpKind::Insert).unwrap();
@@ -264,31 +281,54 @@ mod tests {
         // its points are independent of the first.
         let mut events = vec![TraceEvent::XctBegin { xct_type: XT }];
         events.push(TraceEvent::OpBegin { op: OpKind::Probe });
-        events.push(TraceEvent::Instr { block: BlockAddr(0x300), n_blocks: 12, ipb: 10 });
+        events.push(TraceEvent::Instr {
+            block: BlockAddr(0x300),
+            n_blocks: 12,
+            ipb: 10,
+        });
         events.push(TraceEvent::OpEnd { op: OpKind::Probe });
         events.push(TraceEvent::OpBegin { op: OpKind::Update });
-        events.push(TraceEvent::Instr { block: BlockAddr(0x300), n_blocks: 12, ipb: 10 });
+        events.push(TraceEvent::Instr {
+            block: BlockAddr(0x300),
+            n_blocks: 12,
+            ipb: 10,
+        });
         events.push(TraceEvent::OpEnd { op: OpKind::Update });
         events.push(TraceEvent::XctEnd);
-        let t = XctTrace { xct_type: XT, events };
+        let t = XctTrace {
+            xct_type: XT,
+            events,
+        };
         let seqs = per_instance_sequences(&t, tiny_l1i());
         assert_eq!(seqs.len(), 2);
-        assert_eq!(seqs[0].1, seqs[1].1, "identical walks from a clean cache match");
+        assert_eq!(
+            seqs[0].1, seqs[1].1,
+            "identical walks from a clean cache match"
+        );
         assert_eq!(seqs[0].1.len(), 1); // 12 blocks -> one overflow
     }
 
     #[test]
     fn stability_matches_on_identical_traces() {
-        let profile: Vec<XctTrace> =
-            (0..5).map(|_| trace_with_op(OpKind::Probe, 0x400, 20)).collect();
+        let profile: Vec<XctTrace> = (0..5)
+            .map(|_| trace_with_op(OpKind::Probe, 0x400, 20))
+            .collect();
         let map = find_migration_points(&profile, tiny_l1i());
-        let fresh: Vec<XctTrace> =
-            (0..5).map(|_| trace_with_op(OpKind::Probe, 0x400, 20)).collect();
-        assert_eq!(map.stability(&fresh, tiny_l1i(), XT, OpKind::Probe), Some(1.0));
+        let fresh: Vec<XctTrace> = (0..5)
+            .map(|_| trace_with_op(OpKind::Probe, 0x400, 20))
+            .collect();
+        assert_eq!(
+            map.stability(&fresh, tiny_l1i(), XT, OpKind::Probe),
+            Some(1.0)
+        );
         // Divergent traces do not match.
-        let divergent: Vec<XctTrace> =
-            (0..4).map(|_| trace_with_op(OpKind::Probe, 0x400, 28)).collect();
-        assert_eq!(map.stability(&divergent, tiny_l1i(), XT, OpKind::Probe), Some(0.0));
+        let divergent: Vec<XctTrace> = (0..4)
+            .map(|_| trace_with_op(OpKind::Probe, 0x400, 28))
+            .collect();
+        assert_eq!(
+            map.stability(&divergent, tiny_l1i(), XT, OpKind::Probe),
+            Some(0.0)
+        );
         // Unknown op: None.
         assert_eq!(map.stability(&fresh, tiny_l1i(), XT, OpKind::Delete), None);
     }

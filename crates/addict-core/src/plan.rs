@@ -40,7 +40,10 @@ pub struct PlanConfig {
 impl PlanConfig {
     /// Plan for a machine with `n_cores` cores.
     pub fn new(n_cores: usize) -> Self {
-        PlanConfig { n_cores, replicate: true }
+        PlanConfig {
+            n_cores,
+            replicate: true,
+        }
     }
 }
 
@@ -150,7 +153,11 @@ impl<'m> Builder<'m> {
             let (xp, weights) = self.skeleton(xct, share);
             for (slot_idx, weight) in weights.into_iter().enumerate() {
                 if !xp.fallback {
-                    protos.push(ProtoSlot { xct, slot_idx, weight });
+                    protos.push(ProtoSlot {
+                        xct,
+                        slot_idx,
+                        weight,
+                    });
                 }
             }
             plan.per_type.insert(xct, xp);
@@ -237,17 +244,16 @@ impl<'m> Builder<'m> {
         });
         let mut type_load: HashMap<XctTypeId, Vec<f64>> = HashMap::new();
         for (xct, slot_idx, w) in placements {
-            let core_load =
-                type_load.entry(xct).or_insert_with(|| vec![0.0; self.cfg.n_cores]);
+            let core_load = type_load
+                .entry(xct)
+                .or_insert_with(|| vec![0.0; self.cfg.n_cores]);
             let taken: &[usize] = &plan.per_type[&xct].slots[slot_idx].cores;
             let core = (0..self.cfg.n_cores)
                 .filter(|c| !taken.contains(c))
                 .min_by(|&a, &b| core_load[a].partial_cmp(&core_load[b]).expect("finite"))
                 .unwrap_or_else(|| {
                     (0..self.cfg.n_cores)
-                        .min_by(|&a, &b| {
-                            core_load[a].partial_cmp(&core_load[b]).expect("finite")
-                        })
+                        .min_by(|&a, &b| core_load[a].partial_cmp(&core_load[b]).expect("finite"))
                         .expect("cores > 0")
                 });
             core_load[core] += w.max(1e-6);
@@ -273,8 +279,7 @@ impl<'m> Builder<'m> {
             .iter()
             .map(|&op| (op, map.points(xct, op).map_or(0, Vec::len)))
             .collect();
-        let needed =
-            |kept: &HashMap<OpKind, usize>| 1 + ops.len() + kept.values().sum::<usize>();
+        let needed = |kept: &HashMap<OpKind, usize>| 1 + ops.len() + kept.values().sum::<usize>();
 
         if needed(&kept) > self.cfg.n_cores {
             // Drop internal points: least frequent op first, last point
@@ -303,7 +308,9 @@ impl<'m> Builder<'m> {
                 XctPlan {
                     entry_slot: 0,
                     ops: HashMap::new(),
-                    slots: vec![Slot { cores: (0..self.cfg.n_cores).collect() }],
+                    slots: vec![Slot {
+                        cores: (0..self.cfg.n_cores).collect(),
+                    }],
                     fallback: true,
                 },
                 Vec::new(),
@@ -323,8 +330,11 @@ impl<'m> Builder<'m> {
         // points split the op at L1-I-capacity boundaries, so actions are
         // near-equal), scaled by the type's share of the mix. The
         // transaction entry serves the begin/commit wrapper.
-        let entry_slot =
-            new_slot(&mut slots, &mut weights, share * map.wrapper_instructions(xct) as f64);
+        let entry_slot = new_slot(
+            &mut slots,
+            &mut weights,
+            share * map.wrapper_instructions(xct) as f64,
+        );
         let mut op_plans = HashMap::new();
         for &op in &ops {
             let n_op_slots = 1 + kept[&op];
@@ -337,9 +347,24 @@ impl<'m> Builder<'m> {
                     points.push(PlannedPoint { addr, slot });
                 }
             }
-            op_plans.insert(op, OpPlan { op, entry_slot: op_entry, points });
+            op_plans.insert(
+                op,
+                OpPlan {
+                    op,
+                    entry_slot: op_entry,
+                    points,
+                },
+            );
         }
-        (XctPlan { entry_slot, ops: op_plans, slots, fallback: false }, weights)
+        (
+            XctPlan {
+                entry_slot,
+                ops: op_plans,
+                slots,
+                fallback: false,
+            },
+            weights,
+        )
     }
 }
 
@@ -357,10 +382,16 @@ mod tests {
         let tiny = CacheGeometry::new(8 * 64, 2); // 8-block window
         let mut traces = Vec::new();
         for i in 0..10 {
-            let mut events = vec![TraceEvent::XctBegin { xct_type: XctTypeId(2) }];
+            let mut events = vec![TraceEvent::XctBegin {
+                xct_type: XctTypeId(2),
+            }];
             events.push(TraceEvent::OpBegin { op: OpKind::Probe });
             // 20 blocks -> 2 overflow points.
-            events.push(TraceEvent::Instr { block: BlockAddr(0x98560), n_blocks: 20, ipb: 10 });
+            events.push(TraceEvent::Instr {
+                block: BlockAddr(0x98560),
+                n_blocks: 20,
+                ipb: 10,
+            });
             events.push(TraceEvent::OpEnd { op: OpKind::Probe });
             if i < 5 {
                 events.push(TraceEvent::OpBegin { op: OpKind::Update });
@@ -373,7 +404,10 @@ mod tests {
                 events.push(TraceEvent::OpEnd { op: OpKind::Update });
             }
             events.push(TraceEvent::XctEnd);
-            traces.push(XctTrace { xct_type: XctTypeId(2), events });
+            traces.push(XctTrace {
+                xct_type: XctTypeId(2),
+                events,
+            });
         }
         find_migration_points(&traces, tiny)
     }
@@ -388,8 +422,11 @@ mod tests {
         assert_eq!(xp.slots.len(), 6);
         assert!(xp.slots.iter().all(|s| s.cores.len() == 1));
         // All cores distinct, covering 0..6.
-        let mut cores: Vec<usize> =
-            xp.slots.iter().flat_map(|s| s.cores.iter().copied()).collect();
+        let mut cores: Vec<usize> = xp
+            .slots
+            .iter()
+            .flat_map(|s| s.cores.iter().copied())
+            .collect();
         cores.sort_unstable();
         assert_eq!(cores, (0..6).collect::<Vec<_>>());
         assert_eq!(xp.n_points(), 3);
@@ -409,7 +446,10 @@ mod tests {
         let probe = &xp.ops[&OpKind::Probe];
         assert_eq!(probe.points.len(), 1, "probe keeps only its first point");
         let full = map.points(XctTypeId(2), OpKind::Probe).unwrap();
-        assert_eq!(probe.points[0].addr, full[0], "the LAST point is the dropped one");
+        assert_eq!(
+            probe.points[0].addr, full[0],
+            "the LAST point is the dropped one"
+        );
     }
 
     #[test]
@@ -462,8 +502,13 @@ mod tests {
     #[test]
     fn replication_disabled_leaves_spares_idle() {
         let map = example_map();
-        let plan =
-            AssignmentPlan::build(&map, PlanConfig { n_cores: 10, replicate: false });
+        let plan = AssignmentPlan::build(
+            &map,
+            PlanConfig {
+                n_cores: 10,
+                replicate: false,
+            },
+        );
         let xp = plan.of(XctTypeId(2)).unwrap();
         assert!(xp.slots.iter().all(|s| s.cores.len() == 1));
         assert_eq!(xp.slots.len(), 6);
@@ -478,7 +523,9 @@ mod tests {
         let mut traces = Vec::new();
         for ty in [0u16, 1] {
             for _ in 0..10 {
-                let mut events = vec![TraceEvent::XctBegin { xct_type: XctTypeId(ty) }];
+                let mut events = vec![TraceEvent::XctBegin {
+                    xct_type: XctTypeId(ty),
+                }];
                 events.push(TraceEvent::OpBegin { op: OpKind::Probe });
                 events.push(TraceEvent::Instr {
                     block: BlockAddr(0x10000 + u64::from(ty) * 0x1000),
@@ -487,7 +534,10 @@ mod tests {
                 });
                 events.push(TraceEvent::OpEnd { op: OpKind::Probe });
                 events.push(TraceEvent::XctEnd);
-                traces.push(XctTrace { xct_type: XctTypeId(ty), events });
+                traces.push(XctTrace {
+                    xct_type: XctTypeId(ty),
+                    events,
+                });
             }
         }
         let map = find_migration_points(&traces, tiny);

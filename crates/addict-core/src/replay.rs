@@ -11,7 +11,7 @@
 
 use std::collections::VecDeque;
 
-use addict_sim::{CoreId, Machine, MachineStats, PowerModel, PowerReport, SimConfig};
+use addict_sim::{BlockAddr, CoreId, Machine, MachineStats, PowerModel, PowerReport, SimConfig};
 use addict_trace::event::FlatEvent;
 use addict_trace::{TraceEvent, XctTrace, XctTypeId};
 use serde::{Deserialize, Serialize};
@@ -30,6 +30,11 @@ pub struct ReplayConfig {
     pub slicc_fill_threshold: u64,
     /// Power model for the Figure 8(b) report.
     pub power: PowerModel,
+    /// Execute instruction runs segment-granularly (the allocation-free
+    /// fast path) when the policy allows it. Produces bit-identical results
+    /// to the per-block path; `false` forces per-block execution (kept for
+    /// the equivalence tests and the hot-path benchmarks).
+    pub segment_exec: bool,
 }
 
 impl ReplayConfig {
@@ -42,6 +47,7 @@ impl ReplayConfig {
             strex_miss_threshold: 64,
             slicc_fill_threshold: 48,
             power: PowerModel::default(),
+            segment_exec: true,
         }
     }
 
@@ -75,6 +81,9 @@ pub struct ReplayResult {
     pub stats: MachineStats,
     /// Power accounting (Figure 8(b)).
     pub power: PowerReport,
+    /// Per-transaction latency in cycles, indexed by trace id (start to
+    /// finish, queueing included).
+    pub latencies: Vec<f64>,
 }
 
 impl ReplayResult {
@@ -139,6 +148,40 @@ pub trait Policy {
 
     /// Reset per-thread state after a migration or yield completed.
     fn on_moved(&mut self, _tid: usize, _to_core: usize) {}
+
+    /// Opt into segment-granular execution (the allocation-free fast path).
+    ///
+    /// A policy returning `true` promises that, for **instruction events
+    /// that hit in the L1-I**, its `pre` and `post` both return
+    /// [`Action::Continue`] and mutate no state — *except* at the single
+    /// block address reported by [`Policy::watch_addr`], where `pre` is
+    /// still consulted per-block. Under that contract the engine executes
+    /// whole instruction runs inside the machine, consulting the policy
+    /// only at watched blocks and on misses, and the replay is
+    /// bit-identical to per-block execution. Policies that react to
+    /// arbitrary instruction hits must keep the default `false`.
+    fn segment_granular(&self) -> bool {
+        false
+    }
+
+    /// The next instruction block at which `pre` must be consulted even if
+    /// the fetch would hit (ADDICT's pending migration point). `None`
+    /// means `pre` never acts on hits for this thread right now, so runs
+    /// execute at full speed.
+    fn watch_addr(&self, _tid: usize) -> Option<BlockAddr> {
+        None
+    }
+
+    /// Does `post` react to instruction *misses*? Miss-driven policies
+    /// (STREX, SLICC) must keep the default `true` so the segment engine
+    /// stops at every miss; policies indifferent to misses (Baseline,
+    /// ADDICT — whose `post` only acts on markers) return `false`, letting
+    /// the machine execute entire runs, miss servicing included, without
+    /// ever leaving its fast loop. Only consulted when
+    /// [`Policy::segment_granular`] is `true`.
+    fn observes_misses(&self) -> bool {
+        true
+    }
 }
 
 /// Per-core clocks and FIFO run queues.
@@ -169,17 +212,25 @@ impl Cluster {
         !self.busy[core] && self.queues[core].is_empty() && self.free_at[core] <= now
     }
 
-    /// The core among `candidates` that can start work soonest.
+    /// The core among `candidates` that can start work soonest. Ties break
+    /// to the lowest core id. (Bare `min_by` keeps the *first* minimum, so
+    /// the winner would depend on the order the caller listed candidates
+    /// in — e.g. ADDICT chains warm cores before planned cores. The
+    /// explicit tie-break makes the choice a property of the cluster
+    /// state alone.)
     pub fn earliest_of(&self, candidates: &[usize]) -> usize {
+        let penalty = |c: usize| {
+            self.free_at[c]
+                + 1e4 * self.queues[c].len() as f64
+                + if self.busy[c] { 1e4 } else { 0.0 }
+        };
         *candidates
             .iter()
             .min_by(|&&a, &&b| {
-                let penalty = |c: usize| {
-                    self.free_at[c]
-                        + 1e4 * self.queues[c].len() as f64
-                        + if self.busy[c] { 1e4 } else { 0.0 }
-                };
-                penalty(a).partial_cmp(&penalty(b)).expect("clocks are finite")
+                penalty(a)
+                    .partial_cmp(&penalty(b))
+                    .expect("clocks are finite")
+                    .then(a.cmp(&b))
             })
             .expect("non-empty candidate list")
     }
@@ -217,6 +268,40 @@ impl Cursor {
         }
         self.idx += 1;
         self.off = 0;
+    }
+
+    /// If the cursor stands inside an instruction run, the remaining
+    /// segment: `(next block, blocks left, instructions per block)`.
+    fn instr_run(self, trace: &XctTrace) -> Option<(BlockAddr, u16, u16)> {
+        match trace.events.get(self.idx) {
+            Some(&TraceEvent::Instr {
+                block,
+                n_blocks,
+                ipb,
+            }) => Some((
+                BlockAddr(block.0 + u64::from(self.off)),
+                n_blocks - self.off,
+                ipb,
+            )),
+            _ => None,
+        }
+    }
+
+    /// Advance by `k` blocks within the current instruction run (ending it
+    /// exactly when the run is exhausted).
+    fn advance_blocks(&mut self, trace: &XctTrace, k: u16) {
+        debug_assert!(matches!(
+            trace.events.get(self.idx),
+            Some(TraceEvent::Instr { .. })
+        ));
+        if let Some(TraceEvent::Instr { n_blocks, .. }) = trace.events.get(self.idx) {
+            debug_assert!(self.off + k <= *n_blocks);
+            self.off += k;
+            if self.off >= *n_blocks {
+                self.idx += 1;
+                self.off = 0;
+            }
+        }
     }
 }
 
@@ -269,7 +354,16 @@ pub fn run_des<P: Policy>(
     scheduler_name: &str,
     cfg: &ReplayConfig,
 ) -> ReplayResult {
-    run_des_admitted(machine, traces, order, placement, policy, scheduler_name, cfg, Admission::All)
+    run_des_admitted(
+        machine,
+        traces,
+        order,
+        placement,
+        policy,
+        scheduler_name,
+        cfg,
+        Admission::All,
+    )
 }
 
 /// Admission policy for [`run_des_admitted`].
@@ -333,40 +427,40 @@ pub fn run_des_admitted<P: Policy>(
     let mut inflight = 0usize;
     let mut inflight_batch = 0usize; // id of the oldest in-flight batch
     let mut inflight_of_batch = 0usize;
-    let admit =
-        |pending: &mut VecDeque<(usize, usize, usize)>,
-         cluster: &mut Cluster,
-         inflight: &mut usize,
-         inflight_batch: &mut usize,
-         inflight_of_batch: &mut usize| {
-            loop {
-                let Some(&(tid, core, batch)) = pending.front() else { return };
-                let admit_ok = match &admission {
-                    Admission::All => true,
-                    Admission::Bounded(max) => *inflight < (*max).max(1),
-                    Admission::BatchSerial { inflight: max, .. } => {
-                        // Batches run one after another: a new batch may
-                        // only trickle in once the previous one is nearly
-                        // drained, so two types' actions do not thrash
-                        // each other's cores mid-batch.
-                        *inflight < (*max).max(1)
-                            && (batch == *inflight_batch
-                                || *inflight_of_batch * 4 <= (*max).max(1))
-                    }
-                };
-                if !admit_ok {
-                    return;
+    let admit = |pending: &mut VecDeque<(usize, usize, usize)>,
+                 cluster: &mut Cluster,
+                 inflight: &mut usize,
+                 inflight_batch: &mut usize,
+                 inflight_of_batch: &mut usize| {
+        loop {
+            let Some(&(tid, core, batch)) = pending.front() else {
+                return;
+            };
+            let admit_ok = match &admission {
+                Admission::All => true,
+                Admission::Bounded(max) => *inflight < (*max).max(1),
+                Admission::BatchSerial { inflight: max, .. } => {
+                    // Batches run one after another: a new batch may
+                    // only trickle in once the previous one is nearly
+                    // drained, so two types' actions do not thrash
+                    // each other's cores mid-batch.
+                    *inflight < (*max).max(1)
+                        && (batch == *inflight_batch || *inflight_of_batch * 4 <= (*max).max(1))
                 }
-                pending.pop_front();
-                if batch != *inflight_batch {
-                    *inflight_batch = batch;
-                    *inflight_of_batch = 0;
-                }
-                *inflight += 1;
-                *inflight_of_batch += 1;
-                cluster.queues[core].push_back(tid);
+            };
+            if !admit_ok {
+                return;
             }
-        };
+            pending.pop_front();
+            if batch != *inflight_batch {
+                *inflight_batch = batch;
+                *inflight_of_batch = 0;
+            }
+            *inflight += 1;
+            *inflight_of_batch += 1;
+            cluster.queues[core].push_back(tid);
+        }
+    };
     admit(
         &mut pending,
         &mut cluster,
@@ -374,6 +468,9 @@ pub fn run_des_admitted<P: Policy>(
         &mut inflight_batch,
         &mut inflight_of_batch,
     );
+
+    let use_segment = cfg.segment_exec && policy.segment_granular();
+    let stop_on_miss = policy.observes_misses();
 
     loop {
         // Pick the runnable queue head that can start earliest.
@@ -393,15 +490,86 @@ pub fn run_des_admitted<P: Policy>(
         let mut now = start;
         threads[tid].started_at.get_or_insert(now);
 
+        // Apply a policy [`Action`]: `Continue` (or a same-core migrate)
+        // keeps the thread running and returns false; `Yield`/`MigrateTo`
+        // charge the switch, requeue the thread, and return true so the
+        // segment ends. One shared implementation for every consultation
+        // site — segment-granular and per-block execution must never drift.
+        macro_rules! apply_action {
+            ($action:expr) => {
+                match $action {
+                    Action::Continue => false,
+                    Action::Yield => {
+                        let cost = machine.context_switch(CoreId(core));
+                        now += cost;
+                        threads[tid].ready_at = now;
+                        cluster.queues[core].push_back(tid);
+                        policy.on_moved(tid, core);
+                        true
+                    }
+                    Action::MigrateTo(dest) if dest != core => {
+                        let cost = machine.migrate(CoreId(core), CoreId(dest));
+                        threads[tid].ready_at = now + cost;
+                        cluster.queues[dest].push_back(tid);
+                        policy.on_moved(tid, dest);
+                        true
+                    }
+                    Action::MigrateTo(_) => false,
+                }
+            };
+        }
+
         // Execute the segment.
         loop {
+            // Segment-granular fast path: when the policy upholds the
+            // [`Policy::segment_granular`] contract, whole instruction runs
+            // execute inside the machine with the policy consulted only at
+            // watched blocks (split out of the run below) and on L1-I
+            // misses. Bit-identical to the per-block path.
+            if use_segment {
+                if let Some((seg_start, remaining, ipb)) =
+                    threads[tid].cursor.instr_run(&traces[tid])
+                {
+                    let mut limit = remaining;
+                    if let Some(w) = policy.watch_addr(tid) {
+                        if w.0 >= seg_start.0 && w.0 < seg_start.0 + u64::from(remaining) {
+                            // Execute up to (not including) the watched
+                            // block; the per-block path below consults
+                            // `pre` for it on the next iteration.
+                            limit = (w.0 - seg_start.0) as u16;
+                        }
+                    }
+                    if limit > 0 {
+                        let out = machine.fetch_instr_run(
+                            CoreId(core),
+                            seg_start,
+                            limit,
+                            ipb,
+                            now,
+                            stop_on_miss,
+                        );
+                        now = out.now;
+                        threads[tid].cursor.advance_blocks(&traces[tid], out.blocks);
+                        if out.missed_last {
+                            let ev = FlatEvent::Instr {
+                                block: BlockAddr(seg_start.0 + u64::from(out.blocks) - 1),
+                                n_instr: ipb,
+                            };
+                            let action = policy.post(tid, ev, core, true, machine, &cluster, now);
+                            if apply_action!(action) {
+                                break;
+                            }
+                        }
+                        continue;
+                    }
+                }
+            }
+
             let Some(ev) = threads[tid].cursor.peek(&traces[tid]) else {
                 threads[tid].finished_at = Some(now);
                 // A slot freed: admit whatever is allowed next.
                 inflight = inflight.saturating_sub(1);
-                if inflight_of_batch > 0 {
-                    inflight_of_batch -= 1;
-                }
+                inflight_of_batch = inflight_of_batch.saturating_sub(1);
                 admit(
                     &mut pending,
                     &mut cluster,
@@ -411,24 +579,14 @@ pub fn run_des_admitted<P: Policy>(
                 );
                 break;
             };
-            match policy.pre(tid, ev, core, machine, &cluster, now) {
-                Action::Continue => {}
-                Action::Yield => {
-                    let cost = machine.context_switch(CoreId(core));
-                    now += cost;
-                    threads[tid].ready_at = now;
-                    cluster.queues[core].push_back(tid);
-                    policy.on_moved(tid, core);
-                    break;
-                }
-                Action::MigrateTo(dest) => {
-                    debug_assert_ne!(dest, core, "pre-migration to the same core");
-                    let cost = machine.migrate(CoreId(core), CoreId(dest));
-                    threads[tid].ready_at = now + cost;
-                    cluster.queues[dest].push_back(tid);
-                    policy.on_moved(tid, dest);
-                    break;
-                }
+            let pre_action = policy.pre(tid, ev, core, machine, &cluster, now);
+            if let Action::MigrateTo(dest) = pre_action {
+                debug_assert_ne!(dest, core, "pre-migration to the same core");
+            }
+            if apply_action!(pre_action) {
+                // A pre-move leaves the event unconsumed: it executes at
+                // the destination.
+                break;
             }
 
             // Execute the event.
@@ -437,34 +595,16 @@ pub fn run_des_admitted<P: Policy>(
                 FlatEvent::Instr { block, n_instr } => {
                     machine.fetch_instr(CoreId(core), block, u64::from(n_instr))
                 }
-                FlatEvent::Data { block, write } => {
-                    machine.access_data(CoreId(core), block, write)
-                }
+                FlatEvent::Data { block, write } => machine.access_data(CoreId(core), block, write),
                 _ => 0.0,
             };
             now += cycles;
             threads[tid].cursor.advance(&traces[tid]);
             let missed = machine.stats().cores[core].l1i_misses > miss_before;
 
-            match policy.post(tid, ev, core, missed, machine, &cluster, now) {
-                Action::Continue => {}
-                Action::Yield => {
-                    let cost = machine.context_switch(CoreId(core));
-                    now += cost;
-                    threads[tid].ready_at = now;
-                    cluster.queues[core].push_back(tid);
-                    policy.on_moved(tid, core);
-                    break;
-                }
-                Action::MigrateTo(dest) => {
-                    if dest != core {
-                        let cost = machine.migrate(CoreId(core), CoreId(dest));
-                        threads[tid].ready_at = now + cost;
-                        cluster.queues[dest].push_back(tid);
-                        policy.on_moved(tid, dest);
-                        break;
-                    }
-                }
+            let post_action = policy.post(tid, ev, core, missed, machine, &cluster, now);
+            if apply_action!(post_action) {
+                break;
             }
         }
         cluster.busy[core] = false;
@@ -478,8 +618,11 @@ pub fn run_des_admitted<P: Policy>(
             t.finished_at.expect("all threads finish") - t.started_at.expect("all threads start")
         })
         .collect();
-    let avg_latency_cycles =
-        if latencies.is_empty() { 0.0 } else { latencies.iter().sum::<f64>() / latencies.len() as f64 };
+    let avg_latency_cycles = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().sum::<f64>() / latencies.len() as f64
+    };
     let stats = machine.stats().clone();
     let power = cfg.power.report(&stats, total_cycles, machine.config());
     ReplayResult {
@@ -490,6 +633,7 @@ pub fn run_des_admitted<P: Policy>(
         avg_latency_cycles,
         stats,
         power,
+        latencies,
     }
 }
 
@@ -502,9 +646,18 @@ mod tests {
         XctTrace {
             xct_type: XctTypeId(ty),
             events: vec![
-                TraceEvent::XctBegin { xct_type: XctTypeId(ty) },
-                TraceEvent::Instr { block: BlockAddr(base), n_blocks: 4, ipb: 10 },
-                TraceEvent::Data { block: BlockAddr(0x9000 + base), write: false },
+                TraceEvent::XctBegin {
+                    xct_type: XctTypeId(ty),
+                },
+                TraceEvent::Instr {
+                    block: BlockAddr(base),
+                    n_blocks: 4,
+                    ipb: 10,
+                },
+                TraceEvent::Data {
+                    block: BlockAddr(0x9000 + base),
+                    write: false,
+                },
                 TraceEvent::XctEnd,
             ],
         }
@@ -516,7 +669,10 @@ mod tests {
     #[test]
     fn des_executes_all_events_and_reports() {
         let traces: Vec<XctTrace> = (0..8).map(|i| mini_trace(0, i * 100)).collect();
-        let cfg = ReplayConfig { sim: SimConfig::paper_default().with_cores(4), ..Default::default() };
+        let cfg = ReplayConfig {
+            sim: SimConfig::paper_default().with_cores(4),
+            ..Default::default()
+        };
         let mut machine = Machine::new(&cfg.sim);
         let order: Vec<usize> = (0..traces.len()).collect();
         let result = run_des(
@@ -601,12 +757,24 @@ mod tests {
     #[test]
     fn yield_time_multiplexes_one_core() {
         let traces: Vec<XctTrace> = (0..3).map(|i| mini_trace(0, i * 100)).collect();
-        let cfg = ReplayConfig { sim: SimConfig::paper_default().with_cores(2), ..Default::default() };
+        let cfg = ReplayConfig {
+            sim: SimConfig::paper_default().with_cores(2),
+            ..Default::default()
+        };
         let mut machine = Machine::new(&cfg.sim);
         let order: Vec<usize> = (0..3).collect();
-        let mut policy = YieldOncePolicy { yielded: vec![false; 3] };
-        let result =
-            run_des(&mut machine, &traces, &order, |_, _| 0, &mut policy, "yield", &cfg);
+        let mut policy = YieldOncePolicy {
+            yielded: vec![false; 3],
+        };
+        let result = run_des(
+            &mut machine,
+            &traces,
+            &order,
+            |_, _| 0,
+            &mut policy,
+            "yield",
+            &cfg,
+        );
         // All three threads shared core 0; each yielded once.
         assert_eq!(result.stats.context_switches(), 3);
         assert_eq!(result.stats.cores[0].context_switches, 3);
@@ -639,10 +807,21 @@ mod tests {
     #[test]
     fn migration_moves_work_and_counts() {
         let traces = vec![mini_trace(0, 0)];
-        let cfg = ReplayConfig { sim: SimConfig::paper_default().with_cores(2), ..Default::default() };
+        let cfg = ReplayConfig {
+            sim: SimConfig::paper_default().with_cores(2),
+            ..Default::default()
+        };
         let mut machine = Machine::new(&cfg.sim);
         let mut policy = MigrateOncePolicy { moved: vec![false] };
-        let result = run_des(&mut machine, &traces, &[0], |_, _| 0, &mut policy, "mig", &cfg);
+        let result = run_des(
+            &mut machine,
+            &traces,
+            &[0],
+            |_, _| 0,
+            &mut policy,
+            "mig",
+            &cfg,
+        );
         assert_eq!(result.stats.migrations_in(), 1);
         assert_eq!(result.stats.cores[1].migrations_in, 1);
         // Both cores executed instructions.

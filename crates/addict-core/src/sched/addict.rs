@@ -160,13 +160,22 @@ impl Policy for AddictPolicy<'_> {
         match ev {
             FlatEvent::XctBegin(_) => {
                 self.state[tid] = ThreadState::default();
-                let Some(xp) = self.xct_plan(tid) else { return Action::Continue };
+                let Some(xp) = self.xct_plan(tid) else {
+                    return Action::Continue;
+                };
                 self.migrate_to_slot(self.xct_types[tid], xp.entry_slot, xp, core, cluster, now)
             }
             FlatEvent::OpBegin(op) => {
-                self.state[tid] = ThreadState { current_op: Some(op), next_point: 0 };
-                let Some(xp) = self.xct_plan(tid) else { return Action::Continue };
-                let Some(op_plan) = xp.ops.get(&op) else { return Action::Continue };
+                self.state[tid] = ThreadState {
+                    current_op: Some(op),
+                    next_point: 0,
+                };
+                let Some(xp) = self.xct_plan(tid) else {
+                    return Action::Continue;
+                };
+                let Some(op_plan) = xp.ops.get(&op) else {
+                    return Action::Continue;
+                };
                 let slot = op_plan.entry_slot;
                 self.migrate_to_slot(self.xct_types[tid], slot, xp, core, cluster, now)
             }
@@ -176,6 +185,32 @@ impl Policy for AddictPolicy<'_> {
             }
             _ => Action::Continue,
         }
+    }
+
+    // `pre` acts on instruction hits only at the thread's pending migration
+    // point, which `watch_addr` reports; `post` acts only on markers. Safe
+    // for segment execution, and — since misses trigger nothing either —
+    // whole runs (misses included) execute inside the machine.
+    fn segment_granular(&self) -> bool {
+        true
+    }
+
+    fn observes_misses(&self) -> bool {
+        false
+    }
+
+    /// The next planned migration point of `tid`'s current operation: the
+    /// one address where `pre` must see the instruction stream (line 25's
+    /// order dependency means *only* `points[next]` can fire — an address
+    /// matching a later point is ignored, exactly as in per-block replay).
+    fn watch_addr(&self, tid: usize) -> Option<addict_sim::BlockAddr> {
+        let op = self.state[tid].current_op?;
+        let xp = self.xct_plan(tid)?;
+        let op_plan = xp.ops.get(&op)?;
+        op_plan
+            .points
+            .get(self.state[tid].next_point)
+            .map(|p| p.addr)
     }
 }
 
@@ -229,16 +264,17 @@ pub fn run_with_options(
         &mut machine,
         traces,
         &order,
-        move |dispatch_idx, trace| {
-            match plan_ref.of(trace.xct_type) {
-                Some(xp) if !xp.fallback => xp.slots[xp.entry_slot].cores[0],
-                _ => dispatch_idx % n_cores,
-            }
+        move |dispatch_idx, trace| match plan_ref.of(trace.xct_type) {
+            Some(xp) if !xp.fallback => xp.slots[xp.entry_slot].cores[0],
+            _ => dispatch_idx % n_cores,
         },
         &mut policy,
         "ADDICT",
         cfg,
-        Admission::BatchSerial { inflight: cfg.batch_size, batch_of },
+        Admission::BatchSerial {
+            inflight: cfg.batch_size,
+            batch_of,
+        },
     )
 }
 
@@ -258,16 +294,26 @@ mod tests {
         let mut events = vec![TraceEvent::XctBegin { xct_type: XT }];
         for _ in 0..2 {
             events.push(TraceEvent::OpBegin { op: OpKind::Probe });
-            events.push(TraceEvent::Instr { block: BlockAddr(0x8000), n_blocks: 600, ipb: 10 });
+            events.push(TraceEvent::Instr {
+                block: BlockAddr(0x8000),
+                n_blocks: 600,
+                ipb: 10,
+            });
             events.push(TraceEvent::OpEnd { op: OpKind::Probe });
         }
         events.push(TraceEvent::XctEnd);
-        XctTrace { xct_type: XT, events }
+        XctTrace {
+            xct_type: XT,
+            events,
+        }
     }
 
     fn cfg(cores: usize) -> ReplayConfig {
-        ReplayConfig { sim: SimConfig::paper_default().with_cores(cores), ..Default::default() }
-            .with_batch_size(cores)
+        ReplayConfig {
+            sim: SimConfig::paper_default().with_cores(cores),
+            ..Default::default()
+        }
+        .with_batch_size(cores)
     }
 
     fn setup(cores: usize) -> (Vec<XctTrace>, AssignmentPlan, ReplayConfig) {
@@ -318,8 +364,9 @@ mod tests {
     /// work across op slots.
     fn multi_op_trace() -> XctTrace {
         let mut events = vec![TraceEvent::XctBegin { xct_type: XT }];
-        for (i, op) in
-            [OpKind::Probe, OpKind::Update, OpKind::Insert, OpKind::Scan].iter().enumerate()
+        for (i, op) in [OpKind::Probe, OpKind::Update, OpKind::Insert, OpKind::Scan]
+            .iter()
+            .enumerate()
         {
             events.push(TraceEvent::OpBegin { op: *op });
             events.push(TraceEvent::Instr {
@@ -330,7 +377,10 @@ mod tests {
             events.push(TraceEvent::OpEnd { op: *op });
         }
         events.push(TraceEvent::XctEnd);
-        XctTrace { xct_type: XT, events }
+        XctTrace {
+            xct_type: XT,
+            events,
+        }
     }
 
     #[test]
@@ -391,9 +441,16 @@ mod tests {
         };
         let mut events = vec![TraceEvent::XctBegin { xct_type: XT }];
         // Touch the point's block outside any operation...
-        events.push(TraceEvent::Instr { block: map_point, n_blocks: 1, ipb: 10 });
+        events.push(TraceEvent::Instr {
+            block: map_point,
+            n_blocks: 1,
+            ipb: 10,
+        });
         events.push(TraceEvent::XctEnd);
-        let stray = vec![XctTrace { xct_type: XT, events }];
+        let stray = vec![XctTrace {
+            xct_type: XT,
+            events,
+        }];
         let r = run(&stray, &plan, &cfg);
         // Only the initial placement happens; the stray touch of the
         // migration-point address fires nothing.

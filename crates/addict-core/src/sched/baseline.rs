@@ -8,7 +8,17 @@ use crate::replay::{run_des, Policy, ReplayConfig, ReplayResult};
 
 struct NoMovement;
 
-impl Policy for NoMovement {}
+impl Policy for NoMovement {
+    // Never reacts to any event: trivially safe for segment execution,
+    // and whole runs (misses included) can execute inside the machine.
+    fn segment_granular(&self) -> bool {
+        true
+    }
+
+    fn observes_misses(&self) -> bool {
+        false
+    }
+}
 
 /// Replay under traditional scheduling.
 pub fn run(traces: &[XctTrace], cfg: &ReplayConfig) -> ReplayResult {
@@ -36,8 +46,14 @@ mod tests {
         XctTrace {
             xct_type: XctTypeId(0),
             events: vec![
-                TraceEvent::XctBegin { xct_type: XctTypeId(0) },
-                TraceEvent::Instr { block: BlockAddr(0x1000), n_blocks: blocks, ipb: 10 },
+                TraceEvent::XctBegin {
+                    xct_type: XctTypeId(0),
+                },
+                TraceEvent::Instr {
+                    block: BlockAddr(0x1000),
+                    n_blocks: blocks,
+                    ipb: 10,
+                },
                 TraceEvent::XctEnd,
             ],
         }

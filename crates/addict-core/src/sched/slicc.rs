@@ -72,6 +72,12 @@ impl Policy for SliccPolicy {
     fn on_moved(&mut self, tid: usize, _to_core: usize) {
         self.misses_since_arrival[tid] = 0;
     }
+
+    // `post` only acts on instruction *misses*, which the segment engine
+    // always reports: safe for segment execution.
+    fn segment_granular(&self) -> bool {
+        true
+    }
 }
 
 /// Replay under SLICC.
@@ -112,7 +118,10 @@ pub fn run(traces: &[XctTrace], cfg: &ReplayConfig) -> ReplayResult {
         &mut policy,
         "SLICC",
         cfg,
-        Admission::BatchSerial { inflight: cfg.batch_size, batch_of },
+        Admission::BatchSerial {
+            inflight: cfg.batch_size,
+            batch_of,
+        },
     )
 }
 
@@ -124,7 +133,9 @@ mod tests {
 
     /// A trace spanning multiple L1-I-sized strata of shared code.
     fn big_trace() -> XctTrace {
-        let mut events = vec![TraceEvent::XctBegin { xct_type: XctTypeId(0) }];
+        let mut events = vec![TraceEvent::XctBegin {
+            xct_type: XctTypeId(0),
+        }];
         for chunk in 0..4 {
             events.push(TraceEvent::Instr {
                 block: BlockAddr(0x2000 + chunk * 300),
@@ -133,12 +144,18 @@ mod tests {
             });
         }
         events.push(TraceEvent::XctEnd);
-        XctTrace { xct_type: XctTypeId(0), events }
+        XctTrace {
+            xct_type: XctTypeId(0),
+            events,
+        }
     }
 
     fn cfg(cores: usize) -> ReplayConfig {
-        ReplayConfig { sim: SimConfig::paper_default().with_cores(cores), ..Default::default() }
-            .with_batch_size(4)
+        ReplayConfig {
+            sim: SimConfig::paper_default().with_cores(cores),
+            ..Default::default()
+        }
+        .with_batch_size(4)
     }
 
     #[test]
@@ -148,7 +165,9 @@ mod tests {
         assert!(r.stats.migrations_in() > 0, "SLICC must migrate");
         assert_eq!(r.stats.context_switches(), 0);
         // Several cores end up executing instructions.
-        let busy = (0..4).filter(|&c| r.stats.cores[c].instructions > 0).count();
+        let busy = (0..4)
+            .filter(|&c| r.stats.cores[c].instructions > 0)
+            .count();
         assert!(busy >= 2, "computation should spread, busy={busy}");
     }
 
@@ -170,7 +189,9 @@ mod tests {
         // Threads leave their data behind when they migrate (Section 4.3).
         let mut traces = Vec::new();
         for i in 0..8u64 {
-            let mut events = vec![TraceEvent::XctBegin { xct_type: XctTypeId(0) }];
+            let mut events = vec![TraceEvent::XctBegin {
+                xct_type: XctTypeId(0),
+            }];
             for chunk in 0..4u64 {
                 events.push(TraceEvent::Instr {
                     block: BlockAddr(0x2000 + chunk * 300),
@@ -186,7 +207,10 @@ mod tests {
                 }
             }
             events.push(TraceEvent::XctEnd);
-            traces.push(XctTrace { xct_type: XctTypeId(0), events });
+            traces.push(XctTrace {
+                xct_type: XctTypeId(0),
+                events,
+            });
         }
         let slicc = run(&traces, &cfg(4));
         let base = crate::sched::baseline::run(&traces, &cfg(4));

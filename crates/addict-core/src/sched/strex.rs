@@ -36,9 +36,7 @@ impl Policy for StrexPolicy {
             return Action::Continue;
         }
         self.misses_since_resume[tid] += 1;
-        if self.misses_since_resume[tid] >= self.threshold
-            && !cluster.queues[core].is_empty()
-        {
+        if self.misses_since_resume[tid] >= self.threshold && !cluster.queues[core].is_empty() {
             // A batch peer is waiting: hand over the stratum.
             return Action::Yield;
         }
@@ -47,6 +45,12 @@ impl Policy for StrexPolicy {
 
     fn on_moved(&mut self, tid: usize, _to_core: usize) {
         self.misses_since_resume[tid] = 0;
+    }
+
+    // `post` only acts on instruction *misses*, which the segment engine
+    // always reports: safe for segment execution.
+    fn segment_granular(&self) -> bool {
+        true
     }
 }
 
@@ -63,7 +67,9 @@ pub fn run(traces: &[XctTrace], cfg: &ReplayConfig) -> ReplayResult {
     let mut core_work = vec![0u64; n_cores];
     for batch in &batches {
         let work: u64 = batch.iter().map(|&tid| traces[tid].instructions()).sum();
-        let core = (0..n_cores).min_by_key(|&c| core_work[c]).expect("cores > 0");
+        let core = (0..n_cores)
+            .min_by_key(|&c| core_work[c])
+            .expect("cores > 0");
         core_work[core] += work;
         for &tid in batch {
             placement[order.len()] = core;
@@ -94,7 +100,9 @@ mod tests {
 
     /// A trace whose footprint exceeds one L1-I (512 blocks at 32 KB).
     fn big_trace() -> XctTrace {
-        let mut events = vec![TraceEvent::XctBegin { xct_type: XctTypeId(0) }];
+        let mut events = vec![TraceEvent::XctBegin {
+            xct_type: XctTypeId(0),
+        }];
         for chunk in 0..3 {
             events.push(TraceEvent::Instr {
                 block: BlockAddr(0x1000 + chunk * 400),
@@ -103,23 +111,33 @@ mod tests {
             });
         }
         events.push(TraceEvent::XctEnd);
-        XctTrace { xct_type: XctTypeId(0), events }
+        XctTrace {
+            xct_type: XctTypeId(0),
+            events,
+        }
     }
 
     fn cfg(cores: usize) -> ReplayConfig {
-        ReplayConfig { sim: SimConfig::paper_default().with_cores(cores), ..Default::default() }
-            .with_batch_size(4)
+        ReplayConfig {
+            sim: SimConfig::paper_default().with_cores(cores),
+            ..Default::default()
+        }
+        .with_batch_size(4)
     }
 
     #[test]
     fn batch_shares_one_core_with_switches() {
         let traces: Vec<XctTrace> = (0..4).map(|_| big_trace()).collect();
         let r = run(&traces, &cfg(4));
-        assert!(r.stats.context_switches() > 0, "stratified execution must switch");
+        assert!(
+            r.stats.context_switches() > 0,
+            "stratified execution must switch"
+        );
         assert_eq!(r.stats.migrations_in(), 0, "STREX never changes cores");
         // All the work happened on one core.
-        let busy: Vec<usize> =
-            (0..4).filter(|&c| r.stats.cores[c].instructions > 0).collect();
+        let busy: Vec<usize> = (0..4)
+            .filter(|&c| r.stats.cores[c].instructions > 0)
+            .collect();
         assert_eq!(busy, vec![0]);
     }
 

@@ -49,15 +49,14 @@ impl SlotProfile {
 
 /// Walk profiling traces through the plan's migration state machine,
 /// attributing every instruction block to the slot that would execute it.
-pub fn specialization_report(
-    traces: &[XctTrace],
-    plan: &AssignmentPlan,
-) -> Vec<SlotProfile> {
+pub fn specialization_report(traces: &[XctTrace], plan: &AssignmentPlan) -> Vec<SlotProfile> {
     // (type, slot) -> (footprint, instructions)
     let mut acc: BTreeMap<(XctTypeId, usize), (BTreeSet<BlockAddr>, u64)> = BTreeMap::new();
 
     for trace in traces {
-        let Some(xp) = plan.of(trace.xct_type) else { continue };
+        let Some(xp) = plan.of(trace.xct_type) else {
+            continue;
+        };
         if xp.fallback {
             continue;
         }
@@ -84,9 +83,7 @@ pub fn specialization_report(
                 FlatEvent::Instr { block, n_instr } => {
                     if let Some(op) = current_op {
                         if let Some(p) = xp.ops.get(&op) {
-                            if next_point < p.points.len()
-                                && p.points[next_point].addr == block
-                            {
+                            if next_point < p.points.len() && p.points[next_point].addr == block {
                                 slot = p.points[next_point].slot;
                                 next_point += 1;
                             }
@@ -112,8 +109,10 @@ pub fn specialization_report(
                 *per_routine.entry(r).or_insert(0) += 1;
             }
         }
-        let mut routines: Vec<(String, usize)> =
-            per_routine.into_iter().map(|(r, n)| (format!("{r:?}"), n)).collect();
+        let mut routines: Vec<(String, usize)> = per_routine
+            .into_iter()
+            .map(|(r, n)| (format!("{r:?}"), n))
+            .collect();
         routines.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         let role = role_of(plan.of(ty).expect("profiled type"), slot);
         out.push(SlotProfile {
@@ -164,7 +163,11 @@ mod tests {
             ipb: 10,
         });
         events.push(TraceEvent::OpBegin { op: OpKind::Probe });
-        for r in [Routine::FindKey, Routine::BtreeLookup, Routine::BtreeTraverse] {
+        for r in [
+            Routine::FindKey,
+            Routine::BtreeLookup,
+            Routine::BtreeTraverse,
+        ] {
             events.push(TraceEvent::Instr {
                 block: map.base(r),
                 n_blocks: map.n_blocks(r) as u16,
@@ -182,7 +185,10 @@ mod tests {
         }
         events.push(TraceEvent::OpEnd { op: OpKind::Probe });
         events.push(TraceEvent::XctEnd);
-        XctTrace { xct_type: XT, events }
+        XctTrace {
+            xct_type: XT,
+            events,
+        }
     }
 
     #[test]

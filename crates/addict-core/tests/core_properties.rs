@@ -22,7 +22,9 @@ fn arb_trace() -> impl Strategy<Value = XctTrace> {
         prop::collection::vec((op, 1u16..60, 0u64..4), 1..6),
     )
         .prop_map(|(ty, ops)| {
-            let mut events = vec![TraceEvent::XctBegin { xct_type: XctTypeId(ty) }];
+            let mut events = vec![TraceEvent::XctBegin {
+                xct_type: XctTypeId(ty),
+            }];
             for (kind, blocks, base_sel) in ops {
                 events.push(TraceEvent::OpBegin { op: kind });
                 events.push(TraceEvent::Instr {
@@ -33,7 +35,10 @@ fn arb_trace() -> impl Strategy<Value = XctTrace> {
                 events.push(TraceEvent::OpEnd { op: kind });
             }
             events.push(TraceEvent::XctEnd);
-            XctTrace { xct_type: XctTypeId(ty), events }
+            XctTrace {
+                xct_type: XctTypeId(ty),
+                events,
+            }
         })
 }
 

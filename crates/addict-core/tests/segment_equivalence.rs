@@ -1,0 +1,169 @@
+//! Segment-granular replay must be *observationally identical* to the
+//! per-block flat path: byte-identical `MachineStats`, makespan, and
+//! per-transaction latencies for all four schedulers — on generated
+//! transaction mixes and on a real (small) TPC-C trace set.
+//!
+//! The engine guarantees bit-equality (not approximate equality): the fast
+//! path accumulates per-block `f64` charges in the same order as the flat
+//! path, so even floating-point totals match exactly. Any divergence is a
+//! bug in the segment engine, not rounding.
+
+use addict_core::algorithm1::find_migration_points;
+use addict_core::replay::{ReplayConfig, ReplayResult};
+use addict_core::sched::{run_scheduler, SchedulerKind};
+use addict_sim::{BlockAddr, SimConfig};
+use addict_trace::{OpKind, TraceEvent, XctTrace, XctTypeId};
+use addict_workloads::{collect_traces, Benchmark};
+use proptest::prelude::*;
+
+/// Run one scheduler in both modes and assert bit-identical output.
+fn assert_equivalent(kind: SchedulerKind, traces: &[XctTrace], cfg: &ReplayConfig) {
+    let map = find_migration_points(traces, cfg.sim.l1i);
+    let run = |segment: bool| -> ReplayResult {
+        let cfg = ReplayConfig {
+            segment_exec: segment,
+            ..cfg.clone()
+        };
+        run_scheduler(kind, traces, Some(&map), &cfg)
+    };
+    let flat = run(false);
+    let seg = run(true);
+
+    assert_eq!(seg.stats, flat.stats, "{kind:?}: MachineStats diverged");
+    assert_eq!(
+        seg.total_cycles.to_bits(),
+        flat.total_cycles.to_bits(),
+        "{kind:?}: makespan diverged ({} vs {})",
+        seg.total_cycles,
+        flat.total_cycles
+    );
+    assert_eq!(
+        seg.avg_latency_cycles.to_bits(),
+        flat.avg_latency_cycles.to_bits(),
+        "{kind:?}: mean latency diverged"
+    );
+    assert_eq!(seg.latencies.len(), flat.latencies.len());
+    for (i, (s, f)) in seg.latencies.iter().zip(&flat.latencies).enumerate() {
+        assert_eq!(
+            s.to_bits(),
+            f.to_bits(),
+            "{kind:?}: latency of transaction {i} diverged ({s} vs {f})"
+        );
+    }
+    assert_eq!(seg.power, flat.power, "{kind:?}: power report diverged");
+    assert_eq!(seg.instructions, flat.instructions);
+}
+
+/// A transaction with multi-block instruction runs interleaved with data
+/// touches — the shape that exercises run splitting, watched blocks, and
+/// mid-run yields/migrations.
+fn arb_trace() -> impl Strategy<Value = XctTrace> {
+    let op = prop_oneof![
+        Just(OpKind::Probe),
+        Just(OpKind::Scan),
+        Just(OpKind::Update),
+        Just(OpKind::Insert),
+    ];
+    (
+        0u16..3,
+        prop::collection::vec((op, 1u16..80, 0u64..4, 0u8..3), 1..6),
+    )
+        .prop_map(|(ty, ops)| {
+            let mut events = vec![TraceEvent::XctBegin {
+                xct_type: XctTypeId(ty),
+            }];
+            for (kind, blocks, base_sel, data) in ops {
+                events.push(TraceEvent::OpBegin { op: kind });
+                events.push(TraceEvent::Instr {
+                    block: BlockAddr(0x1000 + base_sel * 0x90),
+                    n_blocks: blocks,
+                    ipb: 8,
+                });
+                for d in 0..u64::from(data) {
+                    events.push(TraceEvent::Data {
+                        block: BlockAddr(0x100_000 + u64::from(ty) * 8 + d),
+                        write: d % 2 == 0,
+                    });
+                }
+                events.push(TraceEvent::OpEnd { op: kind });
+            }
+            events.push(TraceEvent::XctEnd);
+            XctTrace {
+                xct_type: XctTypeId(ty),
+                events,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Flat/segment equivalence on generated mixes, all four schedulers,
+    /// varying core counts and batch sizes.
+    #[test]
+    fn segment_replay_is_bit_identical(
+        traces in prop::collection::vec(arb_trace(), 1..16),
+        cores in 2usize..8,
+    ) {
+        let cfg = ReplayConfig {
+            sim: SimConfig::paper_default().with_cores(cores),
+            ..ReplayConfig::paper_default()
+        }
+        .with_batch_size(cores);
+        for kind in SchedulerKind::ALL {
+            assert_equivalent(kind, &traces, &cfg);
+        }
+    }
+
+    /// Same equivalence with the next-line L1-I prefetcher enabled (the
+    /// machine's per-block fallback inside the segment engine).
+    #[test]
+    fn segment_replay_matches_with_prefetcher(
+        traces in prop::collection::vec(arb_trace(), 1..8),
+    ) {
+        let mut sim = SimConfig::paper_default().with_cores(4);
+        sim.l1i_next_line_prefetch = true;
+        let cfg = ReplayConfig { sim, ..ReplayConfig::paper_default() }.with_batch_size(4);
+        for kind in SchedulerKind::ALL {
+            assert_equivalent(kind, &traces, &cfg);
+        }
+    }
+}
+
+/// The satellite's headline case: a real TPC-C trace set through the full
+/// pipeline, equivalent under every scheduler.
+#[test]
+fn tpcc_segment_replay_is_bit_identical() {
+    let (mut engine, mut workload) = Benchmark::TpcC.setup_small();
+    let eval = collect_traces(&mut engine, workload.as_mut(), 48, 2);
+    let cfg = ReplayConfig {
+        sim: SimConfig::paper_default().with_cores(8),
+        ..ReplayConfig::paper_default()
+    }
+    .with_batch_size(8);
+    for kind in SchedulerKind::ALL {
+        assert_equivalent(kind, &eval.xcts, &cfg);
+    }
+}
+
+/// Replays are reproducible run to run (deterministic `earliest_of`
+/// tie-breaking): same inputs, same bits.
+#[test]
+fn replay_is_deterministic_across_runs() {
+    let (mut engine, mut workload) = Benchmark::TpcC.setup_small();
+    let eval = collect_traces(&mut engine, workload.as_mut(), 32, 2);
+    let cfg = ReplayConfig {
+        sim: SimConfig::paper_default().with_cores(6),
+        ..ReplayConfig::paper_default()
+    }
+    .with_batch_size(6);
+    let map = find_migration_points(&eval.xcts, cfg.sim.l1i);
+    for kind in SchedulerKind::ALL {
+        let a = run_scheduler(kind, &eval.xcts, Some(&map), &cfg);
+        let b = run_scheduler(kind, &eval.xcts, Some(&map), &cfg);
+        assert_eq!(a.stats, b.stats, "{kind:?} not reproducible");
+        assert_eq!(a.total_cycles.to_bits(), b.total_cycles.to_bits());
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a.latencies), bits(&b.latencies));
+    }
+}

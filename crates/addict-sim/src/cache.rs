@@ -20,7 +20,10 @@ pub struct AccessOutcome {
 
 impl AccessOutcome {
     /// A plain hit.
-    pub const HIT: AccessOutcome = AccessOutcome { hit: true, evicted: None };
+    pub const HIT: AccessOutcome = AccessOutcome {
+        hit: true,
+        evicted: None,
+    };
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -32,7 +35,12 @@ struct Line {
     dirty: bool,
 }
 
-const INVALID_LINE: Line = Line { block: BlockAddr(0), stamp: 0, valid: false, dirty: false };
+const INVALID_LINE: Line = Line {
+    block: BlockAddr(0),
+    stamp: 0,
+    valid: false,
+    dirty: false,
+};
 
 /// A set-associative cache with true-LRU replacement, operating on
 /// [`BlockAddr`]s. Stores no payload bytes — only presence, recency, and a
@@ -40,7 +48,10 @@ const INVALID_LINE: Line = Line { block: BlockAddr(0), stamp: 0, valid: false, d
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
     lines: Vec<Line>,
-    n_sets: u64,
+    /// `n_sets - 1`; set geometry is validated power-of-two, so indexing is
+    /// a mask rather than a 64-bit modulo (the replay hot loop runs this on
+    /// every instruction block).
+    set_mask: u64,
     ways: usize,
     tick: u64,
 }
@@ -52,7 +63,7 @@ impl SetAssocCache {
         let ways = geom.ways as usize;
         SetAssocCache {
             lines: vec![INVALID_LINE; (n_sets as usize) * ways],
-            n_sets,
+            set_mask: n_sets - 1,
             ways,
             tick: 0,
         }
@@ -60,7 +71,7 @@ impl SetAssocCache {
 
     #[inline]
     fn set_index(&self, block: BlockAddr) -> usize {
-        (block.0 % self.n_sets) as usize
+        (block.0 & self.set_mask) as usize
     }
 
     #[inline]
@@ -94,7 +105,20 @@ impl SetAssocCache {
             }
         }
 
-        // Miss: fill an invalid way, else evict the LRU way.
+        let evicted = Self::install(lines, block, tick, write);
+        AccessOutcome {
+            hit: false,
+            evicted,
+        }
+    }
+
+    /// Fill `block` into its set after a proven miss: fill an invalid way,
+    /// else evict the LRU way. The single replacement policy shared by
+    /// [`SetAssocCache::access`] and [`SetAssocCache::fill_miss`] — keeping
+    /// it in one place is what keeps the segment-granular path's eviction
+    /// choices identical to the per-block path's.
+    #[inline]
+    fn install(lines: &mut [Line], block: BlockAddr, tick: u64, dirty: bool) -> Option<BlockAddr> {
         let mut victim_idx = 0;
         let mut victim_stamp = u64::MAX;
         for (i, line) in lines.iter().enumerate() {
@@ -109,8 +133,55 @@ impl SetAssocCache {
         }
         let victim = lines[victim_idx];
         let evicted = victim.valid.then_some(victim.block);
-        lines[victim_idx] = Line { block, stamp: tick, valid: true, dirty: write };
-        AccessOutcome { hit: false, evicted }
+        lines[victim_idx] = Line {
+            block,
+            stamp: tick,
+            valid: true,
+            dirty,
+        };
+        evicted
+    }
+
+    /// Walk up to `max` *consecutive* blocks starting at `start`, consuming
+    /// leading hits: each hit refreshes LRU recency exactly as
+    /// [`SetAssocCache::access`] would, and the walk stops *before* the
+    /// first miss (which the caller services through the ordinary miss
+    /// path). Returns the number of hits consumed.
+    ///
+    /// This is the replay engine's segment-granular hot loop: consecutive
+    /// blocks land in consecutive sets, so the set arithmetic is hoisted to
+    /// one masked add per block and no [`AccessOutcome`] is materialized.
+    pub fn run_hits(&mut self, start: BlockAddr, max: u16) -> u16 {
+        let ways = self.ways;
+        let mut n = 0u16;
+        'walk: while n < max {
+            let addr = start.0 + u64::from(n);
+            let base = (addr & self.set_mask) as usize * ways;
+            let lines = &mut self.lines[base..base + ways];
+            for line in lines {
+                if line.valid && line.block.0 == addr {
+                    self.tick += 1;
+                    line.stamp = self.tick;
+                    n += 1;
+                    continue 'walk;
+                }
+            }
+            break;
+        }
+        n
+    }
+
+    /// Fill `block` after the caller has already proven it absent (e.g. a
+    /// [`SetAssocCache::run_hits`] walk stopped here): skips the hit scan
+    /// and goes straight to victim selection. Tick, stamp, and eviction
+    /// choice are identical to [`SetAssocCache::access`] on a miss.
+    pub fn fill_miss(&mut self, block: BlockAddr) -> Option<BlockAddr> {
+        debug_assert!(!self.contains(block), "fill_miss of a resident block");
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_index(block);
+        let lines = self.set_lines(set);
+        Self::install(lines, block, tick, false)
     }
 
     /// Probe without updating recency or filling (used by SLICC's
@@ -274,6 +345,38 @@ mod tests {
         c.access(BlockAddr(0));
         c.access_write(BlockAddr(0));
         assert_eq!(c.invalidate(BlockAddr(0)), Some(true));
+    }
+
+    #[test]
+    fn run_hits_consumes_resident_prefix() {
+        let mut c = SetAssocCache::new(CacheGeometry::new(32 * 1024, 8));
+        for i in 0..6u64 {
+            c.access(BlockAddr(0x100 + i));
+        }
+        // Blocks 0x100..0x106 resident, 0x106 cold: 6 hits, stop at miss.
+        assert_eq!(c.run_hits(BlockAddr(0x100), 16), 6);
+        // The miss block was not filled by the walk.
+        assert!(!c.contains(BlockAddr(0x106)));
+        // Bounded by max.
+        assert_eq!(c.run_hits(BlockAddr(0x100), 4), 4);
+        // Cold start: zero hits.
+        assert_eq!(c.run_hits(BlockAddr(0x9000), 8), 0);
+    }
+
+    #[test]
+    fn run_hits_refreshes_lru_like_access() {
+        // Two identical caches; one touched via access(), one via
+        // run_hits(). Their subsequent eviction choices must agree.
+        let mut a = tiny();
+        let mut b = tiny();
+        for c in [&mut a, &mut b] {
+            c.access(BlockAddr(0));
+            c.access(BlockAddr(2)); // set 0 now holds 0 (LRU) and 2 (MRU)
+        }
+        a.access(BlockAddr(0)); // refresh 0 -> 2 becomes LRU
+        assert_eq!(b.run_hits(BlockAddr(0), 1), 1); // same refresh, fast path
+        assert_eq!(a.access(BlockAddr(4)).evicted, Some(BlockAddr(2)));
+        assert_eq!(b.access(BlockAddr(4)).evicted, Some(BlockAddr(2)));
     }
 
     #[test]

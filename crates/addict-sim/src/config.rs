@@ -17,14 +17,22 @@ impl CacheGeometry {
     /// Construct a geometry, validating that it divides into whole sets.
     ///
     /// # Panics
-    /// Panics if the capacity is not an exact multiple of `ways * 64 B`.
+    /// Panics if the capacity is not an exact multiple of `ways * 64 B`, or
+    /// if the resulting set count is not a power of two (set indexing is a
+    /// mask in the simulator's hot loop, as in real hardware).
     pub fn new(size_bytes: u64, ways: u32) -> Self {
         assert!(ways > 0, "cache must have at least one way");
         assert!(
-            size_bytes % (u64::from(ways) * BLOCK_BYTES) == 0,
+            size_bytes.is_multiple_of(u64::from(ways) * BLOCK_BYTES),
             "cache size {size_bytes} not divisible into {ways}-way sets of 64 B blocks"
         );
-        CacheGeometry { size_bytes, ways }
+        let geom = CacheGeometry { size_bytes, ways };
+        assert!(
+            geom.n_sets().is_power_of_two(),
+            "cache must have a power-of-two set count, got {}",
+            geom.n_sets()
+        );
+        geom
     }
 
     /// Number of sets.

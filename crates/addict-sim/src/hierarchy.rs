@@ -154,7 +154,6 @@ impl Hierarchy {
 
     /// Fetch one instruction block on `core`.
     pub fn fetch_instr(&mut self, core: usize, block: BlockAddr) -> MemAccessResult {
-        let mut res = MemAccessResult::l1_hit();
         let hit = self.cores[core].l1i.access(block).hit;
         if self.next_line_prefetch {
             // Pull the sequentially next block into the L1-I in the
@@ -169,8 +168,29 @@ impl Hierarchy {
             }
         }
         if hit {
-            return res;
+            return MemAccessResult::l1_hit();
         }
+        self.instr_miss_tail(core, block)
+    }
+
+    /// Fetch an instruction block whose L1-I lookup is *known* to miss
+    /// (a [`Hierarchy::l1i_run_hits`] walk stopped at it): fills the line
+    /// without re-scanning for a hit, then services the lower levels. Only
+    /// valid with the next-line prefetcher off (the segment walker's
+    /// precondition).
+    pub fn fetch_instr_after_l1i_miss(&mut self, core: usize, block: BlockAddr) -> MemAccessResult {
+        debug_assert!(
+            !self.next_line_prefetch,
+            "walker path excludes the prefetcher"
+        );
+        self.cores[core].l1i.fill_miss(block);
+        self.instr_miss_tail(core, block)
+    }
+
+    /// The below-L1 portion of an instruction fetch (private L2 if any,
+    /// then LLC, then memory).
+    fn instr_miss_tail(&mut self, core: usize, block: BlockAddr) -> MemAccessResult {
+        let mut res = MemAccessResult::l1_hit();
         if let Some(l2p) = self.cores[core].l2p.as_mut() {
             res.l2p_accessed = true;
             if l2p.access(block).hit {
@@ -183,7 +203,11 @@ impl Hierarchy {
         let (hit, hops) = self.llc_access(core, block);
         res.hops = hops;
         res.llc_hit = hit;
-        res.level = if hit { ServiceLevel::Llc } else { ServiceLevel::Memory };
+        res.level = if hit {
+            ServiceLevel::Llc
+        } else {
+            ServiceLevel::Memory
+        };
         res
     }
 
@@ -197,7 +221,7 @@ impl Hierarchy {
         } else {
             self.directory.on_read(core, block)
         };
-        for &victim_core in &action.invalidate {
+        for victim_core in action.invalidate.iter() {
             if self.cores[victim_core].l1d.invalidate(block).is_some() {
                 res.invalidated_cores += 1;
             }
@@ -260,8 +284,33 @@ impl Hierarchy {
         let (hit, hops) = self.llc_access(core, block);
         res.hops = hops;
         res.llc_hit = hit;
-        res.level = if hit { ServiceLevel::Llc } else { ServiceLevel::Memory };
+        res.level = if hit {
+            ServiceLevel::Llc
+        } else {
+            ServiceLevel::Memory
+        };
         res
+    }
+
+    /// Consume up to `max` consecutive instruction-block *hits* in `core`'s
+    /// L1-I, refreshing recency exactly like per-block [`Hierarchy::fetch_instr`]
+    /// calls would. Stops before the first miss (the caller services it
+    /// through the ordinary miss path). Only valid when the next-line
+    /// prefetcher is off — the prefetcher mutates per-fetch state that this
+    /// fast walk does not model.
+    #[inline]
+    pub fn l1i_run_hits(&mut self, core: usize, start: BlockAddr, max: u16) -> u16 {
+        debug_assert!(
+            !self.next_line_prefetch,
+            "l1i_run_hits bypasses the next-line prefetcher"
+        );
+        self.cores[core].l1i.run_hits(start, max)
+    }
+
+    /// Is the next-line L1-I prefetcher enabled? (Drivers pick the
+    /// per-block path when it is, since prefetch issue is per-fetch state.)
+    pub fn has_next_line_prefetch(&self) -> bool {
+        self.next_line_prefetch
     }
 
     /// Does `core`'s L1-I currently hold `block`? (SLICC's remote-presence
@@ -405,7 +454,10 @@ mod tests {
                 misses += 1;
             }
         }
-        assert!(misses <= 2, "sequential stream should be nearly all hits, got {misses}");
+        assert!(
+            misses <= 2,
+            "sequential stream should be nearly all hits, got {misses}"
+        );
         assert!(h.prefetches_issued() >= 32);
 
         // Without the prefetcher every cold block misses.

@@ -18,11 +18,14 @@ impl Torus {
     pub fn for_nodes(n: usize) -> Self {
         assert!(n > 0, "torus needs at least one node");
         let mut width = (n as f64).sqrt().floor() as usize;
-        while width > 1 && n % width != 0 {
+        while width > 1 && !n.is_multiple_of(width) {
             width -= 1;
         }
         let width = width.max(1);
-        Torus { width, height: n / width }
+        Torus {
+            width,
+            height: n / width,
+        }
     }
 
     /// Number of nodes.
@@ -79,7 +82,7 @@ mod tests {
     #[test]
     fn wraparound_shortens_paths() {
         let t = Torus::for_nodes(16); // 4x4
-        // Node 0 (0,0) to node 3 (3,0): wrap gives 1 hop, not 3.
+                                      // Node 0 (0,0) to node 3 (3,0): wrap gives 1 hop, not 3.
         assert_eq!(t.hops(0, 3), 1);
         // Corner to far corner (3,3): 1+1 via wrap.
         assert_eq!(t.hops(0, 15), 2);

@@ -44,8 +44,9 @@ pub mod timing;
 
 pub use block::BlockAddr;
 pub use cache::{AccessOutcome, SetAssocCache};
+pub use coherence::{CoherenceAction, SharerMask};
 pub use config::{CacheGeometry, HierarchyKind, SimConfig};
 pub use hierarchy::ServiceLevel;
-pub use machine::{CoreId, Machine};
+pub use machine::{CoreId, Machine, RunOutcome};
 pub use power::{PowerModel, PowerReport};
 pub use stats::{CoreStats, MachineStats};

@@ -16,6 +16,19 @@ use crate::timing::TimingModel;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CoreId(pub usize);
 
+/// Result of [`Machine::fetch_instr_run`]: how far a segment-granular
+/// instruction walk progressed and where the clock landed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunOutcome {
+    /// Blocks executed (hits plus, when `missed_last`, one serviced miss).
+    pub blocks: u16,
+    /// The per-core clock after charging every executed block.
+    pub now: f64,
+    /// The final executed block missed the L1-I (drivers consult their
+    /// policy there; miss-free walks never leave the fast loop).
+    pub missed_last: bool,
+}
+
 /// A multicore machine executing block-granularity memory traces.
 #[derive(Debug)]
 pub struct Machine {
@@ -102,6 +115,116 @@ impl Machine {
         c.base_cycles += base;
         c.instr_stall_cycles += stall;
         base + stall
+    }
+
+    /// Execute up to `n_blocks` *consecutive* instruction blocks starting at
+    /// `start` on `core`, charging `ipb` instructions per block — the
+    /// segment-granular replay hot path.
+    ///
+    /// Leading L1-I hits are consumed in one tight loop inside the cache
+    /// (hoisted set arithmetic, no per-block dispatch); misses are serviced
+    /// through the ordinary [`Machine::fetch_instr`] path. With
+    /// `stop_on_miss`, the first serviced miss ends the run so the driver
+    /// can consult its scheduling policy; without it (policies indifferent
+    /// to misses) the walk continues to the end of the run without ever
+    /// leaving the machine. All statistics and the returned clock are
+    /// bit-identical to issuing the same blocks through per-block
+    /// [`Machine::fetch_instr`] calls and accumulating `now += cycles` per
+    /// block.
+    pub fn fetch_instr_run(
+        &mut self,
+        core: CoreId,
+        start: BlockAddr,
+        n_blocks: u16,
+        ipb: u16,
+        mut now: f64,
+        stop_on_miss: bool,
+    ) -> RunOutcome {
+        debug_assert!(n_blocks > 0, "empty instruction run");
+        let base = self.timing.execute(u64::from(ipb));
+        let mut done: u16 = 0;
+        if !self.hierarchy.has_next_line_prefetch() {
+            loop {
+                let hits = self.hierarchy.l1i_run_hits(
+                    core.0,
+                    BlockAddr(start.0 + u64::from(done)),
+                    n_blocks - done,
+                );
+                if hits > 0 {
+                    let c = &mut self.stats.cores[core.0];
+                    c.instructions += u64::from(ipb) * u64::from(hits);
+                    c.l1i_accesses += u64::from(hits);
+                    // f64 accumulation stays per-block so totals are
+                    // bit-equal to the per-block path (f64 addition is
+                    // order-sensitive).
+                    for _ in 0..hits {
+                        c.base_cycles += base;
+                        now += base;
+                    }
+                    done += hits;
+                }
+                if done == n_blocks {
+                    return RunOutcome {
+                        blocks: done,
+                        now,
+                        missed_last: false,
+                    };
+                }
+                // Service one miss. The walk already proved the L1-I miss,
+                // so fill directly and charge exactly what per-block
+                // `fetch_instr` would.
+                let block = BlockAddr(start.0 + u64::from(done));
+                let res = self.hierarchy.fetch_instr_after_l1i_miss(core.0, block);
+                {
+                    let c = &mut self.stats.cores[core.0];
+                    c.instructions += u64::from(ipb);
+                    c.l1i_accesses += 1;
+                    c.l1i_misses += 1;
+                }
+                self.record_common(core.0, &res);
+                let stall = self.timing.instr_miss(res.level, res.hops);
+                let c = &mut self.stats.cores[core.0];
+                c.base_cycles += base;
+                c.instr_stall_cycles += stall;
+                now += base + stall;
+                done += 1;
+                if stop_on_miss {
+                    return RunOutcome {
+                        blocks: done,
+                        now,
+                        missed_last: true,
+                    };
+                }
+                if done == n_blocks {
+                    return RunOutcome {
+                        blocks: done,
+                        now,
+                        missed_last: false,
+                    };
+                }
+            }
+        }
+        // Next-line prefetcher enabled: prefetch issue is per-fetch state,
+        // so walk block-by-block through the full path (still skipping all
+        // per-block driver work, which is where most replay time goes).
+        while done < n_blocks {
+            let block = BlockAddr(start.0 + u64::from(done));
+            let misses_before = self.stats.cores[core.0].l1i_misses;
+            now += self.fetch_instr(core, block, u64::from(ipb));
+            done += 1;
+            if stop_on_miss && self.stats.cores[core.0].l1i_misses > misses_before {
+                return RunOutcome {
+                    blocks: done,
+                    now,
+                    missed_last: true,
+                };
+            }
+        }
+        RunOutcome {
+            blocks: done,
+            now,
+            missed_last: false,
+        }
     }
 
     /// Access a data block on `core`. Returns the cycles charged (after OoO
@@ -230,6 +353,93 @@ mod tests {
         m.access_data(CoreId(1), b, false);
         m.access_data(CoreId(2), b, true);
         assert_eq!(m.stats().invalidations_received(), 2);
+    }
+
+    /// Drive `n_blocks` from `start` through the segment path on one
+    /// machine and the per-block path on another; both must agree bit-wise.
+    fn run_both(
+        start: u64,
+        n_blocks: u16,
+        prefetch: bool,
+        stop_on_miss: bool,
+    ) -> (Machine, Machine) {
+        let mut cfg = SimConfig::paper_default().with_cores(2);
+        cfg.l1i_next_line_prefetch = prefetch;
+        let mut seg = Machine::new(&cfg);
+        let mut flat = Machine::new(&cfg);
+        // Warm a prefix so the walk sees hits and misses.
+        for m in [&mut seg, &mut flat] {
+            for i in 0..6u64 {
+                m.fetch_instr(CoreId(0), BlockAddr(start + i), 10);
+            }
+        }
+        let mut now_seg = 1.5f64;
+        let mut done = 0u16;
+        while done < n_blocks {
+            let out = seg.fetch_instr_run(
+                CoreId(0),
+                BlockAddr(start + u64::from(done)),
+                n_blocks - done,
+                10,
+                now_seg,
+                stop_on_miss,
+            );
+            now_seg = out.now;
+            done += out.blocks;
+        }
+        let mut now_flat = 1.5f64;
+        for i in 0..u64::from(n_blocks) {
+            now_flat += flat.fetch_instr(CoreId(0), BlockAddr(start + i), 10);
+        }
+        assert_eq!(now_seg.to_bits(), now_flat.to_bits(), "clocks diverged");
+        (seg, flat)
+    }
+
+    #[test]
+    fn fetch_instr_run_matches_per_block_path() {
+        for prefetch in [false, true] {
+            for stop_on_miss in [false, true] {
+                let (seg, flat) = run_both(0x4000, 40, prefetch, stop_on_miss);
+                assert_eq!(
+                    format!("{:?}", seg.stats()),
+                    format!("{:?}", flat.stats()),
+                    "stats diverged (prefetch={prefetch}, stop_on_miss={stop_on_miss})"
+                );
+                assert_eq!(seg.prefetches_issued(), flat.prefetches_issued());
+                // LRU state must agree too.
+                assert_eq!(seg.l1i_occupancy(CoreId(0)), flat.l1i_occupancy(CoreId(0)));
+            }
+        }
+    }
+
+    #[test]
+    fn fetch_instr_run_stops_at_each_miss() {
+        let mut m = machine();
+        // 6 warm blocks then cold ones: first call consumes the warm run
+        // plus one serviced miss.
+        for i in 0..6u64 {
+            m.fetch_instr(CoreId(0), BlockAddr(i), 10);
+        }
+        let out = m.fetch_instr_run(CoreId(0), BlockAddr(0), 16, 10, 0.0, true);
+        assert!(out.missed_last);
+        assert_eq!(out.blocks, 7);
+        // Entirely warm run: no miss, full length.
+        let out = m.fetch_instr_run(CoreId(0), BlockAddr(0), 7, 10, 0.0, true);
+        assert!(!out.missed_last);
+        assert_eq!(out.blocks, 7);
+    }
+
+    #[test]
+    fn fetch_instr_run_services_whole_run_when_miss_blind() {
+        let mut m = machine();
+        for i in 0..6u64 {
+            m.fetch_instr(CoreId(0), BlockAddr(i), 10);
+        }
+        // 6 hits + 10 cold misses, all in one call.
+        let out = m.fetch_instr_run(CoreId(0), BlockAddr(0), 16, 10, 0.0, false);
+        assert!(!out.missed_last);
+        assert_eq!(out.blocks, 16);
+        assert_eq!(m.stats().l1i_misses(), 6 + 10);
     }
 
     #[test]

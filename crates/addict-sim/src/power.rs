@@ -57,7 +57,7 @@ impl Default for PowerModel {
 }
 
 /// Energy/power accounting for one simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PowerReport {
     /// Total dynamic energy in joules.
     pub dynamic_energy_j: f64,
@@ -88,15 +88,18 @@ impl PowerModel {
             + self.pj_per_llc_access * stats.llc_accesses() as f64
             + self.pj_per_mem_access * stats.mem_accesses() as f64
             + self.pj_per_hop * stats.noc_hops() as f64
-            + self.pj_per_migration
-                * (stats.migrations_in() + stats.context_switches()) as f64;
+            + self.pj_per_migration * (stats.migrations_in() + stats.context_switches()) as f64;
         let dynamic_energy_j = pj * 1e-12;
 
         let duration_s = makespan_cycles / (cfg.clock_ghz * 1e9);
         let static_energy_j = self.static_w_per_core * cfg.n_cores as f64 * duration_s;
 
         let total = dynamic_energy_j + static_energy_j;
-        let total_power_w = if duration_s > 0.0 { total / duration_s } else { 0.0 };
+        let total_power_w = if duration_s > 0.0 {
+            total / duration_s
+        } else {
+            0.0
+        };
         PowerReport {
             dynamic_energy_j,
             static_energy_j,

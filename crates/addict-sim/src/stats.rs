@@ -5,7 +5,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Counters for a single core.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct CoreStats {
     /// Dynamic instructions executed on this core.
     pub instructions: u64,
@@ -50,7 +50,7 @@ pub struct CoreStats {
 }
 
 /// Whole-machine statistics: per-core counters plus aggregation helpers.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MachineStats {
     /// One entry per core.
     pub cores: Vec<CoreStats>,
@@ -68,7 +68,9 @@ macro_rules! sum_field {
 impl MachineStats {
     /// Zeroed stats for `n_cores` cores.
     pub fn new(n_cores: usize) -> Self {
-        MachineStats { cores: vec![CoreStats::default(); n_cores] }
+        MachineStats {
+            cores: vec![CoreStats::default(); n_cores],
+        }
     }
 
     sum_field!(instructions);
@@ -155,7 +157,10 @@ impl MachineStats {
 
     /// Migrations + context switches per 1000 instructions (Figure 9, left).
     pub fn switches_per_ki(&self) -> f64 {
-        Self::mpki(self.migrations_in() + self.context_switches(), self.instructions())
+        Self::mpki(
+            self.migrations_in() + self.context_switches(),
+            self.instructions(),
+        )
     }
 }
 

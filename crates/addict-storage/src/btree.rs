@@ -26,8 +26,15 @@ pub const DEFAULT_MAX_KEYS: usize = 256;
 
 #[derive(Debug, Clone)]
 enum Node {
-    Internal { keys: Vec<u64>, children: Vec<NodeId> },
-    Leaf { keys: Vec<u64>, vals: Vec<u64>, next: Option<NodeId> },
+    Internal {
+        keys: Vec<u64>,
+        children: Vec<NodeId>,
+    },
+    Leaf {
+        keys: Vec<u64>,
+        vals: Vec<u64>,
+        next: Option<NodeId>,
+    },
 }
 
 impl Node {
@@ -35,11 +42,6 @@ impl Node {
         match self {
             Node::Internal { keys, .. } | Node::Leaf { keys, .. } => keys.len(),
         }
-    }
-
-    #[cfg(test)]
-    fn is_leaf(&self) -> bool {
-        matches!(self, Node::Leaf { .. })
     }
 }
 
@@ -153,8 +155,14 @@ impl BTree {
             height: 1,
             len: 0,
         };
-        tree.root =
-            tree.alloc_node(alloc, Node::Leaf { keys: Vec::new(), vals: Vec::new(), next: None });
+        tree.root = tree.alloc_node(
+            alloc,
+            Node::Leaf {
+                keys: Vec::new(),
+                vals: Vec::new(),
+                next: None,
+            },
+        );
         tree
     }
 
@@ -285,7 +293,10 @@ impl BTree {
                     // Root split: grow the tree.
                     let new_root = self.alloc_node(
                         alloc,
-                        Node::Internal { keys: vec![sep], children: vec![cur, right] },
+                        Node::Internal {
+                            keys: vec![sep],
+                            children: vec![cur, right],
+                        },
                     );
                     smo.pages_allocated += 1;
                     smo.new_root = true;
@@ -314,7 +325,12 @@ impl BTree {
     }
 
     /// Split an overflowing node; returns `(separator, right_id)`.
-    fn split(&mut self, alloc: &mut PageAllocator, node: NodeId, smo: &mut SmoStats) -> (u64, NodeId) {
+    fn split(
+        &mut self,
+        alloc: &mut PageAllocator,
+        node: NodeId,
+        smo: &mut SmoStats,
+    ) -> (u64, NodeId) {
         smo.splits += 1;
         smo.pages_allocated += 1;
         let mid = self.nodes[node].n_keys() / 2;
@@ -326,9 +342,15 @@ impl BTree {
                 let old_next = *next;
                 let right = self.alloc_node(
                     alloc,
-                    Node::Leaf { keys: right_keys, vals: right_vals, next: old_next },
+                    Node::Leaf {
+                        keys: right_keys,
+                        vals: right_vals,
+                        next: old_next,
+                    },
                 );
-                let Node::Leaf { next, .. } = &mut self.nodes[node] else { unreachable!() };
+                let Node::Leaf { next, .. } = &mut self.nodes[node] else {
+                    unreachable!()
+                };
                 *next = Some(right);
                 (sep, right)
             }
@@ -340,7 +362,10 @@ impl BTree {
                 let right_children = children.split_off(mid + 1);
                 let right = self.alloc_node(
                     alloc,
-                    Node::Internal { keys: right_keys, children: right_children },
+                    Node::Internal {
+                        keys: right_keys,
+                        children: right_children,
+                    },
                 );
                 (sep, right)
             }
@@ -412,7 +437,9 @@ impl BTree {
             ((my_idx + 1 < n_children).then_some(my_idx + 1), false),
         ] {
             let Some(sib_idx) = sib_idx else { continue };
-            let Node::Internal { children, .. } = &self.nodes[parent] else { unreachable!() };
+            let Node::Internal { children, .. } = &self.nodes[parent] else {
+                unreachable!()
+            };
             let sib = children[sib_idx];
             if self.nodes[sib].n_keys() <= self.min_keys() {
                 continue;
@@ -426,22 +453,39 @@ impl BTree {
     }
 
     /// Move one entry from `sib` into `me` across separator `sep_idx`.
-    fn shift_one(&mut self, parent: NodeId, sep_idx: usize, sib: NodeId, me: NodeId, from_left: bool) {
+    fn shift_one(
+        &mut self,
+        parent: NodeId,
+        sep_idx: usize,
+        sib: NodeId,
+        me: NodeId,
+        from_left: bool,
+    ) {
         // Take both nodes out to sidestep aliasing.
-        let mut sib_node = std::mem::replace(&mut self.nodes[sib], Node::Leaf {
-            keys: Vec::new(),
-            vals: Vec::new(),
-            next: None,
-        });
-        let mut me_node = std::mem::replace(&mut self.nodes[me], Node::Leaf {
-            keys: Vec::new(),
-            vals: Vec::new(),
-            next: None,
-        });
+        let mut sib_node = std::mem::replace(
+            &mut self.nodes[sib],
+            Node::Leaf {
+                keys: Vec::new(),
+                vals: Vec::new(),
+                next: None,
+            },
+        );
+        let mut me_node = std::mem::replace(
+            &mut self.nodes[me],
+            Node::Leaf {
+                keys: Vec::new(),
+                vals: Vec::new(),
+                next: None,
+            },
+        );
         let new_sep = match (&mut sib_node, &mut me_node) {
             (
-                Node::Leaf { keys: sk, vals: sv, .. },
-                Node::Leaf { keys: mk, vals: mv, .. },
+                Node::Leaf {
+                    keys: sk, vals: sv, ..
+                },
+                Node::Leaf {
+                    keys: mk, vals: mv, ..
+                },
             ) => {
                 if from_left {
                     let k = sk.pop().expect("sibling has spare keys");
@@ -458,10 +502,18 @@ impl BTree {
                 }
             }
             (
-                Node::Internal { keys: sk, children: sc },
-                Node::Internal { keys: mk, children: mc },
+                Node::Internal {
+                    keys: sk,
+                    children: sc,
+                },
+                Node::Internal {
+                    keys: mk,
+                    children: mc,
+                },
             ) => {
-                let Node::Internal { keys: pk, .. } = &self.nodes[parent] else { unreachable!() };
+                let Node::Internal { keys: pk, .. } = &self.nodes[parent] else {
+                    unreachable!()
+                };
                 let old_sep = pk[sep_idx];
                 if from_left {
                     let k = sk.pop().expect("sibling has spare keys");
@@ -481,7 +533,9 @@ impl BTree {
         };
         self.nodes[sib] = sib_node;
         self.nodes[me] = me_node;
-        let Node::Internal { keys, .. } = &mut self.nodes[parent] else { unreachable!() };
+        let Node::Internal { keys, .. } = &mut self.nodes[parent] else {
+            unreachable!()
+        };
         keys[sep_idx] = new_sep;
     }
 
@@ -489,19 +543,31 @@ impl BTree {
     /// has a sibling because the parent has ≥ 1 key).
     fn merge(&mut self, parent: NodeId, my_idx: usize, smo: &mut SmoStats) {
         smo.merges += 1;
-        let Node::Internal { children, .. } = &self.nodes[parent] else { unreachable!() };
+        let Node::Internal { children, .. } = &self.nodes[parent] else {
+            unreachable!()
+        };
         // Merge with the left sibling when one exists, else with the right.
-        let (left_idx, right_idx) =
-            if my_idx > 0 { (my_idx - 1, my_idx) } else { (my_idx, my_idx + 1) };
+        let (left_idx, right_idx) = if my_idx > 0 {
+            (my_idx - 1, my_idx)
+        } else {
+            (my_idx, my_idx + 1)
+        };
         let left = children[left_idx];
         let right = children[right_idx];
 
-        let right_node = std::mem::replace(&mut self.nodes[right], Node::Leaf {
-            keys: Vec::new(),
-            vals: Vec::new(),
-            next: None,
-        });
-        let Node::Internal { keys: pk, children: pc } = &mut self.nodes[parent] else {
+        let right_node = std::mem::replace(
+            &mut self.nodes[right],
+            Node::Leaf {
+                keys: Vec::new(),
+                vals: Vec::new(),
+                next: None,
+            },
+        );
+        let Node::Internal {
+            keys: pk,
+            children: pc,
+        } = &mut self.nodes[parent]
+        else {
             unreachable!()
         };
         let sep = pk.remove(left_idx);
@@ -509,16 +575,30 @@ impl BTree {
 
         match (&mut self.nodes[left], right_node) {
             (
-                Node::Leaf { keys: lk, vals: lv, next: ln },
-                Node::Leaf { keys: rk, vals: rv, next: rn },
+                Node::Leaf {
+                    keys: lk,
+                    vals: lv,
+                    next: ln,
+                },
+                Node::Leaf {
+                    keys: rk,
+                    vals: rv,
+                    next: rn,
+                },
             ) => {
                 lk.extend(rk);
                 lv.extend(rv);
                 *ln = rn;
             }
             (
-                Node::Internal { keys: lk, children: lc },
-                Node::Internal { keys: rk, children: rc },
+                Node::Internal {
+                    keys: lk,
+                    children: lc,
+                },
+                Node::Internal {
+                    keys: rk,
+                    children: rc,
+                },
             ) => {
                 lk.push(sep);
                 lk.extend(rk);
@@ -554,7 +634,11 @@ impl BTree {
             }
             cur = *next;
         }
-        ScanResult { path, leaf_pages, items }
+        ScanResult {
+            path,
+            leaf_pages,
+            items,
+        }
     }
 
     /// Check every structural invariant; used by tests (including property
@@ -609,10 +693,16 @@ impl BTree {
             assert!(w[0] < w[1], "keys not strictly sorted");
         }
         if let Some(lo) = lo {
-            assert!(keys.first().is_none_or(|&k| k >= lo), "key below subtree bound");
+            assert!(
+                keys.first().is_none_or(|&k| k >= lo),
+                "key below subtree bound"
+            );
         }
         if let Some(hi) = hi {
-            assert!(keys.last().is_none_or(|&k| k < hi), "key above subtree bound");
+            assert!(
+                keys.last().is_none_or(|&k| k < hi),
+                "key above subtree bound"
+            );
         }
         // Occupancy (root exempt).
         if id != self.root {
@@ -737,7 +827,10 @@ mod tests {
         assert!(saw_collapse, "tree must shrink");
         assert!(t.is_empty());
         assert!(t.height() < peak_height);
-        assert!(matches!(t.delete(5), Err(StorageError::KeyNotFound { key: 5 })));
+        assert!(matches!(
+            t.delete(5),
+            Err(StorageError::KeyNotFound { key: 5 })
+        ));
     }
 
     #[test]
@@ -810,7 +903,11 @@ mod tests {
         }
         t.check_invariants();
         for k in 0..400u64 {
-            let expected = if k % 2 == 1 || k % 4 == 2 { Some(k) } else { None };
+            let expected = if k % 2 == 1 || k % 4 == 2 {
+                Some(k)
+            } else {
+                None
+            };
             assert_eq!(t.probe(k).value, expected, "key {k}");
         }
     }

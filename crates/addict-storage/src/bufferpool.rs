@@ -31,8 +31,13 @@ struct Frame {
     occupied: bool,
 }
 
-const EMPTY_FRAME: Frame =
-    Frame { page: 0, pin_count: 0, dirty: false, referenced: false, occupied: false };
+const EMPTY_FRAME: Frame = Frame {
+    page: 0,
+    pin_count: 0,
+    dirty: false,
+    referenced: false,
+    occupied: false,
+};
 
 /// Buffer-pool statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -80,7 +85,9 @@ impl BufferPool {
 
     /// Current pin count of a page (0 if not resident).
     pub fn pin_count(&self, page: u64) -> u32 {
-        self.resident.get(&page).map_or(0, |&f| self.frames[f].pin_count)
+        self.resident
+            .get(&page)
+            .map_or(0, |&f| self.frames[f].pin_count)
     }
 
     /// Fix (pin) a page, installing it if absent.
@@ -93,7 +100,11 @@ impl BufferPool {
             frame.pin_count += 1;
             frame.referenced = true;
             self.stats.hits += 1;
-            return Ok(FixOutcome { frame: f as u64, hit: true, evicted: None });
+            return Ok(FixOutcome {
+                frame: f as u64,
+                hit: true,
+                evicted: None,
+            });
         }
         self.stats.misses += 1;
         let (f, evicted) = self.find_victim()?;
@@ -104,10 +115,19 @@ impl BufferPool {
                 self.stats.dirty_evictions += 1;
             }
         }
-        self.frames[f] =
-            Frame { page, pin_count: 1, dirty: false, referenced: true, occupied: true };
+        self.frames[f] = Frame {
+            page,
+            pin_count: 1,
+            dirty: false,
+            referenced: true,
+            occupied: true,
+        };
         self.resident.insert(page, f);
-        Ok(FixOutcome { frame: f as u64, hit: false, evicted })
+        Ok(FixOutcome {
+            frame: f as u64,
+            hit: false,
+            evicted,
+        })
     }
 
     /// Unfix (unpin) a page, optionally marking it dirty.
@@ -115,7 +135,10 @@ impl BufferPool {
     /// # Panics
     /// Panics if the page is not resident or not pinned.
     pub fn unfix(&mut self, page: u64, dirty: bool) {
-        let &f = self.resident.get(&page).expect("unfix of non-resident page");
+        let &f = self
+            .resident
+            .get(&page)
+            .expect("unfix of non-resident page");
         let frame = &mut self.frames[f];
         assert!(frame.pin_count > 0, "unfix of unpinned page");
         frame.pin_count -= 1;
@@ -158,7 +181,14 @@ mod tests {
         let b = bp.fix(10).unwrap();
         assert!(b.hit);
         assert_eq!(a.frame, b.frame);
-        assert_eq!(bp.stats(), BufferPoolStats { hits: 1, misses: 1, ..Default::default() });
+        assert_eq!(
+            bp.stats(),
+            BufferPoolStats {
+                hits: 1,
+                misses: 1,
+                ..Default::default()
+            }
+        );
         assert_eq!(bp.pin_count(10), 2);
     }
 

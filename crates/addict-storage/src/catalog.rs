@@ -94,22 +94,30 @@ impl Catalog {
 
     /// Borrow a table.
     pub fn table(&self, id: TableId) -> StorageResult<&TableDef> {
-        self.tables.get(id.0 as usize).ok_or(StorageError::NoSuchTable(id.0))
+        self.tables
+            .get(id.0 as usize)
+            .ok_or(StorageError::NoSuchTable(id.0))
     }
 
     /// Mutably borrow a table.
     pub fn table_mut(&mut self, id: TableId) -> StorageResult<&mut TableDef> {
-        self.tables.get_mut(id.0 as usize).ok_or(StorageError::NoSuchTable(id.0))
+        self.tables
+            .get_mut(id.0 as usize)
+            .ok_or(StorageError::NoSuchTable(id.0))
     }
 
     /// Borrow an index.
     pub fn index(&self, id: IndexId) -> StorageResult<&IndexDef> {
-        self.indexes.get(id.0 as usize).ok_or(StorageError::NoSuchIndex(id.0))
+        self.indexes
+            .get(id.0 as usize)
+            .ok_or(StorageError::NoSuchIndex(id.0))
     }
 
     /// Mutably borrow an index.
     pub fn index_mut(&mut self, id: IndexId) -> StorageResult<&mut IndexDef> {
-        self.indexes.get_mut(id.0 as usize).ok_or(StorageError::NoSuchIndex(id.0))
+        self.indexes
+            .get_mut(id.0 as usize)
+            .ok_or(StorageError::NoSuchIndex(id.0))
     }
 
     /// Mutably borrow a table and one of its indexes at the same time
@@ -125,7 +133,10 @@ impl Catalog {
         if index.0 as usize >= self.indexes.len() {
             return Err(StorageError::NoSuchIndex(index.0));
         }
-        Ok((&mut self.tables[table.0 as usize], &mut self.indexes[index.0 as usize]))
+        Ok((
+            &mut self.tables[table.0 as usize],
+            &mut self.indexes[index.0 as usize],
+        ))
     }
 
     /// Look up a table by name (tests, examples).
@@ -177,8 +188,14 @@ mod tests {
     fn unknown_ids_error() {
         let mut alloc = PageAllocator::new();
         let mut c = Catalog::new();
-        assert!(matches!(c.table(TableId(0)), Err(StorageError::NoSuchTable(0))));
-        assert!(matches!(c.index(IndexId(3)), Err(StorageError::NoSuchIndex(3))));
+        assert!(matches!(
+            c.table(TableId(0)),
+            Err(StorageError::NoSuchTable(0))
+        ));
+        assert!(matches!(
+            c.index(IndexId(3)),
+            Err(StorageError::NoSuchIndex(3))
+        ));
         assert!(matches!(
             c.create_index(&mut alloc, TableId(9), "x", 64),
             Err(StorageError::NoSuchTable(9))

@@ -46,7 +46,10 @@ pub struct EngineConfig {
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        EngineConfig { bufferpool_frames: 1 << 20, btree_max_keys: 256 }
+        EngineConfig {
+            bufferpool_frames: 1 << 20,
+            btree_max_keys: 256,
+        }
     }
 }
 
@@ -134,7 +137,8 @@ impl Engine {
 
     /// Create an index on `table`.
     pub fn create_index(&mut self, table: TableId, name: &str) -> StorageResult<IndexId> {
-        self.catalog.create_index(&mut self.alloc, table, name, self.cfg.btree_max_keys)
+        self.catalog
+            .create_index(&mut self.alloc, table, name, self.cfg.btree_max_keys)
     }
 
     // ------------------------------------------------------------------
@@ -170,7 +174,8 @@ impl Engine {
         // Touch a few representative lock buckets on release; releasing
         // hundreds of locks re-touches the same code blocks anyway.
         for r in released.iter().take(8) {
-            self.rec.data(layout::lock_bucket_block(LockManager::bucket_of(*r)), true);
+            self.rec
+                .data(layout::lock_bucket_block(LockManager::bucket_of(*r)), true);
         }
         self.rec.end_xct(xct.0);
         self.xcts.remove(&xct.0);
@@ -210,7 +215,8 @@ impl Engine {
     /// Section 4.3 L1-D cost of computation spreading.
     fn touch_xct_state(&mut self, xct: XctId, n: u64, write: bool) {
         for i in 0..n {
-            self.rec.data(layout::xct_state_block(xct.0, i), write && i == 0);
+            self.rec
+                .data(layout::xct_state_block(xct.0, i), write && i == 0);
         }
     }
 
@@ -230,7 +236,8 @@ impl Engine {
             LockMode::S | LockMode::IS => 0,
             LockMode::X | LockMode::IX => 1,
         };
-        self.rec.exec_slice(Routine::LockAcquire, n / 2 + variant * (n / 4), n / 4);
+        self.rec
+            .exec_slice(Routine::LockAcquire, n / 2 + variant * (n / 4), n / 4);
         // Appending to the transaction's lock list touches its descriptor.
         self.rec.data(layout::xct_state_block(xct.0, 2), true);
         match outcome {
@@ -244,7 +251,10 @@ impl Engine {
                     return Err(StorageError::Deadlock { waiter: xct.0 });
                 }
                 self.locks.record_wait(xct.0, &holders);
-                Err(StorageError::LockConflict { loser: xct.0, holder: holders[0] })
+                Err(StorageError::LockConflict {
+                    loser: xct.0,
+                    holder: holders[0],
+                })
             }
         }
     }
@@ -286,7 +296,8 @@ impl Engine {
             self.bp_fix(step.page_id)?;
             self.rec.exec(Routine::LatchAcquire);
             // Common loop body.
-            self.rec.exec_slice(Routine::BtreeTraverse, quarter, quarter);
+            self.rec
+                .exec_slice(Routine::BtreeTraverse, quarter, quarter);
             // Data-dependent half-quarter variant.
             let variant = (step.page_id ^ step.pos as u64) % 2;
             self.rec.exec_slice(
@@ -304,7 +315,8 @@ impl Engine {
             self.rec.exec(Routine::LatchRelease);
             self.bp_unfix(step.page_id, false);
         }
-        self.rec.exec_slice(Routine::BtreeTraverse, 3 * quarter, n - 3 * quarter);
+        self.rec
+            .exec_slice(Routine::BtreeTraverse, 3 * quarter, n - 3 * quarter);
         Ok(())
     }
 
@@ -345,7 +357,8 @@ impl Engine {
         let n = CodeMap::global().n_blocks(Routine::TupleLayout);
         self.rec.exec_slice(Routine::TupleLayout, 0, n / 2);
         let variant = (len / 64) as u64 % 2;
-        self.rec.exec_slice(Routine::TupleLayout, n / 2 + variant * (n / 4), n / 4);
+        self.rec
+            .exec_slice(Routine::TupleLayout, n / 2 + variant * (n / 4), n / 4);
     }
 
     // ------------------------------------------------------------------
@@ -375,7 +388,8 @@ impl Engine {
         index: IndexId,
         key: u64,
     ) -> StorageResult<Option<Vec<u8>>> {
-        self.rec.data(layout::metadata_block(u64::from(index.0)), false);
+        self.rec
+            .data(layout::metadata_block(u64::from(index.0)), false);
         self.touch_xct_state(xct, 3, true);
         self.rec.exec_part(Routine::FindKey, 0, 2);
         self.rec.exec_part(Routine::BtreeLookup, 0, 2);
@@ -393,7 +407,14 @@ impl Engine {
         let rid = Rid::unpack(packed);
 
         // Lock the record (by rid, the record's identity), then fetch it.
-        self.lock(xct, Resource::Record { table: table.0, key: packed }, LockMode::S)?;
+        self.lock(
+            xct,
+            Resource::Record {
+                table: table.0,
+                key: packed,
+            },
+            LockMode::S,
+        )?;
         self.rec.exec(Routine::RecordFetch);
         self.bp_fix(rid.page)?;
         let (bytes, offset) = {
@@ -431,7 +452,8 @@ impl Engine {
         index: IndexId,
         key: u64,
     ) -> StorageResult<Option<Rid>> {
-        self.rec.data(layout::metadata_block(u64::from(index.0)), false);
+        self.rec
+            .data(layout::metadata_block(u64::from(index.0)), false);
         self.touch_xct_state(xct, 3, true);
         self.rec.exec_part(Routine::FindKey, 0, 2);
         self.rec.exec_part(Routine::BtreeLookup, 0, 2);
@@ -444,7 +466,14 @@ impl Engine {
             self.rec.exec_part(Routine::FindKey, 1, 2);
             return Ok(None);
         };
-        self.lock(xct, Resource::Record { table: table.0, key: packed }, LockMode::S)?;
+        self.lock(
+            xct,
+            Resource::Record {
+                table: table.0,
+                key: packed,
+            },
+            LockMode::S,
+        )?;
         self.rec.exec_part(Routine::FindKey, 1, 2);
         Ok(Some(Rid::unpack(packed)))
     }
@@ -477,7 +506,8 @@ impl Engine {
         hi: u64,
         hi_inclusive: bool,
     ) -> StorageResult<Vec<(u64, Vec<u8>)>> {
-        self.rec.data(layout::metadata_block(u64::from(index.0)), false);
+        self.rec
+            .data(layout::metadata_block(u64::from(index.0)), false);
         self.touch_xct_state(xct, 3, true);
         // initialize cursor: position on the start leaf.
         self.rec.exec_part(Routine::InitCursor, 0, 2);
@@ -512,9 +542,16 @@ impl Engine {
             }
             let fetch_n = CodeMap::global().n_blocks(Routine::FetchNext);
             let variant = (i as u64) % 2;
-            self.rec.exec_slice(Routine::FetchNext, fetch_n / 4 + variant * (fetch_n / 8), fetch_n / 8);
+            self.rec.exec_slice(
+                Routine::FetchNext,
+                fetch_n / 4 + variant * (fetch_n / 8),
+                fetch_n / 8,
+            );
             if let Some(leaf) = current_leaf {
-                self.rec.data(layout::page_block(leaf, 128 + (i as u64 * 16) % 4096), false);
+                self.rec.data(
+                    layout::page_block(leaf, 128 + (i as u64 * 16) % 4096),
+                    false,
+                );
             }
             let rid = Rid::unpack(packed);
             let (bytes, offset) = {
@@ -551,10 +588,18 @@ impl Engine {
         rid: Rid,
         bytes: &[u8],
     ) -> StorageResult<()> {
-        self.rec.data(layout::metadata_block(u64::from(table.0)), false);
+        self.rec
+            .data(layout::metadata_block(u64::from(table.0)), false);
         self.touch_xct_state(xct, 3, true);
         self.rec.exec_part(Routine::UpdateTupleApi, 0, 2);
-        self.lock(xct, Resource::Record { table: table.0, key: rid.pack() }, LockMode::X)?;
+        self.lock(
+            xct,
+            Resource::Record {
+                table: table.0,
+                key: rid.pack(),
+            },
+            LockMode::X,
+        )?;
 
         // pin record page.
         self.rec.exec_part(Routine::PinRecordPage, 0, 2);
@@ -572,13 +617,23 @@ impl Engine {
         };
         self.emit_record_touch(rid, offset, bytes.len(), true);
         self.emit_tuple_layout(bytes.len());
-        self.log_emit(xct, LogPayload::Update { table: table.0, rid });
+        self.log_emit(
+            xct,
+            LogPayload::Update {
+                table: table.0,
+                rid,
+            },
+        );
         let lsn = self.log.next_lsn() - 1;
         if let Some(page) = self.catalog.table_mut(table)?.heap.page_mut(rid.page) {
             page.set_page_lsn(lsn);
         }
         let up_variant = u64::from(table.0) % 2;
-        self.rec.exec_slice(Routine::UpdatePage, up_n / 2 + up_variant * (up_n / 4), up_n / 4);
+        self.rec.exec_slice(
+            Routine::UpdatePage,
+            up_n / 2 + up_variant * (up_n / 4),
+            up_n / 4,
+        );
 
         self.rec.exec(Routine::LatchRelease);
         self.bp_unfix(rid.page, true);
@@ -620,7 +675,8 @@ impl Engine {
                 t.name
             );
         }
-        self.rec.data(layout::metadata_block(u64::from(table.0)), false);
+        self.rec
+            .data(layout::metadata_block(u64::from(table.0)), false);
         self.touch_xct_state(xct, 3, true);
         self.rec.exec_part(Routine::InsertTupleApi, 0, 2);
         self.lock(xct, Resource::Table(table.0), LockMode::IX)?;
@@ -640,16 +696,33 @@ impl Engine {
         }
         let cr_n = CodeMap::global().n_blocks(Routine::CreateRecord);
         let cr_variant = u64::from(table.0) % 2;
-        self.rec.exec_slice(Routine::CreateRecord, cr_n / 3 + cr_variant * (cr_n / 6), cr_n / 6);
+        self.rec.exec_slice(
+            Routine::CreateRecord,
+            cr_n / 3 + cr_variant * (cr_n / 6),
+            cr_n / 6,
+        );
         self.bp_fix(ins.rid.page)?;
         let offset = self.catalog.table(table)?.heap.record_offset(ins.rid)?;
         self.emit_record_touch(ins.rid, offset, bytes.len(), true);
         self.emit_tuple_layout(bytes.len());
-        self.log_emit(xct, LogPayload::Insert { table: table.0, rid: ins.rid });
+        self.log_emit(
+            xct,
+            LogPayload::Insert {
+                table: table.0,
+                rid: ins.rid,
+            },
+        );
         self.bp_unfix(ins.rid.page, true);
         self.rec.exec_part(Routine::CreateRecord, 2, 3);
 
-        self.lock(xct, Resource::Record { table: table.0, key: ins.rid.pack() }, LockMode::X)?;
+        self.lock(
+            xct,
+            Resource::Record {
+                table: table.0,
+                key: ins.rid.pack(),
+            },
+            LockMode::X,
+        )?;
 
         // create index entry, per index.
         let packed = ins.rid.pack();
@@ -663,9 +736,16 @@ impl Engine {
                 (r.path, r.smo, leaf)
             };
             self.emit_descent(&path)?;
-            self.rec.data(layout::page_block(leaf_page, 128 + (key * 16) % 4096), true);
+            self.rec
+                .data(layout::page_block(leaf_page, 128 + (key * 16) % 4096), true);
             self.emit_smo(xct, index, &smo);
-            self.log_emit(xct, LogPayload::Insert { table: table.0, rid: ins.rid });
+            self.log_emit(
+                xct,
+                LogPayload::Insert {
+                    table: table.0,
+                    rid: ins.rid,
+                },
+            );
             let cie_n = CodeMap::global().n_blocks(Routine::CreateIndexEntry);
             let cie_variant = leaf_page % 2;
             self.rec.exec_slice(
@@ -700,8 +780,12 @@ impl Engine {
         table: TableId,
         index_keys: &[(IndexId, u64)],
     ) -> StorageResult<()> {
-        assert!(!index_keys.is_empty(), "delete locates the record through an index");
-        self.rec.data(layout::metadata_block(u64::from(table.0)), false);
+        assert!(
+            !index_keys.is_empty(),
+            "delete locates the record through an index"
+        );
+        self.rec
+            .data(layout::metadata_block(u64::from(table.0)), false);
         self.touch_xct_state(xct, 3, true);
         self.rec.exec_part(Routine::DeleteTupleApi, 0, 2);
         self.lock(xct, Resource::Table(table.0), LockMode::IX)?;
@@ -712,10 +796,19 @@ impl Engine {
             let idx = self.catalog.index(first_index)?;
             let probe = idx.btree.probe(first_key);
             self.emit_descent(&probe.path)?;
-            probe.value.ok_or(StorageError::KeyNotFound { key: first_key })?
+            probe
+                .value
+                .ok_or(StorageError::KeyNotFound { key: first_key })?
         };
         let rid = Rid::unpack(packed);
-        self.lock(xct, Resource::Record { table: table.0, key: packed }, LockMode::X)?;
+        self.lock(
+            xct,
+            Resource::Record {
+                table: table.0,
+                key: packed,
+            },
+            LockMode::X,
+        )?;
 
         // Remove the record.
         self.rec.exec(Routine::DeleteRecord);
@@ -727,7 +820,13 @@ impl Engine {
             let t = self.catalog.table_mut(table)?;
             t.heap.delete(rid)?;
         }
-        self.log_emit(xct, LogPayload::Delete { table: table.0, rid });
+        self.log_emit(
+            xct,
+            LogPayload::Delete {
+                table: table.0,
+                rid,
+            },
+        );
         self.bp_unfix(rid.page, true);
 
         // Remove every index entry.
@@ -740,7 +839,13 @@ impl Engine {
             };
             self.emit_descent(&path)?;
             self.emit_smo(xct, index, &smo);
-            self.log_emit(xct, LogPayload::Delete { table: table.0, rid });
+            self.log_emit(
+                xct,
+                LogPayload::Delete {
+                    table: table.0,
+                    rid,
+                },
+            );
             self.rec.exec_part(Routine::DeleteIndexEntry, 1, 2);
         }
         self.rec.exec_part(Routine::DeleteTupleApi, 1, 2);
@@ -758,7 +863,13 @@ impl Engine {
 
     /// Probe an index without tracing or locking (population, tests).
     pub fn peek_index(&self, index: IndexId, key: u64) -> StorageResult<Option<Rid>> {
-        Ok(self.catalog.index(index)?.btree.probe(key).value.map(Rid::unpack))
+        Ok(self
+            .catalog
+            .index(index)?
+            .btree
+            .probe(key)
+            .value
+            .map(Rid::unpack))
     }
 }
 
@@ -768,7 +879,10 @@ mod tests {
     use addict_trace::TraceEvent;
 
     fn engine() -> Engine {
-        Engine::new(EngineConfig { btree_max_keys: 8, ..Default::default() })
+        Engine::new(EngineConfig {
+            btree_max_keys: 8,
+            ..Default::default()
+        })
     }
 
     /// One table with one index and `n` populated rows keyed 0..n.
@@ -817,10 +931,10 @@ mod tests {
         let mut saw_data = false;
         for ev in span {
             match ev {
-                TraceEvent::Instr { block, .. } => {
-                    if map.routine_of(*block) == Some(Routine::FindKey) {
-                        saw_findkey = true;
-                    }
+                TraceEvent::Instr { block, .. }
+                    if map.routine_of(*block) == Some(Routine::FindKey) =>
+                {
+                    saw_findkey = true;
                 }
                 TraceEvent::Data { .. } => saw_data = true,
                 _ => {}
@@ -846,7 +960,9 @@ mod tests {
         let pk = e.create_index(t, "orders_pk").unwrap();
         let sk = e.create_index(t, "orders_by_customer").unwrap();
         let x = e.begin(XctTypeId(0));
-        let rid = e.insert_tuple(x, t, &[(pk, 1000), (sk, 77)], b"order").unwrap();
+        let rid = e
+            .insert_tuple(x, t, &[(pk, 1000), (sk, 77)], b"order")
+            .unwrap();
         e.commit(x).unwrap();
         assert_eq!(e.peek_index(pk, 1000).unwrap(), Some(rid));
         assert_eq!(e.peek_index(sk, 77).unwrap(), Some(rid));

@@ -73,7 +73,11 @@ impl HeapFile {
     }
 
     /// Insert a record, allocating a page if no existing page fits.
-    pub fn insert(&mut self, alloc: &mut PageAllocator, record: &[u8]) -> StorageResult<HeapInsert> {
+    pub fn insert(
+        &mut self,
+        alloc: &mut PageAllocator,
+        record: &[u8],
+    ) -> StorageResult<HeapInsert> {
         if record.len() > crate::page::PAGE_BYTES - 64 {
             return Err(StorageError::RecordTooLarge { size: record.len() });
         }
@@ -82,7 +86,10 @@ impl HeapFile {
             let (pid, page) = &mut self.pages[i];
             if page.fits(record.len()) {
                 let slot = page.insert(record).expect("fits() checked");
-                return Ok(HeapInsert { rid: Rid::new(*pid, slot), allocated_page: false });
+                return Ok(HeapInsert {
+                    rid: Rid::new(*pid, slot),
+                    allocated_page: false,
+                });
             }
             if i == self.free_hint && page.total_free() < 64 {
                 // Page essentially full: advance the hint past it.
@@ -92,10 +99,15 @@ impl HeapFile {
         // Allocate a fresh page.
         let pid = alloc.alloc();
         let mut page = SlottedPage::new();
-        let slot = page.insert(record).expect("fresh page fits any legal record");
+        let slot = page
+            .insert(record)
+            .expect("fresh page fits any legal record");
         self.by_id.insert(pid, self.pages.len());
         self.pages.push((pid, page));
-        Ok(HeapInsert { rid: Rid::new(pid, slot), allocated_page: true })
+        Ok(HeapInsert {
+            rid: Rid::new(pid, slot),
+            allocated_page: true,
+        })
     }
 
     /// Read a record.
@@ -114,14 +126,19 @@ impl HeapFile {
 
     /// Overwrite a record in place (may relocate within its page).
     pub fn update(&mut self, rid: Rid, record: &[u8]) -> StorageResult<()> {
-        let page = self.page_mut(rid.page).ok_or(StorageError::InvalidRid(rid))?;
+        let page = self
+            .page_mut(rid.page)
+            .ok_or(StorageError::InvalidRid(rid))?;
         page.update(rid.slot, record)
             .map_err(|_| StorageError::RecordTooLarge { size: record.len() })
     }
 
     /// Delete a record.
     pub fn delete(&mut self, rid: Rid) -> StorageResult<()> {
-        let idx = *self.by_id.get(&rid.page).ok_or(StorageError::InvalidRid(rid))?;
+        let idx = *self
+            .by_id
+            .get(&rid.page)
+            .ok_or(StorageError::InvalidRid(rid))?;
         if self.pages[idx].1.delete(rid.slot) {
             // Freed space: the hint may move back to reuse it.
             self.free_hint = self.free_hint.min(idx);

@@ -135,7 +135,10 @@ impl LockManager {
         // Re-entrant / covered request?
         if let Some(&(_, held_mode)) = entry.holders.iter().find(|(x, _)| *x == xct) {
             if held_mode.covers(mode) {
-                return AcquireOutcome::Granted { bucket, upgraded: false };
+                return AcquireOutcome::Granted {
+                    bucket,
+                    upgraded: false,
+                };
             }
             // Upgrade: allowed only if every other holder is compatible
             // with the stronger mode.
@@ -152,9 +155,15 @@ impl LockManager {
                     .find(|(x, _)| *x == xct)
                     .expect("holder just found");
                 slot.1 = mode;
-                return AcquireOutcome::Granted { bucket, upgraded: true };
+                return AcquireOutcome::Granted {
+                    bucket,
+                    upgraded: true,
+                };
             }
-            return AcquireOutcome::Conflict { bucket, holders: conflicting };
+            return AcquireOutcome::Conflict {
+                bucket,
+                holders: conflicting,
+            };
         }
 
         let conflicting: Vec<u64> = entry
@@ -164,11 +173,17 @@ impl LockManager {
             .map(|(x, _)| *x)
             .collect();
         if !conflicting.is_empty() {
-            return AcquireOutcome::Conflict { bucket, holders: conflicting };
+            return AcquireOutcome::Conflict {
+                bucket,
+                holders: conflicting,
+            };
         }
         entry.holders.push((xct, mode));
         self.held.entry(xct).or_default().push(resource);
-        AcquireOutcome::Granted { bucket, upgraded: false }
+        AcquireOutcome::Granted {
+            bucket,
+            upgraded: false,
+        }
     }
 
     /// Release everything `xct` holds (2PL release-at-commit). Returns the
@@ -205,7 +220,10 @@ impl LockManager {
     /// Record that `waiter` is blocked on `holders` (for callers modeling
     /// waiting instead of aborting).
     pub fn record_wait(&mut self, waiter: u64, holders: &[u64]) {
-        self.waits_for.entry(waiter).or_default().extend(holders.iter().copied());
+        self.waits_for
+            .entry(waiter)
+            .or_default()
+            .extend(holders.iter().copied());
     }
 
     /// Clear `waiter`'s wait edges (after the lock is granted or dropped).
@@ -283,7 +301,10 @@ mod tests {
         // X covers S: no new lock needed.
         assert!(matches!(
             lm.acquire(1, R1, S),
-            AcquireOutcome::Granted { upgraded: false, .. }
+            AcquireOutcome::Granted {
+                upgraded: false,
+                ..
+            }
         ));
         assert_eq!(lm.held_by(1).len(), 1);
     }

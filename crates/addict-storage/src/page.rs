@@ -49,7 +49,10 @@ impl std::fmt::Debug for SlottedPage {
 impl SlottedPage {
     /// A fresh, empty page.
     pub fn new() -> Self {
-        let mut page = SlottedPage { buf: vec![0u8; PAGE_BYTES].into_boxed_slice(), dead_bytes: 0 };
+        let mut page = SlottedPage {
+            buf: vec![0u8; PAGE_BYTES].into_boxed_slice(),
+            dead_bytes: 0,
+        };
         page.set_free_end(PAGE_BYTES as u16);
         page
     }
@@ -91,7 +94,10 @@ impl SlottedPage {
 
     fn slot_at(&self, slot: u16) -> (usize, usize) {
         let base = HEADER_BYTES + usize::from(slot) * SLOT_BYTES;
-        (usize::from(self.read_u16(base)), usize::from(self.read_u16(base + 2)))
+        (
+            usize::from(self.read_u16(base)),
+            usize::from(self.read_u16(base + 2)),
+        )
     }
 
     fn set_slot(&mut self, slot: u16, offset: usize, len: usize) {
@@ -117,12 +123,18 @@ impl SlottedPage {
 
     /// Number of live records.
     pub fn n_records(&self) -> usize {
-        (0..self.n_slots()).filter(|&s| self.slot_at(s).1 > 0).count()
+        (0..self.n_slots())
+            .filter(|&s| self.slot_at(s).1 > 0)
+            .count()
     }
 
     /// Would `insert` of `len` bytes succeed?
     pub fn fits(&self, len: usize) -> bool {
-        let slot_cost = if self.find_tombstone().is_some() { 0 } else { SLOT_BYTES };
+        let slot_cost = if self.find_tombstone().is_some() {
+            0
+        } else {
+            SLOT_BYTES
+        };
         self.total_free() >= len + slot_cost
     }
 
@@ -136,7 +148,10 @@ impl SlottedPage {
     /// [`NoSpace`] if the record cannot fit even after compaction.
     pub fn insert(&mut self, record: &[u8]) -> Result<u16, NoSpace> {
         assert!(!record.is_empty(), "empty records are not representable");
-        assert!(record.len() <= PAGE_BYTES - HEADER_BYTES - SLOT_BYTES, "record exceeds page");
+        assert!(
+            record.len() <= PAGE_BYTES - HEADER_BYTES - SLOT_BYTES,
+            "record exceeds page"
+        );
         let reuse = self.find_tombstone();
         let slot_cost = if reuse.is_some() { 0 } else { SLOT_BYTES };
         if self.contiguous_free() < record.len() + slot_cost {
@@ -317,7 +332,10 @@ mod tests {
             p.insert(&rec).unwrap();
             n += 1;
         }
-        assert!(n >= 70, "8 KB page should hold at least 70 x 104-byte entries, got {n}");
+        assert!(
+            n >= 70,
+            "8 KB page should hold at least 70 x 104-byte entries, got {n}"
+        );
         assert_eq!(p.insert(&rec), Err(NoSpace));
         // Deleting one makes room for exactly one more.
         assert!(p.delete(0));
@@ -346,7 +364,11 @@ mod tests {
         // Survivors are intact.
         for (i, &s2) in slots.iter().enumerate() {
             if i % 2 == 1 && s2 != s {
-                assert_eq!(p.get(s2), Some(&small[..]), "slot {s2} corrupted by compaction");
+                assert_eq!(
+                    p.get(s2),
+                    Some(&small[..]),
+                    "slot {s2} corrupted by compaction"
+                );
             }
         }
     }
@@ -396,7 +418,7 @@ mod tests {
         let mut p = SlottedPage::new();
         let s = p.insert(b"needle").unwrap();
         let off = p.record_offset(s).unwrap();
-        assert!(off >= HEADER_BYTES && off < PAGE_BYTES);
+        assert!((HEADER_BYTES..PAGE_BYTES).contains(&off));
         assert_eq!(p.record_offset(99), None);
     }
 }

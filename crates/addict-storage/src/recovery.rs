@@ -171,7 +171,13 @@ mod tests {
     fn clean_log_has_no_losers() {
         let mut log = LogManager::default();
         log.append(1, LogPayload::XctBegin);
-        log.append(1, LogPayload::Update { table: 0, rid: rid(1) });
+        log.append(
+            1,
+            LogPayload::Update {
+                table: 0,
+                rid: rid(1),
+            },
+        );
         log.append(1, LogPayload::XctCommit);
         let report = recover(&mut log);
         assert_eq!(report.committed, vec![1]);
@@ -184,8 +190,20 @@ mod tests {
     fn in_flight_transaction_is_rolled_back() {
         let mut log = LogManager::default();
         log.append(1, LogPayload::XctBegin);
-        log.append(1, LogPayload::Insert { table: 0, rid: rid(3) });
-        log.append(1, LogPayload::Update { table: 0, rid: rid(4) });
+        log.append(
+            1,
+            LogPayload::Insert {
+                table: 0,
+                rid: rid(3),
+            },
+        );
+        log.append(
+            1,
+            LogPayload::Update {
+                table: 0,
+                rid: rid(4),
+            },
+        );
         // Crash: no commit.
         let before = log.appended_total();
         let report = recover(&mut log);
@@ -204,9 +222,20 @@ mod tests {
     #[test]
     fn mixed_outcomes_classified() {
         let mut log = LogManager::default();
-        for (x, end) in [(1u64, Some(true)), (2, Some(false)), (3, None), (4, Some(true))] {
+        for (x, end) in [
+            (1u64, Some(true)),
+            (2, Some(false)),
+            (3, None),
+            (4, Some(true)),
+        ] {
             log.append(x, LogPayload::XctBegin);
-            log.append(x, LogPayload::Update { table: 0, rid: rid(x) });
+            log.append(
+                x,
+                LogPayload::Update {
+                    table: 0,
+                    rid: rid(x),
+                },
+            );
             match end {
                 Some(true) => {
                     log.append(x, LogPayload::XctCommit);
@@ -230,7 +259,13 @@ mod tests {
     fn recovery_is_idempotent_on_its_own_output() {
         let mut log = LogManager::default();
         log.append(7, LogPayload::XctBegin);
-        log.append(7, LogPayload::Insert { table: 1, rid: rid(9) });
+        log.append(
+            7,
+            LogPayload::Insert {
+                table: 1,
+                rid: rid(9),
+            },
+        );
         let first = recover(&mut log);
         assert_eq!(first.losers, vec![7]);
         // A second crash right after recovery: the loser is now closed by

@@ -27,7 +27,10 @@ impl Rid {
 
     /// Unpack from a `u64`.
     pub fn unpack(v: u64) -> Self {
-        Rid { page: v >> 16, slot: (v & 0xFFFF) as u16 }
+        Rid {
+            page: v >> 16,
+            slot: (v & 0xFFFF) as u16,
+        }
     }
 }
 
@@ -37,7 +40,11 @@ mod tests {
 
     #[test]
     fn pack_roundtrip() {
-        for rid in [Rid::new(0, 0), Rid::new(1, 65535), Rid::new((1 << 48) - 1, 7)] {
+        for rid in [
+            Rid::new(0, 0),
+            Rid::new(1, 65535),
+            Rid::new((1 << 48) - 1, 7),
+        ] {
             assert_eq!(Rid::unpack(rid.pack()), rid);
         }
     }

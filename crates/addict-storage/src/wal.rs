@@ -112,7 +112,12 @@ impl LogManager {
         let offset = self.tail_bytes;
         self.tail_bytes += payload.size();
         self.appended_total += 1;
-        self.records.push(LogRecord { lsn, xct, payload, offset });
+        self.records.push(LogRecord {
+            lsn,
+            xct,
+            payload,
+            offset,
+        });
         if self.records.len() > self.max_resident {
             // Simulate archiving the flushed prefix.
             let drop_to = self.records.len() - self.max_resident / 2;
@@ -174,7 +179,13 @@ mod tests {
     fn lsns_are_monotone_and_dense() {
         let mut log = LogManager::default();
         let (l1, o1) = log.append(1, LogPayload::XctBegin);
-        let (l2, o2) = log.append(1, LogPayload::Update { table: 0, rid: Rid::new(1, 2) });
+        let (l2, o2) = log.append(
+            1,
+            LogPayload::Update {
+                table: 0,
+                rid: Rid::new(1, 2),
+            },
+        );
         let (l3, _) = log.append(2, LogPayload::XctBegin);
         assert_eq!((l1, l2, l3), (1, 2, 3));
         assert_eq!(o1, 0);
@@ -220,7 +231,10 @@ mod tests {
     fn payload_sizes_positive() {
         for p in [
             LogPayload::XctBegin,
-            LogPayload::Update { table: 0, rid: Rid::new(0, 0) },
+            LogPayload::Update {
+                table: 0,
+                rid: Rid::new(0, 0),
+            },
             LogPayload::Smo { index: 1 },
         ] {
             assert!(p.size() > 0);

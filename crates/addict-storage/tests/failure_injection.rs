@@ -8,7 +8,10 @@ const T0: XctTypeId = XctTypeId(0);
 
 /// An engine with a pathologically small buffer pool.
 fn tiny_bp_engine() -> Engine {
-    Engine::new(EngineConfig { bufferpool_frames: 4, btree_max_keys: 8 })
+    Engine::new(EngineConfig {
+        bufferpool_frames: 4,
+        btree_max_keys: 8,
+    })
 }
 
 #[test]
@@ -21,7 +24,8 @@ fn tiny_buffer_pool_still_serves_transactions() {
     e.set_tracing(false);
     let x = e.begin(T0);
     for k in 0..200u64 {
-        e.insert_tuple(x, t, &[(i, k)], format!("row{k:05}").as_bytes()).unwrap();
+        e.insert_tuple(x, t, &[(i, k)], format!("row{k:05}").as_bytes())
+            .unwrap();
     }
     e.commit(x).unwrap();
     e.set_tracing(true);
@@ -151,7 +155,10 @@ fn operations_on_unknown_handles_fail_fast() {
     let t = e.create_table("t");
     let i = e.create_index(t, "pk").unwrap();
     let ghost = addict_storage::XctId(9999);
-    assert!(matches!(e.index_probe(ghost, i, 1), Err(StorageError::NoSuchXct(_))));
+    assert!(matches!(
+        e.index_probe(ghost, i, 1),
+        Err(StorageError::NoSuchXct(_))
+    ));
     assert!(matches!(e.commit(ghost), Err(StorageError::NoSuchXct(_))));
     // Unknown index id.
     let x = e.begin(T0);

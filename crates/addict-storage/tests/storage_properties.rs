@@ -45,11 +45,14 @@ proptest! {
             match op {
                 TreeOp::Insert(k, v) => {
                     let tree_result = tree.insert(&mut alloc, k, v);
-                    if model.contains_key(&k) {
-                        prop_assert!(tree_result.is_err(), "duplicate {k} accepted");
-                    } else {
-                        prop_assert!(tree_result.is_ok(), "fresh insert of {k} rejected");
-                        model.insert(k, v);
+                    match model.entry(k) {
+                        std::collections::btree_map::Entry::Occupied(_) => {
+                            prop_assert!(tree_result.is_err(), "duplicate {k} accepted");
+                        }
+                        std::collections::btree_map::Entry::Vacant(slot) => {
+                            prop_assert!(tree_result.is_ok(), "fresh insert of {k} rejected");
+                            slot.insert(v);
+                        }
                     }
                     tree.check_invariants();
                 }

@@ -112,41 +112,198 @@ use Routine::*;
 /// starting at [`CODE_BASE`]. Total: 2798 blocks ≈ 179 KB, inside
 /// Shore-MT's 128–256 KB (Section 4.6 of the paper).
 const ROUTINES: &[RoutineMeta] = &[
-    RoutineMeta { routine: XctBegin, blocks: 48, instrs_per_block: 11, calls: &[LogInsert] },
-    RoutineMeta { routine: XctCommit, blocks: 96, instrs_per_block: 10, calls: &[LogInsert, LockRelease] },
-    RoutineMeta { routine: BpFix, blocks: 56, instrs_per_block: 9, calls: &[] },
-    RoutineMeta { routine: BpUnfix, blocks: 16, instrs_per_block: 8, calls: &[] },
-    RoutineMeta { routine: LatchAcquire, blocks: 12, instrs_per_block: 8, calls: &[] },
-    RoutineMeta { routine: LatchRelease, blocks: 8, instrs_per_block: 8, calls: &[] },
-    RoutineMeta { routine: LockAcquire, blocks: 96, instrs_per_block: 12, calls: &[] },
-    RoutineMeta { routine: LockRelease, blocks: 48, instrs_per_block: 10, calls: &[] },
-    RoutineMeta { routine: LogInsert, blocks: 80, instrs_per_block: 11, calls: &[] },
-    RoutineMeta { routine: TupleLayout, blocks: 48, instrs_per_block: 13, calls: &[] },
-    RoutineMeta { routine: FindKey, blocks: 64, instrs_per_block: 10, calls: &[BtreeLookup, LockAcquire, RecordFetch] },
-    RoutineMeta { routine: BtreeLookup, blocks: 112, instrs_per_block: 11, calls: &[BtreeTraverse] },
-    RoutineMeta { routine: BtreeTraverse, blocks: 160, instrs_per_block: 12, calls: &[BpFix, LatchAcquire, LatchRelease, LockAcquire] },
-    RoutineMeta { routine: RecordFetch, blocks: 64, instrs_per_block: 10, calls: &[BpFix, TupleLayout] },
-    RoutineMeta { routine: InitCursor, blocks: 180, instrs_per_block: 11, calls: &[BtreeLookup, LockAcquire] },
-    RoutineMeta { routine: FetchNext, blocks: 120, instrs_per_block: 14, calls: &[TupleLayout, LatchAcquire, LatchRelease] },
-    RoutineMeta { routine: UpdateTupleApi, blocks: 48, instrs_per_block: 10, calls: &[PinRecordPage, UpdatePage] },
-    RoutineMeta { routine: PinRecordPage, blocks: 150, instrs_per_block: 10, calls: &[BpFix, LatchAcquire] },
-    RoutineMeta { routine: UpdatePage, blocks: 130, instrs_per_block: 11, calls: &[TupleLayout, LogInsert] },
-    RoutineMeta { routine: InsertTupleApi, blocks: 56, instrs_per_block: 10, calls: &[CreateRecord, CreateIndexEntry, LockAcquire] },
-    RoutineMeta { routine: CreateRecord, blocks: 350, instrs_per_block: 11, calls: &[BpFix, TupleLayout, LogInsert, AllocatePage] },
-    RoutineMeta { routine: AllocatePage, blocks: 220, instrs_per_block: 10, calls: &[BpFix, LogInsert] },
-    RoutineMeta { routine: CreateIndexEntry, blocks: 100, instrs_per_block: 11, calls: &[BtreeTraverse, LogInsert, StructuralModification] },
-    RoutineMeta { routine: StructuralModification, blocks: 220, instrs_per_block: 10, calls: &[AllocatePage, LogInsert, LatchAcquire, LatchRelease] },
-    RoutineMeta { routine: DeleteTupleApi, blocks: 56, instrs_per_block: 10, calls: &[DeleteRecord, DeleteIndexEntry, LockAcquire] },
-    RoutineMeta { routine: DeleteRecord, blocks: 120, instrs_per_block: 10, calls: &[BpFix, TupleLayout, LogInsert] },
-    RoutineMeta { routine: DeleteIndexEntry, blocks: 140, instrs_per_block: 11, calls: &[BtreeTraverse, LogInsert, StructuralModification] },
+    RoutineMeta {
+        routine: XctBegin,
+        blocks: 48,
+        instrs_per_block: 11,
+        calls: &[LogInsert],
+    },
+    RoutineMeta {
+        routine: XctCommit,
+        blocks: 96,
+        instrs_per_block: 10,
+        calls: &[LogInsert, LockRelease],
+    },
+    RoutineMeta {
+        routine: BpFix,
+        blocks: 56,
+        instrs_per_block: 9,
+        calls: &[],
+    },
+    RoutineMeta {
+        routine: BpUnfix,
+        blocks: 16,
+        instrs_per_block: 8,
+        calls: &[],
+    },
+    RoutineMeta {
+        routine: LatchAcquire,
+        blocks: 12,
+        instrs_per_block: 8,
+        calls: &[],
+    },
+    RoutineMeta {
+        routine: LatchRelease,
+        blocks: 8,
+        instrs_per_block: 8,
+        calls: &[],
+    },
+    RoutineMeta {
+        routine: LockAcquire,
+        blocks: 96,
+        instrs_per_block: 12,
+        calls: &[],
+    },
+    RoutineMeta {
+        routine: LockRelease,
+        blocks: 48,
+        instrs_per_block: 10,
+        calls: &[],
+    },
+    RoutineMeta {
+        routine: LogInsert,
+        blocks: 80,
+        instrs_per_block: 11,
+        calls: &[],
+    },
+    RoutineMeta {
+        routine: TupleLayout,
+        blocks: 48,
+        instrs_per_block: 13,
+        calls: &[],
+    },
+    RoutineMeta {
+        routine: FindKey,
+        blocks: 64,
+        instrs_per_block: 10,
+        calls: &[BtreeLookup, LockAcquire, RecordFetch],
+    },
+    RoutineMeta {
+        routine: BtreeLookup,
+        blocks: 112,
+        instrs_per_block: 11,
+        calls: &[BtreeTraverse],
+    },
+    RoutineMeta {
+        routine: BtreeTraverse,
+        blocks: 160,
+        instrs_per_block: 12,
+        calls: &[BpFix, LatchAcquire, LatchRelease, LockAcquire],
+    },
+    RoutineMeta {
+        routine: RecordFetch,
+        blocks: 64,
+        instrs_per_block: 10,
+        calls: &[BpFix, TupleLayout],
+    },
+    RoutineMeta {
+        routine: InitCursor,
+        blocks: 180,
+        instrs_per_block: 11,
+        calls: &[BtreeLookup, LockAcquire],
+    },
+    RoutineMeta {
+        routine: FetchNext,
+        blocks: 120,
+        instrs_per_block: 14,
+        calls: &[TupleLayout, LatchAcquire, LatchRelease],
+    },
+    RoutineMeta {
+        routine: UpdateTupleApi,
+        blocks: 48,
+        instrs_per_block: 10,
+        calls: &[PinRecordPage, UpdatePage],
+    },
+    RoutineMeta {
+        routine: PinRecordPage,
+        blocks: 150,
+        instrs_per_block: 10,
+        calls: &[BpFix, LatchAcquire],
+    },
+    RoutineMeta {
+        routine: UpdatePage,
+        blocks: 130,
+        instrs_per_block: 11,
+        calls: &[TupleLayout, LogInsert],
+    },
+    RoutineMeta {
+        routine: InsertTupleApi,
+        blocks: 56,
+        instrs_per_block: 10,
+        calls: &[CreateRecord, CreateIndexEntry, LockAcquire],
+    },
+    RoutineMeta {
+        routine: CreateRecord,
+        blocks: 350,
+        instrs_per_block: 11,
+        calls: &[BpFix, TupleLayout, LogInsert, AllocatePage],
+    },
+    RoutineMeta {
+        routine: AllocatePage,
+        blocks: 220,
+        instrs_per_block: 10,
+        calls: &[BpFix, LogInsert],
+    },
+    RoutineMeta {
+        routine: CreateIndexEntry,
+        blocks: 100,
+        instrs_per_block: 11,
+        calls: &[BtreeTraverse, LogInsert, StructuralModification],
+    },
+    RoutineMeta {
+        routine: StructuralModification,
+        blocks: 220,
+        instrs_per_block: 10,
+        calls: &[AllocatePage, LogInsert, LatchAcquire, LatchRelease],
+    },
+    RoutineMeta {
+        routine: DeleteTupleApi,
+        blocks: 56,
+        instrs_per_block: 10,
+        calls: &[DeleteRecord, DeleteIndexEntry, LockAcquire],
+    },
+    RoutineMeta {
+        routine: DeleteRecord,
+        blocks: 120,
+        instrs_per_block: 10,
+        calls: &[BpFix, TupleLayout, LogInsert],
+    },
+    RoutineMeta {
+        routine: DeleteIndexEntry,
+        blocks: 140,
+        instrs_per_block: 11,
+        calls: &[BtreeTraverse, LogInsert, StructuralModification],
+    },
 ];
 
 /// All routines, in region order.
 pub const ALL_ROUTINES: [Routine; 27] = [
-    XctBegin, XctCommit, BpFix, BpUnfix, LatchAcquire, LatchRelease, LockAcquire, LockRelease,
-    LogInsert, TupleLayout, FindKey, BtreeLookup, BtreeTraverse, RecordFetch, InitCursor,
-    FetchNext, UpdateTupleApi, PinRecordPage, UpdatePage, InsertTupleApi, CreateRecord,
-    AllocatePage, CreateIndexEntry, StructuralModification, DeleteTupleApi, DeleteRecord,
+    XctBegin,
+    XctCommit,
+    BpFix,
+    BpUnfix,
+    LatchAcquire,
+    LatchRelease,
+    LockAcquire,
+    LockRelease,
+    LogInsert,
+    TupleLayout,
+    FindKey,
+    BtreeLookup,
+    BtreeTraverse,
+    RecordFetch,
+    InitCursor,
+    FetchNext,
+    UpdateTupleApi,
+    PinRecordPage,
+    UpdatePage,
+    InsertTupleApi,
+    CreateRecord,
+    AllocatePage,
+    CreateIndexEntry,
+    StructuralModification,
+    DeleteTupleApi,
+    DeleteRecord,
     DeleteIndexEntry,
 ];
 
@@ -284,9 +441,21 @@ mod tests {
         let lu = m.inclusive_blocks(BtreeLookup) as f64;
         let tr = m.inclusive_blocks(BtreeTraverse) as f64;
         let lk = m.inclusive_blocks(LockAcquire) as f64;
-        assert!((lu / fk - 0.73).abs() < 0.10, "lookup/find_key = {}", lu / fk);
-        assert!((tr / lu - 0.71).abs() < 0.10, "traverse/lookup = {}", tr / lu);
-        assert!((lk / tr - 0.335).abs() < 0.10, "lock/traverse = {}", lk / tr);
+        assert!(
+            (lu / fk - 0.73).abs() < 0.10,
+            "lookup/find_key = {}",
+            lu / fk
+        );
+        assert!(
+            (tr / lu - 0.71).abs() < 0.10,
+            "traverse/lookup = {}",
+            tr / lu
+        );
+        assert!(
+            (lk / tr - 0.335).abs() < 0.10,
+            "lock/traverse = {}",
+            lk / tr
+        );
     }
 
     #[test]

@@ -27,8 +27,13 @@ pub enum OpKind {
 
 impl OpKind {
     /// All operation kinds.
-    pub const ALL: [OpKind; 5] =
-        [OpKind::Probe, OpKind::Scan, OpKind::Update, OpKind::Insert, OpKind::Delete];
+    pub const ALL: [OpKind; 5] = [
+        OpKind::Probe,
+        OpKind::Scan,
+        OpKind::Update,
+        OpKind::Insert,
+        OpKind::Delete,
+    ];
 
     /// Lower-case name as used in the paper's figures.
     pub fn name(self) -> &'static str {
@@ -125,16 +130,20 @@ pub fn flatten(events: &[TraceEvent]) -> impl Iterator<Item = FlatEvent> + '_ {
             TraceEvent::OpBegin { op } => (Some(FlatEvent::OpBegin(op)), None),
             TraceEvent::OpEnd { op } => (Some(FlatEvent::OpEnd(op)), None),
             TraceEvent::Data { block, write } => (Some(FlatEvent::Data { block, write }), None),
-            TraceEvent::Instr { block, n_blocks, ipb } => (None, Some((block, n_blocks, ipb))),
+            TraceEvent::Instr {
+                block,
+                n_blocks,
+                ipb,
+            } => (None, Some((block, n_blocks, ipb))),
         };
-        single.into_iter().chain(
-            run.into_iter().flat_map(|(block, n_blocks, ipb)| {
+        single
+            .into_iter()
+            .chain(run.into_iter().flat_map(|(block, n_blocks, ipb)| {
                 (0..u64::from(n_blocks)).map(move |i| FlatEvent::Instr {
                     block: BlockAddr(block.0 + i),
                     n_instr: ipb,
                 })
-            }),
-        )
+            }))
     })
 }
 
@@ -153,9 +162,7 @@ impl XctTrace {
         self.events
             .iter()
             .map(|e| match e {
-                TraceEvent::Instr { n_blocks, ipb, .. } => {
-                    u64::from(*n_blocks) * u64::from(*ipb)
-                }
+                TraceEvent::Instr { n_blocks, ipb, .. } => u64::from(*n_blocks) * u64::from(*ipb),
                 _ => 0,
             })
             .sum()
@@ -245,15 +252,35 @@ mod tests {
         XctTrace {
             xct_type: XctTypeId(0),
             events: vec![
-                TraceEvent::XctBegin { xct_type: XctTypeId(0) },
-                TraceEvent::Instr { block: BlockAddr(1), n_blocks: 1, ipb: 10 },
+                TraceEvent::XctBegin {
+                    xct_type: XctTypeId(0),
+                },
+                TraceEvent::Instr {
+                    block: BlockAddr(1),
+                    n_blocks: 1,
+                    ipb: 10,
+                },
                 TraceEvent::OpBegin { op: OpKind::Probe },
-                TraceEvent::Instr { block: BlockAddr(2), n_blocks: 2, ipb: 6 },
-                TraceEvent::Data { block: BlockAddr(1000), write: false },
+                TraceEvent::Instr {
+                    block: BlockAddr(2),
+                    n_blocks: 2,
+                    ipb: 6,
+                },
+                TraceEvent::Data {
+                    block: BlockAddr(1000),
+                    write: false,
+                },
                 TraceEvent::OpEnd { op: OpKind::Probe },
                 TraceEvent::OpBegin { op: OpKind::Update },
-                TraceEvent::Instr { block: BlockAddr(3), n_blocks: 1, ipb: 8 },
-                TraceEvent::Data { block: BlockAddr(1000), write: true },
+                TraceEvent::Instr {
+                    block: BlockAddr(3),
+                    n_blocks: 1,
+                    ipb: 8,
+                },
+                TraceEvent::Data {
+                    block: BlockAddr(1000),
+                    write: true,
+                },
                 TraceEvent::OpEnd { op: OpKind::Update },
                 TraceEvent::XctEnd,
             ],
@@ -275,8 +302,20 @@ mod tests {
         // 11 raw events, one of which is a 2-block run -> 12 flat items.
         assert_eq!(flat.len(), 12);
         assert_eq!(flat[0], FlatEvent::XctBegin(XctTypeId(0)));
-        assert_eq!(flat[3], FlatEvent::Instr { block: BlockAddr(2), n_instr: 6 });
-        assert_eq!(flat[4], FlatEvent::Instr { block: BlockAddr(3), n_instr: 6 });
+        assert_eq!(
+            flat[3],
+            FlatEvent::Instr {
+                block: BlockAddr(2),
+                n_instr: 6
+            }
+        );
+        assert_eq!(
+            flat[4],
+            FlatEvent::Instr {
+                block: BlockAddr(3),
+                n_instr: 6
+            }
+        );
         assert_eq!(*flat.last().unwrap(), FlatEvent::XctEnd);
         // Instruction totals agree between the two views.
         let flat_instr: u64 = flat
@@ -312,7 +351,10 @@ mod tests {
             xct_type_names: vec!["a".into(), "b".into()],
             xcts: vec![
                 sample(),
-                XctTrace { xct_type: XctTypeId(1), events: vec![] },
+                XctTrace {
+                    xct_type: XctTypeId(1),
+                    events: vec![],
+                },
                 sample(),
             ],
         };

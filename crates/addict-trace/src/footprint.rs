@@ -26,7 +26,9 @@ impl Footprint {
         let mut fp = Footprint::default();
         for e in events {
             match e {
-                TraceEvent::Instr { block, n_blocks, .. } => {
+                TraceEvent::Instr {
+                    block, n_blocks, ..
+                } => {
                     for i in 0..u64::from(*n_blocks) {
                         fp.instr.insert(BlockAddr(block.0 + i));
                     }
@@ -73,7 +75,9 @@ impl AccessCounts {
         let mut c = AccessCounts::default();
         for e in events {
             match e {
-                TraceEvent::Instr { block, n_blocks, .. } => {
+                TraceEvent::Instr {
+                    block, n_blocks, ..
+                } => {
                     for i in 0..u64::from(*n_blocks) {
                         *c.instr.entry(BlockAddr(block.0 + i)).or_insert(0) += 1;
                     }
@@ -103,13 +107,32 @@ mod tests {
 
     fn events() -> Vec<TraceEvent> {
         vec![
-            TraceEvent::XctBegin { xct_type: XctTypeId(0) },
-            TraceEvent::Instr { block: BlockAddr(10), n_blocks: 1, ipb: 5 },
-            TraceEvent::Instr { block: BlockAddr(10), n_blocks: 2, ipb: 5 },
+            TraceEvent::XctBegin {
+                xct_type: XctTypeId(0),
+            },
+            TraceEvent::Instr {
+                block: BlockAddr(10),
+                n_blocks: 1,
+                ipb: 5,
+            },
+            TraceEvent::Instr {
+                block: BlockAddr(10),
+                n_blocks: 2,
+                ipb: 5,
+            },
             TraceEvent::OpBegin { op: OpKind::Probe },
-            TraceEvent::Data { block: BlockAddr(100), write: false },
-            TraceEvent::Data { block: BlockAddr(100), write: true },
-            TraceEvent::Data { block: BlockAddr(101), write: false },
+            TraceEvent::Data {
+                block: BlockAddr(100),
+                write: false,
+            },
+            TraceEvent::Data {
+                block: BlockAddr(100),
+                write: true,
+            },
+            TraceEvent::Data {
+                block: BlockAddr(101),
+                write: false,
+            },
             TraceEvent::OpEnd { op: OpKind::Probe },
             TraceEvent::XctEnd,
         ]

@@ -102,11 +102,18 @@ mod tests {
 
     #[test]
     fn regions_are_disjoint_and_ordered() {
-        assert!(CODE_BASE < METADATA_BASE);
-        assert!(METADATA_BASE < LOCK_TABLE_BASE);
-        assert!(LOCK_TABLE_BASE < BUFFERPOOL_BASE);
-        assert!(BUFFERPOOL_BASE < LOG_BASE);
-        assert!(LOG_BASE < PAGE_BASE);
+        let bases = [
+            CODE_BASE,
+            METADATA_BASE,
+            LOCK_TABLE_BASE,
+            BUFFERPOOL_BASE,
+            LOG_BASE,
+            PAGE_BASE,
+        ];
+        assert!(
+            bases.windows(2).all(|w| w[0] < w[1]),
+            "regions out of order: {bases:?}"
+        );
     }
 
     #[test]
@@ -124,8 +131,12 @@ mod tests {
     #[test]
     fn xct_state_is_private_per_transaction() {
         // Distinct transactions get disjoint block runs.
-        let a: Vec<_> = (0..XCT_STATE_BLOCKS).map(|i| xct_state_block(1, i)).collect();
-        let b: Vec<_> = (0..XCT_STATE_BLOCKS).map(|i| xct_state_block(2, i)).collect();
+        let a: Vec<_> = (0..XCT_STATE_BLOCKS)
+            .map(|i| xct_state_block(1, i))
+            .collect();
+        let b: Vec<_> = (0..XCT_STATE_BLOCKS)
+            .map(|i| xct_state_block(2, i))
+            .collect();
         assert!(a.iter().all(|x| !b.contains(x)));
         // Indices wrap within the transaction's own run.
         assert_eq!(xct_state_block(1, 0), xct_state_block(1, XCT_STATE_BLOCKS));

@@ -44,12 +44,20 @@ pub struct TraceRecorder {
 impl TraceRecorder {
     /// A recorder that captures events.
     pub fn new() -> Self {
-        TraceRecorder { enabled: true, open: HashMap::new(), current: None, finished: Vec::new() }
+        TraceRecorder {
+            enabled: true,
+            open: HashMap::new(),
+            current: None,
+            finished: Vec::new(),
+        }
     }
 
     /// A recorder that drops everything (for untraced engine runs).
     pub fn disabled() -> Self {
-        TraceRecorder { enabled: false, ..Self::new() }
+        TraceRecorder {
+            enabled: false,
+            ..Self::new()
+        }
     }
 
     /// Is this recorder capturing?
@@ -62,7 +70,10 @@ impl TraceRecorder {
     /// # Panics
     /// Panics if any transaction is open.
     pub fn set_enabled(&mut self, on: bool) {
-        assert!(self.open.is_empty(), "cannot toggle tracing with open transactions");
+        assert!(
+            self.open.is_empty(),
+            "cannot toggle tracing with open transactions"
+        );
         self.enabled = on;
     }
 
@@ -75,9 +86,18 @@ impl TraceRecorder {
         if !self.enabled {
             return;
         }
-        let mut trace = XctTrace { xct_type, events: Vec::with_capacity(4096) };
+        let mut trace = XctTrace {
+            xct_type,
+            events: Vec::with_capacity(4096),
+        };
         trace.events.push(TraceEvent::XctBegin { xct_type });
-        let prev = self.open.insert(handle, OpenTrace { trace, op_open: None });
+        let prev = self.open.insert(
+            handle,
+            OpenTrace {
+                trace,
+                op_open: None,
+            },
+        );
         assert!(prev.is_none(), "begin_xct: handle {handle} already open");
         self.current = Some(handle);
     }
@@ -90,7 +110,10 @@ impl TraceRecorder {
         if !self.enabled {
             return;
         }
-        assert!(self.open.contains_key(&handle), "switch_to unknown handle {handle}");
+        assert!(
+            self.open.contains_key(&handle),
+            "switch_to unknown handle {handle}"
+        );
         self.current = Some(handle);
     }
 
@@ -102,8 +125,14 @@ impl TraceRecorder {
         if !self.enabled {
             return;
         }
-        let mut open = self.open.remove(&handle).expect("end_xct without begin_xct");
-        assert!(open.op_open.is_none(), "end_xct with an operation still open");
+        let mut open = self
+            .open
+            .remove(&handle)
+            .expect("end_xct without begin_xct");
+        assert!(
+            open.op_open.is_none(),
+            "end_xct with an operation still open"
+        );
         open.trace.events.push(TraceEvent::XctEnd);
         self.finished.push(open.trace);
         if self.current == Some(handle) {
@@ -175,7 +204,10 @@ impl TraceRecorder {
     /// Panics if the slice exceeds the routine's region.
     pub fn exec_slice(&mut self, routine: Routine, start: u64, len: u64) {
         let n = CodeMap::global().n_blocks(routine);
-        assert!(start + len <= n, "slice {start}+{len} exceeds {routine:?} ({n} blocks)");
+        assert!(
+            start + len <= n,
+            "slice {start}+{len} exceeds {routine:?} ({n} blocks)"
+        );
         if !self.enabled {
             return;
         }
@@ -191,9 +223,11 @@ impl TraceRecorder {
         let ipb = map.instrs_per_block(routine);
         let n = u16::try_from(to - from).expect("routine regions fit u16 blocks");
         let Some(open) = self.cur() else { return };
-        open.trace
-            .events
-            .push(TraceEvent::Instr { block: BlockAddr(base + from), n_blocks: n, ipb });
+        open.trace.events.push(TraceEvent::Instr {
+            block: BlockAddr(base + from),
+            n_blocks: n,
+            ipb,
+        });
     }
 
     /// Emit one data access on the current transaction.
@@ -246,7 +280,10 @@ mod tests {
         assert_eq!(traces.len(), 1);
         let t = &traces[0];
         assert_eq!(t.xct_type, XctTypeId(3));
-        assert!(matches!(t.events.first(), Some(TraceEvent::XctBegin { .. })));
+        assert!(matches!(
+            t.events.first(),
+            Some(TraceEvent::XctBegin { .. })
+        ));
         assert!(matches!(t.events.last(), Some(TraceEvent::XctEnd)));
         let map = CodeMap::global();
         assert_eq!(t.instr_accesses(), map.n_blocks(Routine::FindKey));

@@ -156,7 +156,11 @@ mod tests {
     #[test]
     fn pick_mix_respects_thresholds() {
         let mut rng = StdRng::seed_from_u64(1);
-        let mix = [(45u32, XctTypeId(0)), (88, XctTypeId(1)), (100, XctTypeId(2))];
+        let mix = [
+            (45u32, XctTypeId(0)),
+            (88, XctTypeId(1)),
+            (100, XctTypeId(2)),
+        ];
         let mut counts = [0usize; 3];
         for _ in 0..10_000 {
             counts[pick_mix(&mut rng, &mix).0 as usize] += 1;

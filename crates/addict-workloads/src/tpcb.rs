@@ -31,14 +31,22 @@ pub struct TpcBConfig {
 
 impl Default for TpcBConfig {
     fn default() -> Self {
-        TpcBConfig { branches: 16, tellers_per_branch: 10, accounts_per_branch: 8_000 }
+        TpcBConfig {
+            branches: 16,
+            tellers_per_branch: 10,
+            accounts_per_branch: 8_000,
+        }
     }
 }
 
 impl TpcBConfig {
     /// Tiny scale for unit tests.
     pub fn small() -> Self {
-        TpcBConfig { branches: 2, tellers_per_branch: 4, accounts_per_branch: 100 }
+        TpcBConfig {
+            branches: 2,
+            tellers_per_branch: 4,
+            accounts_per_branch: 100,
+        }
     }
 }
 
@@ -78,7 +86,16 @@ impl TpcB {
         // History deliberately has no index (spec + paper).
         let history = e.create_table("history");
 
-        let w = TpcB { cfg, branch, branch_pk, teller, teller_pk, account, account_pk, history };
+        let w = TpcB {
+            cfg,
+            branch,
+            branch_pk,
+            teller,
+            teller_pk,
+            account,
+            account_pk,
+            history,
+        };
         w.populate(&mut e);
         (e, w)
     }
@@ -87,8 +104,13 @@ impl TpcB {
         e.set_tracing(false);
         let x = e.begin(ACCOUNT_UPDATE);
         for b in 0..self.cfg.branches {
-            e.insert_tuple(x, self.branch, &[(self.branch_pk, b)], &encode_row(BRANCH_ROW, &[b, 0]))
-                .expect("populate branch");
+            e.insert_tuple(
+                x,
+                self.branch,
+                &[(self.branch_pk, b)],
+                &encode_row(BRANCH_ROW, &[b, 0]),
+            )
+            .expect("populate branch");
             for t in 0..self.cfg.tellers_per_branch {
                 let tid = b * self.cfg.tellers_per_branch + t;
                 e.insert_tuple(
@@ -145,7 +167,12 @@ impl TpcB {
         self.probe_and_adjust(e, x, self.account_pk, self.account, a, delta)?;
         self.probe_and_adjust(e, x, self.teller_pk, self.teller, t, delta)?;
         self.probe_and_adjust(e, x, self.branch_pk, self.branch, b, delta)?;
-        e.insert_tuple(x, self.history, &[], &encode_row(HISTORY_ROW, &[a, t, b, delta as u64]))?;
+        e.insert_tuple(
+            x,
+            self.history,
+            &[],
+            &encode_row(HISTORY_ROW, &[a, t, b, delta as u64]),
+        )?;
         e.commit(x)
     }
 

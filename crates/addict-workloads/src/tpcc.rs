@@ -55,14 +55,26 @@ pub struct TpcCConfig {
 
 impl Default for TpcCConfig {
     fn default() -> Self {
-        TpcCConfig { warehouses: 4, districts: 10, customers: 600, items: 2_000, initial_orders: 120 }
+        TpcCConfig {
+            warehouses: 4,
+            districts: 10,
+            customers: 600,
+            items: 2_000,
+            initial_orders: 120,
+        }
     }
 }
 
 impl TpcCConfig {
     /// Tiny scale for unit tests.
     pub fn small() -> Self {
-        TpcCConfig { warehouses: 1, districts: 2, customers: 30, items: 50, initial_orders: 10 }
+        TpcCConfig {
+            warehouses: 1,
+            districts: 2,
+            customers: 30,
+            items: 50,
+            initial_orders: 10,
+        }
     }
 }
 
@@ -213,12 +225,22 @@ impl TpcC {
         let mut rng: StdRng = rand::SeedableRng::seed_from_u64(0xC0FFEE);
         let x = e.begin(NEW_ORDER);
         for i in 0..self.cfg.items {
-            e.insert_tuple(x, self.item, &[(self.item_pk, i)], &encode_row(I_ROW, &[i, 100 + i % 900]))
-                .expect("populate item");
+            e.insert_tuple(
+                x,
+                self.item,
+                &[(self.item_pk, i)],
+                &encode_row(I_ROW, &[i, 100 + i % 900]),
+            )
+            .expect("populate item");
         }
         for w in 0..self.cfg.warehouses {
-            e.insert_tuple(x, self.warehouse, &[(self.warehouse_pk, w)], &encode_row(W_ROW, &[w, 0]))
-                .expect("populate warehouse");
+            e.insert_tuple(
+                x,
+                self.warehouse,
+                &[(self.warehouse_pk, w)],
+                &encode_row(W_ROW, &[w, 0]),
+            )
+            .expect("populate warehouse");
             for i in 0..self.cfg.items {
                 e.insert_tuple(
                     x,
@@ -280,7 +302,8 @@ impl TpcC {
                         .expect("populate new order");
                     }
                 }
-                self.delivery_cursor.insert((w, d), self.cfg.initial_orders * 2 / 3 + 1);
+                self.delivery_cursor
+                    .insert((w, d), self.cfg.initial_orders * 2 / 3 + 1);
             }
         }
         e.commit(x).expect("populate commit");
@@ -317,17 +340,21 @@ impl TpcC {
         let ol_cnt = rng.gen_range(5..=15u64);
 
         let x = e.begin(NEW_ORDER);
-        e.index_probe(x, self.warehouse_pk, w)?.expect("warehouse exists");
+        e.index_probe(x, self.warehouse_pk, w)?
+            .expect("warehouse exists");
 
         // District: read and bump next_o_id.
         let d_key = k_district(w, d);
-        let d_rid = e.index_probe_rid(x, self.district_pk, d_key)?.expect("district exists");
+        let d_rid = e
+            .index_probe_rid(x, self.district_pk, d_key)?
+            .expect("district exists");
         let mut d_row = e.peek(self.district, d_rid)?;
         let o = get_field(&d_row, D_NEXT_O);
         set_field(&mut d_row, D_NEXT_O, o + 1);
         e.update_tuple(x, self.district, d_rid, &d_row)?;
 
-        e.index_probe(x, self.customer_pk, k_customer(w, d, c))?.expect("customer exists");
+        e.index_probe(x, self.customer_pk, k_customer(w, d, c))?
+            .expect("customer exists");
 
         e.insert_tuple(
             x,
@@ -369,9 +396,19 @@ impl TpcC {
 
         let x = e.begin(PAYMENT);
         self.adjust_field(e, x, self.warehouse_pk, self.warehouse, w, W_YTD, amount)?;
-        self.adjust_field(e, x, self.district_pk, self.district, k_district(w, d), D_YTD, amount)?;
+        self.adjust_field(
+            e,
+            x,
+            self.district_pk,
+            self.district,
+            k_district(w, d),
+            D_YTD,
+            amount,
+        )?;
         let c_key = k_customer(w, d, c);
-        let c_rid = e.index_probe_rid(x, self.customer_pk, c_key)?.expect("customer exists");
+        let c_rid = e
+            .index_probe_rid(x, self.customer_pk, c_key)?
+            .expect("customer exists");
         let mut c_row = e.peek(self.customer, c_rid)?;
         let new_val = get_field_i64(&c_row, C_BALANCE) - amount;
         set_field_i64(&mut c_row, C_BALANCE, new_val);
@@ -381,7 +418,12 @@ impl TpcC {
         set_field(&mut c_row, C_PAYMENTS, new_val);
         e.update_tuple(x, self.customer, c_rid, &c_row)?;
         // History has no index: the paper's index-less insert.
-        e.insert_tuple(x, self.history, &[], &encode_row(H_ROW, &[w, d, c, amount as u64]))?;
+        e.insert_tuple(
+            x,
+            self.history,
+            &[],
+            &encode_row(H_ROW, &[w, d, c, amount as u64]),
+        )?;
         e.commit(x)
     }
 
@@ -392,7 +434,8 @@ impl TpcC {
         let c = rng.gen_range(0..self.cfg.customers);
 
         let x = e.begin(ORDER_STATUS);
-        e.index_probe(x, self.customer_pk, k_customer(w, d, c))?.expect("customer exists");
+        e.index_probe(x, self.customer_pk, k_customer(w, d, c))?
+            .expect("customer exists");
         // Most recent order of this customer.
         let lo = k_order_by_customer(w, d, c, 0);
         let hi = k_order_by_customer(w, d, c, (1 << 20) - 1);
@@ -423,12 +466,13 @@ impl TpcC {
             };
             let no_key = *no_key;
             let o = no_key & 0xF_FFFF_FFFF; // low 36 bits: the order number
-            // Consume the NewOrder row.
+                                            // Consume the NewOrder row.
             e.delete_tuple(x, self.new_order, &[(self.new_order_pk, no_key)])?;
             self.delivery_cursor.insert((w, d), o + 1);
             // Mark the order delivered.
-            let o_rid =
-                e.index_probe_rid(x, self.order_pk, k_order(w, d, o))?.expect("order exists");
+            let o_rid = e
+                .index_probe_rid(x, self.order_pk, k_order(w, d, o))?
+                .expect("order exists");
             let mut o_row = e.peek(self.order, o_rid)?;
             set_field(&mut o_row, O_CARRIER, rng.gen_range(1..=10));
             e.update_tuple(x, self.order, o_rid, &o_row)?;
@@ -464,8 +508,9 @@ impl TpcC {
         let threshold = rng.gen_range(10..=20i64);
 
         let x = e.begin(STOCK_LEVEL);
-        let d_rid =
-            e.index_probe_rid(x, self.district_pk, k_district(w, d))?.expect("district exists");
+        let d_rid = e
+            .index_probe_rid(x, self.district_pk, k_district(w, d))?
+            .expect("district exists");
         let next_o = get_field(&e.peek(self.district, d_rid)?, D_NEXT_O);
         let first = next_o.saturating_sub(10).max(1);
         let lines = e.index_scan(
@@ -509,9 +554,15 @@ impl WorkloadRunner for TpcC {
     }
 
     fn xct_type_names(&self) -> Vec<String> {
-        ["NewOrder", "Payment", "OrderStatus", "Delivery", "StockLevel"]
-            .map(str::to_owned)
-            .to_vec()
+        [
+            "NewOrder",
+            "Payment",
+            "OrderStatus",
+            "Delivery",
+            "StockLevel",
+        ]
+        .map(str::to_owned)
+        .to_vec()
     }
 
     fn run_one(&mut self, engine: &mut Engine, rng: &mut StdRng) -> StorageResult<XctTypeId> {
@@ -542,7 +593,10 @@ mod tests {
         let (e, w) = small();
         let c = e.catalog();
         let cfg = w.config();
-        assert_eq!(c.table(w.warehouse).unwrap().heap.n_records() as u64, cfg.warehouses);
+        assert_eq!(
+            c.table(w.warehouse).unwrap().heap.n_records() as u64,
+            cfg.warehouses
+        );
         assert_eq!(
             c.table(w.district).unwrap().heap.n_records() as u64,
             cfg.warehouses * cfg.districts
@@ -591,7 +645,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let hist_before = e.catalog().table(w.history).unwrap().heap.n_records();
         w.payment(&mut e, &mut rng).unwrap();
-        assert_eq!(e.catalog().table(w.history).unwrap().heap.n_records(), hist_before + 1);
+        assert_eq!(
+            e.catalog().table(w.history).unwrap().heap.n_records(),
+            hist_before + 1
+        );
         let traces = e.take_traces();
         let ops = traces[0].op_slices();
         assert_eq!(ops.iter().filter(|(k, _)| *k == OpKind::Insert).count(), 1);
@@ -607,8 +664,11 @@ mod tests {
         let no_after = e.catalog().table(w.new_order).unwrap().heap.n_records();
         assert!(no_after < no_before, "delivery must consume new orders");
         let traces = e.take_traces();
-        let deletes =
-            traces[0].op_slices().iter().filter(|(k, _)| *k == OpKind::Delete).count();
+        let deletes = traces[0]
+            .op_slices()
+            .iter()
+            .filter(|(k, _)| *k == OpKind::Delete)
+            .count();
         assert_eq!(deletes, no_before - no_after);
     }
 

@@ -183,7 +183,9 @@ impl TpcE {
         let customer_pk = e.create_index(customer, "customer_pk").expect("exists");
         let account = e.create_table("account");
         let account_pk = e.create_index(account, "account_pk").expect("exists");
-        let account_by_cust = e.create_index(account, "account_by_customer").expect("exists");
+        let account_by_cust = e
+            .create_index(account, "account_by_customer")
+            .expect("exists");
         let broker = e.create_table("broker");
         let broker_pk = e.create_index(broker, "broker_pk").expect("exists");
         let security = e.create_table("security");
@@ -196,7 +198,9 @@ impl TpcE {
         let trade_pk = e.create_index(trade, "trade_pk").expect("exists");
         let trade_by_acct = e.create_index(trade, "trade_by_account").expect("exists");
         let trade_history = e.create_table("trade_history");
-        let trade_history_pk = e.create_index(trade_history, "trade_history_pk").expect("exists");
+        let trade_history_pk = e
+            .create_index(trade_history, "trade_history_pk")
+            .expect("exists");
         let holding = e.create_table("holding");
         let holding_pk = e.create_index(holding, "holding_pk").expect("exists");
         let watch_list = e.create_table("watch_list");
@@ -229,16 +233,16 @@ impl TpcE {
             next_trade: 1,
             pending: VecDeque::new(),
             mix: [
-                (5, BROKER_VOLUME),       // 4.9%
-                (18, CUSTOMER_POSITION),  // 13%
-                (19, MARKET_FEED),        // 1%
-                (37, MARKET_WATCH),       // 18%
-                (51, SECURITY_DETAIL),    // 14%
-                (59, TRADE_LOOKUP),       // 8%
-                (69, TRADE_ORDER),        // 10.1%
-                (79, TRADE_RESULT),       // 10%
-                (98, TRADE_STATUS),       // 19%
-                (100, TRADE_UPDATE),      // 2%
+                (5, BROKER_VOLUME),      // 4.9%
+                (18, CUSTOMER_POSITION), // 13%
+                (19, MARKET_FEED),       // 1%
+                (37, MARKET_WATCH),      // 18%
+                (51, SECURITY_DETAIL),   // 14%
+                (59, TRADE_LOOKUP),      // 8%
+                (69, TRADE_ORDER),       // 10.1%
+                (79, TRADE_RESULT),      // 10%
+                (98, TRADE_STATUS),      // 19%
+                (100, TRADE_UPDATE),     // 2%
             ],
         };
         w.populate(&mut e);
@@ -254,13 +258,23 @@ impl TpcE {
         let mut rng: StdRng = rand::SeedableRng::seed_from_u64(0xE);
         let x = e.begin(TRADE_STATUS);
         for co in 0..self.cfg.companies {
-            e.insert_tuple(x, self.company, &[(self.company_pk, co)], &encode_row(COMPANY_ROW, &[co]))
-                .expect("populate company");
+            e.insert_tuple(
+                x,
+                self.company,
+                &[(self.company_pk, co)],
+                &encode_row(COMPANY_ROW, &[co]),
+            )
+            .expect("populate company");
         }
         for s in 0..self.cfg.securities {
             let co = s % self.cfg.companies;
-            e.insert_tuple(x, self.security, &[(self.security_pk, s)], &encode_row(SEC_ROW, &[s, co]))
-                .expect("populate security");
+            e.insert_tuple(
+                x,
+                self.security,
+                &[(self.security_pk, s)],
+                &encode_row(SEC_ROW, &[s, co]),
+            )
+            .expect("populate security");
             e.insert_tuple(
                 x,
                 self.last_trade,
@@ -270,12 +284,22 @@ impl TpcE {
             .expect("populate last_trade");
         }
         for b in 0..self.cfg.brokers {
-            e.insert_tuple(x, self.broker, &[(self.broker_pk, b)], &encode_row(BROKER_ROW, &[b, 0, 0]))
-                .expect("populate broker");
+            e.insert_tuple(
+                x,
+                self.broker,
+                &[(self.broker_pk, b)],
+                &encode_row(BROKER_ROW, &[b, 0, 0]),
+            )
+            .expect("populate broker");
         }
         for c in 0..self.cfg.customers {
-            e.insert_tuple(x, self.customer, &[(self.customer_pk, c)], &encode_row(CUST_ROW, &[c, c % 3]))
-                .expect("populate customer");
+            e.insert_tuple(
+                x,
+                self.customer,
+                &[(self.customer_pk, c)],
+                &encode_row(CUST_ROW, &[c, c % 3]),
+            )
+            .expect("populate customer");
             for seq in 0..self.cfg.watch_per_customer {
                 let s = rng.gen_range(0..self.cfg.securities);
                 e.insert_tuple(
@@ -292,7 +316,10 @@ impl TpcE {
                 e.insert_tuple(
                     x,
                     self.account,
-                    &[(self.account_pk, a), (self.account_by_cust, k_account_by_customer(c, a))],
+                    &[
+                        (self.account_pk, a),
+                        (self.account_by_cust, k_account_by_customer(c, a)),
+                    ],
                     &encode_row(ACCT_ROW, &[a, c, b, 100_000]),
                 )
                 .expect("populate account");
@@ -318,7 +345,10 @@ impl TpcE {
                     e.insert_tuple(
                         x,
                         self.trade,
-                        &[(self.trade_pk, t), (self.trade_by_acct, k_trade_by_account(a, t))],
+                        &[
+                            (self.trade_pk, t),
+                            (self.trade_by_acct, k_trade_by_account(a, t)),
+                        ],
                         &encode_row(TRADE_ROW, &[t, a, s, rng.gen_range(1..100), 1_000, 1]),
                     )
                     .expect("populate trade");
@@ -353,15 +383,19 @@ impl TpcE {
     pub fn trade_status(&mut self, e: &mut Engine, rng: &mut StdRng) -> StorageResult<()> {
         let a = rng.gen_range(0..self.n_accounts());
         let x = e.begin(TRADE_STATUS);
-        let acct = e.index_probe(x, self.account_pk, a)?.expect("account exists");
+        let acct = e
+            .index_probe(x, self.account_pk, a)?
+            .expect("account exists");
         let c = get_field(&acct, 1);
         let b = get_field(&acct, 2);
-        e.index_probe(x, self.customer_pk, c)?.expect("customer exists");
+        e.index_probe(x, self.customer_pk, c)?
+            .expect("customer exists");
         e.index_probe(x, self.broker_pk, b)?.expect("broker exists");
         let trades = self.scan_account_trades(e, x, a)?;
         for (_, t_row) in trades.iter().rev().take(10) {
             let s = get_field(t_row, TRADE_SEC);
-            e.index_probe(x, self.security_pk, s)?.expect("security exists");
+            e.index_probe(x, self.security_pk, s)?
+                .expect("security exists");
         }
         e.commit(x)
     }
@@ -371,13 +405,19 @@ impl TpcE {
         let a = rng.gen_range(0..self.n_accounts());
         let s = rng.gen_range(0..self.cfg.securities);
         let x = e.begin(TRADE_ORDER);
-        let acct = e.index_probe(x, self.account_pk, a)?.expect("account exists");
+        let acct = e
+            .index_probe(x, self.account_pk, a)?
+            .expect("account exists");
         let c = get_field(&acct, 1);
         let b = get_field(&acct, 2);
-        e.index_probe(x, self.customer_pk, c)?.expect("customer exists");
+        e.index_probe(x, self.customer_pk, c)?
+            .expect("customer exists");
         e.index_probe(x, self.broker_pk, b)?.expect("broker exists");
-        e.index_probe(x, self.security_pk, s)?.expect("security exists");
-        let lt = e.index_probe(x, self.last_trade_pk, s)?.expect("last trade exists");
+        e.index_probe(x, self.security_pk, s)?
+            .expect("security exists");
+        let lt = e
+            .index_probe(x, self.last_trade_pk, s)?
+            .expect("last trade exists");
         let price = get_field(&lt, LT_PRICE);
 
         let t = self.next_trade;
@@ -385,7 +425,10 @@ impl TpcE {
         e.insert_tuple(
             x,
             self.trade,
-            &[(self.trade_pk, t), (self.trade_by_acct, k_trade_by_account(a, t))],
+            &[
+                (self.trade_pk, t),
+                (self.trade_by_acct, k_trade_by_account(a, t)),
+            ],
             &encode_row(TRADE_ROW, &[t, a, s, rng.gen_range(1..100), price, 0]),
         )?;
         e.insert_tuple(
@@ -418,14 +461,25 @@ impl TpcE {
             return e.commit(x);
         };
         let mut t_row = e.peek(self.trade, t_rid)?;
-        let a = if get_field(&t_row, TRADE_ACCT) != a { get_field(&t_row, TRADE_ACCT) } else { a };
-        let s = if get_field(&t_row, TRADE_SEC) != s { get_field(&t_row, TRADE_SEC) } else { s };
+        let a = if get_field(&t_row, TRADE_ACCT) != a {
+            get_field(&t_row, TRADE_ACCT)
+        } else {
+            a
+        };
+        let s = if get_field(&t_row, TRADE_SEC) != s {
+            get_field(&t_row, TRADE_SEC)
+        } else {
+            s
+        };
         set_field(&mut t_row, TRADE_STATUS_F, 1);
         e.update_tuple(x, self.trade, t_rid, &t_row)?;
         e.insert_tuple(
             x,
             self.trade_history,
-            &[(self.trade_history_pk, k_trade_history(t, rng.gen_range(1..16)))],
+            &[(
+                self.trade_history_pk,
+                k_trade_history(t, rng.gen_range(1..16)),
+            )],
             &encode_row(TH_ROW, &[t, 1, 1]),
         )?;
         // Adjust the holding (update if present, else create).
@@ -444,13 +498,17 @@ impl TpcE {
             )?;
         }
         // Account balance and broker commission.
-        let a_rid = e.index_probe_rid(x, self.account_pk, a)?.expect("account exists");
+        let a_rid = e
+            .index_probe_rid(x, self.account_pk, a)?
+            .expect("account exists");
         let mut a_row = e.peek(self.account, a_rid)?;
         let new_val = get_field_i64(&a_row, ACCT_BALANCE) - 500;
         set_field_i64(&mut a_row, ACCT_BALANCE, new_val);
         let b = get_field(&a_row, 2);
         e.update_tuple(x, self.account, a_rid, &a_row)?;
-        let b_rid = e.index_probe_rid(x, self.broker_pk, b)?.expect("broker exists");
+        let b_rid = e
+            .index_probe_rid(x, self.broker_pk, b)?
+            .expect("broker exists");
         let mut b_row = e.peek(self.broker, b_rid)?;
         let new_val = get_field(&b_row, BROKER_TRADES) + 1;
         set_field(&mut b_row, BROKER_TRADES, new_val);
@@ -465,9 +523,11 @@ impl TpcE {
         let x = e.begin(MARKET_FEED);
         for _ in 0..5 {
             let s = rng.gen_range(0..self.cfg.securities);
-            let rid = e.index_probe_rid(x, self.last_trade_pk, s)?.expect("last trade exists");
+            let rid = e
+                .index_probe_rid(x, self.last_trade_pk, s)?
+                .expect("last trade exists");
             let mut row = e.peek(self.last_trade, rid)?;
-            let new_price = (get_field(&row, LT_PRICE) as i64 + rng.gen_range(-50..=50)).max(1);
+            let new_price = (get_field(&row, LT_PRICE) as i64 + rng.gen_range(-50i64..=50)).max(1);
             set_field(&mut row, LT_PRICE, new_price as u64);
             let new_val = get_field(&row, LT_VOLUME) + 100;
             set_field(&mut row, LT_VOLUME, new_val);
@@ -480,11 +540,11 @@ impl TpcE {
     pub fn market_watch(&mut self, e: &mut Engine, rng: &mut StdRng) -> StorageResult<()> {
         let c = rng.gen_range(0..self.cfg.customers);
         let x = e.begin(MARKET_WATCH);
-        let entries =
-            e.index_scan(x, self.watch_pk, k_watch(c, 0), true, k_watch(c, 255), true)?;
+        let entries = e.index_scan(x, self.watch_pk, k_watch(c, 0), true, k_watch(c, 255), true)?;
         for (_, row) in entries.iter().take(10) {
             let s = get_field(row, WATCH_SEC);
-            e.index_probe(x, self.last_trade_pk, s)?.expect("last trade exists");
+            e.index_probe(x, self.last_trade_pk, s)?
+                .expect("last trade exists");
         }
         e.commit(x)
     }
@@ -493,13 +553,18 @@ impl TpcE {
     pub fn security_detail(&mut self, e: &mut Engine, rng: &mut StdRng) -> StorageResult<()> {
         let s = rng.gen_range(0..self.cfg.securities);
         let x = e.begin(SECURITY_DETAIL);
-        let sec = e.index_probe(x, self.security_pk, s)?.expect("security exists");
+        let sec = e
+            .index_probe(x, self.security_pk, s)?
+            .expect("security exists");
         let co = get_field(&sec, SEC_COMPANY);
-        e.index_probe(x, self.company_pk, co)?.expect("company exists");
-        e.index_probe(x, self.last_trade_pk, s)?.expect("last trade exists");
+        e.index_probe(x, self.company_pk, co)?
+            .expect("company exists");
+        e.index_probe(x, self.last_trade_pk, s)?
+            .expect("last trade exists");
         for _ in 0..5 {
             let peer = rng.gen_range(0..self.cfg.securities);
-            e.index_probe(x, self.last_trade_pk, peer)?.expect("last trade exists");
+            e.index_probe(x, self.last_trade_pk, peer)?
+                .expect("last trade exists");
         }
         e.commit(x)
     }
@@ -544,7 +609,8 @@ impl TpcE {
     pub fn customer_position(&mut self, e: &mut Engine, rng: &mut StdRng) -> StorageResult<()> {
         let c = rng.gen_range(0..self.cfg.customers);
         let x = e.begin(CUSTOMER_POSITION);
-        e.index_probe(x, self.customer_pk, c)?.expect("customer exists");
+        e.index_probe(x, self.customer_pk, c)?
+            .expect("customer exists");
         let accounts = e.index_scan(
             x,
             self.account_by_cust,
@@ -565,7 +631,8 @@ impl TpcE {
             )?;
             for (_, h_row) in holdings.iter().take(8) {
                 let s = get_field(h_row, 1);
-                e.index_probe(x, self.last_trade_pk, s)?.expect("last trade exists");
+                e.index_probe(x, self.last_trade_pk, s)?
+                    .expect("last trade exists");
             }
         }
         e.commit(x)
@@ -578,7 +645,8 @@ impl TpcE {
             let b = rng.gen_range(0..self.cfg.brokers);
             e.index_probe(x, self.broker_pk, b)?.expect("broker exists");
             let s = rng.gen_range(0..self.cfg.securities);
-            e.index_probe(x, self.last_trade_pk, s)?.expect("last trade exists");
+            e.index_probe(x, self.last_trade_pk, s)?
+                .expect("last trade exists");
         }
         e.commit(x)
     }
@@ -644,12 +712,18 @@ mod tests {
         let (e, w) = small();
         let c = e.catalog();
         let cfg = w.config();
-        assert_eq!(c.table(w.customer).unwrap().heap.n_records() as u64, cfg.customers);
+        assert_eq!(
+            c.table(w.customer).unwrap().heap.n_records() as u64,
+            cfg.customers
+        );
         assert_eq!(
             c.table(w.account).unwrap().heap.n_records() as u64,
             cfg.customers * cfg.accounts_per_customer
         );
-        assert_eq!(c.table(w.security).unwrap().heap.n_records() as u64, cfg.securities);
+        assert_eq!(
+            c.table(w.security).unwrap().heap.n_records() as u64,
+            cfg.securities
+        );
         assert_eq!(
             c.table(w.trade).unwrap().heap.n_records() as u64,
             w.n_accounts() * cfg.trades_per_account
@@ -663,7 +737,9 @@ mod tests {
         w.trade_status(&mut e, &mut rng).unwrap();
         let traces = e.take_traces();
         let ops = traces[0].op_slices();
-        assert!(ops.iter().all(|(k, _)| matches!(k, OpKind::Probe | OpKind::Scan)));
+        assert!(ops
+            .iter()
+            .all(|(k, _)| matches!(k, OpKind::Probe | OpKind::Scan)));
         assert!(ops.iter().any(|(k, _)| *k == OpKind::Scan));
         assert!(ops.iter().filter(|(k, _)| *k == OpKind::Probe).count() >= 3);
     }
@@ -674,7 +750,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let trades_before = e.catalog().table(w.trade).unwrap().heap.n_records();
         w.trade_order(&mut e, &mut rng).unwrap();
-        assert_eq!(e.catalog().table(w.trade).unwrap().heap.n_records(), trades_before + 1);
+        assert_eq!(
+            e.catalog().table(w.trade).unwrap().heap.n_records(),
+            trades_before + 1
+        );
         assert_eq!(w.pending.len(), 1);
         w.trade_result(&mut e, &mut rng).unwrap();
         assert!(w.pending.is_empty());
@@ -688,8 +767,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         w.market_feed(&mut e, &mut rng).unwrap();
         let traces = e.take_traces();
-        let updates =
-            traces[0].op_slices().iter().filter(|(k, _)| *k == OpKind::Update).count();
+        let updates = traces[0]
+            .op_slices()
+            .iter()
+            .filter(|(k, _)| *k == OpKind::Update)
+            .count();
         assert_eq!(updates, 5);
     }
 
@@ -721,7 +803,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         w.customer_position(&mut e, &mut rng).unwrap();
         let traces = e.take_traces();
-        let scans = traces[0].op_slices().iter().filter(|(k, _)| *k == OpKind::Scan).count();
+        let scans = traces[0]
+            .op_slices()
+            .iter()
+            .filter(|(k, _)| *k == OpKind::Scan)
+            .count();
         assert!(scans >= 2, "accounts scan + at least one holdings scan");
     }
 }

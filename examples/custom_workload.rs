@@ -9,9 +9,9 @@
 //!
 //! Run with: `cargo run --release --example custom_workload`
 
+use addict::core::find_migration_points;
 use addict::core::replay::ReplayConfig;
 use addict::core::sched::{run_scheduler, SchedulerKind};
-use addict::core::find_migration_points;
 use addict::storage::{Engine, EngineConfig};
 use addict::trace::{WorkloadTrace, XctTypeId};
 use rand::rngs::StdRng;
@@ -25,7 +25,9 @@ fn main() {
 
     // Schema: messages (pk = sequence number), topics (pk = topic id).
     let messages = e.create_table("messages");
-    let messages_pk = e.create_index(messages, "messages_pk").expect("table exists");
+    let messages_pk = e
+        .create_index(messages, "messages_pk")
+        .expect("table exists");
     let topics = e.create_table("topics");
     let topics_pk = e.create_index(topics, "topics_pk").expect("table exists");
 
@@ -33,7 +35,8 @@ fn main() {
     e.set_tracing(false);
     let x = e.begin(PRODUCE);
     for t in 0..16u64 {
-        e.insert_tuple(x, topics, &[(topics_pk, t)], &[0u8; 64]).expect("populate");
+        e.insert_tuple(x, topics, &[(topics_pk, t)], &[0u8; 64])
+            .expect("populate");
     }
     e.commit(x).expect("populate commit");
     e.set_tracing(true);
@@ -46,10 +49,14 @@ fn main() {
         if rng.gen_bool(0.6) || next_seq == oldest {
             let x = e.begin(PRODUCE);
             let payload = vec![rng.gen::<u8>(); 180];
-            e.insert_tuple(x, messages, &[(messages_pk, next_seq)], &payload).expect("produce");
+            e.insert_tuple(x, messages, &[(messages_pk, next_seq)], &payload)
+                .expect("produce");
             // Bump the topic's message counter.
             let t = next_seq % 16;
-            let rid = e.index_probe_rid(x, topics_pk, t).expect("probe").expect("exists");
+            let rid = e
+                .index_probe_rid(x, topics_pk, t)
+                .expect("probe")
+                .expect("exists");
             let mut row = e.peek(topics, rid).expect("row");
             row[0] = row[0].wrapping_add(1);
             e.update_tuple(x, topics, rid, &row).expect("update");
@@ -63,7 +70,8 @@ fn main() {
                 .expect("scan");
             if let Some((seq, _)) = batch.first() {
                 let seq = *seq;
-                e.delete_tuple(x, messages, &[(messages_pk, seq)]).expect("consume");
+                e.delete_tuple(x, messages, &[(messages_pk, seq)])
+                    .expect("consume");
                 oldest = seq + 1;
             }
             e.commit(x).expect("commit");
@@ -107,6 +115,10 @@ fn main() {
         "ADDICT on your workload: {:.0}% fewer instruction misses, {:.0}% {} execution",
         100.0 * (1.0 - addict.stats.l1i_mpki() / base.stats.l1i_mpki()),
         100.0 * (1.0 - addict.total_cycles / base.total_cycles).abs(),
-        if addict.total_cycles < base.total_cycles { "faster" } else { "slower" }
+        if addict.total_cycles < base.total_cycles {
+            "faster"
+        } else {
+            "slower"
+        }
     );
 }

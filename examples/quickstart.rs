@@ -8,9 +8,9 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+use addict::core::find_migration_points;
 use addict::core::replay::ReplayConfig;
 use addict::core::sched::{run_scheduler, SchedulerKind};
-use addict::core::find_migration_points;
 use addict::trace::OpKind;
 use addict::workloads::{collect_traces, Benchmark};
 
@@ -35,7 +35,10 @@ fn main() {
         let name = profile.type_name(ty);
         for op in map.ops_of(ty) {
             let points = map.points(ty, op).map_or(0, Vec::len);
-            println!("  {name:<12} {:<7} -> {points} migration point(s)", op.name());
+            println!(
+                "  {name:<12} {:<7} -> {points} migration point(s)",
+                op.name()
+            );
         }
     }
 

@@ -3,13 +3,16 @@
 //!
 //! Run with: `cargo run --release --example scheduler_comparison [n_xcts]`
 
+use addict::core::find_migration_points;
 use addict::core::replay::ReplayConfig;
 use addict::core::sched::{run_scheduler, SchedulerKind};
-use addict::core::find_migration_points;
 use addict::workloads::{collect_traces, Benchmark};
 
 fn main() {
-    let n = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(300);
+    let n = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
     let (mut engine, mut workload) = Benchmark::TpcE.setup();
     let profile = collect_traces(&mut engine, workload.as_mut(), n, 1);
     let eval = collect_traces(&mut engine, workload.as_mut(), n, 2);

@@ -12,10 +12,10 @@
 //!
 //! Run with: `cargo run --release --example specialization_and_recovery`
 
+use addict::core::find_migration_points;
 use addict::core::plan::{AssignmentPlan, PlanConfig};
 use addict::core::replay::ReplayConfig;
 use addict::core::specialize::specialization_report;
-use addict::core::find_migration_points;
 use addict::storage::recovery::recover;
 use addict::storage::wal::{LogManager, LogPayload};
 use addict::storage::Rid;
@@ -66,8 +66,20 @@ fn main() {
     // the "crash" happens.
     for (x, fate) in [(1u64, "commit"), (2, "abort"), (3, "crash")] {
         log.append(x, LogPayload::XctBegin);
-        log.append(x, LogPayload::Insert { table: 0, rid: Rid::new(x, 0) });
-        log.append(x, LogPayload::Update { table: 0, rid: Rid::new(x, 0) });
+        log.append(
+            x,
+            LogPayload::Insert {
+                table: 0,
+                rid: Rid::new(x, 0),
+            },
+        );
+        log.append(
+            x,
+            LogPayload::Update {
+                table: 0,
+                rid: Rid::new(x, 0),
+            },
+        );
         match fate {
             "commit" => {
                 log.append(x, LogPayload::XctCommit);

@@ -2,15 +2,18 @@
 //! Algorithm 1 → plan → replay all four schedulers — at small scale, with
 //! the paper's qualitative claims asserted as invariants.
 
+use addict::core::algorithm1::MigrationMap;
+use addict::core::find_migration_points;
 use addict::core::replay::ReplayConfig;
 use addict::core::sched::{run_scheduler, SchedulerKind};
-use addict::core::find_migration_points;
-use addict::core::algorithm1::MigrationMap;
 use addict::sim::SimConfig;
 use addict::trace::WorkloadTrace;
 use addict::workloads::{collect_traces, Benchmark};
 
-fn pipeline(bench: Benchmark, n: usize) -> (WorkloadTrace, WorkloadTrace, MigrationMap, ReplayConfig) {
+fn pipeline(
+    bench: Benchmark,
+    n: usize,
+) -> (WorkloadTrace, WorkloadTrace, MigrationMap, ReplayConfig) {
     let (mut engine, mut workload) = bench.setup_small();
     let profile = collect_traces(&mut engine, workload.as_mut(), n, 1);
     let eval = collect_traces(&mut engine, workload.as_mut(), n, 2);
@@ -116,14 +119,20 @@ fn deep_hierarchy_shrinks_addicts_advantage() {
         ((), eval, map, ())
     };
     let gain = |sim: SimConfig| {
-        let cfg = ReplayConfig { sim, ..ReplayConfig::paper_default() };
+        let cfg = ReplayConfig {
+            sim,
+            ..ReplayConfig::paper_default()
+        };
         let base = run_scheduler(SchedulerKind::Baseline, &eval.xcts, Some(&map), &cfg);
         let addict = run_scheduler(SchedulerKind::Addict, &eval.xcts, Some(&map), &cfg);
         base.total_cycles / addict.total_cycles
     };
     let shallow = gain(SimConfig::paper_default());
     let deep = gain(SimConfig::paper_deep());
-    assert!(shallow > 1.0, "ADDICT must win on the shallow hierarchy ({shallow})");
+    assert!(
+        shallow > 1.0,
+        "ADDICT must win on the shallow hierarchy ({shallow})"
+    );
     assert!(
         deep < shallow,
         "deep hierarchy should narrow the gain: shallow {shallow:.2} vs deep {deep:.2}"
@@ -157,9 +166,17 @@ fn determinism_across_identical_runs() {
     let run = || {
         let (_, eval, map, cfg) = pipeline(Benchmark::TpcB, 32);
         let r = run_scheduler(SchedulerKind::Addict, &eval.xcts, Some(&map), &cfg);
-        (r.total_cycles, r.stats.l1i_misses(), r.stats.migrations_in())
+        (
+            r.total_cycles,
+            r.stats.l1i_misses(),
+            r.stats.migrations_in(),
+        )
     };
-    assert_eq!(run(), run(), "identical seeds must reproduce identical results");
+    assert_eq!(
+        run(),
+        run(),
+        "identical seeds must reproduce identical results"
+    );
 }
 
 #[test]

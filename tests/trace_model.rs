@@ -14,7 +14,9 @@ fn traces_stay_inside_the_declared_address_spaces() {
     for xct in &trace.xcts {
         for ev in &xct.events {
             match ev {
-                TraceEvent::Instr { block, n_blocks, .. } => {
+                TraceEvent::Instr {
+                    block, n_blocks, ..
+                } => {
                     // Every instruction block belongs to a registered
                     // routine, and runs never cross region boundaries.
                     let first = map.routine_of(*block).expect("instr outside code map");

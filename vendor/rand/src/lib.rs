@@ -1,0 +1,252 @@
+//! Offline stand-in for the subset of `rand` 0.8 this workspace uses:
+//! `StdRng::seed_from_u64`, `Rng::{gen, gen_range, gen_bool}`, and
+//! `SliceRandom::{shuffle, choose}`.
+//!
+//! The generator is xoshiro256++ seeded through splitmix64 — deterministic,
+//! fast, and statistically strong enough for workload generation and tests.
+//! The exact stream differs from crates.io `StdRng` (ChaCha12), which is
+//! fine: nothing in the workspace depends on rand's specific byte stream,
+//! only on determinism per seed.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core source of randomness: a 64-bit word stream.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from a 64-bit seed (the only constructor this repo uses).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a `u64` seed, expanding it with splitmix64.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Marker for types uniformly samplable from a range. Mirrors rand's
+/// `SampleUniform`; the bound is what lets `gen_range(-50..=50)` infer its
+/// output type from the surrounding expression.
+pub trait SampleUniform {}
+
+/// A range that can produce a uniform sample.
+pub trait SampleRange<T: SampleUniform> {
+    /// Draw one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {}
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (u128::from(rng.next_u64()) % span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + (u128::from(rng.next_u64()) % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types producible by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Derive a value from 64 random bits.
+    fn from_bits(bits: u64) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Standard for $t {
+            fn from_bits(bits: u64) -> Self {
+                bits as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn from_bits(bits: u64) -> Self {
+        bits & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn from_bits(bits: u64) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (bits >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range`.
+    fn gen_range<T: SampleUniform, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::from_bits_standard(self.next_u64()) < p
+    }
+
+    /// A uniformly random value of `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_bits(self.next_u64())
+    }
+}
+
+trait F64Helper {
+    fn from_bits_standard(bits: u64) -> f64;
+}
+
+impl F64Helper for f64 {
+    fn from_bits_standard(bits: u64) -> f64 {
+        <f64 as Standard>::from_bits(bits)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// In-place randomization of slices.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+    /// Fisher–Yates shuffle.
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    /// A uniformly random element, `None` if empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            self.get((rng.next_u64() % self.len() as u64) as usize)
+        }
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard generator: xoshiro256++ (replaces ChaCha12 offline).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// The usual glob-import surface.
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::{Rng, RngCore, SampleRange, SampleUniform, SeedableRng, SliceRandom};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(5u64..17);
+            assert!((5..17).contains(&x));
+            let y = rng.gen_range(-3i64..=3);
+            assert!((-3..=3).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_bool_probability_sane() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((1_500..3_500).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(
+            v, sorted,
+            "shuffle left the slice sorted (astronomically unlikely)"
+        );
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace's types carry `#[derive(Serialize, Deserialize)]` as API
+//! surface, but no code path in the repo performs serde serialization (the
+//! benchmark artifacts are emitted as hand-built JSON). This crate supplies
+//! the trait names and re-exports the no-op derives so the workspace builds
+//! in the offline container. Swapping in real serde is a one-line change in
+//! the workspace manifest.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

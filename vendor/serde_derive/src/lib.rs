@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public result
+//! types so downstream users *can* wire up serialization, but nothing in
+//! the repo ever drives serde itself (artifacts are emitted as hand-built
+//! JSON). The container image has no network access to crates.io, so these
+//! derives expand to nothing: the attribute parses, no impls are emitted,
+//! and no code in the workspace requires the impls to exist.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
