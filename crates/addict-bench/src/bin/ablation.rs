@@ -4,44 +4,54 @@
 //! * frequency-proportional replication on/off,
 //! * OoO data-miss hiding factor sweep,
 //! * batching by type vs mixed batches (via batch size 1 grouping).
+//!
+//! All variants form one grid executed by the sweep engine's generic layer
+//! (`run_grid`, `--threads N` / `ADDICT_THREADS`): the plan-level variants
+//! call into `addict::run_with_options` directly, the config sweeps go
+//! through `run_scheduler`, and every run shares the traces, migration
+//! map, and prebuilt plans immutably.
 
-use addict_bench::{arg_xcts, header, migration_map, norm, profile_and_eval};
+use addict_bench::{header, migration_map, norm, parse_bench_args, profile_and_eval, run_grid};
+use addict_core::algorithm1::MigrationMap;
 use addict_core::plan::{AssignmentPlan, PlanConfig};
-use addict_core::replay::ReplayConfig;
+use addict_core::replay::{ReplayConfig, ReplayResult};
 use addict_core::sched::{addict, run_scheduler, SchedulerKind};
+use addict_trace::XctTrace;
 use addict_workloads::Benchmark;
 
+/// One ablation grid cell.
+enum Variant<'a> {
+    /// ADDICT with an explicit assignment plan and stealing flag.
+    Planned {
+        label: &'static str,
+        plan: &'a AssignmentPlan,
+        steal: bool,
+    },
+    /// A scheduler under a modified replay config (paired with its own
+    /// Baseline so the normalization shares the config).
+    Configured {
+        scheduler: SchedulerKind,
+        cfg: Box<ReplayConfig>,
+    },
+}
+
+// The grid cells (holding plan references) cross into worker threads.
+const _: () = {
+    const fn shared<T: Send + Sync>() {}
+    shared::<Variant<'_>>();
+    shared::<AssignmentPlan>();
+};
+
 fn main() {
-    let n = arg_xcts(400);
+    let args = parse_bench_args(400);
+    let n = args.n_xcts;
     header("Ablation", "ADDICT design-choice ablations (TPC-C)", n);
     let (profile, eval) = profile_and_eval(Benchmark::TpcC, n, n);
     let cfg = ReplayConfig::paper_default();
-    let map = migration_map(&profile, &cfg);
-    let base = run_scheduler(SchedulerKind::Baseline, &eval.xcts, Some(&map), &cfg);
+    let map: MigrationMap = migration_map(&profile, &cfg);
+    let traces: &[XctTrace] = &eval.xcts;
 
-    println!(
-        "\n{:<44} {:>12} {:>12}",
-        "variant", "exec cycles", "L1-I mpki"
-    );
-    let report = |label: &str, r: &addict_core::replay::ReplayResult| {
-        println!(
-            "{:<44} {:>12.2} {:>12.2}",
-            label,
-            norm(r.total_cycles, base.total_cycles),
-            norm(r.stats.l1i_mpki(), base.stats.l1i_mpki())
-        );
-    };
-
-    // Full design.
     let plan = AssignmentPlan::build(&map, PlanConfig::new(cfg.sim.n_cores));
-    let full = addict::run_with_options(&eval.xcts, &plan, &cfg, false);
-    report("ADDICT (replication, no stealing)", &full);
-
-    // Dynamic reassignment (idle-core stealing) on.
-    let steal = addict::run_with_options(&eval.xcts, &plan, &cfg, true);
-    report("ADDICT + dynamic idle-core stealing", &steal);
-
-    // No replication: one core per slot.
     let plan_norep = AssignmentPlan::build(
         &map,
         PlanConfig {
@@ -49,43 +59,114 @@ fn main() {
             replicate: false,
         },
     );
-    let norep = addict::run_with_options(&eval.xcts, &plan_norep, &cfg, false);
-    report("ADDICT without slot replication", &norep);
 
-    // No replication but stealing compensates.
-    let norep_steal = addict::run_with_options(&eval.xcts, &plan_norep, &cfg, true);
-    report("ADDICT no replication + stealing", &norep_steal);
-
-    // OoO hiding-factor sweep: how much of the conclusion rests on the
-    // asymmetry between instruction and data stalls.
-    println!("\nOoO on-chip data-miss hiding sweep (ADDICT exec cycles over Baseline):");
-    for hide in [0.0, 0.35, 0.7, 0.9] {
+    let with_sim = |mutate: &dyn Fn(&mut addict_sim::SimConfig)| {
         let mut sim = cfg.sim.clone();
-        sim.ooo_hide_onchip = hide;
-        let c = ReplayConfig {
+        mutate(&mut sim);
+        ReplayConfig {
             sim,
             ..ReplayConfig::paper_default()
+        }
+    };
+
+    let mut grid: Vec<Variant<'_>> = vec![
+        Variant::Configured {
+            scheduler: SchedulerKind::Baseline,
+            cfg: Box::new(cfg.clone()),
+        },
+        Variant::Planned {
+            label: "ADDICT (replication, no stealing)",
+            plan: &plan,
+            steal: false,
+        },
+        Variant::Planned {
+            label: "ADDICT + dynamic idle-core stealing",
+            plan: &plan,
+            steal: true,
+        },
+        Variant::Planned {
+            label: "ADDICT without slot replication",
+            plan: &plan_norep,
+            steal: false,
+        },
+        Variant::Planned {
+            label: "ADDICT no replication + stealing",
+            plan: &plan_norep,
+            steal: true,
+        },
+    ];
+    let head_rows = grid.len();
+
+    // OoO hiding, next-line prefetch, and migration-cost sensitivity: each
+    // config contributes a (Baseline, ADDICT) pair normalized within itself.
+    let mut pair = |c: ReplayConfig| {
+        grid.push(Variant::Configured {
+            scheduler: SchedulerKind::Baseline,
+            cfg: Box::new(c.clone()),
+        });
+        grid.push(Variant::Configured {
+            scheduler: SchedulerKind::Addict,
+            cfg: Box::new(c),
+        });
+    };
+    const HIDES: [f64; 4] = [0.0, 0.35, 0.7, 0.9];
+    for hide in HIDES {
+        pair(with_sim(&|s| s.ooo_hide_onchip = hide));
+    }
+    pair(with_sim(&|s| s.l1i_next_line_prefetch = true));
+    const COSTS: [f64; 4] = [0.0, 90.0, 450.0, 1800.0];
+    for cost in COSTS {
+        pair(with_sim(&|s| s.migration_cycles = cost));
+    }
+
+    let results = run_grid(&grid, args.threads, |_, v| match v {
+        Variant::Planned { plan, steal, .. } => {
+            addict::run_with_options(traces, plan, &cfg, *steal)
+        }
+        Variant::Configured { scheduler, cfg } => {
+            run_scheduler(*scheduler, traces, Some(&map), cfg)
+        }
+    });
+
+    let base = &results[0];
+    println!(
+        "\n{:<44} {:>12} {:>12}",
+        "variant", "exec cycles", "L1-I mpki"
+    );
+    let report = |label: &str, r: &ReplayResult| {
+        println!(
+            "{:<44} {:>12.2} {:>12.2}",
+            label,
+            norm(r.total_cycles, base.total_cycles),
+            norm(r.stats.l1i_mpki(), base.stats.l1i_mpki())
+        );
+    };
+    for (v, r) in grid.iter().zip(&results).take(head_rows).skip(1) {
+        let Variant::Planned { label, .. } = v else {
+            unreachable!("head rows are plan variants");
         };
-        let b = run_scheduler(SchedulerKind::Baseline, &eval.xcts, Some(&map), &c);
-        let a = run_scheduler(SchedulerKind::Addict, &eval.xcts, Some(&map), &c);
+        report(label, r);
+    }
+
+    // The paired rows: results come back in grid order, so each config's
+    // (Baseline, ADDICT) pair sits at a fixed offset.
+    let mut pairs = results[head_rows..].chunks_exact(2);
+    println!("\nOoO on-chip data-miss hiding sweep (ADDICT exec cycles over Baseline):");
+    for hide in HIDES {
+        let [b, a] = pairs.next().expect("one pair per hide factor") else {
+            unreachable!("chunks_exact(2)");
+        };
         println!(
             "  hide={hide:.2}: {:.2}",
             norm(a.total_cycles, b.total_cycles)
         );
     }
 
-    // Next-line L1-I prefetcher (commodity-server default; orthogonal to
-    // ADDICT per the paper's related work).
     println!("\nNext-line L1-I prefetcher (normalized L1-I mpki / exec cycles over the no-prefetch Baseline):");
     {
-        let mut sim = cfg.sim.clone();
-        sim.l1i_next_line_prefetch = true;
-        let c = ReplayConfig {
-            sim,
-            ..ReplayConfig::paper_default()
+        let [b, a] = pairs.next().expect("the prefetcher pair") else {
+            unreachable!("chunks_exact(2)");
         };
-        let b = run_scheduler(SchedulerKind::Baseline, &eval.xcts, Some(&map), &c);
-        let a = run_scheduler(SchedulerKind::Addict, &eval.xcts, Some(&map), &c);
         println!(
             "  Baseline+NL: l1i {:.2}, cycles {:.2} | ADDICT+NL: l1i {:.2}, cycles {:.2}",
             norm(b.stats.l1i_mpki(), base.stats.l1i_mpki()),
@@ -95,17 +176,11 @@ fn main() {
         );
     }
 
-    // Migration-cost sensitivity (the paper estimates ~90 cycles).
     println!("\nMigration-cost sweep (ADDICT exec cycles over Baseline):");
-    for cost in [0.0, 90.0, 450.0, 1800.0] {
-        let mut sim = cfg.sim.clone();
-        sim.migration_cycles = cost;
-        let c = ReplayConfig {
-            sim,
-            ..ReplayConfig::paper_default()
+    for cost in COSTS {
+        let [b, a] = pairs.next().expect("one pair per migration cost") else {
+            unreachable!("chunks_exact(2)");
         };
-        let b = run_scheduler(SchedulerKind::Baseline, &eval.xcts, Some(&map), &c);
-        let a = run_scheduler(SchedulerKind::Addict, &eval.xcts, Some(&map), &c);
         println!(
             "  cost={cost:>6.0} cycles: {:.2}",
             norm(a.total_cycles, b.total_cycles)

@@ -1,28 +1,66 @@
 //! Figure 7: effect of changing server load (batch size) on ADDICT —
 //! total execution cycles and L1-I MPKI over Baseline, for batch sizes
 //! 2, 4, 8, 16, 32 (Section 4.5).
+//!
+//! The (benchmark × batch size) grid fans out through the sweep engine
+//! (`--threads N` / `ADDICT_THREADS`); traces and migration maps are
+//! generated once per benchmark and shared immutably across the grid.
 
-use addict_bench::{arg_xcts, header, migration_map, norm, profile_and_eval};
+use addict_bench::{
+    header, migration_map, norm, parse_bench_args, profile_and_eval, run_sweep, SweepPoint,
+};
 use addict_core::replay::ReplayConfig;
-use addict_core::sched::{run_scheduler, SchedulerKind};
+use addict_core::sched::SchedulerKind;
 use addict_workloads::Benchmark;
 
+const BATCHES: [usize; 5] = [2, 4, 8, 16, 32];
+
 fn main() {
-    let n = arg_xcts(600);
+    let args = parse_bench_args(600);
+    let n = args.n_xcts;
     header("Figure 7", "batch-size sweep: ADDICT over Baseline", n);
+
+    let data: Vec<_> = Benchmark::ALL
+        .map(|bench| {
+            let (profile, eval) = profile_and_eval(bench, n, n);
+            let map = migration_map(&profile, &ReplayConfig::paper_default());
+            (bench, eval, map)
+        })
+        .into_iter()
+        .collect();
+
+    // Per benchmark: the Baseline reference, then ADDICT at each batch size.
+    let mut grid: Vec<SweepPoint<'_>> = Vec::new();
+    for (bench, eval, map) in &data {
+        grid.push(SweepPoint {
+            benchmark: *bench,
+            scheduler: SchedulerKind::Baseline,
+            replay_cfg: ReplayConfig::paper_default(),
+            label: "baseline",
+            traces: &eval.xcts,
+            map: Some(map),
+        });
+        for batch in BATCHES {
+            grid.push(SweepPoint {
+                benchmark: *bench,
+                scheduler: SchedulerKind::Addict,
+                replay_cfg: ReplayConfig::paper_default().with_batch_size(batch),
+                label: "batch",
+                traces: &eval.xcts,
+                map: Some(map),
+            });
+        }
+    }
+    let results = run_sweep(&grid, args.threads);
 
     println!(
         "\n{:<8} {:>6} {:>14} {:>14}",
         "bench", "batch", "exec cycles", "L1-I mpki"
     );
-    for bench in Benchmark::ALL {
-        let (profile, eval) = profile_and_eval(bench, n, n);
-        let base_cfg = ReplayConfig::paper_default();
-        let map = migration_map(&profile, &base_cfg);
-        let base = run_scheduler(SchedulerKind::Baseline, &eval.xcts, Some(&map), &base_cfg);
-        for batch in [2usize, 4, 8, 16, 32] {
-            let cfg = ReplayConfig::paper_default().with_batch_size(batch);
-            let r = run_scheduler(SchedulerKind::Addict, &eval.xcts, Some(&map), &cfg);
+    let per_bench = 1 + BATCHES.len();
+    for (chunk, (bench, ..)) in results.chunks_exact(per_bench).zip(&data) {
+        let (base, sweeps) = chunk.split_first().expect("baseline plus batch points");
+        for (batch, r) in BATCHES.iter().zip(sweeps) {
             println!(
                 "{:<8} {:>6} {:>14.2} {:>14.2}",
                 bench.name(),

@@ -1,52 +1,87 @@
 //! Figure 8: (a) ADDICT on a deeper memory hierarchy — an extra 256 KB
 //! private L2 per core, the shared cache becoming an L3 (Section 4.6);
 //! (b) ADDICT's impact on average per-core power (Section 4.7).
+//!
+//! The whole (benchmark × hierarchy × scheduler) grid fans out through the
+//! sweep engine (`--threads N` / `ADDICT_THREADS`). Algorithm 1's
+//! migration map depends only on the L1-I geometry, which the deep
+//! hierarchy does not change, so one map per benchmark is computed up
+//! front and shared by every grid point.
 
-use addict_bench::{arg_xcts, header, migration_map, norm, profile_and_eval};
+use addict_bench::{
+    header, migration_map, norm, parse_bench_args, profile_and_eval, run_sweep, SweepPoint,
+};
 use addict_core::replay::ReplayConfig;
-use addict_core::sched::{run_scheduler, SchedulerKind};
+use addict_core::sched::SchedulerKind;
 use addict_sim::SimConfig;
 use addict_workloads::Benchmark;
 
 fn main() {
-    let n = arg_xcts(600);
+    let args = parse_bench_args(600);
+    let n = args.n_xcts;
     header(
         "Figure 8",
         "deeper hierarchy (a) + power (b): ADDICT over Baseline",
         n,
     );
 
-    println!(
-        "\n{:<8} {:>16} {:>16} {:>14}",
-        "bench", "shallow cycles", "deep cycles", "power (shallow)"
-    );
-    for bench in Benchmark::ALL {
-        let (profile, eval) = profile_and_eval(bench, n, n);
+    // Trace generation mutates the storage engine, so it stays sequential;
+    // everything after is immutable and sweeps in parallel.
+    let data: Vec<_> = Benchmark::ALL
+        .map(|bench| {
+            let (profile, eval) = profile_and_eval(bench, n, n);
+            let map = migration_map(&profile, &ReplayConfig::paper_default());
+            (bench, eval, map)
+        })
+        .into_iter()
+        .collect();
 
-        let mut ratios = Vec::new();
-        let mut power_ratio = 0.0;
+    let mut grid: Vec<SweepPoint<'_>> = Vec::new();
+    for (bench, eval, map) in &data {
         for (label, sim) in [
             ("shallow", SimConfig::paper_default()),
             ("deep", SimConfig::paper_deep()),
         ] {
-            let cfg = ReplayConfig {
-                sim,
-                ..ReplayConfig::paper_default()
-            };
-            let map = migration_map(&profile, &cfg);
-            let base = run_scheduler(SchedulerKind::Baseline, &eval.xcts, Some(&map), &cfg);
-            let addict = run_scheduler(SchedulerKind::Addict, &eval.xcts, Some(&map), &cfg);
-            ratios.push(norm(addict.total_cycles, base.total_cycles));
-            if label == "shallow" {
-                power_ratio = norm(addict.power.per_core_power_w, base.power.per_core_power_w);
+            for scheduler in [SchedulerKind::Baseline, SchedulerKind::Addict] {
+                grid.push(SweepPoint {
+                    benchmark: *bench,
+                    scheduler,
+                    replay_cfg: ReplayConfig {
+                        sim: sim.clone(),
+                        ..ReplayConfig::paper_default()
+                    },
+                    label,
+                    traces: &eval.xcts,
+                    map: Some(map),
+                });
             }
         }
+    }
+    let results = run_sweep(&grid, args.threads);
+
+    println!(
+        "\n{:<8} {:>16} {:>16} {:>15} {:>12}",
+        "bench", "shallow cycles", "deep cycles", "power (shallow)", "power (deep)"
+    );
+    for (chunk, (bench, ..)) in results.chunks_exact(4).zip(&data) {
+        // Grid order is fixed by construction; destructure it directly
+        // rather than matching on labels.
+        let [base_shallow, addict_shallow, base_deep, addict_deep] = chunk else {
+            unreachable!("four grid points per benchmark");
+        };
         println!(
-            "{:<8} {:>16.2} {:>16.2} {:>14.2}",
+            "{:<8} {:>16.2} {:>16.2} {:>15.2} {:>12.2}",
             bench.name(),
-            ratios[0],
-            ratios[1],
-            power_ratio
+            norm(addict_shallow.total_cycles, base_shallow.total_cycles),
+            norm(addict_deep.total_cycles, base_deep.total_cycles),
+            norm(
+                addict_shallow.power.per_core_power_w,
+                base_shallow.power.per_core_power_w
+            ),
+            norm(
+                addict_deep.power.per_core_power_w,
+                base_deep.power.per_core_power_w
+            ),
         );
     }
     println!("\nPaper: 45% average improvement on the shallow hierarchy drops to");

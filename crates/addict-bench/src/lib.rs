@@ -24,12 +24,16 @@
 //! deterministic: seed 1 profiles, seed 2 evaluates, matching the paper's
 //! disjoint trace ranges.
 
+pub mod sweep;
+
 use addict_core::algorithm1::MigrationMap;
 use addict_core::find_migration_points;
 use addict_core::replay::{ReplayConfig, ReplayResult};
 use addict_core::sched::{run_scheduler, SchedulerKind};
 use addict_trace::WorkloadTrace;
 use addict_workloads::{collect_traces, Benchmark};
+
+pub use sweep::{run_grid, run_sweep, threads_from, SweepPoint};
 
 /// Profiling seed (the paper's traces 1–1000).
 pub const PROFILE_SEED: u64 = 1;
@@ -42,6 +46,67 @@ pub fn arg_xcts(default: usize) -> usize {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(default)
+}
+
+/// Parsed command line of the sweep-capable binaries
+/// (`fig7`/`fig8`/`ablation`/`bench`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// Trace count per workload (first positional argument).
+    pub n_xcts: usize,
+    /// Output path (second positional argument), where the binary writes
+    /// an artifact.
+    pub out: Option<String>,
+    /// Sweep worker threads (`--threads N` / `ADDICT_THREADS`, defaulting
+    /// to the host parallelism; see [`sweep::threads_from`]).
+    pub threads: usize,
+    /// `--smoke`: a fast CI-sized run (small trace count, single rep).
+    pub smoke: bool,
+}
+
+/// Parse `[n_xcts] [out] [--threads N] [--smoke]` in any order. `--smoke`
+/// shrinks the default trace count to 60 unless one was given explicitly.
+pub fn parse_bench_args(default_n: usize) -> BenchArgs {
+    let args: Vec<String> = std::env::args().collect();
+    parse_bench_args_from(&args, default_n)
+}
+
+/// [`parse_bench_args`] over an explicit argument list (args[0] is the
+/// program name).
+pub fn parse_bench_args_from(args: &[String], default_n: usize) -> BenchArgs {
+    let threads = sweep::threads_from(args);
+    let mut smoke = false;
+    let mut n_xcts = None;
+    let mut out = None;
+    let mut it = args.iter().skip(1).peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--threads" => {
+                // Consume the value token, garbage included (it must not
+                // leak into the positionals), but let a following flag
+                // survive for its own match arm.
+                if it.peek().is_some_and(|v| !v.starts_with("--")) {
+                    let _ = it.next();
+                }
+            }
+            s if s.starts_with("--threads=") => {}
+            // Positionals are type-directed so flags can reorder them:
+            // a number is the trace count, anything else the output path.
+            s => match s.parse::<usize>() {
+                Ok(n) if n_xcts.is_none() => n_xcts = Some(n),
+                _ => {
+                    out.get_or_insert_with(|| s.to_owned());
+                }
+            },
+        }
+    }
+    BenchArgs {
+        n_xcts: n_xcts.unwrap_or(if smoke { 60 } else { default_n }),
+        out,
+        threads,
+        smoke,
+    }
 }
 
 /// Build a benchmark and collect disjoint profiling and evaluation traces.
@@ -69,9 +134,12 @@ pub fn run_all(eval: &WorkloadTrace, map: &MigrationMap, cfg: &ReplayConfig) -> 
         .collect()
 }
 
-/// Normalize `value` over the baseline's, guarding zero.
+/// Normalize `value` over the baseline's, guarding degenerate baselines.
+/// A zero-transaction or zero-instruction run legitimately reports 0 for
+/// every metric; dividing by that must print as `0.00` in the figures, not
+/// `NaN`/`inf` (and a non-finite baseline must not propagate).
 pub fn norm(value: f64, baseline: f64) -> f64 {
-    if baseline == 0.0 {
+    if baseline == 0.0 || !baseline.is_finite() {
         0.0
     } else {
         value / baseline
@@ -93,7 +161,72 @@ mod tests {
     #[test]
     fn norm_guards_zero() {
         assert_eq!(norm(5.0, 0.0), 0.0);
+        assert_eq!(norm(5.0, -0.0), 0.0);
+        assert_eq!(norm(5.0, f64::NAN), 0.0);
+        assert_eq!(norm(5.0, f64::INFINITY), 0.0);
         assert!((norm(5.0, 2.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bench_args_parse_flags_and_positionals() {
+        let argv = |v: &[&str]| v.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>();
+        let a = parse_bench_args_from(&argv(&["bench", "400", "out.json", "--threads", "2"]), 600);
+        assert_eq!(a.n_xcts, 400);
+        assert_eq!(a.out.as_deref(), Some("out.json"));
+        assert_eq!(a.threads, 2);
+        assert!(!a.smoke);
+        // Flags may precede positionals; --smoke shrinks the default n.
+        let b = parse_bench_args_from(&argv(&["bench", "--threads=3", "--smoke"]), 600);
+        assert_eq!(b.n_xcts, 60);
+        assert_eq!(b.out, None);
+        assert_eq!(b.threads, 3);
+        assert!(b.smoke);
+        // An explicit trace count wins over the smoke default.
+        let c = parse_bench_args_from(&argv(&["bench", "--smoke", "200"]), 600);
+        assert_eq!(c.n_xcts, 200);
+        // A lone path positional is the output file, not a trace count
+        // (the CI smoke invocation passes only a path).
+        let d = parse_bench_args_from(
+            &argv(&["bench", "--threads", "2", "--smoke", "/tmp/s.json"]),
+            600,
+        );
+        assert_eq!(d.n_xcts, 60);
+        assert_eq!(d.out.as_deref(), Some("/tmp/s.json"));
+        assert!(d.smoke);
+        // A malformed --threads must not swallow the flag after it...
+        let e = parse_bench_args_from(&argv(&["bench", "--threads", "--smoke"]), 600);
+        assert!(e.smoke);
+        assert_eq!(e.threads, 1);
+        assert_eq!(e.n_xcts, 60);
+        // ...but a garbage value is discarded, not read as a positional.
+        let f = parse_bench_args_from(&argv(&["bench", "--threads", "8x", "out.json"]), 600);
+        assert_eq!(f.threads, 1);
+        assert_eq!(f.out.as_deref(), Some("out.json"));
+    }
+
+    #[test]
+    fn zero_xct_replay_reports_finite_zeros() {
+        // A 0-transaction run must flow through every figure's arithmetic
+        // as clean zeros, never NaN (empty-trace guard satellite).
+        let (mut engine, mut workload) = Benchmark::TpcB.setup_small();
+        let profile = collect_traces(&mut engine, workload.as_mut(), 10, PROFILE_SEED);
+        let cfg = ReplayConfig::paper_default();
+        let map = migration_map(&profile, &cfg);
+        let empty: Vec<addict_trace::XctTrace> = Vec::new();
+        for kind in SchedulerKind::ALL {
+            let r = run_scheduler(kind, &empty, Some(&map), &cfg);
+            assert_eq!(r.n_xcts, 0);
+            assert_eq!(r.instructions, 0);
+            assert_eq!(r.stats.l1i_mpki(), 0.0);
+            assert_eq!(r.stats.l1d_mpki(), 0.0);
+            assert_eq!(r.stats.llc_mpki(), 0.0);
+            assert_eq!(r.stats.l2p_mpki(), 0.0);
+            assert_eq!(r.stats.switches_per_ki(), 0.0);
+            assert_eq!(r.overhead_fraction(), 0.0);
+            assert!(r.avg_latency_cycles == 0.0 && r.total_cycles == 0.0);
+            assert!(r.power.per_core_power_w == 0.0);
+            assert_eq!(norm(r.stats.l1i_mpki(), r.stats.l1i_mpki()), 0.0);
+        }
     }
 
     #[test]

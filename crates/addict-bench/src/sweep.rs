@@ -1,0 +1,191 @@
+//! Parallel multi-config sweep engine.
+//!
+//! Every figure of the paper's evaluation is a grid of
+//! (benchmark × scheduler × config) replays. PR 1 made each replay
+//! allocation-free and gave each run its own [`Machine`](addict_sim::Machine),
+//! so the runs are embarrassingly parallel: the traces and migration maps
+//! are shared immutably, all mutable state (machine, cluster, policy) is
+//! per-run. This module fans a declarative grid out across OS threads.
+//!
+//! Two layers:
+//!
+//! * [`run_grid`] — the generic executor: a `std::thread::scope` worker
+//!   pool pulling grid indexes off one atomic cursor (work-stealing-free by
+//!   construction: there is a single shared cursor, so no per-worker deques
+//!   to steal from and no rebalancing machinery). Results land in **grid
+//!   order** regardless of completion order, and `threads <= 1` takes a
+//!   plain sequential loop — no threads spawned at all.
+//! * [`SweepPoint`] / [`run_sweep`] — the declarative layer used by the
+//!   figure binaries: one point per (benchmark, scheduler, replay config)
+//!   cell, dispatched through [`run_scheduler`].
+//!
+//! # Determinism
+//!
+//! A sweep's output is a pure function of its grid: every run owns its
+//! machine, shares its inputs by `&`-reference only, and the engine never
+//! lets completion order leak into result order. `run_sweep(grid, 1)` and
+//! `run_sweep(grid, n)` are therefore **bit-identical** — asserted by
+//! `tests/sweep_determinism.rs` and re-checked on every `bench` run.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use addict_core::algorithm1::MigrationMap;
+use addict_core::replay::{ReplayConfig, ReplayResult};
+use addict_core::sched::{run_scheduler, SchedulerKind};
+use addict_trace::XctTrace;
+use addict_workloads::Benchmark;
+
+/// One cell of a sweep grid: replay `traces` under `scheduler` with
+/// `replay_cfg`. The trace slice and migration map are shared across all
+/// points (and threads) immutably.
+#[derive(Debug, Clone)]
+pub struct SweepPoint<'a> {
+    /// Which benchmark the traces came from (for labeling/grouping).
+    pub benchmark: Benchmark,
+    /// Scheduler to replay under.
+    pub scheduler: SchedulerKind,
+    /// Replay parameters for this cell.
+    pub replay_cfg: ReplayConfig,
+    /// Row label for reports ("batch=8", "deep", ...).
+    pub label: &'static str,
+    /// Evaluation traces, shared immutably across the grid.
+    pub traces: &'a [XctTrace],
+    /// Algorithm 1 migration map (required by ADDICT), shared immutably.
+    pub map: Option<&'a MigrationMap>,
+}
+
+impl SweepPoint<'_> {
+    /// Human-readable name of this grid cell, for diagnostics — the
+    /// determinism guards in `bench` and the tests name diverging points
+    /// with it.
+    pub fn describe(&self) -> String {
+        format!(
+            "{} / {} / {}",
+            self.benchmark.name(),
+            self.scheduler.name(),
+            self.label
+        )
+    }
+}
+
+// Compile-time audit: everything a sweep shares across threads, or moves
+// into a worker, must be Send + Sync. (The replay inputs are shared by
+// reference; results cross back to the collecting thread.)
+const _: () = {
+    const fn shared<T: Send + Sync>() {}
+    shared::<SweepPoint<'_>>();
+    shared::<ReplayConfig>();
+    shared::<ReplayResult>();
+    shared::<MigrationMap>();
+    shared::<XctTrace>();
+    shared::<SchedulerKind>();
+    shared::<Benchmark>();
+};
+
+/// Number of worker threads for sweeps: the `--threads N` flag if present
+/// in `args`, else the `ADDICT_THREADS` environment variable, else the
+/// host's available parallelism. Anything unparseable falls back to 1
+/// (the sequential path), never to a panic — figures should still render.
+pub fn threads_from(args: &[String]) -> usize {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(v) = a.strip_prefix("--threads=") {
+            return v.parse().unwrap_or(1).max(1);
+        }
+        if a == "--threads" {
+            return it.next().and_then(|v| v.parse().ok()).unwrap_or(1).max(1);
+        }
+    }
+    if let Ok(v) = std::env::var("ADDICT_THREADS") {
+        return v.parse().unwrap_or(1).max(1);
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Run `work` over every item of `items` on `threads` OS threads,
+/// returning results in item order regardless of completion order.
+///
+/// `threads <= 1` (or a grid of one) runs sequentially on the calling
+/// thread — the fallback path spawns nothing. Workers claim items from a
+/// single atomic cursor; a panic in any run propagates to the caller when
+/// the scope joins.
+pub fn run_grid<T, R, F>(items: &[T], threads: usize, work: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| work(i, t)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(items.len()) {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let r = work(i, item);
+                done.lock().expect("no poisoned result lock").push((i, r));
+            });
+        }
+    });
+    let mut out = done.into_inner().expect("scope joined all workers");
+    debug_assert_eq!(out.len(), items.len());
+    out.sort_unstable_by_key(|&(i, _)| i);
+    out.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Replay every [`SweepPoint`] of `grid` on `threads` threads, returning
+/// the [`ReplayResult`]s in grid order.
+pub fn run_sweep(grid: &[SweepPoint<'_>], threads: usize) -> Vec<ReplayResult> {
+    run_grid(grid, threads, |_, p| {
+        run_scheduler(p.scheduler, p.traces, p.map, &p.replay_cfg)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_order_is_item_order() {
+        // Work that finishes in reverse order must still report in order.
+        let items: Vec<u64> = (0..16).collect();
+        let out = run_grid(&items, 4, |i, &x| {
+            std::thread::sleep(std::time::Duration::from_micros((16 - x) * 50));
+            (i, x * 2)
+        });
+        assert_eq!(out.len(), 16);
+        for (i, (idx, doubled)) in out.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*doubled, items[i] * 2);
+        }
+    }
+
+    #[test]
+    fn sequential_fallback_matches_parallel() {
+        let items: Vec<u64> = (0..9).collect();
+        let seq = run_grid(&items, 1, |_, &x| x * x);
+        let par = run_grid(&items, 3, |_, &x| x * x);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn empty_and_singleton_grids() {
+        let none: Vec<u32> = Vec::new();
+        assert!(run_grid(&none, 8, |_, &x| x).is_empty());
+        assert_eq!(run_grid(&[7u32], 8, |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn threads_flag_parsing() {
+        let s = |v: &[&str]| v.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>();
+        assert_eq!(threads_from(&s(&["bench", "--threads", "4"])), 4);
+        assert_eq!(threads_from(&s(&["bench", "--threads=8", "400"])), 8);
+        // Unparseable values fall back to sequential, not to a panic.
+        assert_eq!(threads_from(&s(&["bench", "--threads", "zap"])), 1);
+        assert_eq!(threads_from(&s(&["bench", "--threads=0"])), 1);
+    }
+}

@@ -1,0 +1,81 @@
+//! Cross-thread determinism of the sweep engine: the same grid executed
+//! at 1 thread and at N threads must produce **byte-identical** results.
+//!
+//! Every replay owns its `Machine` and shares its inputs immutably, so
+//! thread interleaving has nothing to leak into — this test is the
+//! executable statement of that contract, and the gate the `bench` binary
+//! re-checks on every artifact run.
+
+use addict_bench::{migration_map, run_sweep, SweepPoint, EVAL_SEED, PROFILE_SEED};
+use addict_core::replay::{ReplayConfig, ReplayResult};
+use addict_core::sched::SchedulerKind;
+use addict_sim::SimConfig;
+use addict_workloads::{collect_traces, Benchmark};
+
+/// The canonical byte form of a sweep's outcome. `ReplayResult`'s `Debug`
+/// output covers every field — per-core counters, power, latencies — and
+/// Rust renders `f64` with shortest-roundtrip formatting, so two results
+/// serialize identically iff they are bit-identical.
+fn serialize(results: &[ReplayResult]) -> Vec<u8> {
+    format!("{results:#?}").into_bytes()
+}
+
+#[test]
+fn sweep_is_bit_identical_across_thread_counts() {
+    let (mut engine, mut workload) = Benchmark::TpcB.setup_small();
+    let profile = collect_traces(&mut engine, workload.as_mut(), 24, PROFILE_SEED);
+    let eval = collect_traces(&mut engine, workload.as_mut(), 24, EVAL_SEED);
+    let cfg = ReplayConfig::paper_default();
+    let map = migration_map(&profile, &cfg);
+
+    // A grid spanning all four schedulers, two batch sizes, and both
+    // hierarchies: 4 + 2 + 2 = 8 points.
+    let mut grid: Vec<SweepPoint<'_>> = SchedulerKind::ALL
+        .iter()
+        .map(|&scheduler| SweepPoint {
+            benchmark: Benchmark::TpcB,
+            scheduler,
+            replay_cfg: cfg.clone(),
+            label: "default",
+            traces: &eval.xcts,
+            map: Some(&map),
+        })
+        .collect();
+    for batch in [4usize, 8] {
+        grid.push(SweepPoint {
+            benchmark: Benchmark::TpcB,
+            scheduler: SchedulerKind::Addict,
+            replay_cfg: ReplayConfig::paper_default().with_batch_size(batch),
+            label: "batch",
+            traces: &eval.xcts,
+            map: Some(&map),
+        });
+    }
+    for scheduler in [SchedulerKind::Baseline, SchedulerKind::Addict] {
+        grid.push(SweepPoint {
+            benchmark: Benchmark::TpcB,
+            scheduler,
+            replay_cfg: ReplayConfig {
+                sim: SimConfig::paper_deep(),
+                ..ReplayConfig::paper_default()
+            },
+            label: "deep",
+            traces: &eval.xcts,
+            map: Some(&map),
+        });
+    }
+
+    let sequential = serialize(&run_sweep(&grid, 1));
+    // An even split, an uneven split, and more workers than points: every
+    // scheduling shape must reproduce the sequential bytes exactly.
+    for threads in [2usize, 3, 16] {
+        let parallel = serialize(&run_sweep(&grid, threads));
+        assert_eq!(
+            sequential, parallel,
+            "sweep output changed at {threads} threads"
+        );
+    }
+    // And a repeated 1-thread run is stable with itself (no hidden global
+    // state between sweeps).
+    assert_eq!(sequential, serialize(&run_sweep(&grid, 1)));
+}

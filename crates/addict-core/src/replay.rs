@@ -64,6 +64,21 @@ impl Default for ReplayConfig {
     }
 }
 
+// Thread-safety audit: the parallel sweep engine (addict-bench) shares
+// replay configs and trace slices across worker threads by reference and
+// sends results back to the collecting thread. These types hold plain
+// owned data — keep them that way, or sweeps stop compiling here first.
+const _: () = {
+    const fn shared<T: Send + Sync>() {}
+    shared::<ReplayConfig>();
+    shared::<ReplayResult>();
+    shared::<Action>();
+    shared::<Admission>();
+    shared::<Cluster>();
+    shared::<addict_trace::XctTrace>();
+    shared::<crate::algorithm1::MigrationMap>();
+};
+
 /// The outcome of replaying one workload under one scheduler.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ReplayResult {
@@ -729,6 +744,36 @@ mod tests {
             let ty = traces[b[0]].xct_type;
             assert!(b.iter().all(|&i| traces[i].xct_type == ty));
         }
+    }
+
+    #[test]
+    fn earliest_of_ties_break_to_lowest_core_id() {
+        // Regression guard for the deterministic tie-break (PR 1): the
+        // winner is a property of cluster state alone, independent of the
+        // order the caller lists candidates in. The parallel sweep engine
+        // relies on this for bit-identical 1-vs-N-thread results.
+        let c = Cluster::new(4);
+        assert_eq!(c.earliest_of(&[3, 1, 2]), 1);
+        assert_eq!(c.earliest_of(&[2, 3, 1]), 1);
+        assert_eq!(c.earliest_of(&[1, 2, 3]), 1);
+        assert_eq!(c.earliest_of(&[0, 3]), 0);
+
+        // A later clock loses even to a higher core id...
+        let mut c = Cluster::new(4);
+        c.free_at[1] = 10.0;
+        assert_eq!(c.earliest_of(&[3, 1]), 3);
+        // ...and queue depth and mid-segment busyness are penalized.
+        let mut c = Cluster::new(4);
+        c.queues[0].push_back(7);
+        assert_eq!(c.earliest_of(&[0, 2]), 2);
+        let mut c = Cluster::new(4);
+        c.busy[2] = true;
+        assert_eq!(c.earliest_of(&[2, 3]), 3);
+        // Equal non-zero penalties still break to the lowest id.
+        let mut c = Cluster::new(4);
+        c.free_at[2] = 5.0;
+        c.free_at[1] = 5.0;
+        assert_eq!(c.earliest_of(&[2, 1]), 1);
     }
 
     struct YieldOncePolicy {

@@ -38,6 +38,14 @@ struct AddictPolicy<'a> {
     last_served: Vec<Option<(XctTypeId, usize)>>,
 }
 
+// Thread-safety audit: parallel-sweep workers drive policies off the main
+// thread, and the borrowed assignment plan is shared across workers.
+const _: () = {
+    const fn audit<T: Send + Sync>() {}
+    audit::<AddictPolicy<'_>>();
+    audit::<AssignmentPlan>();
+};
+
 impl<'a> AddictPolicy<'a> {
     /// The plan borrow outlives `&self` (it comes from the external plan),
     /// so callers can keep it while mutating per-thread state.

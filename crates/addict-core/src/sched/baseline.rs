@@ -8,6 +8,13 @@ use crate::replay::{run_des, Policy, ReplayConfig, ReplayResult};
 
 struct NoMovement;
 
+// Thread-safety audit: each parallel-sweep worker constructs its own
+// policy, so policies must be safe to create and drive off the main thread.
+const _: () = {
+    const fn audit<T: Send + Sync>() {}
+    audit::<NoMovement>();
+};
+
 impl Policy for NoMovement {
     // Never reacts to any event: trivially safe for segment execution,
     // and whole runs (misses included) can execute inside the machine.

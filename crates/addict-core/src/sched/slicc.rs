@@ -24,6 +24,13 @@ struct SliccPolicy {
     n_cores: usize,
 }
 
+// Thread-safety audit: parallel-sweep workers drive policies off the main
+// thread.
+const _: () = {
+    const fn audit<T: Send + Sync>() {}
+    audit::<SliccPolicy>();
+};
+
 impl Policy for SliccPolicy {
     fn post(
         &mut self,

@@ -21,6 +21,13 @@ struct StrexPolicy {
     misses_since_resume: Vec<u64>,
 }
 
+// Thread-safety audit: parallel-sweep workers drive policies off the main
+// thread.
+const _: () = {
+    const fn audit<T: Send + Sync>() {}
+    audit::<StrexPolicy>();
+};
+
 impl Policy for StrexPolicy {
     fn post(
         &mut self,

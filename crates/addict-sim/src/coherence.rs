@@ -290,6 +290,11 @@ impl Directory {
 
     #[inline]
     fn remove_at(&mut self, i: usize) {
+        // Tombstone accounting invariant: only a Full slot may be removed,
+        // so a block's removal increments `tombstones` exactly once — a
+        // second `on_evict` for the same (core, block) finds no slot (the
+        // probe passes through the tombstone to an Empty) and is a no-op.
+        debug_assert_eq!(self.slots[i].state, SlotState::Full);
         self.slots[i] = Slot {
             block: 0,
             sharers: 0,
@@ -364,6 +369,17 @@ impl Directory {
     /// Number of blocks with at least one sharer (diagnostics).
     pub fn tracked_blocks(&self) -> usize {
         self.len
+    }
+
+    /// Dead slots still occupying probe chains (diagnostics; the 7/8
+    /// load-factor rebuild reclaims them all, resetting this to 0).
+    pub fn tombstone_count(&self) -> usize {
+        self.tombstones
+    }
+
+    /// Table capacity in slots (diagnostics).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
     }
 }
 
@@ -481,6 +497,54 @@ mod tests {
         for b in (0..10_000u64).step_by(2) {
             assert_eq!(d.owner(BlockAddr(b)), Some(9));
         }
+    }
+
+    #[test]
+    fn double_evict_tombstones_exactly_once() {
+        let mut d = Directory::new();
+        d.on_read(0, B);
+        assert_eq!(d.tombstone_count(), 0);
+        d.on_evict(0, B);
+        assert_eq!(d.tombstone_count(), 1);
+        assert_eq!(d.tracked_blocks(), 0);
+        // A duplicate evict — from either the same or another core — must
+        // be a no-op, not a second tombstone / len underflow.
+        d.on_evict(0, B);
+        d.on_evict(3, B);
+        assert_eq!(d.tombstone_count(), 1);
+        assert_eq!(d.tracked_blocks(), 0);
+        // Reinsertion reuses the tombstoned chain slot.
+        d.on_read(2, B);
+        assert_eq!(d.tombstone_count(), 0);
+        assert_eq!(d.tracked_blocks(), 1);
+    }
+
+    #[test]
+    fn load_factor_rebuild_resets_tombstones() {
+        let mut d = Directory::new();
+        let cap = d.capacity();
+        // Accumulate tombstones with insert/evict churn over distinct
+        // blocks (each evict leaves a dead slot; reinsertions of *new*
+        // blocks land on empties until the chain forces reuse). Then the
+        // 7/8 load-factor trigger must rebuild and zero the count.
+        let mut max_seen = 0;
+        for b in 0..(cap as u64 * 3) {
+            d.on_read(1, BlockAddr(b));
+            d.on_evict(1, BlockAddr(b));
+            max_seen = max_seen.max(d.tombstone_count());
+            assert!(
+                (d.tracked_blocks() + d.tombstone_count()) * 8 <= d.capacity() * 7,
+                "load factor exceeded: len={} tombstones={} cap={}",
+                d.tracked_blocks(),
+                d.tombstone_count(),
+                d.capacity()
+            );
+        }
+        // The churn really did accumulate tombstones and hit the rebuild.
+        assert!(max_seen * 8 > cap * 6, "churn never stressed the table");
+        assert!(d.tombstone_count() < max_seen);
+        // A rebuild with only dead entries must not have grown the table.
+        assert_eq!(d.capacity(), cap);
     }
 
     #[test]

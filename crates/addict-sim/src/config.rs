@@ -169,6 +169,15 @@ impl Default for SimConfig {
     }
 }
 
+// Thread-safety audit: parallel sweeps (addict-bench) share configs across
+// worker threads by reference.
+const _: () = {
+    const fn shared<T: Send + Sync>() {}
+    shared::<SimConfig>();
+    shared::<CacheGeometry>();
+    shared::<HierarchyKind>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -56,6 +56,14 @@ pub struct MachineStats {
     pub cores: Vec<CoreStats>,
 }
 
+// Thread-safety audit: sweep results carrying these cross thread
+// boundaries back to the collecting thread.
+const _: () = {
+    const fn shared<T: Send + Sync>() {}
+    shared::<CoreStats>();
+    shared::<MachineStats>();
+};
+
 macro_rules! sum_field {
     ($name:ident) => {
         /// Sum of the per-core field of the same name.
@@ -126,6 +134,9 @@ impl MachineStats {
         }
     }
 
+    /// Misses per 1000 instructions, defined as 0 for a zero-instruction
+    /// run (empty trace sets and 0-xct replays are legitimate sweep
+    /// points; figures must print `0.00`, never `NaN`).
     fn mpki(misses: u64, instructions: u64) -> f64 {
         if instructions == 0 {
             0.0
@@ -190,9 +201,27 @@ mod tests {
 
     #[test]
     fn mpki_guards_division_by_zero() {
+        // Every ratio helper must report a clean 0.0 (not NaN) for a
+        // zero-instruction run, even with non-zero event counters.
         let mut s = MachineStats::new(1);
         s.cores[0].l1d_misses = 5;
-        assert_eq!(s.l1d_mpki(), 0.0);
+        s.cores[0].l1i_misses = 3;
+        s.cores[0].llc_misses = 2;
+        s.cores[0].l2p_misses = 1;
+        s.cores[0].migrations_in = 4;
+        s.cores[0].context_switches = 2;
+        assert_eq!(s.instructions(), 0);
+        for v in [
+            s.l1i_mpki(),
+            s.l1d_mpki(),
+            s.llc_mpki(),
+            s.l2p_mpki(),
+            s.switches_per_ki(),
+        ] {
+            assert_eq!(v, 0.0);
+            assert!(v.is_finite());
+        }
+        assert_eq!(s.cycle_breakdown(), (0.0, 0.0, 0.0, 0.0));
     }
 
     #[test]

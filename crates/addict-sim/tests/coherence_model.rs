@@ -1,0 +1,123 @@
+//! Model-based property test for the open-addressed coherence directory:
+//! random interleavings of insert (read/write), remove (evict), and lookup
+//! are checked op-by-op against a `HashMap` reference model, together with
+//! the table's tombstone-accounting invariants (the load-factor rebuild
+//! resets tombstones; removal tombstones a block exactly once).
+
+use std::collections::HashMap;
+
+use addict_sim::coherence::Directory;
+use addict_sim::BlockAddr;
+use proptest::prelude::*;
+
+/// Reference model: block -> (sharer bitmask, modified owner).
+#[derive(Default)]
+struct Model {
+    blocks: HashMap<u64, (u64, Option<usize>)>,
+}
+
+impl Model {
+    /// Mirrors `Directory::on_read`, returning the expected supplier.
+    fn on_read(&mut self, core: usize, block: u64) -> Option<usize> {
+        let entry = self.blocks.entry(block).or_insert((0, None));
+        let supplier = match entry.1 {
+            Some(o) if o != core => {
+                entry.1 = None;
+                Some(o)
+            }
+            _ => None,
+        };
+        entry.0 |= 1 << core;
+        supplier
+    }
+
+    /// Mirrors `Directory::on_write`, returning (supplier, invalidate mask).
+    fn on_write(&mut self, core: usize, block: u64) -> (Option<usize>, u64) {
+        let entry = self.blocks.entry(block).or_insert((0, None));
+        let supplier = entry.1.filter(|&o| o != core);
+        let invalidate = entry.0 & !(1 << core);
+        *entry = (1 << core, Some(core));
+        (supplier, invalidate)
+    }
+
+    /// Mirrors `Directory::on_evict`.
+    fn on_evict(&mut self, core: usize, block: u64) {
+        if let Some(entry) = self.blocks.get_mut(&block) {
+            entry.0 &= !(1 << core);
+            if entry.1 == Some(core) {
+                entry.1 = None;
+            }
+            if entry.0 == 0 {
+                self.blocks.remove(&block);
+            }
+        }
+    }
+}
+
+proptest! {
+    /// The directory agrees with the model after every operation, action
+    /// payloads included, and the open-addressed table's load/tombstone
+    /// invariant holds throughout arbitrary churn.
+    #[test]
+    fn directory_matches_hashmap_model(
+        ops in prop::collection::vec((0usize..4, 0usize..6, 0u64..24), 1..500)
+    ) {
+        let mut dir = Directory::new();
+        let mut model = Model::default();
+        for (op, core, block) in ops {
+            let b = BlockAddr(block);
+            match op {
+                0 => {
+                    let action = dir.on_read(core, b);
+                    let supplier = model.on_read(core, block);
+                    prop_assert_eq!(action.supplier, supplier);
+                    prop_assert!(action.invalidate.is_empty(), "reads never invalidate");
+                }
+                1 => {
+                    let action = dir.on_write(core, b);
+                    let (supplier, invalidate) = model.on_write(core, block);
+                    prop_assert_eq!(action.supplier, supplier);
+                    prop_assert_eq!(action.invalidate.0, invalidate);
+                }
+                2 => {
+                    dir.on_evict(core, b);
+                    model.on_evict(core, block);
+                }
+                _ => {
+                    // Pure lookup round; state checked below like every op.
+                }
+            }
+            // Full-state agreement on the touched block...
+            let expected = model.blocks.get(&block).copied();
+            prop_assert_eq!(
+                dir.is_sharer(core, b),
+                expected.is_some_and(|(s, _)| s & (1 << core) != 0)
+            );
+            prop_assert_eq!(dir.owner(b), expected.and_then(|(_, o)| o));
+            // ...and aggregate agreement plus table invariants: live and
+            // dead slots together never exceed the 7/8 load factor, so a
+            // double-removal (which would double-count a tombstone) or a
+            // rebuild that failed to reset the count breaks here.
+            prop_assert_eq!(dir.tracked_blocks(), model.blocks.len());
+            prop_assert!(
+                (dir.tracked_blocks() + dir.tombstone_count()) * 8 <= dir.capacity() * 7,
+                "load/tombstone invariant violated: len={} tombstones={} cap={}",
+                dir.tracked_blocks(),
+                dir.tombstone_count(),
+                dir.capacity()
+            );
+        }
+        // Terminal sweep: every block the model knows is visible with the
+        // right sharers and owner; every block it dropped is gone.
+        for b in 0u64..24 {
+            let expected = model.blocks.get(&b).copied();
+            for core in 0..6 {
+                prop_assert_eq!(
+                    dir.is_sharer(core, BlockAddr(b)),
+                    expected.is_some_and(|(s, _)| s & (1 << core) != 0)
+                );
+            }
+            prop_assert_eq!(dir.owner(BlockAddr(b)), expected.and_then(|(_, o)| o));
+        }
+    }
+}

@@ -216,6 +216,16 @@ impl XctTrace {
     }
 }
 
+// Thread-safety audit: parallel sweeps (addict-bench) share trace slices
+// across worker threads by reference for the whole grid's lifetime.
+const _: () = {
+    const fn shared<T: Send + Sync>() {}
+    shared::<TraceEvent>();
+    shared::<FlatEvent>();
+    shared::<XctTrace>();
+    shared::<WorkloadTrace>();
+};
+
 /// A named batch of transaction traces (one workload run).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct WorkloadTrace {

@@ -108,6 +108,14 @@ impl Benchmark {
     }
 }
 
+// Thread-safety audit: sweep grids carry `Benchmark` tags across worker
+// threads (trace *generation* stays on one thread; `Engine` and the
+// runners are deliberately not part of this contract).
+const _: () = {
+    const fn shared<T: Send + Sync>() {}
+    shared::<Benchmark>();
+};
+
 /// Run `n` transactions of the mix and collect their traces.
 ///
 /// The engine's recorder must be enabled (it is after `setup`). The run is
