@@ -11,7 +11,7 @@
 //! through `run_scheduler`, and every run shares the traces, migration
 //! map, and prebuilt plans immutably.
 
-use addict_bench::{header, migration_map, norm, parse_bench_args, profile_and_eval, run_grid};
+use addict_bench::{header, migration_map, norm, parse_bench_args, profile_and_eval_on, run_grid};
 use addict_core::algorithm1::MigrationMap;
 use addict_core::plan::{AssignmentPlan, PlanConfig};
 use addict_core::replay::{ReplayConfig, ReplayResult};
@@ -46,7 +46,7 @@ fn main() {
     let args = parse_bench_args(400);
     let n = args.n_xcts;
     header("Ablation", "ADDICT design-choice ablations (TPC-C)", n);
-    let (profile, eval) = profile_and_eval(Benchmark::TpcC, n, n);
+    let (profile, eval) = profile_and_eval_on(Benchmark::TpcC, n, n, args.threads);
     let cfg = ReplayConfig::paper_default();
     let map: MigrationMap = migration_map(&profile, &cfg);
     let traces: &[XctTrace] = &eval.xcts;

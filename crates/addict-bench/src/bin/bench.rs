@@ -1,23 +1,31 @@
 //! `bench`: the replay-throughput trajectory artifact.
 //!
 //! Replays the TPC-C evaluation traces under all four schedulers, timing
-//! the per-block *flat* path against the segment-granular fast path, and
-//! then times the **full scheduler grid** executed through the sweep
-//! engine at one thread vs `--threads N`. Writes `BENCH_2.json` with
-//! events/sec and sim-cycles/sec per scheduler, the segment-over-flat
-//! speedup, and the parallel-sweep wall times + speedup (thread count
-//! recorded, so artifacts from different hosts stay comparable).
+//! three modes against each other:
 //!
-//! Two determinism guards run on every invocation and can fail the
-//! process:
-//! * flat and segment execution must produce bit-identical simulation
-//!   output (a speedup can never be bought with accuracy), and
+//! * **flat** — per-block execution over flat `Vec<TraceEvent>` traces,
+//! * **segment** — the segment-granular fast path (PR 1),
+//! * **interned** — segment-granular replay over the arena-backed
+//!   [`InternedWorkload`] form, whose deduplicated `SlicePool` holds each
+//!   distinct event slice once (PR 3),
+//!
+//! then times the **full scheduler grid** through the sweep engine at one
+//! thread vs `--threads N`, with the interned grid sharing one `Arc`'d
+//! pool across all points. Writes `BENCH_3.json` with events/sec and
+//! sim-cycles/sec per scheduler and mode, the trace-memory footprint
+//! (flat vs interned resident bytes, pool dedup ratio), and the
+//! parallel-sweep wall times + speedup.
+//!
+//! Determinism guards run on every invocation (CI's `--smoke` included)
+//! and can fail the process:
+//! * flat, segment, and **interned** execution must produce bit-identical
+//!   simulation output (a speedup can never be bought with accuracy), and
 //! * the 1-thread and N-thread sweeps must produce bit-identical
 //!   per-scheduler `MachineStats` and makespans (parallelism can never
 //!   change a result).
 //!
 //! Usage: `cargo run --release --bin bench -- [n_xcts] [out.json]
-//! [--threads N] [--smoke]` (defaults: 400 transactions, `BENCH_2.json`;
+//! [--threads N] [--smoke]` (defaults: 400 transactions, `BENCH_3.json`;
 //! `--smoke` is the CI-sized run: 60 transactions, one rep,
 //! `bench_smoke.json`).
 
@@ -25,11 +33,12 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use addict_bench::{
-    migration_map, parse_bench_args, profile_and_eval, run_grid, run_sweep, SweepPoint,
+    migration_map, parse_bench_args, profile_and_eval_on, run_grid, run_point, run_sweep,
+    SweepPoint, SweepTraces,
 };
 use addict_core::replay::{ReplayConfig, ReplayResult};
 use addict_core::sched::{run_scheduler, SchedulerKind};
-use addict_trace::{TraceEvent, XctTrace};
+use addict_trace::{InternedWorkload, TraceEvent, XctTrace};
 use addict_workloads::Benchmark;
 
 /// Block-granular events in a trace set (instruction runs expanded).
@@ -54,10 +63,7 @@ struct ModeTiming {
 /// the calling thread (per-scheduler throughput must not be polluted by
 /// concurrent runs contending for the host's cores).
 fn time_mode(
-    kind: SchedulerKind,
-    traces: &[XctTrace],
-    map: &addict_core::algorithm1::MigrationMap,
-    cfg: &ReplayConfig,
+    run: impl Fn() -> ReplayResult,
     events: u64,
     reps: usize,
 ) -> (ModeTiming, ReplayResult) {
@@ -65,7 +71,7 @@ fn time_mode(
     let mut result = None;
     for _ in 0..reps {
         let t = Instant::now();
-        let r = run_scheduler(kind, traces, Some(map), cfg);
+        let r = run();
         let s = t.elapsed().as_secs_f64();
         if s < best {
             best = s;
@@ -89,6 +95,20 @@ fn json_mode(out: &mut String, label: &str, t: &ModeTiming) {
     );
 }
 
+/// Assert two replays produced bit-identical simulation output.
+fn assert_identical(a: &ReplayResult, b: &ReplayResult, what: &str) {
+    assert_eq!(a.stats, b.stats, "{what}: stats diverged");
+    assert_eq!(
+        a.total_cycles.to_bits(),
+        b.total_cycles.to_bits(),
+        "{what}: makespan diverged"
+    );
+    assert_eq!(a.latencies.len(), b.latencies.len(), "{what}");
+    for (x, y) in a.latencies.iter().zip(&b.latencies) {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: latency diverged");
+    }
+}
+
 fn main() {
     let args = parse_bench_args(400);
     let n = args.n_xcts;
@@ -96,16 +116,25 @@ fn main() {
         if args.smoke {
             "bench_smoke.json".to_owned()
         } else {
-            "BENCH_2.json".to_owned()
+            "BENCH_3.json".to_owned()
         }
     });
-    let reps = if args.smoke { 1 } else { 3 };
+    // Best-of-N per mode: this container is a single shared core whose
+    // attainable throughput drifts on minute timescales, so each mode
+    // samples a wide window and keeps its fastest rep.
+    let reps = if args.smoke { 1 } else { 15 };
 
-    eprintln!("bench: generating {n}+{n} TPC-C traces...");
-    let (profile, eval) = profile_and_eval(Benchmark::TpcC, n, n);
+    eprintln!(
+        "bench: generating {n}+{n} TPC-C traces on {} thread(s)...",
+        args.threads
+    );
+    let (profile, eval) = profile_and_eval_on(Benchmark::TpcC, n, n, args.threads);
+    let interned = InternedWorkload::from_flat(&eval);
+    let iset = interned.as_set();
     let cfg = ReplayConfig::paper_default();
     let map = migration_map(&profile, &cfg);
     let events = total_events(&eval.xcts);
+    let footprint = interned.footprint();
     eprintln!(
         "bench: {} eval transactions, {} block-granular events, {} cores, {} sweep threads",
         eval.xcts.len(),
@@ -113,15 +142,35 @@ fn main() {
         cfg.sim.n_cores,
         args.threads
     );
+    eprintln!(
+        "bench: trace bytes {} flat -> {} interned ({:.2}x smaller; pool dedup {:.1}x over {} unique slices)",
+        footprint.flat_bytes,
+        footprint.resident_bytes(),
+        footprint.reduction(),
+        footprint.dedup_ratio(),
+        footprint.unique_slices
+    );
 
     let mut out = String::new();
     out.push_str("{\n");
     let _ = write!(
         out,
-        "  \"artifact\": \"BENCH_2\",\n  \"workload\": \"TPC-C\",\n  \"n_xcts\": {},\n  \"events\": {},\n  \"n_cores\": {},\n  \"reps_best_of\": {reps},\n  \"schedulers\": [\n",
+        "  \"artifact\": \"BENCH_3\",\n  \"workload\": \"TPC-C\",\n  \"n_xcts\": {},\n  \"events\": {},\n  \"n_cores\": {},\n  \"reps_best_of\": {reps},\n",
         eval.xcts.len(),
         events,
         cfg.sim.n_cores
+    );
+    let _ = write!(
+        out,
+        "  \"trace_memory\": {{\n    \"flat_bytes\": {},\n    \"interned_resident_bytes\": {},\n    \"pool_bytes\": {},\n    \"per_trace_bytes\": {},\n    \"reduction\": {:.3},\n    \"unique_slices\": {},\n    \"slices_interned\": {},\n    \"dedup_ratio\": {:.2}\n  }},\n  \"schedulers\": [\n",
+        footprint.flat_bytes,
+        footprint.resident_bytes(),
+        footprint.pool_bytes,
+        footprint.trace_bytes,
+        footprint.reduction(),
+        footprint.unique_slices,
+        footprint.slices_interned,
+        footprint.dedup_ratio()
     );
 
     let mut segment_results: Vec<ReplayResult> = Vec::new();
@@ -136,30 +185,35 @@ fn main() {
         };
         // Warm up caches/allocator before timing.
         let _ = run_scheduler(*kind, &eval.xcts, Some(&map), &seg_cfg);
-        let (flat_t, flat_r) = time_mode(*kind, &eval.xcts, &map, &flat_cfg, events, reps);
-        let (seg_t, seg_r) = time_mode(*kind, &eval.xcts, &map, &seg_cfg, events, reps);
+        let (flat_t, flat_r) = time_mode(
+            || run_scheduler(*kind, &eval.xcts, Some(&map), &flat_cfg),
+            events,
+            reps,
+        );
+        let (seg_t, seg_r) = time_mode(
+            || run_scheduler(*kind, &eval.xcts, Some(&map), &seg_cfg),
+            events,
+            reps,
+        );
+        let (int_t, int_r) = time_mode(
+            || run_scheduler(*kind, &iset, Some(&map), &seg_cfg),
+            events,
+            reps,
+        );
 
-        // Equivalence guard: the fast path must not change the simulation.
-        assert_eq!(
-            seg_r.stats,
-            flat_r.stats,
-            "{}: segment path diverged",
-            kind.name()
-        );
-        assert_eq!(
-            seg_r.total_cycles.to_bits(),
-            flat_r.total_cycles.to_bits(),
-            "{}: makespan diverged",
-            kind.name()
-        );
+        // Equivalence guards: neither fast path may change the simulation.
+        assert_identical(&seg_r, &flat_r, &format!("{}: segment path", kind.name()));
+        assert_identical(&int_r, &flat_r, &format!("{}: interned path", kind.name()));
 
         let speedup = flat_t.seconds / seg_t.seconds;
+        let int_speedup = flat_t.seconds / int_t.seconds;
         eprintln!(
-            "bench: {:<9} flat {:>10.0} ev/s | segment {:>10.0} ev/s | speedup {:.2}x",
+            "bench: {:<9} flat {:>9.0} ev/s | segment {:>9.0} ev/s | interned {:>9.0} ev/s | interned speedup {:.2}x",
             kind.name(),
             flat_t.events_per_sec,
             seg_t.events_per_sec,
-            speedup
+            int_t.events_per_sec,
+            int_speedup
         );
 
         let _ = write!(
@@ -172,7 +226,12 @@ fn main() {
         json_mode(&mut out, "flat", &flat_t);
         out.push_str(",\n");
         json_mode(&mut out, "segment", &seg_t);
-        let _ = write!(out, ",\n    \"segment_speedup\": {speedup:.3}\n  }}");
+        out.push_str(",\n");
+        json_mode(&mut out, "interned", &int_t);
+        let _ = write!(
+            out,
+            ",\n    \"segment_speedup\": {speedup:.3},\n    \"interned_speedup\": {int_speedup:.3}\n  }}"
+        );
         out.push_str(if i + 1 < SchedulerKind::ALL.len() {
             ",\n"
         } else {
@@ -183,16 +242,18 @@ fn main() {
     out.push_str("  ],\n");
 
     // Parallel-sweep scaling: the full scheduler grid through the sweep
-    // engine, sequential vs `--threads N`, with a bit-identical check
-    // against both each other and the sequentially timed runs above.
+    // engine, sequential vs `--threads N`, on the **interned** traces —
+    // every point borrows the same Arc'd pool, so N workers replay out of
+    // one read-only arena. Bit-identical checks against both the 1-thread
+    // sweep and the sequentially timed flat runs above.
     let grid: Vec<SweepPoint<'_>> = SchedulerKind::ALL
         .iter()
         .map(|&scheduler| SweepPoint {
             benchmark: Benchmark::TpcC,
             scheduler,
             replay_cfg: cfg.clone(),
-            label: "grid",
-            traces: &eval.xcts,
+            label: "interned-grid",
+            traces: SweepTraces::Interned(iset),
             map: Some(&map),
         })
         .collect();
@@ -206,35 +267,24 @@ fn main() {
     let t = Instant::now();
     let timed_par: Vec<(f64, ReplayResult)> = run_grid(&grid, args.threads, |_, p| {
         let t = Instant::now();
-        let r = run_scheduler(p.scheduler, p.traces, p.map, &p.replay_cfg);
+        let r = run_point(p);
         (t.elapsed().as_secs_f64(), r)
     });
     let par_seconds = t.elapsed().as_secs_f64();
     for (((point, s), (_, p)), reference) in
         grid.iter().zip(&seq).zip(&timed_par).zip(&segment_results)
     {
-        assert_eq!(
-            s.stats,
-            p.stats,
-            "{}: parallel sweep diverged",
-            point.describe()
-        );
-        assert_eq!(
-            s.total_cycles.to_bits(),
-            p.total_cycles.to_bits(),
-            "{}: parallel sweep makespan diverged",
-            point.describe()
-        );
+        assert_identical(s, p, &format!("{}: parallel sweep", point.describe()));
         assert_eq!(
             s.stats,
             reference.stats,
-            "{}: sweep result drifted from direct run",
+            "{}: interned sweep drifted from direct flat run",
             point.describe()
         );
     }
     let sweep_speedup = seq_seconds / par_seconds;
     eprintln!(
-        "bench: sweep grid ({} points) {:.3}s at 1 thread | {:.3}s at {} threads | speedup {:.2}x | results bit-identical",
+        "bench: interned sweep grid ({} points, one shared pool) {:.3}s at 1 thread | {:.3}s at {} threads | speedup {:.2}x | results bit-identical to flat",
         grid.len(),
         seq_seconds,
         par_seconds,
@@ -243,7 +293,7 @@ fn main() {
     );
     let _ = write!(
         out,
-        "  \"sweep\": {{\n    \"points\": {},\n    \"threads\": {},\n    \"seq_seconds\": {seq_seconds:.6},\n    \"par_seconds\": {par_seconds:.6},\n    \"parallel_speedup\": {sweep_speedup:.3},\n    \"bit_identical\": true,\n    \"per_scheduler\": [\n",
+        "  \"sweep\": {{\n    \"points\": {},\n    \"traces\": \"interned (one shared pool)\",\n    \"threads\": {},\n    \"seq_seconds\": {seq_seconds:.6},\n    \"par_seconds\": {par_seconds:.6},\n    \"parallel_speedup\": {sweep_speedup:.3},\n    \"bit_identical\": true,\n    \"per_scheduler\": [\n",
         grid.len(),
         args.threads
     );

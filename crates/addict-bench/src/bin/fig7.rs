@@ -3,12 +3,16 @@
 //! 2, 4, 8, 16, 32 (Section 4.5).
 //!
 //! The (benchmark × batch size) grid fans out through the sweep engine
-//! (`--threads N` / `ADDICT_THREADS`); traces and migration maps are
-//! generated once per benchmark and shared immutably across the grid.
+//! (`--threads N` / `ADDICT_THREADS`). Traces are generated in parallel
+//! (one storage engine per worker, all six profile/eval ranges at once)
+//! and replayed **interned**: every grid point of a benchmark borrows the
+//! same `Arc`-shared slice pool, so the sweep's whole working set is the
+//! deduplicated arena, not per-point trace copies.
 
 use addict_bench::{
-    header, migration_map, norm, parse_bench_args, profile_and_eval, run_sweep, SweepPoint,
+    header, norm, parse_bench_args, profile_eval_ranges, run_sweep, SweepPoint, SweepTraces,
 };
+use addict_core::algorithm1::find_migration_points_interned;
 use addict_core::replay::ReplayConfig;
 use addict_core::sched::SchedulerKind;
 use addict_workloads::Benchmark;
@@ -20,13 +24,23 @@ fn main() {
     let n = args.n_xcts;
     header("Figure 7", "batch-size sweep: ADDICT over Baseline", n);
 
+    // All six (benchmark × profile/eval) ranges generate in one parallel
+    // wave; the interned workloads share a single master pool.
+    let ranges: Vec<_> = Benchmark::ALL
+        .iter()
+        .flat_map(|&b| profile_eval_ranges(b, n, n))
+        .collect();
+    let workloads = addict_bench::generate_interned(&ranges, args.threads);
     let data: Vec<_> = Benchmark::ALL
-        .map(|bench| {
-            let (profile, eval) = profile_and_eval(bench, n, n);
-            let map = migration_map(&profile, &ReplayConfig::paper_default());
-            (bench, eval, map)
+        .iter()
+        .zip(workloads.chunks_exact(2))
+        .map(|(&bench, pair)| {
+            let map = find_migration_points_interned(
+                pair[0].as_set(),
+                ReplayConfig::paper_default().sim.l1i,
+            );
+            (bench, &pair[1], map)
         })
-        .into_iter()
         .collect();
 
     // Per benchmark: the Baseline reference, then ADDICT at each batch size.
@@ -37,7 +51,7 @@ fn main() {
             scheduler: SchedulerKind::Baseline,
             replay_cfg: ReplayConfig::paper_default(),
             label: "baseline",
-            traces: &eval.xcts,
+            traces: SweepTraces::Interned(eval.as_set()),
             map: Some(map),
         });
         for batch in BATCHES {
@@ -46,7 +60,7 @@ fn main() {
                 scheduler: SchedulerKind::Addict,
                 replay_cfg: ReplayConfig::paper_default().with_batch_size(batch),
                 label: "batch",
-                traces: &eval.xcts,
+                traces: SweepTraces::Interned(eval.as_set()),
                 map: Some(map),
             });
         }

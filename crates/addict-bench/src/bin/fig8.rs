@@ -3,14 +3,17 @@
 //! (b) ADDICT's impact on average per-core power (Section 4.7).
 //!
 //! The whole (benchmark × hierarchy × scheduler) grid fans out through the
-//! sweep engine (`--threads N` / `ADDICT_THREADS`). Algorithm 1's
+//! sweep engine (`--threads N` / `ADDICT_THREADS`); trace generation fans
+//! out the same way (one storage engine per worker) and the grid replays
+//! the interned trace form out of one shared slice pool. Algorithm 1's
 //! migration map depends only on the L1-I geometry, which the deep
 //! hierarchy does not change, so one map per benchmark is computed up
 //! front and shared by every grid point.
 
 use addict_bench::{
-    header, migration_map, norm, parse_bench_args, profile_and_eval, run_sweep, SweepPoint,
+    header, norm, parse_bench_args, profile_eval_ranges, run_sweep, SweepPoint, SweepTraces,
 };
+use addict_core::algorithm1::find_migration_points_interned;
 use addict_core::replay::ReplayConfig;
 use addict_core::sched::SchedulerKind;
 use addict_sim::SimConfig;
@@ -25,15 +28,24 @@ fn main() {
         n,
     );
 
-    // Trace generation mutates the storage engine, so it stays sequential;
-    // everything after is immutable and sweeps in parallel.
+    // All six (benchmark × profile/eval) ranges generate in one parallel
+    // wave — one storage engine per worker — and the interned workloads
+    // share a single Arc'd slice pool across the whole grid.
+    let ranges: Vec<_> = Benchmark::ALL
+        .iter()
+        .flat_map(|&b| profile_eval_ranges(b, n, n))
+        .collect();
+    let workloads = addict_bench::generate_interned(&ranges, args.threads);
     let data: Vec<_> = Benchmark::ALL
-        .map(|bench| {
-            let (profile, eval) = profile_and_eval(bench, n, n);
-            let map = migration_map(&profile, &ReplayConfig::paper_default());
-            (bench, eval, map)
+        .iter()
+        .zip(workloads.chunks_exact(2))
+        .map(|(&bench, pair)| {
+            let map = find_migration_points_interned(
+                pair[0].as_set(),
+                ReplayConfig::paper_default().sim.l1i,
+            );
+            (bench, &pair[1], map)
         })
-        .into_iter()
         .collect();
 
     let mut grid: Vec<SweepPoint<'_>> = Vec::new();
@@ -51,7 +63,7 @@ fn main() {
                         ..ReplayConfig::paper_default()
                     },
                     label,
-                    traces: &eval.xcts,
+                    traces: SweepTraces::Interned(eval.as_set()),
                     map: Some(map),
                 });
             }

@@ -1,0 +1,192 @@
+//! Parallel trace generation: the sequential prefix of every figure
+//! binary, fanned out through [`run_grid`](crate::sweep::run_grid).
+//!
+//! Trace generation is dominated by storage-engine population (building
+//! and loading a TPC-E database takes ~100x longer than tracing 400
+//! transactions against it), and each (benchmark × seed) trace range needs
+//! its own engine anyway — the profile and eval ranges are disjoint by
+//! seed, matching the paper's disjoint trace ranges (1–1000 profile,
+//! 1001–2000 eval). So the unit of parallelism is the **range**: one
+//! worker per range, one private storage engine per worker, results
+//! returned in range order.
+//!
+//! # Determinism
+//!
+//! A range's output is a pure function of `(benchmark, n, seed, scale)`:
+//! the engine is freshly built and the RNG freshly seeded inside the
+//! worker, nothing crosses ranges, and `run_grid` never lets completion
+//! order leak into result order. `generate(ranges, 1)` and
+//! `generate(ranges, n)` are therefore **bit-identical**, and each range
+//! equals a direct sequential `collect_traces` on a fresh engine —
+//! asserted by `tests/gen_determinism.rs`.
+//!
+//! [`generate_interned`] is the compact-form twin: each worker interns
+//! traces *as they complete* into a worker-local
+//! [`SlicePool`](addict_trace::SlicePool), and the local pools merge into
+//! one master arena in range order (so the master layout is also
+//! thread-count-independent). The returned workloads all share the master
+//! pool behind one `Arc`.
+
+use std::sync::Arc;
+
+use addict_trace::{InternedTrace, InternedWorkload, SlicePool, WorkloadTrace};
+use addict_workloads::{collect_traces, collect_traces_interned, Benchmark};
+
+use crate::sweep::run_grid;
+
+/// One trace-generation range: `n` transactions of `bench` from `seed`,
+/// executed on a fresh private storage engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenRange {
+    /// Benchmark to build and trace.
+    pub bench: Benchmark,
+    /// Transactions to run.
+    pub n: usize,
+    /// RNG seed of the transaction stream.
+    pub seed: u64,
+    /// Use the reduced test-scale population (`setup_small`).
+    pub small: bool,
+}
+
+impl GenRange {
+    /// A full-scale range (the figure binaries' configuration).
+    pub fn new(bench: Benchmark, n: usize, seed: u64) -> Self {
+        GenRange {
+            bench,
+            n,
+            seed,
+            small: false,
+        }
+    }
+
+    /// The same range at test scale.
+    pub fn small(bench: Benchmark, n: usize, seed: u64) -> Self {
+        GenRange {
+            bench,
+            n,
+            seed,
+            small: true,
+        }
+    }
+
+    fn setup(
+        &self,
+    ) -> (
+        addict_storage::Engine,
+        Box<dyn addict_workloads::WorkloadRunner>,
+    ) {
+        if self.small {
+            self.bench.setup_small()
+        } else {
+            self.bench.setup()
+        }
+    }
+}
+
+// Thread-safety audit: ranges are shared into generation workers; traces
+// and interned parts travel back to the collecting thread. (Engines and
+// runners are created, used, and dropped entirely inside one worker — they
+// never cross threads and are deliberately not part of this contract.)
+const _: () = {
+    const fn shared<T: Send + Sync>() {}
+    shared::<GenRange>();
+    shared::<WorkloadTrace>();
+    shared::<InternedTrace>();
+    shared::<SlicePool>();
+};
+
+/// Generate every range on `threads` worker threads, one storage engine
+/// per worker, returning the workloads in range order. Bit-identical to
+/// running each range sequentially.
+pub fn generate(ranges: &[GenRange], threads: usize) -> Vec<WorkloadTrace> {
+    run_grid(ranges, threads, |_, r| {
+        let (mut engine, mut workload) = r.setup();
+        collect_traces(&mut engine, workload.as_mut(), r.n, r.seed)
+    })
+}
+
+/// [`generate`] in interned form: workers intern as they collect (the flat
+/// trace set never materializes), worker-local pools merge in range order,
+/// and every returned workload shares the single master arena.
+pub fn generate_interned(ranges: &[GenRange], threads: usize) -> Vec<InternedWorkload> {
+    let parts = run_grid(ranges, threads, |_, r| {
+        let (mut engine, mut workload) = r.setup();
+        let mut pool = SlicePool::new();
+        let xcts = collect_traces_interned(&mut engine, workload.as_mut(), r.n, r.seed, &mut pool);
+        (
+            workload.name().to_owned(),
+            workload.xct_type_names(),
+            pool,
+            xcts,
+        )
+    });
+    let mut master = SlicePool::new();
+    let merged: Vec<(String, Vec<String>, Vec<InternedTrace>)> = parts
+        .into_iter()
+        .map(|(name, type_names, pool, xcts)| {
+            let remapped = xcts
+                .iter()
+                .map(|t| t.reintern(&pool, &mut master))
+                .collect();
+            (name, type_names, remapped)
+        })
+        .collect();
+    let master = Arc::new(master);
+    merged
+        .into_iter()
+        .map(|(name, xct_type_names, xcts)| InternedWorkload {
+            name,
+            xct_type_names,
+            pool: Arc::clone(&master),
+            xcts,
+        })
+        .collect()
+}
+
+/// Profile + eval ranges for one benchmark (the standard figure-binary
+/// shape: disjoint seeds, fresh engine each).
+pub fn profile_eval_ranges(bench: Benchmark, n_profile: usize, n_eval: usize) -> [GenRange; 2] {
+    [
+        GenRange::new(bench, n_profile, crate::PROFILE_SEED),
+        GenRange::new(bench, n_eval, crate::EVAL_SEED),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_orders_results_by_range() {
+        let ranges = [
+            GenRange::small(Benchmark::TpcB, 3, 1),
+            GenRange::small(Benchmark::TpcB, 5, 2),
+        ];
+        let out = generate(&ranges, 2);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].xcts.len(), 3);
+        assert_eq!(out[1].xcts.len(), 5);
+        assert_eq!(out[0].name, "TPC-B");
+    }
+
+    #[test]
+    fn interned_generation_shares_one_pool() {
+        let ranges = [
+            GenRange::small(Benchmark::TpcB, 4, 1),
+            GenRange::small(Benchmark::TpcB, 4, 2),
+        ];
+        let out = generate_interned(&ranges, 2);
+        assert_eq!(out.len(), 2);
+        assert!(Arc::ptr_eq(&out[0].pool, &out[1].pool));
+        assert_eq!(out[0].xcts.len(), 4);
+        // Interned generation is lossless against the flat path.
+        let flat = generate(&ranges, 1);
+        for (iw, fw) in out.iter().zip(&flat) {
+            let back = iw.flatten();
+            assert_eq!(back.xcts.len(), fw.xcts.len());
+            for (a, b) in back.xcts.iter().zip(&fw.xcts) {
+                assert_eq!(a.events, b.events);
+            }
+        }
+    }
+}

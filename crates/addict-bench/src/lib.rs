@@ -16,7 +16,7 @@
 //! | `fig8`   | Figure 8 — deeper hierarchy + power (Sections 4.6, 4.7) |
 //! | `fig9`   | Figure 9 — context switches + overhead breakdown |
 //! | `ablation` | DESIGN.md §3 design-choice ablations (beyond the paper) |
-//! | `bench`  | `BENCH_n.json` — replay throughput (events/sec) per scheduler, flat vs segment-granular execution (see BENCHMARKS.md) |
+//! | `bench`  | `BENCH_n.json` — replay throughput (events/sec) per scheduler, flat vs segment-granular vs interned execution + trace-memory footprint (see BENCHMARKS.md) |
 //!
 //! Every binary accepts the trace count as its first argument (default
 //! 600; the paper uses 1000 for profiling and 1000 for evaluation —
@@ -24,6 +24,7 @@
 //! deterministic: seed 1 profiles, seed 2 evaluates, matching the paper's
 //! disjoint trace ranges.
 
+pub mod gen;
 pub mod sweep;
 
 use addict_core::algorithm1::MigrationMap;
@@ -31,9 +32,10 @@ use addict_core::find_migration_points;
 use addict_core::replay::{ReplayConfig, ReplayResult};
 use addict_core::sched::{run_scheduler, SchedulerKind};
 use addict_trace::WorkloadTrace;
-use addict_workloads::{collect_traces, Benchmark};
+use addict_workloads::Benchmark;
 
-pub use sweep::{run_grid, run_sweep, threads_from, SweepPoint};
+pub use gen::{generate, generate_interned, profile_eval_ranges, GenRange};
+pub use sweep::{run_grid, run_point, run_sweep, threads_from, SweepPoint, SweepTraces};
 
 /// Profiling seed (the paper's traces 1–1000).
 pub const PROFILE_SEED: u64 = 1;
@@ -110,14 +112,45 @@ pub fn parse_bench_args_from(args: &[String], default_n: usize) -> BenchArgs {
 }
 
 /// Build a benchmark and collect disjoint profiling and evaluation traces.
+///
+/// The two ranges generate **in parallel** (one private storage engine
+/// each — see [`gen`]) on the thread count of [`threads_from`] over the
+/// process arguments, so the flag-less figure binaries (`fig1`–`fig6`,
+/// `fig9`) lose their sequential generation prefix without parsing
+/// anything themselves. This is deliberately argv/env-driven — binaries
+/// that parse `--threads` should pass it to [`profile_and_eval_on`]
+/// explicitly instead. An `n_eval` of 0 skips the second engine entirely.
 pub fn profile_and_eval(
     bench: Benchmark,
     n_profile: usize,
     n_eval: usize,
 ) -> (WorkloadTrace, WorkloadTrace) {
-    let (mut engine, mut workload) = bench.setup();
-    let profile = collect_traces(&mut engine, workload.as_mut(), n_profile, PROFILE_SEED);
-    let eval = collect_traces(&mut engine, workload.as_mut(), n_eval, EVAL_SEED);
+    let args: Vec<String> = std::env::args().collect();
+    profile_and_eval_on(bench, n_profile, n_eval, threads_from(&args))
+}
+
+/// [`profile_and_eval`] with an explicit generation thread count.
+pub fn profile_and_eval_on(
+    bench: Benchmark,
+    n_profile: usize,
+    n_eval: usize,
+    threads: usize,
+) -> (WorkloadTrace, WorkloadTrace) {
+    if n_eval == 0 {
+        // One range only: don't pay a second engine population just to
+        // learn the (identical) workload metadata.
+        let mut out = generate(&[GenRange::new(bench, n_profile, PROFILE_SEED)], 1);
+        let profile = out.pop().expect("one range generated");
+        let eval = WorkloadTrace {
+            name: profile.name.clone(),
+            xct_type_names: profile.xct_type_names.clone(),
+            xcts: Vec::new(),
+        };
+        return (profile, eval);
+    }
+    let mut out = generate(&profile_eval_ranges(bench, n_profile, n_eval), threads);
+    let eval = out.pop().expect("two ranges generated");
+    let profile = out.pop().expect("two ranges generated");
     (profile, eval)
 }
 
@@ -157,6 +190,7 @@ pub fn header(artifact: &str, what: &str, n: usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use addict_workloads::collect_traces;
 
     #[test]
     fn norm_guards_zero() {

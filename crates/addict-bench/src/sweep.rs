@@ -17,7 +17,10 @@
 //!   plain sequential loop — no threads spawned at all.
 //! * [`SweepPoint`] / [`run_sweep`] — the declarative layer used by the
 //!   figure binaries: one point per (benchmark, scheduler, replay config)
-//!   cell, dispatched through [`run_scheduler`].
+//!   cell, dispatched through [`run_scheduler`]. Points carry either
+//!   trace layout ([`SweepTraces`]): flat slices, or interned sets whose
+//!   `Arc`-shared [`SlicePool`](addict_trace::SlicePool) gives all N
+//!   worker threads one read-only, deduplicated working set.
 //!
 //! # Determinism
 //!
@@ -33,11 +36,57 @@ use std::sync::Mutex;
 use addict_core::algorithm1::MigrationMap;
 use addict_core::replay::{ReplayConfig, ReplayResult};
 use addict_core::sched::{run_scheduler, SchedulerKind};
-use addict_trace::XctTrace;
+use addict_trace::{InternedSet, XctTrace};
 use addict_workloads::Benchmark;
 
+/// The traces a sweep point replays: flat, or interned against a shared
+/// [`SlicePool`](addict_trace::SlicePool) arena. Grid points built from
+/// one `Arc`'d pool all borrow the *same* read-only working set, so N
+/// sweep threads replay thousands of traces out of one deduplicated arena
+/// instead of N private event-vector copies.
+#[derive(Debug, Clone, Copy)]
+pub enum SweepTraces<'a> {
+    /// Flat per-trace event vectors.
+    Flat(&'a [XctTrace]),
+    /// Interned traces + their shared pool.
+    Interned(InternedSet<'a>),
+}
+
+impl SweepTraces<'_> {
+    /// Number of traces in the set.
+    pub fn len(&self) -> usize {
+        match self {
+            SweepTraces::Flat(t) => t.len(),
+            SweepTraces::Interned(s) => s.xcts.len(),
+        }
+    }
+
+    /// True when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<'a> From<&'a [XctTrace]> for SweepTraces<'a> {
+    fn from(t: &'a [XctTrace]) -> Self {
+        SweepTraces::Flat(t)
+    }
+}
+
+impl<'a> From<&'a Vec<XctTrace>> for SweepTraces<'a> {
+    fn from(t: &'a Vec<XctTrace>) -> Self {
+        SweepTraces::Flat(t)
+    }
+}
+
+impl<'a> From<InternedSet<'a>> for SweepTraces<'a> {
+    fn from(s: InternedSet<'a>) -> Self {
+        SweepTraces::Interned(s)
+    }
+}
+
 /// One cell of a sweep grid: replay `traces` under `scheduler` with
-/// `replay_cfg`. The trace slice and migration map are shared across all
+/// `replay_cfg`. The trace set and migration map are shared across all
 /// points (and threads) immutably.
 #[derive(Debug, Clone)]
 pub struct SweepPoint<'a> {
@@ -49,8 +98,9 @@ pub struct SweepPoint<'a> {
     pub replay_cfg: ReplayConfig,
     /// Row label for reports ("batch=8", "deep", ...).
     pub label: &'static str,
-    /// Evaluation traces, shared immutably across the grid.
-    pub traces: &'a [XctTrace],
+    /// Evaluation traces (flat or interned), shared immutably across the
+    /// grid.
+    pub traces: SweepTraces<'a>,
     /// Algorithm 1 migration map (required by ADDICT), shared immutably.
     pub map: Option<&'a MigrationMap>,
 }
@@ -75,10 +125,12 @@ impl SweepPoint<'_> {
 const _: () = {
     const fn shared<T: Send + Sync>() {}
     shared::<SweepPoint<'_>>();
+    shared::<SweepTraces<'_>>();
     shared::<ReplayConfig>();
     shared::<ReplayResult>();
     shared::<MigrationMap>();
     shared::<XctTrace>();
+    shared::<InternedSet<'_>>();
     shared::<SchedulerKind>();
     shared::<Benchmark>();
 };
@@ -138,11 +190,19 @@ where
 }
 
 /// Replay every [`SweepPoint`] of `grid` on `threads` threads, returning
-/// the [`ReplayResult`]s in grid order.
+/// the [`ReplayResult`]s in grid order. Flat and interned points dispatch
+/// to their own monomorphized replay loop — the layout match happens once
+/// per point, never inside the hot path.
 pub fn run_sweep(grid: &[SweepPoint<'_>], threads: usize) -> Vec<ReplayResult> {
-    run_grid(grid, threads, |_, p| {
-        run_scheduler(p.scheduler, p.traces, p.map, &p.replay_cfg)
-    })
+    run_grid(grid, threads, |_, p| run_point(p))
+}
+
+/// Replay one [`SweepPoint`] (the sweep's unit of work).
+pub fn run_point(p: &SweepPoint<'_>) -> ReplayResult {
+    match p.traces {
+        SweepTraces::Flat(traces) => run_scheduler(p.scheduler, traces, p.map, &p.replay_cfg),
+        SweepTraces::Interned(set) => run_scheduler(p.scheduler, &set, p.map, &p.replay_cfg),
+    }
 }
 
 #[cfg(test)]

@@ -1,15 +1,17 @@
 //! Cross-thread determinism of the sweep engine: the same grid executed
 //! at 1 thread and at N threads must produce **byte-identical** results.
 //!
-//! Every replay owns its `Machine` and shares its inputs immutably, so
-//! thread interleaving has nothing to leak into — this test is the
-//! executable statement of that contract, and the gate the `bench` binary
-//! re-checks on every artifact run.
+//! Every replay owns its `Machine` and shares its inputs immutably — the
+//! interned points additionally share one `Arc`'d slice pool — so thread
+//! interleaving has nothing to leak into. This test is the executable
+//! statement of that contract, and the gate the `bench` binary re-checks
+//! on every artifact run.
 
-use addict_bench::{migration_map, run_sweep, SweepPoint, EVAL_SEED, PROFILE_SEED};
+use addict_bench::{migration_map, run_sweep, SweepPoint, SweepTraces, EVAL_SEED, PROFILE_SEED};
 use addict_core::replay::{ReplayConfig, ReplayResult};
 use addict_core::sched::SchedulerKind;
 use addict_sim::SimConfig;
+use addict_trace::InternedWorkload;
 use addict_workloads::{collect_traces, Benchmark};
 
 /// The canonical byte form of a sweep's outcome. `ReplayResult`'s `Debug`
@@ -25,11 +27,13 @@ fn sweep_is_bit_identical_across_thread_counts() {
     let (mut engine, mut workload) = Benchmark::TpcB.setup_small();
     let profile = collect_traces(&mut engine, workload.as_mut(), 24, PROFILE_SEED);
     let eval = collect_traces(&mut engine, workload.as_mut(), 24, EVAL_SEED);
+    let interned = InternedWorkload::from_flat(&eval);
     let cfg = ReplayConfig::paper_default();
     let map = migration_map(&profile, &cfg);
 
-    // A grid spanning all four schedulers, two batch sizes, and both
-    // hierarchies: 4 + 2 + 2 = 8 points.
+    // A grid spanning all four schedulers over both trace layouts (the
+    // interned points all borrowing the same pool), two batch sizes, and
+    // both hierarchies: 4 + 4 + 2 + 2 = 12 points.
     let mut grid: Vec<SweepPoint<'_>> = SchedulerKind::ALL
         .iter()
         .map(|&scheduler| SweepPoint {
@@ -37,17 +41,27 @@ fn sweep_is_bit_identical_across_thread_counts() {
             scheduler,
             replay_cfg: cfg.clone(),
             label: "default",
-            traces: &eval.xcts,
+            traces: SweepTraces::Flat(&eval.xcts),
             map: Some(&map),
         })
         .collect();
+    for &scheduler in &SchedulerKind::ALL {
+        grid.push(SweepPoint {
+            benchmark: Benchmark::TpcB,
+            scheduler,
+            replay_cfg: cfg.clone(),
+            label: "interned",
+            traces: SweepTraces::Interned(interned.as_set()),
+            map: Some(&map),
+        });
+    }
     for batch in [4usize, 8] {
         grid.push(SweepPoint {
             benchmark: Benchmark::TpcB,
             scheduler: SchedulerKind::Addict,
             replay_cfg: ReplayConfig::paper_default().with_batch_size(batch),
             label: "batch",
-            traces: &eval.xcts,
+            traces: SweepTraces::Flat(&eval.xcts),
             map: Some(&map),
         });
     }
@@ -60,7 +74,7 @@ fn sweep_is_bit_identical_across_thread_counts() {
                 ..ReplayConfig::paper_default()
             },
             label: "deep",
-            traces: &eval.xcts,
+            traces: SweepTraces::Interned(interned.as_set()),
             map: Some(&map),
         });
     }
@@ -68,14 +82,32 @@ fn sweep_is_bit_identical_across_thread_counts() {
     let sequential = serialize(&run_sweep(&grid, 1));
     // An even split, an uneven split, and more workers than points: every
     // scheduling shape must reproduce the sequential bytes exactly.
+    let mut two_thread_results = None;
     for threads in [2usize, 3, 16] {
-        let parallel = serialize(&run_sweep(&grid, threads));
+        let results = run_sweep(&grid, threads);
         assert_eq!(
-            sequential, parallel,
+            sequential,
+            serialize(&results),
             "sweep output changed at {threads} threads"
         );
+        if threads == 2 {
+            two_thread_results = Some(results);
+        }
     }
     // And a repeated 1-thread run is stable with itself (no hidden global
     // state between sweeps).
     assert_eq!(sequential, serialize(&run_sweep(&grid, 1)));
+
+    // The flat and interned layouts of the same traces must agree
+    // bit-for-bit, scheduler by scheduler (points 0..4 vs 4..8; reusing
+    // the 2-thread run from above).
+    let results = two_thread_results.expect("2-thread run executed");
+    for (flat, interned) in results[..4].iter().zip(&results[4..8]) {
+        assert_eq!(
+            serialize(std::slice::from_ref(flat)),
+            serialize(std::slice::from_ref(interned)),
+            "interned replay diverged from flat for {}",
+            flat.scheduler
+        );
+    }
 }

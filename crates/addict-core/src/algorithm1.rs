@@ -120,12 +120,33 @@ impl MigrationMap {
     }
 }
 
-/// Run Algorithm 1 over profiling traces with the given L1-I geometry.
-pub fn find_migration_points(traces: &[XctTrace], l1i: CacheGeometry) -> MigrationMap {
-    let mut map = MigrationMap::default();
-    for trace in traces {
+/// Incremental Algorithm 1: observe profiling traces one at a time, then
+/// [`finish`](Profiler::finish) into a [`MigrationMap`].
+///
+/// Trace-at-a-time observation is what lets interned profiling stay
+/// compact: each [`InternedTrace`](addict_trace::InternedTrace) is
+/// flattened transiently, observed, and dropped, so the whole uncompressed
+/// trace set never materializes.
+#[derive(Debug)]
+pub struct Profiler {
+    map: MigrationMap,
+    l1i: CacheGeometry,
+}
+
+impl Profiler {
+    /// A profiler over the given L1-I geometry.
+    pub fn new(l1i: CacheGeometry) -> Self {
+        Profiler {
+            map: MigrationMap::default(),
+            l1i,
+        }
+    }
+
+    /// Feed one profiling trace (lines 1–16 of Algorithm 1).
+    pub fn observe(&mut self, trace: &XctTrace) {
+        let map = &mut self.map;
         *map.type_frequency.entry(trace.xct_type).or_insert(0) += 1;
-        let (instances, wrapper) = scan_trace(trace, l1i);
+        let (instances, wrapper) = scan_trace(trace, self.l1i);
         *map.wrapper_instructions.entry(trace.xct_type).or_insert(0) += wrapper;
         for (op, seq, instr) in instances {
             *map.op_frequency.entry((trace.xct_type, op)).or_insert(0) += 1;
@@ -137,17 +158,44 @@ pub fn find_migration_points(traces: &[XctTrace], l1i: CacheGeometry) -> Migrati
                 .or_insert(0) += 1;
         }
     }
-    // Line 17: the most frequent sequence wins; ties break to the
-    // lexicographically smallest for determinism.
-    for (key, seqs) in &map.counts {
-        let best = seqs
-            .iter()
-            .max_by(|(sa, ca), (sb, cb)| ca.cmp(cb).then_with(|| sb.cmp(sa)))
-            .map(|(s, _)| s.clone())
-            .expect("non-empty candidate set");
-        map.chosen.insert(*key, best);
+
+    /// Choose the winning sequences (line 17: most frequent; ties break to
+    /// the lexicographically smallest for determinism).
+    pub fn finish(self) -> MigrationMap {
+        let mut map = self.map;
+        for (key, seqs) in &map.counts {
+            let best = seqs
+                .iter()
+                .max_by(|(sa, ca), (sb, cb)| ca.cmp(cb).then_with(|| sb.cmp(sa)))
+                .map(|(s, _)| s.clone())
+                .expect("non-empty candidate set");
+            map.chosen.insert(*key, best);
+        }
+        map
     }
-    map
+}
+
+/// Run Algorithm 1 over profiling traces with the given L1-I geometry.
+pub fn find_migration_points(traces: &[XctTrace], l1i: CacheGeometry) -> MigrationMap {
+    let mut p = Profiler::new(l1i);
+    for trace in traces {
+        p.observe(trace);
+    }
+    p.finish()
+}
+
+/// [`find_migration_points`] over interned profiling traces: each trace is
+/// flattened transiently and observed, so memory stays bounded by one
+/// trace, not the profile set.
+pub fn find_migration_points_interned(
+    set: addict_trace::InternedSet<'_>,
+    l1i: CacheGeometry,
+) -> MigrationMap {
+    let mut p = Profiler::new(l1i);
+    for trace in set.xcts {
+        p.observe(&trace.flatten(set.pool));
+    }
+    p.finish()
 }
 
 /// The eviction sequences of every operation instance in one trace

@@ -28,7 +28,9 @@ pub mod replay;
 pub mod sched;
 pub mod specialize;
 
-pub use algorithm1::{find_migration_points, MigrationMap};
+pub use algorithm1::{
+    find_migration_points, find_migration_points_interned, MigrationMap, Profiler,
+};
 pub use plan::{AssignmentPlan, PlanConfig};
 pub use replay::{ReplayConfig, ReplayResult};
 pub use sched::{run_scheduler, SchedulerKind};

@@ -8,12 +8,21 @@
 //! (SLICC / ADDICT). Everything else — per-core clocks, FIFO run queues,
 //! latency bookkeeping, machine accounting — is shared by every scheduler,
 //! so measured differences come from scheduling decisions alone.
+//!
+//! The engine is also storage-layout-parameterized: it walks traces
+//! through [`TraceSet`], so flat `[XctTrace]` vectors and the interned
+//! arena-backed form ([`InternedSet`](addict_trace::InternedSet)) replay
+//! through the *identical* loop — one `fetch` per step (event plus run
+//! geometry in a single trace read), whole instruction runs executed
+//! segment-granularly inside the machine. Layout changes memory traffic,
+//! never a simulated bit.
 
 use std::collections::VecDeque;
 
 use addict_sim::{BlockAddr, CoreId, Machine, MachineStats, PowerModel, PowerReport, SimConfig};
 use addict_trace::event::FlatEvent;
-use addict_trace::{TraceEvent, XctTrace, XctTypeId};
+use addict_trace::set::{Fetched, TraceSet};
+use addict_trace::XctTypeId;
 use serde::{Deserialize, Serialize};
 
 /// Parameters of one replay run.
@@ -251,78 +260,9 @@ impl Cluster {
     }
 }
 
-/// Cursor over a trace's run-length-encoded events, yielding flat events.
-#[derive(Debug, Clone, Copy)]
-struct Cursor {
-    idx: usize,
-    off: u16,
-}
-
-impl Cursor {
-    fn peek(self, trace: &XctTrace) -> Option<FlatEvent> {
-        let ev = trace.events.get(self.idx)?;
-        Some(match *ev {
-            TraceEvent::XctBegin { xct_type } => FlatEvent::XctBegin(xct_type),
-            TraceEvent::XctEnd => FlatEvent::XctEnd,
-            TraceEvent::OpBegin { op } => FlatEvent::OpBegin(op),
-            TraceEvent::OpEnd { op } => FlatEvent::OpEnd(op),
-            TraceEvent::Data { block, write } => FlatEvent::Data { block, write },
-            TraceEvent::Instr { block, ipb, .. } => FlatEvent::Instr {
-                block: addict_sim::BlockAddr(block.0 + u64::from(self.off)),
-                n_instr: ipb,
-            },
-        })
-    }
-
-    fn advance(&mut self, trace: &XctTrace) {
-        if let Some(TraceEvent::Instr { n_blocks, .. }) = trace.events.get(self.idx) {
-            if self.off + 1 < *n_blocks {
-                self.off += 1;
-                return;
-            }
-        }
-        self.idx += 1;
-        self.off = 0;
-    }
-
-    /// If the cursor stands inside an instruction run, the remaining
-    /// segment: `(next block, blocks left, instructions per block)`.
-    fn instr_run(self, trace: &XctTrace) -> Option<(BlockAddr, u16, u16)> {
-        match trace.events.get(self.idx) {
-            Some(&TraceEvent::Instr {
-                block,
-                n_blocks,
-                ipb,
-            }) => Some((
-                BlockAddr(block.0 + u64::from(self.off)),
-                n_blocks - self.off,
-                ipb,
-            )),
-            _ => None,
-        }
-    }
-
-    /// Advance by `k` blocks within the current instruction run (ending it
-    /// exactly when the run is exhausted).
-    fn advance_blocks(&mut self, trace: &XctTrace, k: u16) {
-        debug_assert!(matches!(
-            trace.events.get(self.idx),
-            Some(TraceEvent::Instr { .. })
-        ));
-        if let Some(TraceEvent::Instr { n_blocks, .. }) = trace.events.get(self.idx) {
-            debug_assert!(self.off + k <= *n_blocks);
-            self.off += k;
-            if self.off >= *n_blocks {
-                self.idx += 1;
-                self.off = 0;
-            }
-        }
-    }
-}
-
 #[derive(Debug)]
-struct Thread {
-    cursor: Cursor,
+struct Thread<C> {
+    cursor: C,
     ready_at: f64,
     started_at: Option<f64>,
     finished_at: Option<f64>,
@@ -330,14 +270,15 @@ struct Thread {
 
 /// Group trace indexes into same-type batches of `batch_size`, preserving
 /// request order (Algorithm 2 line 16-17). Returns the dispatch order.
-pub fn batch_order(traces: &[XctTrace], batch_size: usize) -> Vec<Vec<usize>> {
+pub fn batch_order<T: TraceSet + ?Sized>(traces: &T, batch_size: usize) -> Vec<Vec<usize>> {
     let mut pending: Vec<(XctTypeId, Vec<usize>)> = Vec::new();
     let mut batches = Vec::new();
-    for (i, t) in traces.iter().enumerate() {
-        let entry = match pending.iter_mut().find(|(ty, _)| *ty == t.xct_type) {
+    for i in 0..traces.len() {
+        let ty = traces.xct_type(i);
+        let entry = match pending.iter_mut().find(|(t, _)| *t == ty) {
             Some(e) => e,
             None => {
-                pending.push((t.xct_type, Vec::new()));
+                pending.push((ty, Vec::new()));
                 pending.last_mut().expect("just pushed")
             }
         };
@@ -357,14 +298,16 @@ pub fn batch_order(traces: &[XctTrace], batch_size: usize) -> Vec<Vec<usize>> {
 
 /// Run the discrete-event replay.
 ///
-/// `placement(dispatch_index, trace)` gives each thread its initial core;
-/// threads are enqueued in `order`. The policy steers everything after
-/// that.
-pub fn run_des<P: Policy>(
+/// `placement(dispatch_index, xct_type)` gives each thread its initial
+/// core; threads are enqueued in `order`. The policy steers everything
+/// after that. Generic over the trace storage layout ([`TraceSet`]): the
+/// flat and interned forms replay through the identical engine, so they
+/// are bit-identical by construction.
+pub fn run_des<T: TraceSet + ?Sized, P: Policy>(
     machine: &mut Machine,
-    traces: &[XctTrace],
+    traces: &T,
     order: &[usize],
-    placement: impl Fn(usize, &XctTrace) -> usize,
+    placement: impl Fn(usize, XctTypeId) -> usize,
     policy: &mut P,
     scheduler_name: &str,
     cfg: &ReplayConfig,
@@ -405,11 +348,11 @@ pub enum Admission {
 /// does not change the data contention patterns"). `None` admits everything
 /// immediately (Baseline dispatch, STREX's overloaded cores).
 #[allow(clippy::too_many_arguments)]
-pub fn run_des_admitted<P: Policy>(
+pub fn run_des_admitted<T: TraceSet + ?Sized, P: Policy>(
     machine: &mut Machine,
-    traces: &[XctTrace],
+    traces: &T,
     order: &[usize],
-    placement: impl Fn(usize, &XctTrace) -> usize,
+    placement: impl Fn(usize, XctTypeId) -> usize,
     policy: &mut P,
     scheduler_name: &str,
     cfg: &ReplayConfig,
@@ -417,10 +360,9 @@ pub fn run_des_admitted<P: Policy>(
 ) -> ReplayResult {
     let n_cores = machine.n_cores();
     let mut cluster = Cluster::new(n_cores);
-    let mut threads: Vec<Thread> = traces
-        .iter()
+    let mut threads: Vec<Thread<T::Cursor>> = (0..traces.len())
         .map(|_| Thread {
-            cursor: Cursor { idx: 0, off: 0 },
+            cursor: T::Cursor::default(),
             ready_at: 0.0,
             started_at: None,
             finished_at: None,
@@ -436,7 +378,7 @@ pub fn run_des_admitted<P: Policy>(
                 Admission::BatchSerial { batch_of, .. } => batch_of[dispatch_idx],
                 _ => 0,
             };
-            (tid, placement(dispatch_idx, &traces[tid]), batch)
+            (tid, placement(dispatch_idx, traces.xct_type(tid)), batch)
         })
         .collect();
     let mut inflight = 0usize;
@@ -534,20 +476,28 @@ pub fn run_des_admitted<P: Policy>(
             };
         }
 
-        // Execute the segment.
+        // Execute the segment. Exactly one [`TraceSet::fetch`] per step:
+        // the fetch yields both the event and the run geometry needed to
+        // advance, so the cursor never re-reads the trace (the old cursor
+        // matched `events[idx]` up to three times per step).
         loop {
+            let fetched = traces.fetch(tid, threads[tid].cursor);
+
             // Segment-granular fast path: when the policy upholds the
             // [`Policy::segment_granular`] contract, whole instruction runs
             // execute inside the machine with the policy consulted only at
             // watched blocks (split out of the run below) and on L1-I
             // misses. Bit-identical to the per-block path.
             if use_segment {
-                if let Some((seg_start, remaining, ipb)) =
-                    threads[tid].cursor.instr_run(&traces[tid])
+                if let Fetched::Run {
+                    block: seg_start,
+                    rem,
+                    ipb,
+                } = fetched
                 {
-                    let mut limit = remaining;
+                    let mut limit = rem;
                     if let Some(w) = policy.watch_addr(tid) {
-                        if w.0 >= seg_start.0 && w.0 < seg_start.0 + u64::from(remaining) {
+                        if w.0 >= seg_start.0 && w.0 < seg_start.0 + u64::from(rem) {
                             // Execute up to (not including) the watched
                             // block; the per-block path below consults
                             // `pre` for it on the next iteration.
@@ -564,7 +514,7 @@ pub fn run_des_admitted<P: Policy>(
                             stop_on_miss,
                         );
                         now = out.now;
-                        threads[tid].cursor.advance_blocks(&traces[tid], out.blocks);
+                        traces.advance_run(tid, &mut threads[tid].cursor, rem, out.blocks);
                         if out.missed_last {
                             let ev = FlatEvent::Instr {
                                 block: BlockAddr(seg_start.0 + u64::from(out.blocks) - 1),
@@ -580,19 +530,32 @@ pub fn run_des_admitted<P: Policy>(
                 }
             }
 
-            let Some(ev) = threads[tid].cursor.peek(&traces[tid]) else {
-                threads[tid].finished_at = Some(now);
-                // A slot freed: admit whatever is allowed next.
-                inflight = inflight.saturating_sub(1);
-                inflight_of_batch = inflight_of_batch.saturating_sub(1);
-                admit(
-                    &mut pending,
-                    &mut cluster,
-                    &mut inflight,
-                    &mut inflight_batch,
-                    &mut inflight_of_batch,
-                );
-                break;
+            // Per-block path: instruction runs execute one block per step
+            // (`run_rem > 0` marks an in-run step; the run advances by one
+            // block without re-fetching the trace).
+            let (ev, run_rem) = match fetched {
+                Fetched::End => {
+                    threads[tid].finished_at = Some(now);
+                    // A slot freed: admit whatever is allowed next.
+                    inflight = inflight.saturating_sub(1);
+                    inflight_of_batch = inflight_of_batch.saturating_sub(1);
+                    admit(
+                        &mut pending,
+                        &mut cluster,
+                        &mut inflight,
+                        &mut inflight_batch,
+                        &mut inflight_of_batch,
+                    );
+                    break;
+                }
+                Fetched::Run { block, rem, ipb } => (
+                    FlatEvent::Instr {
+                        block,
+                        n_instr: ipb,
+                    },
+                    rem,
+                ),
+                Fetched::Event(ev) => (ev, 0),
             };
             let pre_action = policy.pre(tid, ev, core, machine, &cluster, now);
             if let Action::MigrateTo(dest) = pre_action {
@@ -614,7 +577,11 @@ pub fn run_des_admitted<P: Policy>(
                 _ => 0.0,
             };
             now += cycles;
-            threads[tid].cursor.advance(&traces[tid]);
+            if run_rem > 0 {
+                traces.advance_run(tid, &mut threads[tid].cursor, run_rem, 1);
+            } else {
+                traces.advance_event(tid, &mut threads[tid].cursor, ev);
+            }
             let missed = machine.stats().cores[core].l1i_misses > miss_before;
 
             let post_action = policy.post(tid, ev, core, missed, machine, &cluster, now);
@@ -656,6 +623,7 @@ pub fn run_des_admitted<P: Policy>(
 mod tests {
     use super::*;
     use addict_sim::BlockAddr;
+    use addict_trace::{TraceEvent, XctTrace};
 
     fn mini_trace(ty: u16, base: u64) -> XctTrace {
         XctTrace {
@@ -712,15 +680,14 @@ mod tests {
 
     #[test]
     fn cursor_expands_runs_in_order() {
-        let t = mini_trace(0, 0x40);
-        let mut c = Cursor { idx: 0, off: 0 };
-        let mut blocks = Vec::new();
-        while let Some(ev) = c.peek(&t) {
-            if let FlatEvent::Instr { block, .. } = ev {
-                blocks.push(block.0);
-            }
-            c.advance(&t);
-        }
+        let traces = vec![mini_trace(0, 0x40)];
+        let blocks: Vec<u64> = addict_trace::set::flat_events_of(&traces, 0)
+            .into_iter()
+            .filter_map(|ev| match ev {
+                FlatEvent::Instr { block, .. } => Some(block.0),
+                _ => None,
+            })
+            .collect();
         assert_eq!(blocks, vec![0x40, 0x41, 0x42, 0x43]);
     }
 

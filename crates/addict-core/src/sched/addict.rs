@@ -11,7 +11,7 @@
 
 use addict_sim::Machine;
 use addict_trace::event::FlatEvent;
-use addict_trace::{OpKind, XctTrace, XctTypeId};
+use addict_trace::{OpKind, TraceSet, XctTypeId};
 
 use crate::plan::{AssignmentPlan, Slot, XctPlan};
 use crate::replay::{
@@ -223,13 +223,17 @@ impl Policy for AddictPolicy<'_> {
 }
 
 /// Replay under ADDICT with the given assignment plan.
-pub fn run(traces: &[XctTrace], plan: &AssignmentPlan, cfg: &ReplayConfig) -> ReplayResult {
+pub fn run<T: TraceSet + ?Sized>(
+    traces: &T,
+    plan: &AssignmentPlan,
+    cfg: &ReplayConfig,
+) -> ReplayResult {
     run_with_options(traces, plan, cfg, false)
 }
 
 /// Replay with dynamic reassignment switchable (ablation).
-pub fn run_with_options(
-    traces: &[XctTrace],
+pub fn run_with_options<T: TraceSet + ?Sized>(
+    traces: &T,
     plan: &AssignmentPlan,
     cfg: &ReplayConfig,
     reassign: bool,
@@ -244,7 +248,7 @@ pub fn run_with_options(
     let mut type_run = 0usize;
     let mut prev_type = None;
     for batch in &batches {
-        let ty = traces[batch[0]].xct_type;
+        let ty = traces.xct_type(batch[0]);
         if prev_type.is_some_and(|p| p != ty) {
             type_run += 1;
         }
@@ -255,7 +259,7 @@ pub fn run_with_options(
         }
     }
 
-    let xct_types: Vec<XctTypeId> = traces.iter().map(|t| t.xct_type).collect();
+    let xct_types: Vec<XctTypeId> = (0..traces.len()).map(|i| traces.xct_type(i)).collect();
     let mut policy = AddictPolicy {
         plan,
         xct_types,
@@ -272,7 +276,7 @@ pub fn run_with_options(
         &mut machine,
         traces,
         &order,
-        move |dispatch_idx, trace| match plan_ref.of(trace.xct_type) {
+        move |dispatch_idx, xct_type| match plan_ref.of(xct_type) {
             Some(xp) if !xp.fallback => xp.slots[xp.entry_slot].cores[0],
             _ => dispatch_idx % n_cores,
         },
@@ -292,7 +296,7 @@ mod tests {
     use crate::algorithm1::find_migration_points;
     use crate::plan::PlanConfig;
     use addict_sim::{BlockAddr, SimConfig};
-    use addict_trace::{TraceEvent, XctTypeId};
+    use addict_trace::{TraceEvent, XctTrace, XctTypeId};
 
     const XT: XctTypeId = XctTypeId(0);
 

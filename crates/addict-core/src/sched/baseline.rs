@@ -2,7 +2,7 @@
 //! and finishes on one core; no batching, no migration (Section 4.1).
 
 use addict_sim::Machine;
-use addict_trace::XctTrace;
+use addict_trace::TraceSet;
 
 use crate::replay::{run_des, Policy, ReplayConfig, ReplayResult};
 
@@ -28,7 +28,7 @@ impl Policy for NoMovement {
 }
 
 /// Replay under traditional scheduling.
-pub fn run(traces: &[XctTrace], cfg: &ReplayConfig) -> ReplayResult {
+pub fn run<T: TraceSet + ?Sized>(traces: &T, cfg: &ReplayConfig) -> ReplayResult {
     let mut machine = Machine::new(&cfg.sim);
     let n_cores = cfg.sim.n_cores;
     let order: Vec<usize> = (0..traces.len()).collect();
@@ -47,7 +47,7 @@ pub fn run(traces: &[XctTrace], cfg: &ReplayConfig) -> ReplayResult {
 mod tests {
     use super::*;
     use addict_sim::{BlockAddr, SimConfig};
-    use addict_trace::{TraceEvent, XctTypeId};
+    use addict_trace::{TraceEvent, XctTrace, XctTypeId};
 
     fn trace(blocks: u16) -> XctTrace {
         XctTrace {

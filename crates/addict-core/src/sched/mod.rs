@@ -12,7 +12,7 @@ pub mod baseline;
 pub mod slicc;
 pub mod strex;
 
-use addict_trace::XctTrace;
+use addict_trace::TraceSet;
 
 use crate::algorithm1::MigrationMap;
 use crate::plan::{AssignmentPlan, PlanConfig};
@@ -60,9 +60,9 @@ impl SchedulerKind {
 ///
 /// # Panics
 /// Panics if `kind` is [`SchedulerKind::Addict`] and `map` is `None`.
-pub fn run_scheduler(
+pub fn run_scheduler<T: TraceSet + ?Sized>(
     kind: SchedulerKind,
-    traces: &[XctTrace],
+    traces: &T,
     map: Option<&MigrationMap>,
     cfg: &ReplayConfig,
 ) -> ReplayResult {

@@ -12,7 +12,7 @@
 
 use addict_sim::Machine;
 use addict_trace::event::FlatEvent;
-use addict_trace::XctTrace;
+use addict_trace::TraceSet;
 
 use crate::replay::{
     batch_order, run_des_admitted, Action, Admission, Cluster, Policy, ReplayConfig, ReplayResult,
@@ -88,7 +88,7 @@ impl Policy for SliccPolicy {
 }
 
 /// Replay under SLICC.
-pub fn run(traces: &[XctTrace], cfg: &ReplayConfig) -> ReplayResult {
+pub fn run<T: TraceSet + ?Sized>(traces: &T, cfg: &ReplayConfig) -> ReplayResult {
     let mut machine = Machine::new(&cfg.sim);
     let n_cores = cfg.sim.n_cores;
     let batches = batch_order(traces, cfg.batch_size);
@@ -100,7 +100,7 @@ pub fn run(traces: &[XctTrace], cfg: &ReplayConfig) -> ReplayResult {
     let mut type_run = 0usize;
     let mut prev_type = None;
     for batch in &batches {
-        let ty = traces[batch[0]].xct_type;
+        let ty = traces.xct_type(batch[0]);
         if prev_type.is_some_and(|p| p != ty) {
             type_run += 1;
         }
@@ -136,7 +136,7 @@ pub fn run(traces: &[XctTrace], cfg: &ReplayConfig) -> ReplayResult {
 mod tests {
     use super::*;
     use addict_sim::{BlockAddr, SimConfig};
-    use addict_trace::{TraceEvent, XctTypeId};
+    use addict_trace::{TraceEvent, XctTrace, XctTypeId};
 
     /// A trace spanning multiple L1-I-sized strata of shared code.
     fn big_trace() -> XctTrace {

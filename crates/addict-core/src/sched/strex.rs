@@ -12,7 +12,7 @@
 
 use addict_sim::Machine;
 use addict_trace::event::FlatEvent;
-use addict_trace::XctTrace;
+use addict_trace::TraceSet;
 
 use crate::replay::{batch_order, run_des, Action, Cluster, Policy, ReplayConfig, ReplayResult};
 
@@ -62,7 +62,7 @@ impl Policy for StrexPolicy {
 }
 
 /// Replay under STREX.
-pub fn run(traces: &[XctTrace], cfg: &ReplayConfig) -> ReplayResult {
+pub fn run<T: TraceSet + ?Sized>(traces: &T, cfg: &ReplayConfig) -> ReplayResult {
     let mut machine = Machine::new(&cfg.sim);
     let n_cores = cfg.sim.n_cores;
     let batches = batch_order(traces, cfg.batch_size);
@@ -73,7 +73,7 @@ pub fn run(traces: &[XctTrace], cfg: &ReplayConfig) -> ReplayResult {
     let mut placement = vec![0usize; traces.len()];
     let mut core_work = vec![0u64; n_cores];
     for batch in &batches {
-        let work: u64 = batch.iter().map(|&tid| traces[tid].instructions()).sum();
+        let work: u64 = batch.iter().map(|&tid| traces.instructions_of(tid)).sum();
         let core = (0..n_cores)
             .min_by_key(|&c| core_work[c])
             .expect("cores > 0");
@@ -103,7 +103,7 @@ pub fn run(traces: &[XctTrace], cfg: &ReplayConfig) -> ReplayResult {
 mod tests {
     use super::*;
     use addict_sim::{BlockAddr, SimConfig};
-    use addict_trace::{TraceEvent, XctTypeId};
+    use addict_trace::{TraceEvent, XctTrace, XctTypeId};
 
     /// A trace whose footprint exceeds one L1-I (512 blocks at 32 KB).
     fn big_trace() -> XctTrace {

@@ -1,0 +1,732 @@
+//! Interned, arena-backed traces: the replay working set shrunk to the
+//! *distinct code paths* of the workload.
+//!
+//! TPC transaction traces repeat near-identical event sequences per
+//! transaction type — the very instruction locality ADDICT exploits on the
+//! simulated machine. Flat `XctTrace`s waste that locality on the *host*:
+//! every trace owns its own `Vec<TraceEvent>`, so at thousands of traces
+//! replay streams tens of megabytes of near-duplicate events through the
+//! host's memory hierarchy. This module stores each distinct event
+//! sequence **once**:
+//!
+//! * [`SlicePool`] — a content-addressed arena: one contiguous
+//!   `Vec<TraceEvent>` backing store holding deduplicated *canonical*
+//!   slices (data-access block addresses blanked, since those vary per
+//!   transaction even when control flow repeats);
+//! * [`SliceRef`] — an 8-byte reference `{ pool_idx, len }` into the pool;
+//! * [`InternedTrace`] — a trace as a compact `Vec<SliceRef>` plus the
+//!   per-trace varying parts: the data-access block addresses, in stream
+//!   order;
+//! * [`InternedWorkload`] — the interned form of a `WorkloadTrace`, its
+//!   pool behind an `Arc` so replay threads (and whole sweep grids) share
+//!   one read-only working set;
+//! * [`InternedSet`] — the borrowed `(pool, traces)` view that implements
+//!   [`TraceSet`], letting the replay engine walk `SliceRef`s directly.
+//!
+//! Slices split at **operation boundaries** (`OpBegin` starts a new slice,
+//! `OpEnd` ends one): op bodies are the unit the paper shows repeating
+//! across instances, and measured on TPC-C they dedup ~35x at this
+//! granularity. Interning is lossless — [`InternedTrace::flatten`]
+//! reproduces the original event sequence bit-for-bit, and the round-trip
+//! is property-tested in `tests/intern_roundtrip.rs`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use addict_sim::BlockAddr;
+use serde::{Deserialize, Serialize};
+
+use crate::event::{FlatEvent, TraceEvent, WorkloadTrace, XctTrace, XctTypeId};
+use crate::set::{Fetched, TraceSet};
+
+/// A reference to one deduplicated slice in a [`SlicePool`]: `len` events
+/// starting at `pool_idx` in the backing store. 8 bytes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SliceRef {
+    /// Start offset into the pool's backing store.
+    pub pool_idx: u32,
+    /// Number of events in the slice (always ≥ 1).
+    pub len: u32,
+}
+
+/// FNV-1a over a canonical slice. Deterministic (unlike `RandomState`), so
+/// pool layout is a pure function of interning order.
+fn hash_slice(events: &[TraceEvent]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+    };
+    for e in events {
+        match *e {
+            TraceEvent::XctBegin { xct_type } => mix(1 | (u64::from(xct_type.0) << 8)),
+            TraceEvent::XctEnd => mix(2),
+            TraceEvent::OpBegin { op } => mix(3 | ((op as u64) << 8)),
+            TraceEvent::OpEnd { op } => mix(4 | ((op as u64) << 8)),
+            TraceEvent::Instr {
+                block,
+                n_blocks,
+                ipb,
+            } => {
+                mix(5 | (u64::from(n_blocks) << 8) | (u64::from(ipb) << 32));
+                mix(block.0);
+            }
+            TraceEvent::Data { write, .. } => mix(6 | (u64::from(write) << 8)),
+        }
+    }
+    h
+}
+
+/// Content-addressed arena of deduplicated canonical event slices.
+///
+/// All interned traces of a workload (or of several — profile and eval
+/// sets share one pool) reference this single backing store, so replaying
+/// N traces touches the pool's few hundred distinct slices instead of N
+/// private event vectors.
+#[derive(Debug, Default, Serialize, Deserialize)]
+pub struct SlicePool {
+    /// The contiguous backing store of canonical events.
+    events: Vec<TraceEvent>,
+    /// Canonical-slice hash → slices with that hash (collisions resolved
+    /// by comparing contents).
+    index: HashMap<u64, Vec<SliceRef>>,
+    /// Slices interned so far, duplicates included (dedup numerator).
+    slices_interned: u64,
+    /// Distinct slices stored (dedup denominator).
+    unique_slices: u64,
+}
+
+impl SlicePool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a canonical slice (data addresses already blanked),
+    /// returning a reference to the pool's single copy.
+    ///
+    /// # Panics
+    /// Panics on an empty slice or a pool exceeding `u32` events.
+    pub fn intern(&mut self, canon: &[TraceEvent]) -> SliceRef {
+        assert!(!canon.is_empty(), "empty slices are never interned");
+        self.slices_interned += 1;
+        let h = hash_slice(canon);
+        let candidates = self.index.entry(h).or_default();
+        for &r in candidates.iter() {
+            if &self.events[r.pool_idx as usize..(r.pool_idx + r.len) as usize] == canon {
+                return r;
+            }
+        }
+        // Bound the *end* of the new slice, not its start: pool_idx + len
+        // must stay representable so resolve()/at() arithmetic cannot
+        // overflow u32.
+        let end = u32::try_from(self.events.len() + canon.len()).expect("pool fits u32 events");
+        let len = u32::try_from(canon.len()).expect("slice fits u32 events");
+        let pool_idx = end - len;
+        self.events.extend_from_slice(canon);
+        let r = SliceRef { pool_idx, len };
+        candidates.push(r);
+        self.unique_slices += 1;
+        r
+    }
+
+    /// The canonical events of `r`.
+    #[inline]
+    pub fn resolve(&self, r: SliceRef) -> &[TraceEvent] {
+        &self.events[r.pool_idx as usize..(r.pool_idx + r.len) as usize]
+    }
+
+    /// One canonical event of `r` — the replay hot path's pool read.
+    #[inline]
+    fn at(&self, r: SliceRef, pos: u32) -> TraceEvent {
+        debug_assert!(pos < r.len);
+        self.events[(r.pool_idx + pos) as usize]
+    }
+
+    /// Events in the backing store (each distinct slice stored once).
+    pub fn n_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Distinct slices stored.
+    pub fn unique_slices(&self) -> u64 {
+        self.unique_slices
+    }
+
+    /// Slices interned, duplicates included.
+    pub fn slices_interned(&self) -> u64 {
+        self.slices_interned
+    }
+
+    /// Dedup ratio: slices interned per distinct slice stored.
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.unique_slices == 0 {
+            1.0
+        } else {
+            self.slices_interned as f64 / self.unique_slices as f64
+        }
+    }
+
+    /// Resident bytes of the backing store.
+    pub fn backing_bytes(&self) -> usize {
+        self.events.len() * std::mem::size_of::<TraceEvent>()
+    }
+}
+
+/// One transaction trace in interned form: a compact slice-reference
+/// sequence plus the per-trace varying data-access addresses.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InternedTrace {
+    /// Transaction type.
+    pub xct_type: XctTypeId,
+    /// The trace's event stream as references into the shared pool.
+    slices: Vec<SliceRef>,
+    /// Data-access block addresses, in stream order (canonical slices
+    /// carry blanked `Data` events; these are their real addresses).
+    data_blocks: Vec<BlockAddr>,
+}
+
+/// Blank the per-trace varying part of a data event.
+#[inline]
+fn canonical(e: &TraceEvent) -> TraceEvent {
+    match *e {
+        TraceEvent::Data { write, .. } => TraceEvent::Data {
+            block: BlockAddr(0),
+            write,
+        },
+        e => e,
+    }
+}
+
+impl InternedTrace {
+    /// Intern `trace` into `pool`. Slices split at operation boundaries:
+    /// a slice ends right before every `OpBegin` and right after every
+    /// `OpEnd`, so op bodies — the unit that repeats across instances —
+    /// land as single pool entries.
+    pub fn intern(trace: &XctTrace, pool: &mut SlicePool) -> InternedTrace {
+        let mut slices = Vec::new();
+        let mut data_blocks = Vec::new();
+        let mut canon: Vec<TraceEvent> = Vec::new();
+        for e in &trace.events {
+            if matches!(e, TraceEvent::OpBegin { .. }) && !canon.is_empty() {
+                slices.push(pool.intern(&canon));
+                canon.clear();
+            }
+            if let TraceEvent::Data { block, .. } = e {
+                data_blocks.push(*block);
+            }
+            canon.push(canonical(e));
+            if matches!(e, TraceEvent::OpEnd { .. }) {
+                slices.push(pool.intern(&canon));
+                canon.clear();
+            }
+        }
+        if !canon.is_empty() {
+            slices.push(pool.intern(&canon));
+        }
+        InternedTrace {
+            xct_type: trace.xct_type,
+            slices,
+            data_blocks,
+        }
+    }
+
+    /// Reconstruct the flat trace, bit-identical to what was interned.
+    pub fn flatten(&self, pool: &SlicePool) -> XctTrace {
+        let mut events = Vec::with_capacity(self.slices.iter().map(|r| r.len as usize).sum());
+        let mut data = self.data_blocks.iter();
+        for &r in &self.slices {
+            for e in pool.resolve(r) {
+                events.push(match *e {
+                    TraceEvent::Data { write, .. } => TraceEvent::Data {
+                        block: *data.next().expect("data stream matches slice stream"),
+                        write,
+                    },
+                    e => e,
+                });
+            }
+        }
+        assert!(data.next().is_none(), "data stream exhausted exactly");
+        XctTrace {
+            xct_type: self.xct_type,
+            events,
+        }
+    }
+
+    /// Re-intern into another pool (range-parallel generation merges
+    /// worker-local pools into one master arena in range order).
+    pub fn reintern(&self, from: &SlicePool, to: &mut SlicePool) -> InternedTrace {
+        InternedTrace {
+            xct_type: self.xct_type,
+            slices: self
+                .slices
+                .iter()
+                .map(|&r| to.intern(from.resolve(r)))
+                .collect(),
+            data_blocks: self.data_blocks.clone(),
+        }
+    }
+
+    /// Slice references of this trace.
+    pub fn slice_refs(&self) -> &[SliceRef] {
+        &self.slices
+    }
+
+    /// Number of data accesses.
+    pub fn data_accesses(&self) -> u64 {
+        self.data_blocks.len() as u64
+    }
+
+    /// Events after slice expansion (= the flat trace's event count).
+    pub fn n_events(&self) -> usize {
+        self.slices.iter().map(|r| r.len as usize).sum()
+    }
+
+    /// Total dynamic instructions (matches `XctTrace::instructions`).
+    pub fn instructions(&self, pool: &SlicePool) -> u64 {
+        self.slices
+            .iter()
+            .flat_map(|&r| pool.resolve(r))
+            .map(|e| match e {
+                TraceEvent::Instr { n_blocks, ipb, .. } => u64::from(*n_blocks) * u64::from(*ipb),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Per-trace resident bytes (slice refs + data addresses + the struct
+    /// itself; the shared pool is accounted separately).
+    pub fn resident_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.slices.len() * std::mem::size_of::<SliceRef>()
+            + self.data_blocks.len() * std::mem::size_of::<BlockAddr>()
+    }
+}
+
+/// A named batch of interned traces — the interned form of
+/// [`WorkloadTrace`]. The pool sits behind an `Arc` so several workloads
+/// (profile + eval) and every thread of a sweep grid share one read-only
+/// arena.
+#[derive(Debug, Clone)]
+pub struct InternedWorkload {
+    /// Workload name ("TPC-B", "TPC-C", "TPC-E").
+    pub name: String,
+    /// Transaction type names, indexed by [`XctTypeId`].
+    pub xct_type_names: Vec<String>,
+    /// The shared slice arena.
+    pub pool: Arc<SlicePool>,
+    /// The traces, in generation order.
+    pub xcts: Vec<InternedTrace>,
+}
+
+impl InternedWorkload {
+    /// Intern a flat workload into a fresh private pool.
+    pub fn from_flat(w: &WorkloadTrace) -> Self {
+        let mut pool = SlicePool::new();
+        let xcts = w
+            .xcts
+            .iter()
+            .map(|t| InternedTrace::intern(t, &mut pool))
+            .collect();
+        InternedWorkload {
+            name: w.name.clone(),
+            xct_type_names: w.xct_type_names.clone(),
+            pool: Arc::new(pool),
+            xcts,
+        }
+    }
+
+    /// Reconstruct the flat workload, bit-identical to what was interned.
+    pub fn flatten(&self) -> WorkloadTrace {
+        WorkloadTrace {
+            name: self.name.clone(),
+            xct_type_names: self.xct_type_names.clone(),
+            xcts: self.xcts.iter().map(|t| t.flatten(&self.pool)).collect(),
+        }
+    }
+
+    /// The borrowed `(pool, traces)` view replay walks.
+    pub fn as_set(&self) -> InternedSet<'_> {
+        InternedSet {
+            pool: &self.pool,
+            xcts: &self.xcts,
+        }
+    }
+
+    /// Memory footprint report (BENCHMARKS.md methodology). Both sides
+    /// count their per-trace struct overhead: flat is
+    /// `size_of::<XctTrace>() + events × size_of::<TraceEvent>()` per
+    /// trace, interned is [`InternedTrace::resident_bytes`] plus the
+    /// shared pool once.
+    pub fn footprint(&self) -> InternFootprint {
+        let flat_events: usize = self.xcts.iter().map(InternedTrace::n_events).sum();
+        let per_trace: usize = self.xcts.iter().map(InternedTrace::resident_bytes).sum();
+        InternFootprint {
+            n_traces: self.xcts.len(),
+            flat_bytes: flat_events * std::mem::size_of::<TraceEvent>()
+                + self.xcts.len() * std::mem::size_of::<XctTrace>(),
+            pool_bytes: self.pool.backing_bytes(),
+            trace_bytes: per_trace,
+            unique_slices: self.pool.unique_slices(),
+            slices_interned: self.pool.slices_interned(),
+        }
+    }
+}
+
+/// Resident-memory comparison of a workload's flat vs interned form.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InternFootprint {
+    /// Traces measured.
+    pub n_traces: usize,
+    /// Bytes the flat event vectors would occupy (events × 16).
+    pub flat_bytes: usize,
+    /// Bytes of the shared pool backing store.
+    pub pool_bytes: usize,
+    /// Bytes of the per-trace slice refs + data addresses.
+    pub trace_bytes: usize,
+    /// Distinct slices in the pool.
+    pub unique_slices: u64,
+    /// Slices interned, duplicates included.
+    pub slices_interned: u64,
+}
+
+impl InternFootprint {
+    /// Total interned resident bytes (pool + per-trace).
+    pub fn resident_bytes(&self) -> usize {
+        self.pool_bytes + self.trace_bytes
+    }
+
+    /// Flat-over-interned byte reduction factor.
+    pub fn reduction(&self) -> f64 {
+        if self.resident_bytes() == 0 {
+            1.0
+        } else {
+            self.flat_bytes as f64 / self.resident_bytes() as f64
+        }
+    }
+
+    /// Dedup ratio of the pool this workload interned into.
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.unique_slices == 0 {
+            1.0
+        } else {
+            self.slices_interned as f64 / self.unique_slices as f64
+        }
+    }
+}
+
+/// Borrowed view of interned traces + their pool: what the replay engine
+/// and the sweep grid hand around. `Copy`, 2 pointers wide.
+#[derive(Debug, Clone, Copy)]
+pub struct InternedSet<'a> {
+    /// The shared arena.
+    pub pool: &'a SlicePool,
+    /// The traces to replay.
+    pub xcts: &'a [InternedTrace],
+}
+
+/// Cursor over an interned trace: the **current slice's `SliceRef` cached
+/// inline** (so steady-state fetches read only the pool — no per-event
+/// `slices[]` indirection), the slice's index, the position within it, the
+/// block offset within the current instruction run, and the position in
+/// the per-trace data-address stream.
+///
+/// A default cursor carries the sentinel `r.len == 0` with `slice == 0`,
+/// meaning "first slice not yet loaded" — resolved lazily because
+/// `Default` has no trace to look at. After the first advance the cached
+/// ref only refreshes at slice boundaries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InternCursor {
+    r: SliceRef,
+    slice: u32,
+    pos: u32,
+    off: u16,
+    data: u32,
+}
+
+impl InternedSet<'_> {
+    /// The slice under `cur`, loading the first slice for a fresh cursor.
+    /// `None` is end-of-trace. (Slices are never empty, so a loaded ref
+    /// always has at least one event.)
+    #[inline]
+    fn slice_of(&self, idx: usize, cur: InternCursor) -> Option<SliceRef> {
+        if cur.r.len != 0 {
+            return Some(cur.r);
+        }
+        if cur.slice == 0 {
+            return self.xcts[idx].slices.first().copied();
+        }
+        None
+    }
+
+    /// Materialize the lazily-loaded first slice into the cursor.
+    #[inline]
+    fn load(&self, idx: usize, cur: &mut InternCursor) {
+        if cur.r.len == 0 {
+            if let Some(&r) = self.xcts[idx].slices.first() {
+                cur.r = r;
+            }
+        }
+    }
+
+    /// Step `cur` past the current event: next position in the cached
+    /// slice, or load the next slice at its boundary.
+    #[inline]
+    fn bump(&self, idx: usize, cur: &mut InternCursor) {
+        cur.pos += 1;
+        if cur.pos >= cur.r.len {
+            cur.slice += 1;
+            cur.pos = 0;
+            cur.r = self.xcts[idx]
+                .slices
+                .get(cur.slice as usize)
+                .copied()
+                .unwrap_or(SliceRef {
+                    pool_idx: 0,
+                    len: 0,
+                });
+        }
+    }
+}
+
+impl TraceSet for InternedSet<'_> {
+    type Cursor = InternCursor;
+
+    fn len(&self) -> usize {
+        self.xcts.len()
+    }
+
+    fn xct_type(&self, idx: usize) -> XctTypeId {
+        self.xcts[idx].xct_type
+    }
+
+    fn instructions_of(&self, idx: usize) -> u64 {
+        self.xcts[idx].instructions(self.pool)
+    }
+
+    #[inline]
+    fn fetch(&self, idx: usize, cur: Self::Cursor) -> Fetched {
+        let t = &self.xcts[idx];
+        let Some(r) = self.slice_of(idx, cur) else {
+            return Fetched::End;
+        };
+        match self.pool.at(r, cur.pos) {
+            TraceEvent::Instr {
+                block,
+                n_blocks,
+                ipb,
+            } => Fetched::Run {
+                block: BlockAddr(block.0 + u64::from(cur.off)),
+                rem: n_blocks - cur.off,
+                ipb,
+            },
+            TraceEvent::Data { write, .. } => Fetched::Event(FlatEvent::Data {
+                block: t.data_blocks[cur.data as usize],
+                write,
+            }),
+            TraceEvent::XctBegin { xct_type } => Fetched::Event(FlatEvent::XctBegin(xct_type)),
+            TraceEvent::XctEnd => Fetched::Event(FlatEvent::XctEnd),
+            TraceEvent::OpBegin { op } => Fetched::Event(FlatEvent::OpBegin(op)),
+            TraceEvent::OpEnd { op } => Fetched::Event(FlatEvent::OpEnd(op)),
+        }
+    }
+
+    #[inline]
+    fn advance_run(&self, idx: usize, cur: &mut Self::Cursor, rem: u16, k: u16) {
+        debug_assert!(k >= 1 && k <= rem);
+        self.load(idx, cur);
+        if k == rem {
+            cur.off = 0;
+            self.bump(idx, cur);
+        } else {
+            cur.off += k;
+        }
+    }
+
+    #[inline]
+    fn advance_event(&self, idx: usize, cur: &mut Self::Cursor, ev: FlatEvent) {
+        if matches!(ev, FlatEvent::Data { .. }) {
+            cur.data += 1;
+        }
+        self.load(idx, cur);
+        self.bump(idx, cur);
+    }
+}
+
+// Thread-safety audit: sweep grids share interned sets (and their Arc'd
+// pools) across worker threads for the whole grid's lifetime.
+const _: () = {
+    const fn shared<T: Send + Sync>() {}
+    shared::<SliceRef>();
+    shared::<SlicePool>();
+    shared::<InternedTrace>();
+    shared::<InternedWorkload>();
+    shared::<InternedSet<'_>>();
+    shared::<InternFootprint>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::OpKind;
+    use crate::set::flat_events_of;
+
+    fn sample(data_base: u64) -> XctTrace {
+        XctTrace {
+            xct_type: XctTypeId(0),
+            events: vec![
+                TraceEvent::XctBegin {
+                    xct_type: XctTypeId(0),
+                },
+                TraceEvent::Instr {
+                    block: BlockAddr(1),
+                    n_blocks: 2,
+                    ipb: 10,
+                },
+                TraceEvent::OpBegin { op: OpKind::Probe },
+                TraceEvent::Instr {
+                    block: BlockAddr(0x40),
+                    n_blocks: 4,
+                    ipb: 6,
+                },
+                TraceEvent::Data {
+                    block: BlockAddr(data_base),
+                    write: false,
+                },
+                TraceEvent::Data {
+                    block: BlockAddr(data_base + 3),
+                    write: true,
+                },
+                TraceEvent::OpEnd { op: OpKind::Probe },
+                TraceEvent::XctEnd,
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_lossless() {
+        let mut pool = SlicePool::new();
+        let t = sample(0x9000);
+        let it = InternedTrace::intern(&t, &mut pool);
+        assert_eq!(it.flatten(&pool).events, t.events);
+        assert_eq!(it.instructions(&pool), t.instructions());
+        assert_eq!(it.data_accesses(), t.data_accesses());
+        assert_eq!(it.n_events(), t.events.len());
+    }
+
+    #[test]
+    fn same_control_flow_shares_slices() {
+        // Two traces identical up to data addresses: the second interning
+        // adds nothing to the pool.
+        let mut pool = SlicePool::new();
+        let a = InternedTrace::intern(&sample(0x9000), &mut pool);
+        let before = pool.n_events();
+        let b = InternedTrace::intern(&sample(0xf300), &mut pool);
+        assert_eq!(pool.n_events(), before, "no new pool events");
+        assert_eq!(a.slices, b.slices, "identical slice refs");
+        assert_eq!(pool.dedup_ratio(), 2.0);
+        // Yet both flatten to their own data addresses.
+        assert_ne!(a.flatten(&pool).events, b.flatten(&pool).events);
+    }
+
+    #[test]
+    fn interned_set_walks_like_flat() {
+        let mut pool = SlicePool::new();
+        let traces = vec![sample(0x9000), sample(0xa000)];
+        let interned: Vec<InternedTrace> = traces
+            .iter()
+            .map(|t| InternedTrace::intern(t, &mut pool))
+            .collect();
+        let set = InternedSet {
+            pool: &pool,
+            xcts: &interned,
+        };
+        for i in 0..traces.len() {
+            assert_eq!(
+                flat_events_of(&set, i),
+                flat_events_of(traces.as_slice(), i),
+                "trace {i} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn reintern_merges_pools_losslessly() {
+        let mut a = SlicePool::new();
+        let mut b = SlicePool::new();
+        let ta = InternedTrace::intern(&sample(0x9000), &mut a);
+        let tb = InternedTrace::intern(&sample(0xb000), &mut b);
+        let mut master = SlicePool::new();
+        let ma = ta.reintern(&a, &mut master);
+        let mb = tb.reintern(&b, &mut master);
+        assert_eq!(ma.flatten(&master).events, sample(0x9000).events);
+        assert_eq!(mb.flatten(&master).events, sample(0xb000).events);
+        // The shared control flow deduped across the merged pools.
+        assert_eq!(master.n_events(), a.n_events());
+    }
+
+    #[test]
+    fn workload_roundtrip_and_footprint() {
+        let w = WorkloadTrace {
+            name: "t".into(),
+            xct_type_names: vec!["only".into()],
+            xcts: (0..8).map(|i| sample(0x9000 + i * 64)).collect(),
+        };
+        let iw = InternedWorkload::from_flat(&w);
+        let back = iw.flatten();
+        assert_eq!(back.name, w.name);
+        assert_eq!(back.xct_type_names, w.xct_type_names);
+        for (a, b) in back.xcts.iter().zip(&w.xcts) {
+            assert_eq!(a.xct_type, b.xct_type);
+            assert_eq!(a.events, b.events);
+        }
+        let fp = iw.footprint();
+        assert_eq!(
+            fp.flat_bytes,
+            w.xcts
+                .iter()
+                .map(|t| t.events.len() * std::mem::size_of::<TraceEvent>()
+                    + std::mem::size_of::<XctTrace>())
+                .sum::<usize>()
+        );
+        assert!(
+            fp.resident_bytes() < fp.flat_bytes,
+            "8 identical-flow traces must compress: {fp:?}"
+        );
+        assert!(fp.dedup_ratio() > 3.0, "{fp:?}");
+    }
+
+    #[test]
+    fn empty_trace_interns_to_nothing() {
+        let mut pool = SlicePool::new();
+        let t = XctTrace {
+            xct_type: XctTypeId(3),
+            events: vec![],
+        };
+        let it = InternedTrace::intern(&t, &mut pool);
+        assert!(it.slices.is_empty());
+        assert_eq!(it.flatten(&pool).events, t.events);
+        assert_eq!(pool.n_events(), 0);
+    }
+
+    #[test]
+    fn hash_collisions_fall_back_to_comparison() {
+        // Different slices with (presumably) different hashes both live in
+        // the pool; identical content always returns the original ref.
+        let mut pool = SlicePool::new();
+        let e1 = [TraceEvent::XctEnd];
+        let e2 = [TraceEvent::XctBegin {
+            xct_type: XctTypeId(1),
+        }];
+        let r1 = pool.intern(&e1);
+        let r2 = pool.intern(&e2);
+        assert_ne!(r1, r2);
+        assert_eq!(pool.intern(&e1), r1);
+        assert_eq!(pool.intern(&e2), r2);
+        assert_eq!(pool.unique_slices(), 2);
+        assert_eq!(pool.slices_interned(), 4);
+    }
+}

@@ -22,15 +22,27 @@
 //!   operation entry/exit markers — the "indicators" Algorithm 1 takes as
 //!   input;
 //! * [`footprint`] computes the per-instance instruction/data footprints
-//!   the Section 2 characterization is built on.
+//!   the Section 2 characterization is built on;
+//! * [`intern`] stores traces in a deduplicated, arena-backed form —
+//!   repeated event slices interned once into a shared [`SlicePool`] —
+//!   so the replay working set scales with *distinct code paths*, not
+//!   trace count;
+//! * [`set`] defines [`TraceSet`], the replay-facing cursor abstraction
+//!   both the flat and the interned layouts implement.
 
 pub mod codemap;
 pub mod event;
 pub mod footprint;
+pub mod intern;
 pub mod layout;
 pub mod recorder;
+pub mod set;
 
 pub use codemap::{CodeMap, Routine};
 pub use event::{OpKind, TraceEvent, WorkloadTrace, XctTrace, XctTypeId};
 pub use footprint::Footprint;
+pub use intern::{
+    InternFootprint, InternedSet, InternedTrace, InternedWorkload, SlicePool, SliceRef,
+};
 pub use recorder::TraceRecorder;
+pub use set::{Fetched, TraceSet};

@@ -1,0 +1,290 @@
+//! [`TraceSet`]: the replay-facing view of a batch of traces.
+//!
+//! The replay engine (`addict-core`) walks traces through this trait so the
+//! same discrete-event loop runs over both storage layouts:
+//!
+//! * flat `[XctTrace]` — every trace owns its `Vec<TraceEvent>`;
+//! * interned [`InternedSet`](crate::intern::InternedSet) — traces are
+//!   compact [`SliceRef`](crate::intern::SliceRef) sequences into one
+//!   shared, deduplicated [`SlicePool`](crate::intern::SlicePool) arena.
+//!
+//! The contract is *fetch-once-per-step*: [`TraceSet::fetch`] reads the
+//! trace exactly once and returns everything the engine needs — the flat
+//! event to execute **and** the run geometry required to advance past it —
+//! so the hot loop never re-reads the trace to step the cursor (the old
+//! cursor did up to three lookups per event: `peek`, `instr_run`, and
+//! `advance` each re-fetched `events[idx]`).
+
+use addict_sim::BlockAddr;
+
+use crate::event::{FlatEvent, TraceEvent, XctTrace, XctTypeId};
+
+/// Everything the replay engine learns from one trace fetch.
+///
+/// Instruction runs are reported segment-granularly: `Run` describes the
+/// *remainder* of the run at the cursor, so the segment engine can execute
+/// it whole, and the per-block path can synthesize the single
+/// [`FlatEvent::Instr`] at its head without a second lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fetched {
+    /// The cursor stands inside an instruction run: next block to fetch,
+    /// blocks remaining in the run (including this one), and instructions
+    /// charged per block.
+    Run {
+        /// Next instruction block.
+        block: BlockAddr,
+        /// Blocks left in the run, this one included (always ≥ 1).
+        rem: u16,
+        /// Dynamic instructions per block visit.
+        ipb: u16,
+    },
+    /// A marker or data event.
+    Event(FlatEvent),
+    /// The trace is exhausted.
+    End,
+}
+
+/// A replayable batch of traces.
+///
+/// Implementations must be cheap to `fetch` repeatedly: the replay engine
+/// calls it once per executed event (or once per *segment* on the
+/// segment-granular fast path) and never re-reads the trace to advance.
+pub trait TraceSet {
+    /// Per-thread cursor state. `Default` is the start of any trace.
+    type Cursor: Copy + Default + std::fmt::Debug;
+
+    /// Number of traces.
+    fn len(&self) -> usize;
+
+    /// True when there are no traces.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Transaction type of trace `idx`.
+    fn xct_type(&self, idx: usize) -> XctTypeId;
+
+    /// Total dynamic instructions of trace `idx` (STREX's load balancer).
+    fn instructions_of(&self, idx: usize) -> u64;
+
+    /// What stands at `cur` in trace `idx`. The single trace read per
+    /// engine step.
+    fn fetch(&self, idx: usize, cur: Self::Cursor) -> Fetched;
+
+    /// Consume `k` blocks of the instruction run that `fetch` reported
+    /// with `rem` blocks remaining (`1 <= k <= rem`; `k == rem` ends the
+    /// run). Pure cursor arithmetic — no trace re-read for the flat
+    /// layout, one slice-length lookup for the interned one.
+    fn advance_run(&self, idx: usize, cur: &mut Self::Cursor, rem: u16, k: u16);
+
+    /// Consume the non-run event that `fetch` reported as `ev` (the event
+    /// is passed back so interned cursors can step their data-address
+    /// stream without resolving the pool again).
+    fn advance_event(&self, idx: usize, cur: &mut Self::Cursor, ev: FlatEvent);
+}
+
+/// Cursor over a flat trace's run-length-encoded events.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlatCursor {
+    /// Index into `events`.
+    idx: usize,
+    /// Block offset within the current instruction run.
+    off: u16,
+}
+
+impl TraceSet for [XctTrace] {
+    type Cursor = FlatCursor;
+
+    fn len(&self) -> usize {
+        <[XctTrace]>::len(self)
+    }
+
+    fn xct_type(&self, idx: usize) -> XctTypeId {
+        self[idx].xct_type
+    }
+
+    fn instructions_of(&self, idx: usize) -> u64 {
+        self[idx].instructions()
+    }
+
+    #[inline]
+    fn fetch(&self, idx: usize, cur: Self::Cursor) -> Fetched {
+        match self[idx].events.get(cur.idx) {
+            None => Fetched::End,
+            Some(&TraceEvent::Instr {
+                block,
+                n_blocks,
+                ipb,
+            }) => Fetched::Run {
+                block: BlockAddr(block.0 + u64::from(cur.off)),
+                rem: n_blocks - cur.off,
+                ipb,
+            },
+            Some(&TraceEvent::XctBegin { xct_type }) => {
+                Fetched::Event(FlatEvent::XctBegin(xct_type))
+            }
+            Some(&TraceEvent::XctEnd) => Fetched::Event(FlatEvent::XctEnd),
+            Some(&TraceEvent::OpBegin { op }) => Fetched::Event(FlatEvent::OpBegin(op)),
+            Some(&TraceEvent::OpEnd { op }) => Fetched::Event(FlatEvent::OpEnd(op)),
+            Some(&TraceEvent::Data { block, write }) => {
+                Fetched::Event(FlatEvent::Data { block, write })
+            }
+        }
+    }
+
+    #[inline]
+    fn advance_run(&self, _idx: usize, cur: &mut Self::Cursor, rem: u16, k: u16) {
+        debug_assert!(k >= 1 && k <= rem);
+        if k == rem {
+            cur.idx += 1;
+            cur.off = 0;
+        } else {
+            cur.off += k;
+        }
+    }
+
+    #[inline]
+    fn advance_event(&self, _idx: usize, cur: &mut Self::Cursor, _ev: FlatEvent) {
+        cur.idx += 1;
+    }
+}
+
+impl TraceSet for Vec<XctTrace> {
+    type Cursor = FlatCursor;
+
+    fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    fn xct_type(&self, idx: usize) -> XctTypeId {
+        TraceSet::xct_type(self.as_slice(), idx)
+    }
+
+    fn instructions_of(&self, idx: usize) -> u64 {
+        TraceSet::instructions_of(self.as_slice(), idx)
+    }
+
+    #[inline]
+    fn fetch(&self, idx: usize, cur: Self::Cursor) -> Fetched {
+        TraceSet::fetch(self.as_slice(), idx, cur)
+    }
+
+    #[inline]
+    fn advance_run(&self, idx: usize, cur: &mut Self::Cursor, rem: u16, k: u16) {
+        TraceSet::advance_run(self.as_slice(), idx, cur, rem, k);
+    }
+
+    #[inline]
+    fn advance_event(&self, idx: usize, cur: &mut Self::Cursor, ev: FlatEvent) {
+        TraceSet::advance_event(self.as_slice(), idx, cur, ev);
+    }
+}
+
+/// Walk a whole trace through a [`TraceSet`] as flat events (test and
+/// diagnostic helper; the replay engine drives the cursor itself).
+pub fn flat_events_of<T: TraceSet + ?Sized>(set: &T, idx: usize) -> Vec<FlatEvent> {
+    let mut cur = T::Cursor::default();
+    let mut out = Vec::new();
+    loop {
+        match set.fetch(idx, cur) {
+            Fetched::End => break,
+            Fetched::Run { block, rem, ipb } => {
+                out.push(FlatEvent::Instr {
+                    block,
+                    n_instr: ipb,
+                });
+                set.advance_run(idx, &mut cur, rem, 1);
+            }
+            Fetched::Event(ev) => {
+                out.push(ev);
+                set.advance_event(idx, &mut cur, ev);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::OpKind;
+
+    fn sample() -> Vec<XctTrace> {
+        vec![XctTrace {
+            xct_type: XctTypeId(7),
+            events: vec![
+                TraceEvent::XctBegin {
+                    xct_type: XctTypeId(7),
+                },
+                TraceEvent::OpBegin { op: OpKind::Probe },
+                TraceEvent::Instr {
+                    block: BlockAddr(0x40),
+                    n_blocks: 3,
+                    ipb: 5,
+                },
+                TraceEvent::Data {
+                    block: BlockAddr(0x9000),
+                    write: true,
+                },
+                TraceEvent::OpEnd { op: OpKind::Probe },
+                TraceEvent::XctEnd,
+            ],
+        }]
+    }
+
+    #[test]
+    fn fetch_reports_run_remainders() {
+        let traces = sample();
+        let set = traces.as_slice();
+        let mut cur = FlatCursor::default();
+        // Skip XctBegin and OpBegin.
+        for _ in 0..2 {
+            let Fetched::Event(ev) = set.fetch(0, cur) else {
+                panic!("expected marker")
+            };
+            set.advance_event(0, &mut cur, ev);
+        }
+        assert_eq!(
+            set.fetch(0, cur),
+            Fetched::Run {
+                block: BlockAddr(0x40),
+                rem: 3,
+                ipb: 5
+            }
+        );
+        set.advance_run(0, &mut cur, 3, 2);
+        assert_eq!(
+            set.fetch(0, cur),
+            Fetched::Run {
+                block: BlockAddr(0x42),
+                rem: 1,
+                ipb: 5
+            }
+        );
+        set.advance_run(0, &mut cur, 1, 1);
+        assert!(matches!(
+            set.fetch(0, cur),
+            Fetched::Event(FlatEvent::Data { .. })
+        ));
+    }
+
+    #[test]
+    fn flat_walk_matches_event_flatten() {
+        let traces = sample();
+        let via_set = flat_events_of(traces.as_slice(), 0);
+        let via_flatten: Vec<FlatEvent> = traces[0].flat_events().collect();
+        assert_eq!(via_set, via_flatten);
+    }
+
+    #[test]
+    fn exhausted_cursor_fetches_end() {
+        let traces = vec![XctTrace {
+            xct_type: XctTypeId(0),
+            events: vec![],
+        }];
+        assert_eq!(
+            TraceSet::fetch(traces.as_slice(), 0, FlatCursor::default()),
+            Fetched::End
+        );
+    }
+}

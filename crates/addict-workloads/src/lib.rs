@@ -29,7 +29,7 @@ pub mod tpcc;
 pub mod tpce;
 
 use addict_storage::{Engine, StorageResult};
-use addict_trace::{WorkloadTrace, XctTypeId};
+use addict_trace::{InternedTrace, SlicePool, WorkloadTrace, XctTypeId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -137,6 +137,36 @@ pub fn collect_traces(
         xct_type_names: workload.xct_type_names(),
         xcts: engine.take_traces(),
     }
+}
+
+/// Run `n` transactions of the mix and intern their traces into `pool`
+/// **as they complete**: each transaction's flat trace is drained from the
+/// recorder and interned immediately, so the uncompressed trace set never
+/// materializes — memory stays bounded by one transaction plus the
+/// deduplicated pool, however large `n` grows.
+///
+/// Bit-identical to `collect_traces` followed by
+/// [`InternedTrace::intern`] over each trace (same traces, same order,
+/// same pool layout); deterministic in `seed`. Several collections
+/// (profile + eval) may intern into one shared pool.
+pub fn collect_traces_interned(
+    engine: &mut Engine,
+    workload: &mut dyn WorkloadRunner,
+    n: usize,
+    seed: u64,
+    pool: &mut SlicePool,
+) -> Vec<InternedTrace> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut xcts = Vec::with_capacity(n);
+    for i in 0..n {
+        workload
+            .run_one(engine, &mut rng)
+            .unwrap_or_else(|e| panic!("transaction {i} of {} failed: {e}", workload.name()));
+        for trace in engine.take_traces() {
+            xcts.push(InternedTrace::intern(&trace, pool));
+        }
+    }
+    xcts
 }
 
 /// Draw a transaction type from a cumulative-percentage mix table.
