@@ -45,8 +45,26 @@ const _: () = {
 fn main() {
     let args = parse_bench_args(400);
     let n = args.n_xcts;
-    header("Ablation", "ADDICT design-choice ablations (TPC-C)", n);
-    let (profile, eval) = profile_and_eval_on(Benchmark::TpcC, n, n, args.threads);
+    // Ablations run on one workload: TPC-C by default (the paper's main
+    // evaluation mix), or the single benchmark named by `--benchmarks`.
+    // An explicit multi-entry filter is an error, not a silent fallback.
+    let bench = match args.benchmarks.as_slice() {
+        [one] => *one,
+        _ if !args.benchmarks_explicit => Benchmark::TpcC,
+        other => {
+            eprintln!(
+                "error: ablation runs one workload; pass a single --benchmarks entry (got {})",
+                other.iter().map(|b| b.name()).collect::<Vec<_>>().join(",")
+            );
+            std::process::exit(2);
+        }
+    };
+    header(
+        "Ablation",
+        &format!("ADDICT design-choice ablations ({})", bench.name()),
+        n,
+    );
+    let (profile, eval) = profile_and_eval_on(bench, n, n, args.threads);
     let cfg = ReplayConfig::paper_default();
     let map: MigrationMap = migration_map(&profile, &cfg);
     let traces: &[XctTrace] = &eval.xcts;

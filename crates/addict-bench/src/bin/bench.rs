@@ -1,7 +1,9 @@
 //! `bench`: the replay-throughput trajectory artifact.
 //!
-//! Replays the TPC-C evaluation traces under all four schedulers, timing
-//! three modes against each other:
+//! For every selected benchmark (`--benchmarks`, default: the whole
+//! registry — the TPC trio plus the spec-driven TATP and YCSB mixes),
+//! replays the evaluation traces under all four schedulers, timing three
+//! modes against each other:
 //!
 //! * **flat** — per-block execution over flat `Vec<TraceEvent>` traces,
 //! * **segment** — the segment-granular fast path (PR 1),
@@ -9,11 +11,11 @@
 //!   [`InternedWorkload`] form, whose deduplicated `SlicePool` holds each
 //!   distinct event slice once (PR 3),
 //!
-//! then times the **full scheduler grid** through the sweep engine at one
-//! thread vs `--threads N`, with the interned grid sharing one `Arc`'d
-//! pool across all points. Writes `BENCH_3.json` with events/sec and
-//! sim-cycles/sec per scheduler and mode, the trace-memory footprint
-//! (flat vs interned resident bytes, pool dedup ratio), and the
+//! then times the **full (benchmark × scheduler) grid** through the sweep
+//! engine at one thread vs `--threads N`, with the interned grid sharing
+//! one `Arc`'d pool per workload. Writes `BENCH_4.json` with events/sec
+//! and sim-cycles/sec per workload, scheduler, and mode, the trace-memory
+//! footprint (flat vs interned resident bytes, pool dedup ratio), and the
 //! parallel-sweep wall times + speedup.
 //!
 //! Determinism guards run on every invocation (CI's `--smoke` included)
@@ -22,23 +24,25 @@
 //!   simulation output (a speedup can never be bought with accuracy), and
 //! * the 1-thread and N-thread sweeps must produce bit-identical
 //!   per-scheduler `MachineStats` and makespans (parallelism can never
-//!   change a result).
+//!   change a result) — for the spec-driven workloads exactly as for the
+//!   handwritten ones.
 //!
 //! Usage: `cargo run --release --bin bench -- [n_xcts] [out.json]
-//! [--threads N] [--smoke]` (defaults: 400 transactions, `BENCH_3.json`;
-//! `--smoke` is the CI-sized run: 60 transactions, one rep,
-//! `bench_smoke.json`).
+//! [--threads N] [--benchmarks tpcb,tatp,...] [--smoke]` (defaults: 400
+//! transactions, `BENCH_4.json`; `--smoke` is the CI-sized run: 60
+//! transactions, one rep, `bench_smoke.json`).
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use addict_bench::{
-    migration_map, parse_bench_args, profile_and_eval_on, run_grid, run_point, run_sweep,
-    SweepPoint, SweepTraces,
+    generate, migration_map, parse_bench_args, profile_eval_ranges, run_grid, run_point, run_sweep,
+    GenRange, SweepPoint, SweepTraces,
 };
+use addict_core::algorithm1::MigrationMap;
 use addict_core::replay::{ReplayConfig, ReplayResult};
 use addict_core::sched::{run_scheduler, SchedulerKind};
-use addict_trace::{InternedWorkload, TraceEvent, XctTrace};
+use addict_trace::{InternedWorkload, TraceEvent, WorkloadTrace, XctTrace};
 use addict_workloads::Benchmark;
 
 /// Block-granular events in a trace set (instruction runs expanded).
@@ -90,7 +94,7 @@ fn time_mode(
 fn json_mode(out: &mut String, label: &str, t: &ModeTiming) {
     let _ = write!(
         out,
-        "    \"{label}\": {{ \"seconds\": {:.6}, \"events_per_sec\": {:.1}, \"sim_cycles_per_sec\": {:.1} }}",
+        "        \"{label}\": {{ \"seconds\": {:.6}, \"events_per_sec\": {:.1}, \"sim_cycles_per_sec\": {:.1} }}",
         t.seconds, t.events_per_sec, t.sim_cycles_per_sec
     );
 }
@@ -109,6 +113,15 @@ fn assert_identical(a: &ReplayResult, b: &ReplayResult, what: &str) {
     }
 }
 
+/// One benchmark's prepared replay inputs.
+struct Prepared {
+    bench: Benchmark,
+    eval: WorkloadTrace,
+    interned: InternedWorkload,
+    map: MigrationMap,
+    events: u64,
+}
+
 fn main() {
     let args = parse_bench_args(400);
     let n = args.n_xcts;
@@ -116,145 +129,185 @@ fn main() {
         if args.smoke {
             "bench_smoke.json".to_owned()
         } else {
-            "BENCH_3.json".to_owned()
+            "BENCH_4.json".to_owned()
         }
     });
     // Best-of-N per mode: this container is a single shared core whose
     // attainable throughput drifts on minute timescales, so each mode
     // samples a wide window and keeps its fastest rep.
     let reps = if args.smoke { 1 } else { 15 };
+    let cfg = ReplayConfig::paper_default();
+    let bench_names: Vec<&str> = args.benchmarks.iter().map(|b| b.name()).collect();
 
     eprintln!(
-        "bench: generating {n}+{n} TPC-C traces on {} thread(s)...",
+        "bench: generating {n}+{n} traces for {} on {} thread(s)...",
+        bench_names.join(", "),
         args.threads
     );
-    let (profile, eval) = profile_and_eval_on(Benchmark::TpcC, n, n, args.threads);
-    let interned = InternedWorkload::from_flat(&eval);
-    let iset = interned.as_set();
-    let cfg = ReplayConfig::paper_default();
-    let map = migration_map(&profile, &cfg);
-    let events = total_events(&eval.xcts);
-    let footprint = interned.footprint();
-    eprintln!(
-        "bench: {} eval transactions, {} block-granular events, {} cores, {} sweep threads",
-        eval.xcts.len(),
-        events,
-        cfg.sim.n_cores,
-        args.threads
-    );
-    eprintln!(
-        "bench: trace bytes {} flat -> {} interned ({:.2}x smaller; pool dedup {:.1}x over {} unique slices)",
-        footprint.flat_bytes,
-        footprint.resident_bytes(),
-        footprint.reduction(),
-        footprint.dedup_ratio(),
-        footprint.unique_slices
-    );
+    // All (benchmark × profile/eval) ranges generate in one parallel wave
+    // (one private storage engine per worker).
+    let ranges: Vec<GenRange> = args
+        .benchmarks
+        .iter()
+        .flat_map(|&b| profile_eval_ranges(b, n, n))
+        .collect();
+    let mut generated = generate(&ranges, args.threads).into_iter();
+    let prepared: Vec<Prepared> = args
+        .benchmarks
+        .iter()
+        .map(|&bench| {
+            let profile = generated.next().expect("one profile range per benchmark");
+            let eval = generated.next().expect("one eval range per benchmark");
+            let interned = InternedWorkload::from_flat(&eval);
+            let map = migration_map(&profile, &cfg);
+            let events = total_events(&eval.xcts);
+            Prepared {
+                bench,
+                eval,
+                interned,
+                map,
+                events,
+            }
+        })
+        .collect();
 
     let mut out = String::new();
     out.push_str("{\n");
     let _ = write!(
         out,
-        "  \"artifact\": \"BENCH_3\",\n  \"workload\": \"TPC-C\",\n  \"n_xcts\": {},\n  \"events\": {},\n  \"n_cores\": {},\n  \"reps_best_of\": {reps},\n",
-        eval.xcts.len(),
-        events,
+        "  \"artifact\": \"BENCH_4\",\n  \"n_xcts\": {n},\n  \"n_cores\": {},\n  \"reps_best_of\": {reps},\n  \"workloads\": [\n",
         cfg.sim.n_cores
     );
-    let _ = write!(
-        out,
-        "  \"trace_memory\": {{\n    \"flat_bytes\": {},\n    \"interned_resident_bytes\": {},\n    \"pool_bytes\": {},\n    \"per_trace_bytes\": {},\n    \"reduction\": {:.3},\n    \"unique_slices\": {},\n    \"slices_interned\": {},\n    \"dedup_ratio\": {:.2}\n  }},\n  \"schedulers\": [\n",
-        footprint.flat_bytes,
-        footprint.resident_bytes(),
-        footprint.pool_bytes,
-        footprint.trace_bytes,
-        footprint.reduction(),
-        footprint.unique_slices,
-        footprint.slices_interned,
-        footprint.dedup_ratio()
-    );
 
-    let mut segment_results: Vec<ReplayResult> = Vec::new();
-    for (i, kind) in SchedulerKind::ALL.iter().enumerate() {
-        let flat_cfg = ReplayConfig {
-            segment_exec: false,
-            ..cfg.clone()
-        };
-        let seg_cfg = ReplayConfig {
-            segment_exec: true,
-            ..cfg.clone()
-        };
-        // Warm up caches/allocator before timing.
-        let _ = run_scheduler(*kind, &eval.xcts, Some(&map), &seg_cfg);
-        let (flat_t, flat_r) = time_mode(
-            || run_scheduler(*kind, &eval.xcts, Some(&map), &flat_cfg),
-            events,
-            reps,
-        );
-        let (seg_t, seg_r) = time_mode(
-            || run_scheduler(*kind, &eval.xcts, Some(&map), &seg_cfg),
-            events,
-            reps,
-        );
-        let (int_t, int_r) = time_mode(
-            || run_scheduler(*kind, &iset, Some(&map), &seg_cfg),
-            events,
-            reps,
-        );
-
-        // Equivalence guards: neither fast path may change the simulation.
-        assert_identical(&seg_r, &flat_r, &format!("{}: segment path", kind.name()));
-        assert_identical(&int_r, &flat_r, &format!("{}: interned path", kind.name()));
-
-        let speedup = flat_t.seconds / seg_t.seconds;
-        let int_speedup = flat_t.seconds / int_t.seconds;
+    // Per-workload, per-scheduler mode timings with the flat/segment/
+    // interned equivalence guards.
+    let mut segment_results: Vec<Vec<ReplayResult>> = Vec::new();
+    for (wi, p) in prepared.iter().enumerate() {
+        let footprint = p.interned.footprint();
         eprintln!(
-            "bench: {:<9} flat {:>9.0} ev/s | segment {:>9.0} ev/s | interned {:>9.0} ev/s | interned speedup {:.2}x",
-            kind.name(),
-            flat_t.events_per_sec,
-            seg_t.events_per_sec,
-            int_t.events_per_sec,
-            int_speedup
+            "bench: {} — {} eval transactions, {} block-granular events; trace bytes {} flat -> {} interned ({:.2}x smaller; dedup {:.1}x over {} unique slices)",
+            p.bench.name(),
+            p.eval.xcts.len(),
+            p.events,
+            footprint.flat_bytes,
+            footprint.resident_bytes(),
+            footprint.reduction(),
+            footprint.dedup_ratio(),
+            footprint.unique_slices
+        );
+        let _ = write!(
+            out,
+            "  {{\n    \"workload\": \"{}\",\n    \"n_xcts\": {},\n    \"events\": {},\n",
+            p.bench.name(),
+            p.eval.xcts.len(),
+            p.events
+        );
+        let _ = write!(
+            out,
+            "    \"trace_memory\": {{\n      \"flat_bytes\": {},\n      \"interned_resident_bytes\": {},\n      \"pool_bytes\": {},\n      \"per_trace_bytes\": {},\n      \"reduction\": {:.3},\n      \"unique_slices\": {},\n      \"slices_interned\": {},\n      \"dedup_ratio\": {:.2}\n    }},\n    \"schedulers\": [\n",
+            footprint.flat_bytes,
+            footprint.resident_bytes(),
+            footprint.pool_bytes,
+            footprint.trace_bytes,
+            footprint.reduction(),
+            footprint.unique_slices,
+            footprint.slices_interned,
+            footprint.dedup_ratio()
         );
 
-        let _ = write!(
-            out,
-            "  {{\n    \"scheduler\": \"{}\",\n    \"instructions\": {},\n    \"total_sim_cycles\": {:.1},\n",
-            kind.name(),
-            seg_r.instructions,
-            seg_r.total_cycles
-        );
-        json_mode(&mut out, "flat", &flat_t);
-        out.push_str(",\n");
-        json_mode(&mut out, "segment", &seg_t);
-        out.push_str(",\n");
-        json_mode(&mut out, "interned", &int_t);
-        let _ = write!(
-            out,
-            ",\n    \"segment_speedup\": {speedup:.3},\n    \"interned_speedup\": {int_speedup:.3}\n  }}"
-        );
-        out.push_str(if i + 1 < SchedulerKind::ALL.len() {
-            ",\n"
-        } else {
-            "\n"
-        });
-        segment_results.push(seg_r);
+        let iset = p.interned.as_set();
+        let mut seg_results = Vec::new();
+        for (i, kind) in SchedulerKind::ALL.iter().enumerate() {
+            let flat_cfg = ReplayConfig {
+                segment_exec: false,
+                ..cfg.clone()
+            };
+            let seg_cfg = ReplayConfig {
+                segment_exec: true,
+                ..cfg.clone()
+            };
+            // Warm up caches/allocator before timing.
+            let _ = run_scheduler(*kind, &p.eval.xcts, Some(&p.map), &seg_cfg);
+            let (flat_t, flat_r) = time_mode(
+                || run_scheduler(*kind, &p.eval.xcts, Some(&p.map), &flat_cfg),
+                p.events,
+                reps,
+            );
+            let (seg_t, seg_r) = time_mode(
+                || run_scheduler(*kind, &p.eval.xcts, Some(&p.map), &seg_cfg),
+                p.events,
+                reps,
+            );
+            let (int_t, int_r) = time_mode(
+                || run_scheduler(*kind, &iset, Some(&p.map), &seg_cfg),
+                p.events,
+                reps,
+            );
+
+            // Equivalence guards: neither fast path may change the
+            // simulation, on spec-driven workloads exactly as on the trio.
+            let what = |path| format!("{}/{}: {path} path", p.bench.name(), kind.name());
+            assert_identical(&seg_r, &flat_r, &what("segment"));
+            assert_identical(&int_r, &flat_r, &what("interned"));
+
+            let speedup = flat_t.seconds / seg_t.seconds;
+            let int_speedup = flat_t.seconds / int_t.seconds;
+            eprintln!(
+                "bench: {:<6} {:<9} flat {:>9.0} ev/s | segment {:>9.0} ev/s | interned {:>9.0} ev/s | interned speedup {:.2}x",
+                p.bench.name(),
+                kind.name(),
+                flat_t.events_per_sec,
+                seg_t.events_per_sec,
+                int_t.events_per_sec,
+                int_speedup
+            );
+
+            let _ = write!(
+                out,
+                "      {{\n        \"scheduler\": \"{}\",\n        \"instructions\": {},\n        \"total_sim_cycles\": {:.1},\n",
+                kind.name(),
+                seg_r.instructions,
+                seg_r.total_cycles
+            );
+            json_mode(&mut out, "flat", &flat_t);
+            out.push_str(",\n");
+            json_mode(&mut out, "segment", &seg_t);
+            out.push_str(",\n");
+            json_mode(&mut out, "interned", &int_t);
+            let _ = write!(
+                out,
+                ",\n        \"segment_speedup\": {speedup:.3},\n        \"interned_speedup\": {int_speedup:.3}\n      }}"
+            );
+            out.push_str(if i + 1 < SchedulerKind::ALL.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+            seg_results.push(seg_r);
+        }
+        out.push_str("    ]\n  }");
+        out.push_str(if wi + 1 < prepared.len() { ",\n" } else { "\n" });
+        segment_results.push(seg_results);
     }
     out.push_str("  ],\n");
 
-    // Parallel-sweep scaling: the full scheduler grid through the sweep
-    // engine, sequential vs `--threads N`, on the **interned** traces —
-    // every point borrows the same Arc'd pool, so N workers replay out of
-    // one read-only arena. Bit-identical checks against both the 1-thread
-    // sweep and the sequentially timed flat runs above.
-    let grid: Vec<SweepPoint<'_>> = SchedulerKind::ALL
+    // Parallel-sweep scaling: the full (benchmark × scheduler) grid
+    // through the sweep engine, sequential vs `--threads N`, on the
+    // **interned** traces — each workload's points borrow its Arc'd pool,
+    // so N workers replay out of read-only arenas. Bit-identical checks
+    // against both the 1-thread sweep and the sequentially timed flat
+    // runs above.
+    let grid: Vec<SweepPoint<'_>> = prepared
         .iter()
-        .map(|&scheduler| SweepPoint {
-            benchmark: Benchmark::TpcC,
-            scheduler,
-            replay_cfg: cfg.clone(),
-            label: "interned-grid",
-            traces: SweepTraces::Interned(iset),
-            map: Some(&map),
+        .flat_map(|p| {
+            SchedulerKind::ALL.iter().map(|&scheduler| SweepPoint {
+                benchmark: p.bench,
+                scheduler,
+                replay_cfg: cfg.clone(),
+                label: "interned-grid",
+                traces: SweepTraces::Interned(p.interned.as_set()),
+                map: Some(&p.map),
+            })
         })
         .collect();
     let t = Instant::now();
@@ -271,10 +324,10 @@ fn main() {
         (t.elapsed().as_secs_f64(), r)
     });
     let par_seconds = t.elapsed().as_secs_f64();
-    for (((point, s), (_, p)), reference) in
-        grid.iter().zip(&seq).zip(&timed_par).zip(&segment_results)
+    let references = segment_results.iter().flatten();
+    for (((point, s), (_, par)), reference) in grid.iter().zip(&seq).zip(&timed_par).zip(references)
     {
-        assert_identical(s, p, &format!("{}: parallel sweep", point.describe()));
+        assert_identical(s, par, &format!("{}: parallel sweep", point.describe()));
         assert_eq!(
             s.stats,
             reference.stats,
@@ -284,8 +337,9 @@ fn main() {
     }
     let sweep_speedup = seq_seconds / par_seconds;
     eprintln!(
-        "bench: interned sweep grid ({} points, one shared pool) {:.3}s at 1 thread | {:.3}s at {} threads | speedup {:.2}x | results bit-identical to flat",
+        "bench: interned sweep grid ({} points over {} workloads) {:.3}s at 1 thread | {:.3}s at {} threads | speedup {:.2}x | results bit-identical to flat",
         grid.len(),
+        prepared.len(),
         seq_seconds,
         par_seconds,
         args.threads,
@@ -293,15 +347,17 @@ fn main() {
     );
     let _ = write!(
         out,
-        "  \"sweep\": {{\n    \"points\": {},\n    \"traces\": \"interned (one shared pool)\",\n    \"threads\": {},\n    \"seq_seconds\": {seq_seconds:.6},\n    \"par_seconds\": {par_seconds:.6},\n    \"parallel_speedup\": {sweep_speedup:.3},\n    \"bit_identical\": true,\n    \"per_scheduler\": [\n",
+        "  \"sweep\": {{\n    \"points\": {},\n    \"traces\": \"interned (one shared pool per workload)\",\n    \"threads\": {},\n    \"seq_seconds\": {seq_seconds:.6},\n    \"par_seconds\": {par_seconds:.6},\n    \"parallel_speedup\": {sweep_speedup:.3},\n    \"bit_identical\": true,\n    \"per_point\": [\n",
         grid.len(),
         args.threads
     );
-    for (i, (kind, (secs, _))) in SchedulerKind::ALL.iter().zip(&timed_par).enumerate() {
+    for (i, (point, (secs, _))) in grid.iter().zip(&timed_par).enumerate() {
+        let events = prepared[i / SchedulerKind::ALL.len()].events;
         let _ = write!(
             out,
-            "      {{ \"scheduler\": \"{}\", \"seconds\": {secs:.6}, \"events_per_sec\": {:.1} }}{}",
-            kind.name(),
+            "      {{ \"workload\": \"{}\", \"scheduler\": \"{}\", \"seconds\": {secs:.6}, \"events_per_sec\": {:.1} }}{}",
+            point.benchmark.name(),
+            point.scheduler.name(),
             events as f64 / secs,
             if i + 1 < timed_par.len() { ",\n" } else { "\n" }
         );

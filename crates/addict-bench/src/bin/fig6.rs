@@ -2,12 +2,14 @@
 //! the traces (left) and average transaction latency (right), normalized
 //! over Baseline.
 
-use addict_bench::{arg_xcts, header, migration_map, norm, profile_and_eval, run_all};
+use addict_bench::{
+    generate, header, migration_map, norm, parse_bench_args, profile_eval_ranges, run_all,
+};
 use addict_core::replay::ReplayConfig;
-use addict_workloads::Benchmark;
 
 fn main() {
-    let n = arg_xcts(600);
+    let args = parse_bench_args(600);
+    let n = args.n_xcts;
     header(
         "Figure 6",
         "total execution cycles + avg transaction latency",
@@ -15,12 +17,21 @@ fn main() {
     );
     let cfg = ReplayConfig::paper_default();
 
+    // All (benchmark × profile/eval) ranges generate in one parallel wave.
+    let ranges: Vec<_> = args
+        .benchmarks
+        .iter()
+        .flat_map(|&b| profile_eval_ranges(b, n, n))
+        .collect();
+    let mut generated = generate(&ranges, args.threads).into_iter();
+
     println!(
         "\n{:<8} {:<9} {:>12} {:>12}   (normalized; Baseline = 1.00)",
         "bench", "sched", "exec cycles", "latency"
     );
-    for bench in Benchmark::ALL {
-        let (profile, eval) = profile_and_eval(bench, n, n);
+    for bench in args.benchmarks.iter().copied() {
+        let profile = generated.next().expect("one profile range per benchmark");
+        let eval = generated.next().expect("one eval range per benchmark");
         let map = migration_map(&profile, &cfg);
         let results = run_all(&eval, &map, &cfg);
         let base = &results[0];

@@ -15,7 +15,6 @@ use addict_bench::{
 use addict_core::algorithm1::find_migration_points_interned;
 use addict_core::replay::ReplayConfig;
 use addict_core::sched::SchedulerKind;
-use addict_workloads::Benchmark;
 
 const BATCHES: [usize; 5] = [2, 4, 8, 16, 32];
 
@@ -24,14 +23,16 @@ fn main() {
     let n = args.n_xcts;
     header("Figure 7", "batch-size sweep: ADDICT over Baseline", n);
 
-    // All six (benchmark × profile/eval) ranges generate in one parallel
-    // wave; the interned workloads share a single master pool.
-    let ranges: Vec<_> = Benchmark::ALL
+    // Every selected benchmark's (profile, eval) ranges generate in one
+    // parallel wave; the interned workloads share a single master pool.
+    let ranges: Vec<_> = args
+        .benchmarks
         .iter()
         .flat_map(|&b| profile_eval_ranges(b, n, n))
         .collect();
     let workloads = addict_bench::generate_interned(&ranges, args.threads);
-    let data: Vec<_> = Benchmark::ALL
+    let data: Vec<_> = args
+        .benchmarks
         .iter()
         .zip(workloads.chunks_exact(2))
         .map(|(&bench, pair)| {

@@ -17,7 +17,6 @@ use addict_core::algorithm1::find_migration_points_interned;
 use addict_core::replay::ReplayConfig;
 use addict_core::sched::SchedulerKind;
 use addict_sim::SimConfig;
-use addict_workloads::Benchmark;
 
 fn main() {
     let args = parse_bench_args(600);
@@ -28,15 +27,17 @@ fn main() {
         n,
     );
 
-    // All six (benchmark × profile/eval) ranges generate in one parallel
-    // wave — one storage engine per worker — and the interned workloads
-    // share a single Arc'd slice pool across the whole grid.
-    let ranges: Vec<_> = Benchmark::ALL
+    // Every selected benchmark's (profile, eval) ranges generate in one
+    // parallel wave — one storage engine per worker — and the interned
+    // workloads share a single Arc'd slice pool across the whole grid.
+    let ranges: Vec<_> = args
+        .benchmarks
         .iter()
         .flat_map(|&b| profile_eval_ranges(b, n, n))
         .collect();
     let workloads = addict_bench::generate_interned(&ranges, args.threads);
-    let data: Vec<_> = Benchmark::ALL
+    let data: Vec<_> = args
+        .benchmarks
         .iter()
         .zip(workloads.chunks_exact(2))
         .map(|(&bench, pair)| {

@@ -1,12 +1,14 @@
 //! Figure 9: context switches / thread migrations per 1000 instructions
 //! (left) and the execution-cycle share spent on that overhead (right).
 
-use addict_bench::{arg_xcts, header, migration_map, profile_and_eval, run_all};
+use addict_bench::{
+    generate, header, migration_map, parse_bench_args, profile_eval_ranges, run_all,
+};
 use addict_core::replay::ReplayConfig;
-use addict_workloads::Benchmark;
 
 fn main() {
-    let n = arg_xcts(600);
+    let args = parse_bench_args(600);
+    let n = args.n_xcts;
     header(
         "Figure 9",
         "switch rate + overhead share of execution cycles",
@@ -14,14 +16,23 @@ fn main() {
     );
     let cfg = ReplayConfig::paper_default();
 
+    // All (benchmark × profile/eval) ranges generate in one parallel wave.
+    let ranges: Vec<_> = args
+        .benchmarks
+        .iter()
+        .flat_map(|&b| profile_eval_ranges(b, n, n))
+        .collect();
+    let mut generated = generate(&ranges, args.threads).into_iter();
+
     println!(
         "\n{:<8} {:<9} {:>12} {:>8} {:>8} {:>8} {:>8}",
         "bench", "sched", "switches/ki", "base%", "i-stall%", "d-stall%", "ovh%"
     );
     let mut avg: std::collections::HashMap<String, (f64, f64, usize)> =
         std::collections::HashMap::new();
-    for bench in Benchmark::ALL {
-        let (profile, eval) = profile_and_eval(bench, n, n);
+    for bench in args.benchmarks.iter().copied() {
+        let profile = generated.next().expect("one profile range per benchmark");
+        let eval = generated.next().expect("one eval range per benchmark");
         let map = migration_map(&profile, &cfg);
         for r in run_all(&eval, &map, &cfg) {
             let (base, istall, dstall, ovh) = r.stats.cycle_breakdown();

@@ -16,13 +16,17 @@
 //! | `fig8`   | Figure 8 — deeper hierarchy + power (Sections 4.6, 4.7) |
 //! | `fig9`   | Figure 9 — context switches + overhead breakdown |
 //! | `ablation` | DESIGN.md §3 design-choice ablations (beyond the paper) |
-//! | `bench`  | `BENCH_n.json` — replay throughput (events/sec) per scheduler, flat vs segment-granular vs interned execution + trace-memory footprint (see BENCHMARKS.md) |
+//! | `bench`  | `BENCH_n.json` — replay throughput (events/sec) per workload and scheduler, flat vs segment-granular vs interned execution + trace-memory footprint (see BENCHMARKS.md) |
 //!
 //! Every binary accepts the trace count as its first argument (default
 //! 600; the paper uses 1000 for profiling and 1000 for evaluation —
-//! Section 4.2 shows results are stable from 1000 up). Runs are
-//! deterministic: seed 1 profiles, seed 2 evaluates, matching the paper's
-//! disjoint trace ranges.
+//! Section 4.2 shows results are stable from 1000 up). The sweep-capable
+//! binaries (`fig5`–`fig9`, `ablation`, `bench`) additionally accept
+//! `--benchmarks name,name,...` to select registry entries (default: all
+//! six — the TPC trio plus the spec-driven TATP and YCSB mixes) and
+//! `--threads N` for worker count. Runs are deterministic: seed 1
+//! profiles, seed 2 evaluates, matching the paper's disjoint trace
+//! ranges.
 
 pub mod gen;
 pub mod sweep;
@@ -51,7 +55,7 @@ pub fn arg_xcts(default: usize) -> usize {
 }
 
 /// Parsed command line of the sweep-capable binaries
-/// (`fig7`/`fig8`/`ablation`/`bench`).
+/// (`fig5`/`fig6`/`fig7`/`fig8`/`fig9`/`ablation`/`bench`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BenchArgs {
     /// Trace count per workload (first positional argument).
@@ -60,39 +64,87 @@ pub struct BenchArgs {
     /// an artifact.
     pub out: Option<String>,
     /// Sweep worker threads (`--threads N` / `ADDICT_THREADS`, defaulting
-    /// to the host parallelism; see [`sweep::threads_from`]).
+    /// to the host parallelism; see [`sweep::default_threads`]).
     pub threads: usize,
     /// `--smoke`: a fast CI-sized run (small trace count, single rep).
     pub smoke: bool,
+    /// Benchmarks to run (`--benchmarks tpcb,tatp,...`, case-insensitive
+    /// names; default: every registry entry, in registry order).
+    pub benchmarks: Vec<Benchmark>,
+    /// Whether `--benchmarks` was given explicitly (single-workload
+    /// binaries reject explicit multi-entry filters but accept the
+    /// default).
+    pub benchmarks_explicit: bool,
 }
 
-/// Parse `[n_xcts] [out] [--threads N] [--smoke]` in any order. `--smoke`
-/// shrinks the default trace count to 60 unless one was given explicitly.
+/// Parse `[n_xcts] [out] [--threads N] [--benchmarks a,b,...] [--smoke]`
+/// in any order, exiting with a usage message on a malformed flag.
+/// `--smoke` shrinks the default trace count to 60 unless one was given
+/// explicitly.
 pub fn parse_bench_args(default_n: usize) -> BenchArgs {
     let args: Vec<String> = std::env::args().collect();
-    parse_bench_args_from(&args, default_n)
+    parse_bench_args_from(&args, default_n).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        eprintln!(
+            "usage: {} [n_xcts] [out] [--threads N] [--benchmarks name,name,...] [--smoke]",
+            args.first().map(String::as_str).unwrap_or("bench")
+        );
+        std::process::exit(2);
+    })
 }
 
 /// [`parse_bench_args`] over an explicit argument list (args[0] is the
-/// program name).
-pub fn parse_bench_args_from(args: &[String], default_n: usize) -> BenchArgs {
-    let threads = sweep::threads_from(args);
+/// program name). A `--threads` or `--benchmarks` flag with a missing or
+/// invalid value is an explicit error, never a silent fallback — a typo'd
+/// thread count must not quietly serialize a sweep.
+pub fn parse_bench_args_from(args: &[String], default_n: usize) -> Result<BenchArgs, String> {
+    let mut threads = None;
+    let mut benchmarks = None;
     let mut smoke = false;
     let mut n_xcts = None;
     let mut out = None;
-    let mut it = args.iter().skip(1).peekable();
+    let parse_threads = |v: &str| -> Result<usize, String> {
+        match v.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(format!("--threads requires a positive integer, got {v:?}")),
+        }
+    };
+    let parse_benchmarks = |v: &str| -> Result<Vec<Benchmark>, String> {
+        let list: Vec<Benchmark> = v
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(str::parse)
+            .collect::<Result<_, _>>()?;
+        if list.is_empty() {
+            return Err("--benchmarks requires a comma-separated list of names".to_owned());
+        }
+        Ok(list)
+    };
+    let mut it = args.iter().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--smoke" => smoke = true,
             "--threads" => {
-                // Consume the value token, garbage included (it must not
-                // leak into the positionals), but let a following flag
-                // survive for its own match arm.
-                if it.peek().is_some_and(|v| !v.starts_with("--")) {
-                    let _ = it.next();
-                }
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--threads requires a value".to_owned())?;
+                threads = Some(parse_threads(v)?);
             }
-            s if s.starts_with("--threads=") => {}
+            s if s.starts_with("--threads=") => {
+                threads = Some(parse_threads(&s["--threads=".len()..])?);
+            }
+            "--benchmarks" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--benchmarks requires a value".to_owned())?;
+                benchmarks = Some(parse_benchmarks(v)?);
+            }
+            s if s.starts_with("--benchmarks=") => {
+                benchmarks = Some(parse_benchmarks(&s["--benchmarks=".len()..])?);
+            }
+            s if s.starts_with("--") => {
+                return Err(format!("unknown flag {s:?}"));
+            }
             // Positionals are type-directed so flags can reorder them:
             // a number is the trace count, anything else the output path.
             s => match s.parse::<usize>() {
@@ -103,23 +155,25 @@ pub fn parse_bench_args_from(args: &[String], default_n: usize) -> BenchArgs {
             },
         }
     }
-    BenchArgs {
+    Ok(BenchArgs {
         n_xcts: n_xcts.unwrap_or(if smoke { 60 } else { default_n }),
         out,
-        threads,
+        threads: threads.unwrap_or_else(sweep::default_threads),
         smoke,
-    }
+        benchmarks_explicit: benchmarks.is_some(),
+        benchmarks: benchmarks.unwrap_or_else(|| Benchmark::ALL.to_vec()),
+    })
 }
 
 /// Build a benchmark and collect disjoint profiling and evaluation traces.
 ///
 /// The two ranges generate **in parallel** (one private storage engine
 /// each — see [`gen`]) on the thread count of [`threads_from`] over the
-/// process arguments, so the flag-less figure binaries (`fig1`–`fig6`,
-/// `fig9`) lose their sequential generation prefix without parsing
-/// anything themselves. This is deliberately argv/env-driven — binaries
-/// that parse `--threads` should pass it to [`profile_and_eval_on`]
-/// explicitly instead. An `n_eval` of 0 skips the second engine entirely.
+/// process arguments, so the flag-less figure binaries (`fig1`–`fig4`)
+/// lose their sequential generation prefix without parsing anything
+/// themselves. This is deliberately argv/env-driven — binaries that parse
+/// `--threads` should pass it to [`profile_and_eval_on`] explicitly
+/// instead. An `n_eval` of 0 skips the second engine entirely.
 pub fn profile_and_eval(
     bench: Benchmark,
     n_profile: usize,
@@ -204,38 +258,72 @@ mod tests {
     #[test]
     fn bench_args_parse_flags_and_positionals() {
         let argv = |v: &[&str]| v.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>();
-        let a = parse_bench_args_from(&argv(&["bench", "400", "out.json", "--threads", "2"]), 600);
+        let a = parse_bench_args_from(&argv(&["bench", "400", "out.json", "--threads", "2"]), 600)
+            .unwrap();
         assert_eq!(a.n_xcts, 400);
         assert_eq!(a.out.as_deref(), Some("out.json"));
         assert_eq!(a.threads, 2);
         assert!(!a.smoke);
+        assert_eq!(a.benchmarks, Benchmark::ALL.to_vec());
         // Flags may precede positionals; --smoke shrinks the default n.
-        let b = parse_bench_args_from(&argv(&["bench", "--threads=3", "--smoke"]), 600);
+        let b = parse_bench_args_from(&argv(&["bench", "--threads=3", "--smoke"]), 600).unwrap();
         assert_eq!(b.n_xcts, 60);
         assert_eq!(b.out, None);
         assert_eq!(b.threads, 3);
         assert!(b.smoke);
         // An explicit trace count wins over the smoke default.
-        let c = parse_bench_args_from(&argv(&["bench", "--smoke", "200"]), 600);
+        let c = parse_bench_args_from(&argv(&["bench", "--smoke", "200"]), 600).unwrap();
         assert_eq!(c.n_xcts, 200);
         // A lone path positional is the output file, not a trace count
         // (the CI smoke invocation passes only a path).
         let d = parse_bench_args_from(
             &argv(&["bench", "--threads", "2", "--smoke", "/tmp/s.json"]),
             600,
-        );
+        )
+        .unwrap();
         assert_eq!(d.n_xcts, 60);
         assert_eq!(d.out.as_deref(), Some("/tmp/s.json"));
         assert!(d.smoke);
-        // A malformed --threads must not swallow the flag after it...
-        let e = parse_bench_args_from(&argv(&["bench", "--threads", "--smoke"]), 600);
-        assert!(e.smoke);
-        assert_eq!(e.threads, 1);
-        assert_eq!(e.n_xcts, 60);
-        // ...but a garbage value is discarded, not read as a positional.
-        let f = parse_bench_args_from(&argv(&["bench", "--threads", "8x", "out.json"]), 600);
-        assert_eq!(f.threads, 1);
-        assert_eq!(f.out.as_deref(), Some("out.json"));
+    }
+
+    #[test]
+    fn bench_args_reject_malformed_threads() {
+        let argv = |v: &[&str]| v.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>();
+        // A --threads flag swallowing the next flag as its value, a
+        // missing value, garbage, and zero are all explicit errors — a
+        // typo must never silently serialize a sweep.
+        for bad in [
+            vec!["bench", "--threads", "--smoke"],
+            vec!["bench", "--threads"],
+            vec!["bench", "--threads", "8x", "out.json"],
+            vec!["bench", "--threads=0"],
+            vec!["bench", "--threads=zap"],
+        ] {
+            let err = parse_bench_args_from(&argv(&bad), 600).unwrap_err();
+            assert!(err.contains("--threads"), "{bad:?} gave {err:?}");
+        }
+        // Unknown flags are errors too, not output paths.
+        assert!(parse_bench_args_from(&argv(&["bench", "--jobs", "4"]), 600).is_err());
+    }
+
+    #[test]
+    fn bench_args_parse_benchmark_filter() {
+        let argv = |v: &[&str]| v.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>();
+        let a = parse_bench_args_from(&argv(&["bench", "--benchmarks", "tpcb,tatp"]), 600).unwrap();
+        assert_eq!(a.benchmarks, vec![Benchmark::TpcB, Benchmark::Tatp]);
+        // Case-insensitive, dashed or dashless, in = form too.
+        let b = parse_bench_args_from(&argv(&["bench", "--benchmarks=TPC-C,ycsb-a,YCSBB"]), 600)
+            .unwrap();
+        assert_eq!(
+            b.benchmarks,
+            vec![Benchmark::TpcC, Benchmark::YcsbA, Benchmark::YcsbB]
+        );
+        // Unknown names and empty lists are explicit errors.
+        let err =
+            parse_bench_args_from(&argv(&["bench", "--benchmarks", "tpcz"]), 600).unwrap_err();
+        assert!(err.contains("unknown benchmark"), "{err}");
+        assert!(parse_bench_args_from(&argv(&["bench", "--benchmarks"]), 600).is_err());
+        assert!(parse_bench_args_from(&argv(&["bench", "--benchmarks="]), 600).is_err());
     }
 
     #[test]

@@ -135,10 +135,23 @@ const _: () = {
     shared::<Benchmark>();
 };
 
+/// Worker-thread default when no `--threads` flag is given: the
+/// `ADDICT_THREADS` environment variable if set (unparseable values fall
+/// back to 1, the sequential path), else the host's available
+/// parallelism.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("ADDICT_THREADS") {
+        return v.parse().unwrap_or(1).max(1);
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 /// Number of worker threads for sweeps: the `--threads N` flag if present
-/// in `args`, else the `ADDICT_THREADS` environment variable, else the
-/// host's available parallelism. Anything unparseable falls back to 1
-/// (the sequential path), never to a panic — figures should still render.
+/// in `args`, else [`default_threads`]. Anything unparseable falls back
+/// to 1 (the sequential path), never to a panic — this is the lenient
+/// argv/env probe the flag-less figure binaries use; binaries that parse
+/// their arguments go through `parse_bench_args`, which rejects malformed
+/// values explicitly.
 pub fn threads_from(args: &[String]) -> usize {
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -149,10 +162,7 @@ pub fn threads_from(args: &[String]) -> usize {
             return it.next().and_then(|v| v.parse().ok()).unwrap_or(1).max(1);
         }
     }
-    if let Ok(v) = std::env::var("ADDICT_THREADS") {
-        return v.parse().unwrap_or(1).max(1);
-    }
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    default_threads()
 }
 
 /// Run `work` over every item of `items` on `threads` OS threads,

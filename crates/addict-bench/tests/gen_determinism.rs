@@ -15,11 +15,17 @@ fn serialize(ws: &[WorkloadTrace]) -> Vec<u8> {
 }
 
 fn ranges() -> Vec<GenRange> {
+    // Handwritten and spec-driven (TATP, YCSB-A) benchmarks side by side:
+    // the determinism contract is layout-independent.
     vec![
         GenRange::small(Benchmark::TpcB, 12, 1),
         GenRange::small(Benchmark::TpcB, 12, 2),
         GenRange::small(Benchmark::TpcC, 10, 1),
         GenRange::small(Benchmark::TpcC, 10, 2),
+        GenRange::small(Benchmark::Tatp, 12, 1),
+        GenRange::small(Benchmark::Tatp, 12, 2),
+        GenRange::small(Benchmark::YcsbA, 12, 1),
+        GenRange::small(Benchmark::YcsbA, 12, 2),
     ]
 }
 

@@ -111,3 +111,77 @@ fn sweep_is_bit_identical_across_thread_counts() {
         );
     }
 }
+
+/// The spec-driven benchmarks ride the same contract: a fig7-style
+/// (benchmark × scheduler × batch-size) grid over TATP and YCSB-B traces
+/// is bit-identical across thread counts, flat and interned alike.
+#[test]
+fn spec_driven_sweep_is_bit_identical_across_thread_counts() {
+    let cfg = ReplayConfig::paper_default();
+    let mut inputs = Vec::new();
+    for bench in [Benchmark::Tatp, Benchmark::YcsbB] {
+        let (mut engine, mut workload) = bench.setup_small();
+        let profile = collect_traces(&mut engine, workload.as_mut(), 24, PROFILE_SEED);
+        let eval = collect_traces(&mut engine, workload.as_mut(), 24, EVAL_SEED);
+        let interned = InternedWorkload::from_flat(&eval);
+        let map = migration_map(&profile, &cfg);
+        inputs.push((bench, eval, interned, map));
+    }
+
+    let mut grid: Vec<SweepPoint<'_>> = Vec::new();
+    for (bench, eval, interned, map) in &inputs {
+        for &scheduler in &SchedulerKind::ALL {
+            grid.push(SweepPoint {
+                benchmark: *bench,
+                scheduler,
+                replay_cfg: cfg.clone(),
+                label: "flat",
+                traces: SweepTraces::Flat(&eval.xcts),
+                map: Some(map),
+            });
+            grid.push(SweepPoint {
+                benchmark: *bench,
+                scheduler,
+                replay_cfg: cfg.clone(),
+                label: "interned",
+                traces: SweepTraces::Interned(interned.as_set()),
+                map: Some(map),
+            });
+        }
+        // The fig7 shape: ADDICT across batch sizes.
+        for batch in [4usize, 16] {
+            grid.push(SweepPoint {
+                benchmark: *bench,
+                scheduler: SchedulerKind::Addict,
+                replay_cfg: ReplayConfig::paper_default().with_batch_size(batch),
+                label: "batch",
+                traces: SweepTraces::Interned(interned.as_set()),
+                map: Some(map),
+            });
+        }
+    }
+
+    let sequential = serialize(&run_sweep(&grid, 1));
+    for threads in [2usize, 8] {
+        assert_eq!(
+            sequential,
+            serialize(&run_sweep(&grid, threads)),
+            "spec-driven sweep output changed at {threads} threads"
+        );
+    }
+    // Flat and interned layouts agree point-for-point (each benchmark
+    // block is 4 (flat, interned) pairs followed by 2 batch points).
+    let results = run_sweep(&grid, 2);
+    let per_bench = SchedulerKind::ALL.len() * 2 + 2;
+    for (block, (bench, ..)) in results.chunks_exact(per_bench).zip(&inputs) {
+        for pair in block[..SchedulerKind::ALL.len() * 2].chunks_exact(2) {
+            assert_eq!(
+                serialize(std::slice::from_ref(&pair[0])),
+                serialize(std::slice::from_ref(&pair[1])),
+                "interned replay diverged from flat for {} on {}",
+                pair[0].scheduler,
+                bench.name()
+            );
+        }
+    }
+}

@@ -7,6 +7,12 @@
 //! oldest (scan + delete) and bump a per-topic counter (probe + update) —
 //! a mix deliberately unlike the TPC benchmarks.
 //!
+//! This example drives the engine by hand for full control; for a mix
+//! expressible as tables + typed steps, prefer declaring an
+//! `addict::workloads::spec::WorkloadSpec` and letting `SpecRunner`
+//! interpret it (that path inherits the registry, sweep, and determinism
+//! machinery for free — see the TATP and YCSB entries).
+//!
 //! Run with: `cargo run --release --example custom_workload`
 
 use addict::core::find_migration_points;

@@ -16,7 +16,8 @@
 //! * [`storage`] — a Shore-MT-like storage manager (B+-trees, buffer pool,
 //!   lock manager, WAL) whose execution is instrumented block-by-block,
 //! * [`trace`] — the Pin-substitute trace model and recorder,
-//! * [`workloads`] — TPC-B, TPC-C, and TPC-E transaction generators,
+//! * [`workloads`] — TPC-B/C/E transaction generators plus a declarative
+//!   workload-spec subsystem (TATP and YCSB-style mixes ship built in),
 //! * [`sim`] — a multicore cache/timing/power simulator (Zesto/McPAT
 //!   substitute),
 //! * [`core`] — ADDICT itself plus the Baseline/STREX/SLICC comparators,
