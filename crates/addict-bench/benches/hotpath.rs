@@ -1,6 +1,7 @@
 //! Criterion microbenchmarks for the replay hot path: L1-I segment walks
-//! vs per-block cache accesses, the open-addressed coherence directory,
-//! and full flat-vs-segment replay under every scheduler.
+//! vs per-block cache accesses, warm data runs vs per-access data walks,
+//! the open-addressed coherence directory, and full
+//! flat-vs-segment-vs-data-run replay under every scheduler.
 //!
 //! Run with `cargo bench --bench hotpath`. The `bench` binary
 //! (`cargo run --release --bin bench`) regenerates `BENCH_1.json` with the
@@ -90,10 +91,14 @@ fn synthetic_trace(i: u64) -> XctTrace {
             n_blocks: 350,
             ipb: 10,
         });
-        events.push(TraceEvent::Data {
-            block: BlockAddr(0x1000_0000 + i * 4),
-            write: op == OpKind::Update,
-        });
+        // A short run of consecutive private data touches (record + index
+        // blocks), the shape the data-run path coalesces.
+        for d in 0..4u64 {
+            events.push(TraceEvent::Data {
+                block: BlockAddr(0x1000_0000 + i * 8 + d),
+                write: op == OpKind::Update,
+            });
+        }
         events.push(TraceEvent::OpEnd { op });
     }
     events.push(TraceEvent::XctEnd);
@@ -112,9 +117,14 @@ fn bench_replay_modes(c: &mut Criterion) {
     .with_batch_size(8);
     let map = find_migration_points(&traces, base_cfg.sim.l1i);
     for kind in SchedulerKind::ALL {
-        for (mode, segment) in [("flat", false), ("segment", true)] {
+        for (mode, segment, data_run) in [
+            ("flat", false, false),
+            ("segment", true, false),
+            ("data_run", true, true),
+        ] {
             let cfg = ReplayConfig {
                 segment_exec: segment,
+                data_run_exec: data_run,
                 ..base_cfg.clone()
             };
             let name = format!("replay/{}_{mode}_64_xcts", kind.name().to_lowercase());
@@ -123,6 +133,35 @@ fn bench_replay_modes(c: &mut Criterion) {
             });
         }
     }
+}
+
+fn bench_machine_data_runs(c: &mut Criterion) {
+    use addict_sim::DataAccess;
+    let cfg = SimConfig::paper_default().with_cores(2);
+    // A warm 64-access private run: half loads, half stores on dirty lines
+    // — entirely consumable by the directory-silent fast lane.
+    let run: Vec<DataAccess> = (0..64u64)
+        .map(|i| DataAccess {
+            block: BlockAddr(0x9000 + i),
+            write: i % 2 == 0,
+        })
+        .collect();
+    c.bench_function("machine/access_data_run_warm_64", |b| {
+        let mut m = Machine::new(&cfg);
+        m.access_data_run(CoreId(0), &run, 0.0);
+        b.iter(|| black_box(m.access_data_run(CoreId(0), &run, 0.0)))
+    });
+    c.bench_function("machine/access_data_warm_64_per_block", |b| {
+        let mut m = Machine::new(&cfg);
+        m.access_data_run(CoreId(0), &run, 0.0);
+        b.iter(|| {
+            let mut cycles = 0.0f64;
+            for a in &run {
+                cycles += m.access_data(CoreId(0), a.block, a.write);
+            }
+            black_box(cycles)
+        })
+    });
 }
 
 fn bench_machine_fetch(c: &mut Criterion) {
@@ -152,6 +191,6 @@ fn bench_machine_fetch(c: &mut Criterion) {
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_cache_walks, bench_directory, bench_machine_fetch, bench_replay_modes
+    targets = bench_cache_walks, bench_directory, bench_machine_fetch, bench_machine_data_runs, bench_replay_modes
 );
 criterion_main!(benches);

@@ -2,26 +2,32 @@
 //!
 //! For every selected benchmark (`--benchmarks`, default: the whole
 //! registry — the TPC trio plus the spec-driven TATP and YCSB mixes),
-//! replays the evaluation traces under all four schedulers, timing three
+//! replays the evaluation traces under all four schedulers, timing four
 //! modes against each other:
 //!
-//! * **flat** — per-block execution over flat `Vec<TraceEvent>` traces,
-//! * **segment** — the segment-granular fast path (PR 1),
-//! * **interned** — segment-granular replay over the arena-backed
+//! * **flat** — per-block, per-event execution over flat
+//!   `Vec<TraceEvent>` traces (the reference path),
+//! * **segment** — the segment-granular instruction fast path (PR 1),
+//! * **data_run** — segment-granular instructions **plus** run-granular
+//!   data: consecutive data accesses execute whole inside the machine,
+//!   private leading hits consumed without a coherence-directory
+//!   transaction (PR 5),
+//! * **interned** — both fast paths over the arena-backed
 //!   [`InternedWorkload`] form, whose deduplicated `SlicePool` holds each
 //!   distinct event slice once (PR 3),
 //!
 //! then times the **full (benchmark × scheduler) grid** through the sweep
 //! engine at one thread vs `--threads N`, with the interned grid sharing
-//! one `Arc`'d pool per workload. Writes `BENCH_4.json` with events/sec
+//! one `Arc`'d pool per workload. Writes `BENCH_5.json` with events/sec
 //! and sim-cycles/sec per workload, scheduler, and mode, the trace-memory
 //! footprint (flat vs interned resident bytes, pool dedup ratio), and the
 //! parallel-sweep wall times + speedup.
 //!
 //! Determinism guards run on every invocation (CI's `--smoke` included)
 //! and can fail the process:
-//! * flat, segment, and **interned** execution must produce bit-identical
-//!   simulation output (a speedup can never be bought with accuracy), and
+//! * flat, segment, **data_run**, and **interned** execution must produce
+//!   bit-identical simulation output (a speedup can never be bought with
+//!   accuracy) — the `data-run-equivalence` CI gate, and
 //! * the 1-thread and N-thread sweeps must produce bit-identical
 //!   per-scheduler `MachineStats` and makespans (parallelism can never
 //!   change a result) — for the spec-driven workloads exactly as for the
@@ -29,7 +35,7 @@
 //!
 //! Usage: `cargo run --release --bin bench -- [n_xcts] [out.json]
 //! [--threads N] [--benchmarks tpcb,tatp,...] [--smoke]` (defaults: 400
-//! transactions, `BENCH_4.json`; `--smoke` is the CI-sized run: 60
+//! transactions, `BENCH_5.json`; `--smoke` is the CI-sized run: 60
 //! transactions, one rep, `bench_smoke.json`).
 
 use std::fmt::Write as _;
@@ -129,7 +135,7 @@ fn main() {
         if args.smoke {
             "bench_smoke.json".to_owned()
         } else {
-            "BENCH_4.json".to_owned()
+            "BENCH_5.json".to_owned()
         }
     });
     // Best-of-N per mode: this container is a single shared core whose
@@ -175,13 +181,15 @@ fn main() {
     out.push_str("{\n");
     let _ = write!(
         out,
-        "  \"artifact\": \"BENCH_4\",\n  \"n_xcts\": {n},\n  \"n_cores\": {},\n  \"reps_best_of\": {reps},\n  \"workloads\": [\n",
+        "  \"artifact\": \"BENCH_5\",\n  \"n_xcts\": {n},\n  \"n_cores\": {},\n  \"reps_best_of\": {reps},\n  \"workloads\": [\n",
         cfg.sim.n_cores
     );
 
     // Per-workload, per-scheduler mode timings with the flat/segment/
-    // interned equivalence guards.
-    let mut segment_results: Vec<Vec<ReplayResult>> = Vec::new();
+    // data_run/interned equivalence guards. The stored results come from
+    // the data_run mode — the same configuration the sweep below runs —
+    // and anchor its bit-identity assert.
+    let mut reference_results: Vec<Vec<ReplayResult>> = Vec::new();
     for (wi, p) in prepared.iter().enumerate() {
         let footprint = p.interned.footprint();
         eprintln!(
@@ -216,18 +224,28 @@ fn main() {
         );
 
         let iset = p.interned.as_set();
-        let mut seg_results = Vec::new();
+        let mut run_results = Vec::new();
         for (i, kind) in SchedulerKind::ALL.iter().enumerate() {
+            // The reference path disables both fast paths; `segment` adds
+            // instruction runs; `data_run` adds data runs on top; the
+            // interned mode runs with both (the production configuration).
             let flat_cfg = ReplayConfig {
                 segment_exec: false,
+                data_run_exec: false,
                 ..cfg.clone()
             };
             let seg_cfg = ReplayConfig {
                 segment_exec: true,
+                data_run_exec: false,
+                ..cfg.clone()
+            };
+            let run_cfg = ReplayConfig {
+                segment_exec: true,
+                data_run_exec: true,
                 ..cfg.clone()
             };
             // Warm up caches/allocator before timing.
-            let _ = run_scheduler(*kind, &p.eval.xcts, Some(&p.map), &seg_cfg);
+            let _ = run_scheduler(*kind, &p.eval.xcts, Some(&p.map), &run_cfg);
             let (flat_t, flat_r) = time_mode(
                 || run_scheduler(*kind, &p.eval.xcts, Some(&p.map), &flat_cfg),
                 p.events,
@@ -238,56 +256,67 @@ fn main() {
                 p.events,
                 reps,
             );
+            let (run_t, run_r) = time_mode(
+                || run_scheduler(*kind, &p.eval.xcts, Some(&p.map), &run_cfg),
+                p.events,
+                reps,
+            );
             let (int_t, int_r) = time_mode(
-                || run_scheduler(*kind, &iset, Some(&p.map), &seg_cfg),
+                || run_scheduler(*kind, &iset, Some(&p.map), &run_cfg),
                 p.events,
                 reps,
             );
 
-            // Equivalence guards: neither fast path may change the
-            // simulation, on spec-driven workloads exactly as on the trio.
+            // Equivalence guards: no fast path may change the simulation,
+            // on spec-driven workloads exactly as on the trio. The
+            // data_run assert is CI's `data-run-equivalence` gate.
             let what = |path| format!("{}/{}: {path} path", p.bench.name(), kind.name());
             assert_identical(&seg_r, &flat_r, &what("segment"));
+            assert_identical(&run_r, &flat_r, &what("data_run"));
             assert_identical(&int_r, &flat_r, &what("interned"));
 
             let speedup = flat_t.seconds / seg_t.seconds;
+            let run_speedup = flat_t.seconds / run_t.seconds;
             let int_speedup = flat_t.seconds / int_t.seconds;
             eprintln!(
-                "bench: {:<6} {:<9} flat {:>9.0} ev/s | segment {:>9.0} ev/s | interned {:>9.0} ev/s | interned speedup {:.2}x",
+                "bench: {:<6} {:<9} flat {:>9.0} ev/s | segment {:>9.0} ev/s | data_run {:>9.0} ev/s | interned {:>9.0} ev/s | data_run speedup {:.2}x",
                 p.bench.name(),
                 kind.name(),
                 flat_t.events_per_sec,
                 seg_t.events_per_sec,
+                run_t.events_per_sec,
                 int_t.events_per_sec,
-                int_speedup
+                run_speedup
             );
 
             let _ = write!(
                 out,
                 "      {{\n        \"scheduler\": \"{}\",\n        \"instructions\": {},\n        \"total_sim_cycles\": {:.1},\n",
                 kind.name(),
-                seg_r.instructions,
-                seg_r.total_cycles
+                run_r.instructions,
+                run_r.total_cycles
             );
             json_mode(&mut out, "flat", &flat_t);
             out.push_str(",\n");
             json_mode(&mut out, "segment", &seg_t);
             out.push_str(",\n");
+            json_mode(&mut out, "data_run", &run_t);
+            out.push_str(",\n");
             json_mode(&mut out, "interned", &int_t);
             let _ = write!(
                 out,
-                ",\n        \"segment_speedup\": {speedup:.3},\n        \"interned_speedup\": {int_speedup:.3}\n      }}"
+                ",\n        \"segment_speedup\": {speedup:.3},\n        \"data_run_speedup\": {run_speedup:.3},\n        \"interned_speedup\": {int_speedup:.3}\n      }}"
             );
             out.push_str(if i + 1 < SchedulerKind::ALL.len() {
                 ",\n"
             } else {
                 "\n"
             });
-            seg_results.push(seg_r);
+            run_results.push(run_r);
         }
         out.push_str("    ]\n  }");
         out.push_str(if wi + 1 < prepared.len() { ",\n" } else { "\n" });
-        segment_results.push(seg_results);
+        reference_results.push(run_results);
     }
     out.push_str("  ],\n");
 
@@ -324,7 +353,7 @@ fn main() {
         (t.elapsed().as_secs_f64(), r)
     });
     let par_seconds = t.elapsed().as_secs_f64();
-    let references = segment_results.iter().flatten();
+    let references = reference_results.iter().flatten();
     for (((point, s), (_, par)), reference) in grid.iter().zip(&seq).zip(&timed_par).zip(references)
     {
         assert_identical(s, par, &format!("{}: parallel sweep", point.describe()));

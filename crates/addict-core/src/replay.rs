@@ -14,14 +14,15 @@
 //! arena-backed form ([`InternedSet`](addict_trace::InternedSet)) replay
 //! through the *identical* loop — one `fetch` per step (event plus run
 //! geometry in a single trace read), whole instruction runs executed
-//! segment-granularly inside the machine. Layout changes memory traffic,
-//! never a simulated bit.
+//! segment-granularly inside the machine, and consecutive data accesses
+//! executed run-granularly ([`Policy::data_run_granular`]). Layout changes
+//! memory traffic, never a simulated bit.
 
 use std::collections::VecDeque;
 
 use addict_sim::{BlockAddr, CoreId, Machine, MachineStats, PowerModel, PowerReport, SimConfig};
 use addict_trace::event::FlatEvent;
-use addict_trace::set::{Fetched, TraceSet};
+use addict_trace::set::{DataRun, Fetched, TraceSet};
 use addict_trace::XctTypeId;
 use serde::{Deserialize, Serialize};
 
@@ -44,6 +45,13 @@ pub struct ReplayConfig {
     /// to the per-block path; `false` forces per-block execution (kept for
     /// the equivalence tests and the hot-path benchmarks).
     pub segment_exec: bool,
+    /// Execute consecutive data accesses run-granularly when the policy
+    /// allows it ([`Policy::data_run_granular`]): whole data runs execute
+    /// inside the machine, private leading hits consumed without touching
+    /// the coherence directory. Produces bit-identical results to the
+    /// per-block path; `false` forces per-event data execution (kept for
+    /// the equivalence tests and the hot-path benchmarks).
+    pub data_run_exec: bool,
 }
 
 impl ReplayConfig {
@@ -57,6 +65,7 @@ impl ReplayConfig {
             slicc_fill_threshold: 48,
             power: PowerModel::default(),
             segment_exec: true,
+            data_run_exec: true,
         }
     }
 
@@ -194,6 +203,22 @@ pub trait Policy {
     /// execute at full speed.
     fn watch_addr(&self, _tid: usize) -> Option<BlockAddr> {
         None
+    }
+
+    /// Opt into run-granular data execution (the data-side counterpart of
+    /// [`Policy::segment_granular`]).
+    ///
+    /// A policy returning `true` promises that, for **every data event**
+    /// (hit or miss, load or store), its `pre` and `post` both return
+    /// [`Action::Continue`] and mutate no state. Under that contract the
+    /// engine gathers each run of consecutive data events and executes it
+    /// whole inside the machine — private leading hits in the directory-
+    /// silent fast lane, conflicting/missing blocks through the ordinary
+    /// coherent path — never consulting the policy, and the replay is
+    /// bit-identical to per-event execution. Policies that react to data
+    /// events must keep the default `false`.
+    fn data_run_granular(&self) -> bool {
+        false
     }
 
     /// Does `post` react to instruction *misses*? Miss-driven policies
@@ -428,6 +453,10 @@ pub fn run_des_admitted<T: TraceSet + ?Sized, P: Policy>(
 
     let use_segment = cfg.segment_exec && policy.segment_granular();
     let stop_on_miss = policy.observes_misses();
+    let use_data_runs = cfg.data_run_exec && policy.data_run_granular();
+    // One run buffer for the whole replay: gather grows it to the longest
+    // data run once, after which the hot loop is allocation-free.
+    let mut data_run = DataRun::new();
 
     loop {
         // Pick the runnable queue head that can start earliest.
@@ -527,6 +556,24 @@ pub fn run_des_admitted<T: TraceSet + ?Sized, P: Policy>(
                         }
                         continue;
                     }
+                }
+            }
+
+            // Data-run fast path: when the policy upholds the
+            // [`Policy::data_run_granular`] contract (pre/post are pure
+            // `Continue` for data events), the whole run of consecutive
+            // data events executes inside the machine — the gather is the
+            // lazily-computed data-run view, the machine consumes private
+            // leading hits without a directory transaction and routes the
+            // first shared/upgraded/missing block through the ordinary
+            // coherent path. Bit-identical to the per-event path.
+            if use_data_runs {
+                if let Fetched::Event(FlatEvent::Data { .. }) = fetched {
+                    let n = traces.gather_data_run(tid, threads[tid].cursor, &mut data_run);
+                    debug_assert!(n >= 1, "cursor stands at a data event");
+                    now = machine.access_data_run(CoreId(core), data_run.accesses(), now);
+                    traces.advance_data_run(tid, &mut threads[tid].cursor, n);
+                    continue;
                 }
             }
 

@@ -207,6 +207,13 @@ impl Policy for AddictPolicy<'_> {
         false
     }
 
+    // Migration points are *instruction* addresses: `pre` ignores data
+    // events, `post` acts only on markers, so whole data runs execute
+    // inside the machine too.
+    fn data_run_granular(&self) -> bool {
+        true
+    }
+
     /// The next planned migration point of `tid`'s current operation: the
     /// one address where `pre` must see the instruction stream (line 25's
     /// order dependency means *only* `points[next]` can fire — an address

@@ -25,6 +25,11 @@ impl Policy for NoMovement {
     fn observes_misses(&self) -> bool {
         false
     }
+
+    // ...and whole data runs execute run-granularly for the same reason.
+    fn data_run_granular(&self) -> bool {
+        true
+    }
 }
 
 /// Replay under traditional scheduling.

@@ -85,6 +85,13 @@ impl Policy for SliccPolicy {
     fn segment_granular(&self) -> bool {
         true
     }
+
+    // SLICC chases *instruction* cache collectives: `post` ignores data
+    // events entirely and `pre` is the default no-op, so data runs execute
+    // run-granularly.
+    fn data_run_granular(&self) -> bool {
+        true
+    }
 }
 
 /// Replay under SLICC.

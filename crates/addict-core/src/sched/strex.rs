@@ -59,6 +59,13 @@ impl Policy for StrexPolicy {
     fn segment_granular(&self) -> bool {
         true
     }
+
+    // Data events never reach the miss counter (`post` filters them out
+    // before looking at `missed`) and `pre` is the default no-op: safe for
+    // run-granular data execution.
+    fn data_run_granular(&self) -> bool {
+        true
+    }
 }
 
 /// Replay under STREX.

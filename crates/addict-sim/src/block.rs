@@ -33,6 +33,19 @@ impl BlockAddr {
     }
 }
 
+/// One data access at block granularity: the block touched and whether it
+/// is a store. The unit of the run-granular data path: consecutive
+/// same-core accesses coalesce into `&[DataAccess]` runs that
+/// [`Machine::access_data_run`](crate::Machine::access_data_run) executes
+/// without per-event dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DataAccess {
+    /// Data block touched.
+    pub block: BlockAddr,
+    /// Store (true) or load (false).
+    pub write: bool,
+}
+
 impl std::fmt::Display for BlockAddr {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "0x{:x}", self.byte_addr())

@@ -171,6 +171,44 @@ impl SetAssocCache {
         n
     }
 
+    /// Consume the longest prefix of `run` that stays in the *private fast
+    /// lane*: every access hits, and writes only touch lines that are
+    /// already dirty. Each consumed access refreshes LRU recency exactly as
+    /// [`SetAssocCache::access`] / [`SetAssocCache::access_write`] would (a
+    /// write hit on a dirty line leaves the dirty bit set, so no line state
+    /// changes at all). The walk stops *before* the first miss or
+    /// clean-line write — the caller services that access through the
+    /// ordinary coherent path (for an L1-D, a clean-line write is an S→M
+    /// upgrade the directory must see). Returns the accesses consumed.
+    ///
+    /// This is the data-side counterpart of [`SetAssocCache::run_hits`]:
+    /// one tight loop with the set mask and way count hoisted into
+    /// registers, no per-access dispatch, and no [`AccessOutcome`]
+    /// materialized.
+    pub fn data_run_hits(&mut self, run: &[crate::block::DataAccess]) -> usize {
+        let ways = self.ways;
+        let mut n = 0usize;
+        'walk: while n < run.len() {
+            let crate::block::DataAccess { block, write } = run[n];
+            let base = (block.0 & self.set_mask) as usize * ways;
+            let lines = &mut self.lines[base..base + ways];
+            for line in lines {
+                if line.valid && line.block == block {
+                    if write && !line.dirty {
+                        // Upgrade: leave it to the coherent path.
+                        break 'walk;
+                    }
+                    self.tick += 1;
+                    line.stamp = self.tick;
+                    n += 1;
+                    continue 'walk;
+                }
+            }
+            break;
+        }
+        n
+    }
+
     /// Fill `block` after the caller has already proven it absent (e.g. a
     /// [`SetAssocCache::run_hits`] walk stopped here): skips the hit scan
     /// and goes straight to victim selection. Tick, stamp, and eviction
@@ -377,6 +415,51 @@ mod tests {
         assert_eq!(b.run_hits(BlockAddr(0), 1), 1); // same refresh, fast path
         assert_eq!(a.access(BlockAddr(4)).evicted, Some(BlockAddr(2)));
         assert_eq!(b.access(BlockAddr(4)).evicted, Some(BlockAddr(2)));
+    }
+
+    fn da(block: u64, write: bool) -> crate::block::DataAccess {
+        crate::block::DataAccess {
+            block: BlockAddr(block),
+            write,
+        }
+    }
+
+    #[test]
+    fn data_run_hits_consumes_resident_private_prefix() {
+        let mut c = SetAssocCache::new(CacheGeometry::new(32 * 1024, 8));
+        c.access(BlockAddr(10));
+        c.access_write(BlockAddr(11));
+        c.access(BlockAddr(12));
+        // read hit, dirty-write hit, read hit, then a cold miss stops it.
+        let run = [da(10, false), da(11, true), da(12, false), da(13, false)];
+        assert_eq!(c.data_run_hits(&run), 3);
+        // The miss block was not filled by the walk.
+        assert!(!c.contains(BlockAddr(13)));
+        // A clean-line write (upgrade) stops the walk even though it hits.
+        let run = [da(10, false), da(12, true)];
+        assert_eq!(c.data_run_hits(&run), 1);
+        assert_eq!(c.invalidate(BlockAddr(12)), Some(false), "stayed clean");
+        // Empty run consumes nothing.
+        assert_eq!(c.data_run_hits(&[]), 0);
+    }
+
+    #[test]
+    fn data_run_hits_refreshes_lru_like_access() {
+        // Two identical caches; one touched via access()/access_write(),
+        // one via data_run_hits(). Subsequent eviction choices must agree.
+        let mut a = tiny();
+        let mut b = tiny();
+        for c in [&mut a, &mut b] {
+            c.access(BlockAddr(0));
+            c.access_write(BlockAddr(2)); // set 0: 0 (LRU, clean), 2 (MRU, dirty)
+        }
+        a.access(BlockAddr(0));
+        a.access_write(BlockAddr(2));
+        assert_eq!(b.data_run_hits(&[da(0, false), da(2, true)]), 2);
+        assert_eq!(a.access(BlockAddr(4)).evicted, Some(BlockAddr(0)));
+        assert_eq!(b.access(BlockAddr(4)).evicted, Some(BlockAddr(0)));
+        // The dirty bit survived the fast-lane write.
+        assert_eq!(b.invalidate(BlockAddr(2)), Some(true));
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //!   slightly undercounts coherence traffic (timing-only effect, no values
 //!   are stored).
 
-use crate::block::BlockAddr;
+use crate::block::{BlockAddr, DataAccess};
 use crate::cache::SetAssocCache;
 use crate::coherence::Directory;
 use crate::config::{HierarchyKind, SimConfig};
@@ -93,6 +93,7 @@ pub struct Hierarchy {
     torus: Torus,
     next_line_prefetch: bool,
     prefetches_issued: u64,
+    data_run_fast_hits: u64,
 }
 
 impl Hierarchy {
@@ -116,6 +117,7 @@ impl Hierarchy {
             torus: Torus::for_nodes(cfg.n_cores),
             next_line_prefetch: cfg.l1i_next_line_prefetch,
             prefetches_issued: 0,
+            data_run_fast_hits: 0,
         }
     }
 
@@ -290,6 +292,47 @@ impl Hierarchy {
             ServiceLevel::Memory
         };
         res
+    }
+
+    /// Consume the leading *private* accesses of `run` on `core`'s L1-D:
+    /// read hits, and write hits on already-dirty lines. The directory is
+    /// **never consulted** — an L1-D hit proves the coherence transaction
+    /// the per-block path would run is a no-op:
+    ///
+    /// * a block enters an L1-D only through [`Hierarchy::access_data`],
+    ///   which records the core in the directory first, and leaves it only
+    ///   through eviction (`on_evict`) or remote invalidation — so a
+    ///   resident block always has its core recorded as a sharer, making
+    ///   `on_read` idempotent (a remote modified owner is impossible: the
+    ///   owner's write would have invalidated this copy);
+    /// * a *dirty* resident line exists only while the directory records
+    ///   this core as the modified owner (writes set both; downgrades and
+    ///   invalidations clear both), making `on_write` idempotent too.
+    ///
+    /// The walk stops before the first miss, or before a write to a clean
+    /// line (an S→M upgrade the directory must see) — the caller services
+    /// that access through the ordinary [`Hierarchy::access_data`] path.
+    /// Returns the accesses consumed; each is an L1 hit charging zero
+    /// stall cycles.
+    #[inline]
+    pub fn l1d_run_hits(&mut self, core: usize, run: &[DataAccess]) -> usize {
+        let n = self.cores[core].l1d.data_run_hits(run);
+        self.data_run_fast_hits += n as u64;
+        n
+    }
+
+    /// Data accesses consumed by the [`Hierarchy::l1d_run_hits`] fast lane
+    /// so far (diagnostic, like [`Hierarchy::prefetches_issued`]: proves
+    /// the run path engaged without perturbing [`MemAccessResult`]-derived
+    /// statistics).
+    pub fn data_run_fast_hits(&self) -> u64 {
+        self.data_run_fast_hits
+    }
+
+    /// Read-only view of the coherence directory (diagnostics and the
+    /// model-based coherence tests).
+    pub fn directory(&self) -> &Directory {
+        &self.directory
     }
 
     /// Consume up to `max` consecutive instruction-block *hits* in `core`'s
@@ -470,6 +513,53 @@ mod tests {
         }
         assert_eq!(misses, 64);
         assert_eq!(h.prefetches_issued(), 0);
+    }
+
+    #[test]
+    fn l1d_run_hits_never_touches_the_directory() {
+        let mut h = shallow();
+        let blocks = [0x8000u64, 0x8001, 0x8002];
+        for &b in &blocks {
+            h.access_data(0, BlockAddr(b), false);
+        }
+        h.access_data(0, BlockAddr(0x8003), true);
+        let tracked = h.tracked_data_blocks();
+        let run: Vec<DataAccess> = [
+            (0x8000u64, false),
+            (0x8001, false),
+            (0x8003, true), // dirty write hit: still private
+            (0x8002, false),
+            (0x9999, false), // cold: stops the walk
+        ]
+        .iter()
+        .map(|&(b, write)| DataAccess {
+            block: BlockAddr(b),
+            write,
+        })
+        .collect();
+        assert_eq!(h.l1d_run_hits(0, &run), 4);
+        assert_eq!(h.data_run_fast_hits(), 4);
+        // No directory entry appeared or changed shape.
+        assert_eq!(h.tracked_data_blocks(), tracked);
+        assert!(!h.directory().is_sharer(0, BlockAddr(0x9999)));
+        assert_eq!(h.directory().owner(BlockAddr(0x8003)), Some(0));
+    }
+
+    #[test]
+    fn l1d_run_hits_stops_at_shared_write() {
+        let mut h = shallow();
+        let b = BlockAddr(0xa000);
+        h.access_data(0, b, false);
+        h.access_data(1, b, false); // now shared by cores 0 and 1
+        let run = [DataAccess {
+            block: b,
+            write: true,
+        }];
+        // Core 0 holds the block, but writing it must invalidate core 1:
+        // the fast lane refuses (clean line), the coherent path handles it.
+        assert_eq!(h.l1d_run_hits(0, &run), 0);
+        let res = h.access_data(0, b, true);
+        assert_eq!(res.invalidated_cores, 1);
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub mod power;
 pub mod stats;
 pub mod timing;
 
-pub use block::BlockAddr;
+pub use block::{BlockAddr, DataAccess};
 pub use cache::{AccessOutcome, SetAssocCache};
 pub use coherence::{CoherenceAction, SharerMask};
 pub use config::{CacheGeometry, HierarchyKind, SimConfig};

@@ -6,7 +6,7 @@
 //! the returned latencies to its own per-core clocks. The machine itself is
 //! policy-free.
 
-use crate::block::BlockAddr;
+use crate::block::{BlockAddr, DataAccess};
 use crate::config::SimConfig;
 use crate::hierarchy::{Hierarchy, MemAccessResult, ServiceLevel};
 use crate::stats::MachineStats;
@@ -245,6 +245,64 @@ impl Machine {
         charged
     }
 
+    /// Execute a run of consecutive data accesses on `core` — the
+    /// run-granular data hot path. Leading *private* accesses (read hits,
+    /// and write hits on already-dirty lines) are consumed in one tight
+    /// loop inside the cache ([`Hierarchy::l1d_run_hits`]) without touching
+    /// the coherence directory; the first shared, upgraded, or missing
+    /// block falls back to the ordinary [`Machine::access_data`] path — so
+    /// the directory never sees a batched conflicting access — and the walk
+    /// resumes after it. The whole run always completes.
+    ///
+    /// Returns the per-core clock after charging every access. Statistics,
+    /// directory state, and the clock are bit-identical to issuing the same
+    /// accesses through per-block [`Machine::access_data`] calls and
+    /// accumulating `now += cycles`: consumed accesses are L1 hits, whose
+    /// charge is exactly `0.0` (see [`TimingModel::data_access`]
+    /// (crate::timing::TimingModel::data_access)), and adding `0.0` to the
+    /// non-negative finite accumulators involved (`now`,
+    /// `data_stall_cycles`) is a bitwise no-op. Should a future timing
+    /// model ever charge L1-D hits, the guard below routes every access
+    /// through the per-block path, so the run API stays correct (if no
+    /// longer fast) instead of silently dropping charges.
+    pub fn access_data_run(&mut self, core: CoreId, run: &[DataAccess], mut now: f64) -> f64 {
+        if self.timing.data_access(ServiceLevel::L1, 0) != 0.0 {
+            for a in run {
+                now += self.access_data(core, a.block, a.write);
+            }
+            return now;
+        }
+        let mut i = 0usize;
+        while i < run.len() {
+            let hits = self.hierarchy.l1d_run_hits(core.0, &run[i..]);
+            if hits > 0 {
+                self.stats.cores[core.0].l1d_accesses += hits as u64;
+                i += hits;
+                if i == run.len() {
+                    break;
+                }
+            }
+            // First non-private access: full coherent path, exactly what
+            // per-block execution would do.
+            now += self.access_data(core, run[i].block, run[i].write);
+            i += 1;
+        }
+        now
+    }
+
+    /// Data accesses consumed by the run path's private fast lane
+    /// (diagnostic; not part of [`MachineStats`], so run-path and
+    /// block-path statistics stay comparable).
+    pub fn data_run_fast_hits(&self) -> u64 {
+        self.hierarchy.data_run_fast_hits()
+    }
+
+    /// Read-only view of the memory hierarchy (diagnostics and the
+    /// model-based coherence tests).
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
+    }
+
     /// Migrate a thread from `from` to `to`; returns the overhead cycles the
     /// destination core is charged.
     pub fn migrate(&mut self, from: CoreId, to: CoreId) -> f64 {
@@ -440,6 +498,79 @@ mod tests {
         assert!(!out.missed_last);
         assert_eq!(out.blocks, 16);
         assert_eq!(m.stats().l1i_misses(), 6 + 10);
+    }
+
+    fn da(block: u64, write: bool) -> DataAccess {
+        DataAccess {
+            block: BlockAddr(block),
+            write,
+        }
+    }
+
+    /// Drive the same interleaved data accesses through the run path on one
+    /// machine and the per-block path on another; both must agree bit-wise.
+    #[test]
+    fn access_data_run_matches_per_block_path() {
+        let mut run_m = machine();
+        let mut blk_m = machine();
+        // Warm shared and private state: block 50 shared by cores 0/1,
+        // block 51 dirty on core 0, blocks 60.. private to core 1.
+        for m in [&mut run_m, &mut blk_m] {
+            m.access_data(CoreId(0), BlockAddr(50), false);
+            m.access_data(CoreId(1), BlockAddr(50), false);
+            m.access_data(CoreId(0), BlockAddr(51), true);
+            for b in 60..66u64 {
+                m.access_data(CoreId(1), BlockAddr(b), false);
+            }
+        }
+        // Mixed run on core 0: private hits, a dirty-write hit, a shared
+        // write (invalidates core 1), cold misses, then hits again.
+        let run0 = [
+            da(50, false),
+            da(51, true),
+            da(50, true), // shared write: coherent path, invalidates core 1
+            da(70, false),
+            da(51, false),
+            da(70, true),
+        ];
+        // Run on core 1: its private blocks plus the block core 0 stole.
+        let run1 = [da(60, false), da(61, true), da(50, false), da(62, false)];
+        let mut now_run = 3.25f64;
+        now_run = run_m.access_data_run(CoreId(0), &run0, now_run);
+        now_run = run_m.access_data_run(CoreId(1), &run1, now_run);
+        let mut now_blk = 3.25f64;
+        for a in &run0 {
+            now_blk += blk_m.access_data(CoreId(0), a.block, a.write);
+        }
+        for a in &run1 {
+            now_blk += blk_m.access_data(CoreId(1), a.block, a.write);
+        }
+        assert_eq!(now_run.to_bits(), now_blk.to_bits(), "clocks diverged");
+        assert_eq!(
+            format!("{:?}", run_m.stats()),
+            format!("{:?}", blk_m.stats()),
+            "stats diverged"
+        );
+        assert_eq!(
+            run_m.hierarchy().tracked_data_blocks(),
+            blk_m.hierarchy().tracked_data_blocks()
+        );
+        // The fast lane really engaged.
+        assert!(run_m.data_run_fast_hits() > 0);
+        assert_eq!(blk_m.data_run_fast_hits(), 0);
+    }
+
+    /// Every access of a run performs exactly one L1-D lookup — the stats
+    /// double-source guard: `l1d_accesses` equals the number of data
+    /// events regardless of how many fast-lane/coherent-path round trips
+    /// the run took.
+    #[test]
+    fn access_data_run_counts_every_access_once() {
+        let mut m = machine();
+        let run: Vec<DataAccess> = (0..17u64).map(|i| da(0x100 + i % 7, i % 3 == 0)).collect();
+        m.access_data_run(CoreId(2), &run, 0.0);
+        assert_eq!(m.stats().l1d_accesses(), run.len() as u64);
+        assert_eq!(m.stats().data_accesses(), run.len() as u64);
     }
 
     #[test]

@@ -98,6 +98,17 @@ impl MachineStats {
     sum_field!(writebacks);
     sum_field!(noc_hops);
 
+    /// Data accesses executed. Defined as the L1-D lookup count: **every**
+    /// data event performs exactly one L1-D lookup, on the per-block path
+    /// (one `access_data` per event) and on the run-granular path alike
+    /// (fast-lane hits and coherent-path accesses each count once) — the
+    /// single-source guarantee that keeps `l1d_mpki` honest. Tested against
+    /// `XctTrace::data_accesses()` per workload in
+    /// `addict-core/tests/segment_equivalence.rs`.
+    pub fn data_accesses(&self) -> u64 {
+        self.l1d_accesses()
+    }
+
     /// Total migration / context-switch overhead cycles across cores.
     pub fn overhead_cycles(&self) -> f64 {
         self.cores.iter().map(|c| c.overhead_cycles).sum()

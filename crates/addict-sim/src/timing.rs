@@ -61,6 +61,12 @@ impl TimingModel {
 
     /// Charged latency of a data access resolved at `level`, after OoO
     /// hiding.
+    ///
+    /// An L1 hit charges exactly `0.0` in every configuration (the
+    /// load-to-use latency is folded into `base_cpi`). The run-granular
+    /// data path relies on this: accesses its private fast lane consumes
+    /// are L1 hits, so skipping the charge keeps clocks bit-identical to
+    /// the per-block path.
     pub fn data_access(&self, level: ServiceLevel, hops: u32) -> f64 {
         let raw = self.raw_service_latency(level, hops);
         let hide = match level {
@@ -104,6 +110,16 @@ mod tests {
         let t = model();
         assert_eq!(t.data_access(ServiceLevel::L1, 0), 0.0);
         assert_eq!(t.instr_miss(ServiceLevel::L1, 0), 0.0);
+        // The data-run fast lane's invariant: an L1-D hit charges a bitwise
+        // +0.0 whatever the configuration or hop count.
+        for t in [model(), TimingModel::new(SimConfig::paper_deep())] {
+            for hops in 0..4 {
+                assert_eq!(
+                    t.data_access(ServiceLevel::L1, hops).to_bits(),
+                    0.0f64.to_bits()
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,13 +1,23 @@
-//! Model-based property test for the open-addressed coherence directory:
+//! Model-based property tests for the open-addressed coherence directory:
 //! random interleavings of insert (read/write), remove (evict), and lookup
 //! are checked op-by-op against a `HashMap` reference model, together with
 //! the table's tombstone-accounting invariants (the load-factor rebuild
 //! resets tombstones; removal tombstones a block exactly once).
+//!
+//! The second proptest lifts the model to the hierarchy level and drives
+//! the **run-granular data path**: interleaved per-core access sequences
+//! execute in batches through `Hierarchy::access_data_run`, and after
+//! every batch the directory's sharer masks, modified owners, tracked
+//! count, and tombstone count must match (a) a `HashMap` + shadow-L1-D
+//! model that re-implements the MESI protocol of `access_data`, and (b) a
+//! hierarchy replaying the same sequence block-at-a-time — proving the
+//! batched fast lane never lets the directory skip (or double-apply) a
+//! coherence transaction.
 
 use std::collections::HashMap;
 
 use addict_sim::coherence::Directory;
-use addict_sim::BlockAddr;
+use addict_sim::{BlockAddr, CoreId, DataAccess, Machine, SetAssocCache, SimConfig};
 use proptest::prelude::*;
 
 /// Reference model: block -> (sharer bitmask, modified owner).
@@ -50,6 +60,119 @@ impl Model {
             if entry.0 == 0 {
                 self.blocks.remove(&block);
             }
+        }
+    }
+}
+
+/// Hierarchy-level reference model: the `HashMap` directory model plus one
+/// shadow L1-D per core, mirroring exactly the coherence-relevant state
+/// machine of `Hierarchy::access_data` — directory transaction first
+/// (invalidating remote shadow copies, cleaning a downgraded supplier),
+/// then the local lookup, then `on_evict` for the victim.
+struct HierModel {
+    dir: Model,
+    l1d: Vec<SetAssocCache>,
+}
+
+impl HierModel {
+    fn new(cfg: &SimConfig) -> Self {
+        HierModel {
+            dir: Model::default(),
+            l1d: (0..cfg.n_cores)
+                .map(|_| SetAssocCache::new(cfg.l1d))
+                .collect(),
+        }
+    }
+
+    fn access(&mut self, core: usize, a: DataAccess) {
+        let block = a.block;
+        let (supplier, invalidate) = if a.write {
+            self.dir.on_write(core, block.0)
+        } else {
+            let s = self.dir.on_read(core, block.0);
+            (s, 0u64)
+        };
+        for victim in 0..self.l1d.len() {
+            if invalidate & (1 << victim) != 0 {
+                self.l1d[victim].invalidate(block);
+            }
+        }
+        if let Some(s) = supplier {
+            if !a.write {
+                self.l1d[s].clean(block);
+            }
+        }
+        let out = if a.write {
+            self.l1d[core].access_write(block)
+        } else {
+            self.l1d[core].access(block)
+        };
+        if let Some(victim) = out.evicted {
+            self.dir.on_evict(core, victim.0);
+        }
+    }
+}
+
+/// Blocks collide on few sets so shadow caches evict (tag stride 64 = the
+/// L1-D set count at the paper geometry).
+fn arb_batch() -> impl Strategy<Value = (usize, Vec<DataAccess>)> {
+    (
+        0usize..4,
+        prop::collection::vec(
+            (0u64..3, 0u64..11, any::<bool>()).prop_map(|(s, t, w)| DataAccess {
+                block: BlockAddr(s + t * 64),
+                write: w,
+            }),
+            1..12,
+        ),
+    )
+}
+
+proptest! {
+    /// After every batched `access_data_run`, the directory matches both
+    /// the protocol model and a block-at-a-time hierarchy, sharer masks
+    /// and tombstones included.
+    #[test]
+    fn batched_data_runs_keep_directory_in_model_state(
+        batches in prop::collection::vec(arb_batch(), 1..60),
+    ) {
+        let cfg = SimConfig::paper_default().with_cores(4);
+        let mut run_m = Machine::new(&cfg);
+        let mut blk_m = Machine::new(&cfg);
+        let mut model = HierModel::new(&cfg);
+        for (core, batch) in batches {
+            run_m.access_data_run(CoreId(core), &batch, 0.0);
+            for a in &batch {
+                blk_m.access_data(CoreId(core), a.block, a.write);
+                model.access(core, *a);
+            }
+            let run_dir = run_m.hierarchy().directory();
+            let blk_dir = blk_m.hierarchy().directory();
+            // Sharer mask and owner of every universe block agree with
+            // the protocol model...
+            for b in 0u64..(3 + 10 * 64 + 1) {
+                let block = BlockAddr(b);
+                let expected = model.dir.blocks.get(&b).copied();
+                for c in 0..4 {
+                    prop_assert_eq!(
+                        run_dir.is_sharer(c, block),
+                        expected.is_some_and(|(s, _)| s & (1 << c) != 0),
+                        "core {} block {}", c, b
+                    );
+                }
+                prop_assert_eq!(run_dir.owner(block), expected.and_then(|(_, o)| o));
+            }
+            // ...and the table's aggregate shape matches the per-block
+            // hierarchy exactly: same live count, same tombstones (the
+            // batched path must trigger the identical insert/remove
+            // sequence), same load-factor invariant.
+            prop_assert_eq!(run_dir.tracked_blocks(), model.dir.blocks.len());
+            prop_assert_eq!(run_dir.tracked_blocks(), blk_dir.tracked_blocks());
+            prop_assert_eq!(run_dir.tombstone_count(), blk_dir.tombstone_count());
+            prop_assert!(
+                (run_dir.tracked_blocks() + run_dir.tombstone_count()) * 8
+                    <= run_dir.capacity() * 7
+            );
         }
     }
 }

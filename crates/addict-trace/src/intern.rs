@@ -554,6 +554,87 @@ impl TraceSet for InternedSet<'_> {
         self.load(idx, cur);
         self.bump(idx, cur);
     }
+
+    /// Direct pool scan instead of the default's fetch-per-event cursor
+    /// walk: canonical `Data` events are read straight out of the cached
+    /// slice (crossing slice boundaries as needed) and their real
+    /// addresses straight out of the contiguous `data_blocks` stream —
+    /// one pool read per event on the data-heavy hot path.
+    fn gather_data_run(
+        &self,
+        idx: usize,
+        cur: Self::Cursor,
+        run: &mut crate::set::DataRun,
+    ) -> usize {
+        run.clear();
+        let t = &self.xcts[idx];
+        let Some(mut r) = self.slice_of(idx, cur) else {
+            return 0;
+        };
+        // For a fresh cursor `slice_of` loaded slice 0, which is exactly
+        // `cur.slice`; thereafter the cached ref and index stay in step.
+        let mut slice = cur.slice as usize;
+        let mut pos = cur.pos;
+        let mut data = cur.data as usize;
+        loop {
+            while pos < r.len {
+                let TraceEvent::Data { write, .. } = self.pool.at(r, pos) else {
+                    return run.len();
+                };
+                run.push(addict_sim::DataAccess {
+                    block: t.data_blocks[data],
+                    write,
+                });
+                data += 1;
+                pos += 1;
+            }
+            slice += 1;
+            match t.slices.get(slice) {
+                Some(&next) => {
+                    r = next;
+                    pos = 0;
+                }
+                None => return run.len(),
+            }
+        }
+    }
+
+    /// Step past `k` gathered data events with slice-granular arithmetic
+    /// (one `slices[]` read per crossed boundary) instead of `k`
+    /// load+bump round trips.
+    fn advance_data_run(&self, idx: usize, cur: &mut Self::Cursor, k: usize) {
+        self.load(idx, cur);
+        cur.data += k as u32;
+        let mut rem = k as u32;
+        loop {
+            let in_slice = cur.r.len - cur.pos;
+            if rem < in_slice {
+                cur.pos += rem;
+                return;
+            }
+            rem -= in_slice;
+            cur.slice += 1;
+            cur.pos = 0;
+            match self.xcts[idx].slices.get(cur.slice as usize) {
+                Some(&next) => cur.r = next,
+                None => {
+                    // End of trace: the sentinel cursor `bump` would leave.
+                    // Advancing further than the gathered run is a caller
+                    // bug — fail fast (in release too; a silent wrap here
+                    // would spin forever on the 0-length sentinel).
+                    cur.r = SliceRef {
+                        pool_idx: 0,
+                        len: 0,
+                    };
+                    assert!(rem == 0, "advance_data_run past the gathered run");
+                    return;
+                }
+            }
+            if rem == 0 {
+                return;
+            }
+        }
+    }
 }
 
 // Thread-safety audit: sweep grids share interned sets (and their Arc'd
@@ -650,6 +731,65 @@ mod tests {
                 flat_events_of(traces.as_slice(), i),
                 "trace {i} diverged"
             );
+        }
+    }
+
+    /// The data-run view — `InternedSet`'s specialized direct-pool-scan
+    /// `gather_data_run`/`advance_data_run` overrides — agrees with the
+    /// flat layout: same runs at every cursor position, and advancing by
+    /// a run lands both layouts on the same next event.
+    #[test]
+    fn interned_data_runs_match_flat() {
+        use crate::set::DataRun;
+
+        let mut pool = SlicePool::new();
+        let traces = vec![sample(0x9000), sample(0xa040)];
+        let interned: Vec<InternedTrace> = traces
+            .iter()
+            .map(|t| InternedTrace::intern(t, &mut pool))
+            .collect();
+        let set = InternedSet {
+            pool: &pool,
+            xcts: &interned,
+        };
+        for idx in 0..traces.len() {
+            let flat = traces.as_slice();
+            let mut fc = <Vec<XctTrace> as TraceSet>::Cursor::default();
+            let mut ic = InternCursor::default();
+            let mut frun = DataRun::new();
+            let mut irun = DataRun::new();
+            loop {
+                let n = flat.gather_data_run(idx, fc, &mut frun);
+                assert_eq!(set.gather_data_run(idx, ic, &mut irun), n);
+                assert_eq!(frun.accesses(), irun.accesses(), "trace {idx}");
+                if n > 0 {
+                    // Consume part of the run on both layouts; the
+                    // remainders must still agree.
+                    let k = 1 + n / 2;
+                    flat.advance_data_run(idx, &mut fc, k);
+                    set.advance_data_run(idx, &mut ic, k);
+                    let rest = flat.gather_data_run(idx, fc, &mut frun);
+                    assert_eq!(set.gather_data_run(idx, ic, &mut irun), rest);
+                    assert_eq!(frun.accesses(), irun.accesses());
+                    flat.advance_data_run(idx, &mut fc, rest);
+                    set.advance_data_run(idx, &mut ic, rest);
+                    continue;
+                }
+                match flat.fetch(idx, fc) {
+                    Fetched::End => {
+                        assert_eq!(set.fetch(idx, ic), Fetched::End);
+                        break;
+                    }
+                    Fetched::Run { rem, .. } => {
+                        flat.advance_run(idx, &mut fc, rem, 1);
+                        set.advance_run(idx, &mut ic, rem, 1);
+                    }
+                    Fetched::Event(ev) => {
+                        flat.advance_event(idx, &mut fc, ev);
+                        set.advance_event(idx, &mut ic, ev);
+                    }
+                }
+            }
         }
     }
 

@@ -45,4 +45,4 @@ pub use intern::{
     InternFootprint, InternedSet, InternedTrace, InternedWorkload, SlicePool, SliceRef,
 };
 pub use recorder::TraceRecorder;
-pub use set::{Fetched, TraceSet};
+pub use set::{DataRun, Fetched, TraceSet};

@@ -15,9 +15,57 @@
 //! cursor did up to three lookups per event: `peek`, `instr_run`, and
 //! `advance` each re-fetched `events[idx]`).
 
-use addict_sim::BlockAddr;
+use addict_sim::{BlockAddr, DataAccess};
 
 use crate::event::{FlatEvent, TraceEvent, XctTrace, XctTypeId};
+
+/// A reusable buffer holding one coalesced run of consecutive data
+/// accesses — the lazily-computed *data-run view* of a trace.
+///
+/// Traces store `Data` events exactly as before (the interned `SlicePool`
+/// is untouched); a `DataRun` materializes only at replay time, when
+/// [`TraceSet::gather_data_run`] collects the consecutive `Data` events at
+/// the cursor so the machine can execute them run-granularly. The engine
+/// keeps one `DataRun` for the whole replay: the backing `Vec` grows to
+/// the longest run once and is reused, keeping the hot loop
+/// allocation-free in steady state.
+#[derive(Debug, Clone, Default)]
+pub struct DataRun {
+    accesses: Vec<DataAccess>,
+}
+
+impl DataRun {
+    /// An empty run buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drop the previous run's contents (capacity is kept).
+    pub fn clear(&mut self) {
+        self.accesses.clear();
+    }
+
+    /// Append one access (implementors of
+    /// [`TraceSet::gather_data_run`] fill the buffer through this).
+    pub fn push(&mut self, access: DataAccess) {
+        self.accesses.push(access);
+    }
+
+    /// The gathered accesses, in trace order.
+    pub fn accesses(&self) -> &[DataAccess] {
+        &self.accesses
+    }
+
+    /// Number of gathered accesses.
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// True when nothing was gathered.
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+}
 
 /// Everything the replay engine learns from one trace fetch.
 ///
@@ -81,6 +129,41 @@ pub trait TraceSet {
     /// is passed back so interned cursors can step their data-address
     /// stream without resolving the pool again).
     fn advance_event(&self, idx: usize, cur: &mut Self::Cursor, ev: FlatEvent);
+
+    /// Collect the run of consecutive `Data` events standing at `cur` into
+    /// `run` (cleared first), without advancing the cursor. Returns the run
+    /// length — `0` when the cursor does not stand at a data event. The
+    /// data-run view is computed lazily here, at replay time: traces (and
+    /// the interned pool) store per-event `Data` entries unchanged.
+    ///
+    /// The default walks a cursor *copy* through `fetch`/`advance_event`,
+    /// so it is consistent with per-event fetching by construction;
+    /// layouts may override it with a direct scan (the flat slice layout
+    /// does).
+    fn gather_data_run(&self, idx: usize, cur: Self::Cursor, run: &mut DataRun) -> usize {
+        run.clear();
+        let mut c = cur;
+        while let Fetched::Event(ev @ FlatEvent::Data { block, write }) = self.fetch(idx, c) {
+            run.push(DataAccess { block, write });
+            self.advance_event(idx, &mut c, ev);
+        }
+        run.len()
+    }
+
+    /// Consume `k` consecutive data events previously reported by
+    /// [`TraceSet::gather_data_run`] (`1 <= k <=` the gathered length).
+    /// Pure cursor arithmetic, like [`TraceSet::advance_run`].
+    fn advance_data_run(&self, idx: usize, cur: &mut Self::Cursor, k: usize) {
+        // The event payload is irrelevant to cursor stepping beyond being
+        // a `Data` (interned cursors bump their data-address position).
+        let stand_in = FlatEvent::Data {
+            block: BlockAddr(0),
+            write: false,
+        };
+        for _ in 0..k {
+            self.advance_event(idx, cur, stand_in);
+        }
+    }
 }
 
 /// Cursor over a flat trace's run-length-encoded events.
@@ -147,6 +230,26 @@ impl TraceSet for [XctTrace] {
     fn advance_event(&self, _idx: usize, cur: &mut Self::Cursor, _ev: FlatEvent) {
         cur.idx += 1;
     }
+
+    /// Direct scan over the event slice: consecutive `Data` events sit at
+    /// consecutive indexes, so the run is the longest `Data` prefix of
+    /// `events[cur.idx..]`.
+    fn gather_data_run(&self, idx: usize, cur: Self::Cursor, run: &mut DataRun) -> usize {
+        run.clear();
+        for e in &self[idx].events[cur.idx..] {
+            let &TraceEvent::Data { block, write } = e else {
+                break;
+            };
+            run.push(DataAccess { block, write });
+        }
+        run.len()
+    }
+
+    #[inline]
+    fn advance_data_run(&self, _idx: usize, cur: &mut Self::Cursor, k: usize) {
+        debug_assert_eq!(cur.off, 0, "a data run never starts mid-instruction-run");
+        cur.idx += k;
+    }
 }
 
 impl TraceSet for Vec<XctTrace> {
@@ -177,6 +280,16 @@ impl TraceSet for Vec<XctTrace> {
     #[inline]
     fn advance_event(&self, idx: usize, cur: &mut Self::Cursor, ev: FlatEvent) {
         TraceSet::advance_event(self.as_slice(), idx, cur, ev);
+    }
+
+    #[inline]
+    fn gather_data_run(&self, idx: usize, cur: Self::Cursor, run: &mut DataRun) -> usize {
+        TraceSet::gather_data_run(self.as_slice(), idx, cur, run)
+    }
+
+    #[inline]
+    fn advance_data_run(&self, idx: usize, cur: &mut Self::Cursor, k: usize) {
+        TraceSet::advance_data_run(self.as_slice(), idx, cur, k);
     }
 }
 
@@ -274,6 +387,174 @@ mod tests {
         let via_set = flat_events_of(traces.as_slice(), 0);
         let via_flatten: Vec<FlatEvent> = traces[0].flat_events().collect();
         assert_eq!(via_set, via_flatten);
+    }
+
+    /// Gather/advance through any layout must agree with walking the same
+    /// events one at a time via `fetch`/`advance_event` — here exercised
+    /// on the flat layout's specialized overrides.
+    #[test]
+    fn gather_data_run_matches_per_event_walk() {
+        let traces = vec![XctTrace {
+            xct_type: XctTypeId(1),
+            events: vec![
+                TraceEvent::XctBegin {
+                    xct_type: XctTypeId(1),
+                },
+                TraceEvent::Data {
+                    block: BlockAddr(0x9000),
+                    write: false,
+                },
+                TraceEvent::Data {
+                    block: BlockAddr(0x9001),
+                    write: true,
+                },
+                TraceEvent::Data {
+                    block: BlockAddr(0x9000),
+                    write: false,
+                },
+                TraceEvent::Instr {
+                    block: BlockAddr(0x40),
+                    n_blocks: 2,
+                    ipb: 5,
+                },
+                TraceEvent::Data {
+                    block: BlockAddr(0x9002),
+                    write: true,
+                },
+                TraceEvent::XctEnd,
+            ],
+        }];
+        let set = traces.as_slice();
+        let mut cur = FlatCursor::default();
+        let mut run = DataRun::new();
+        // At XctBegin: no data run.
+        assert_eq!(set.gather_data_run(0, cur, &mut run), 0);
+        let Fetched::Event(ev) = set.fetch(0, cur) else {
+            panic!("marker expected")
+        };
+        set.advance_event(0, &mut cur, ev);
+        // At the first Data: a 3-access run, gathered without advancing.
+        assert_eq!(set.gather_data_run(0, cur, &mut run), 3);
+        assert_eq!(
+            run.accesses(),
+            &[
+                DataAccess {
+                    block: BlockAddr(0x9000),
+                    write: false
+                },
+                DataAccess {
+                    block: BlockAddr(0x9001),
+                    write: true
+                },
+                DataAccess {
+                    block: BlockAddr(0x9000),
+                    write: false
+                },
+            ]
+        );
+        // Partial consumption lands mid-run: the remainder re-gathers.
+        let mut partial = cur;
+        set.advance_data_run(0, &mut partial, 2);
+        assert_eq!(set.gather_data_run(0, partial, &mut run), 1);
+        // Full consumption lands exactly on the instruction run.
+        set.advance_data_run(0, &mut cur, 3);
+        assert!(matches!(set.fetch(0, cur), Fetched::Run { .. }));
+        // Mid-instruction-run cursors gather nothing.
+        set.advance_run(0, &mut cur, 2, 1);
+        assert_eq!(set.gather_data_run(0, cur, &mut run), 0);
+        assert!(run.is_empty());
+    }
+
+    /// A layout that keeps the trait's *default*
+    /// `gather_data_run`/`advance_data_run` (both flat and interned
+    /// override them with direct scans, so without this wrapper the
+    /// defaults — the contract future implementors inherit — would have
+    /// zero coverage).
+    struct DefaultOnly(Vec<XctTrace>);
+
+    impl TraceSet for DefaultOnly {
+        type Cursor = FlatCursor;
+
+        fn len(&self) -> usize {
+            self.0.len()
+        }
+
+        fn xct_type(&self, idx: usize) -> XctTypeId {
+            self.0[idx].xct_type
+        }
+
+        fn instructions_of(&self, idx: usize) -> u64 {
+            self.0[idx].instructions()
+        }
+
+        fn fetch(&self, idx: usize, cur: Self::Cursor) -> Fetched {
+            TraceSet::fetch(self.0.as_slice(), idx, cur)
+        }
+
+        fn advance_run(&self, idx: usize, cur: &mut Self::Cursor, rem: u16, k: u16) {
+            TraceSet::advance_run(self.0.as_slice(), idx, cur, rem, k);
+        }
+
+        fn advance_event(&self, idx: usize, cur: &mut Self::Cursor, ev: FlatEvent) {
+            TraceSet::advance_event(self.0.as_slice(), idx, cur, ev);
+        }
+        // gather_data_run / advance_data_run: trait defaults.
+    }
+
+    /// The default cursor-copy gather and advance agree with the flat
+    /// layout's specialized overrides at every position of a trace.
+    #[test]
+    fn default_data_run_impls_match_specialized() {
+        let traces = vec![XctTrace {
+            xct_type: XctTypeId(0),
+            events: vec![
+                TraceEvent::Data {
+                    block: BlockAddr(0x100),
+                    write: true,
+                },
+                TraceEvent::Data {
+                    block: BlockAddr(0x101),
+                    write: false,
+                },
+                TraceEvent::Instr {
+                    block: BlockAddr(0x40),
+                    n_blocks: 2,
+                    ipb: 5,
+                },
+                TraceEvent::Data {
+                    block: BlockAddr(0x102),
+                    write: true,
+                },
+            ],
+        }];
+        let fallback = DefaultOnly(traces.clone());
+        let spec = traces.as_slice();
+        let mut dc = FlatCursor::default();
+        let mut sc = FlatCursor::default();
+        let mut drun = DataRun::new();
+        let mut srun = DataRun::new();
+        loop {
+            let n = fallback.gather_data_run(0, dc, &mut drun);
+            assert_eq!(spec.gather_data_run(0, sc, &mut srun), n);
+            assert_eq!(drun.accesses(), srun.accesses());
+            if n > 0 {
+                fallback.advance_data_run(0, &mut dc, n);
+                spec.advance_data_run(0, &mut sc, n);
+                assert_eq!(dc, sc, "cursors diverged after advancing {n}");
+                continue;
+            }
+            match spec.fetch(0, sc) {
+                Fetched::End => break,
+                Fetched::Run { rem, .. } => {
+                    fallback.advance_run(0, &mut dc, rem, 1);
+                    spec.advance_run(0, &mut sc, rem, 1);
+                }
+                Fetched::Event(ev) => {
+                    fallback.advance_event(0, &mut dc, ev);
+                    spec.advance_event(0, &mut sc, ev);
+                }
+            }
+        }
     }
 
     #[test]
