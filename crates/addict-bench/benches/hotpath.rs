@@ -1,6 +1,7 @@
 //! Criterion microbenchmarks for the replay hot path: L1-I segment walks
 //! vs per-block cache accesses, warm data runs vs per-access data walks,
-//! the open-addressed coherence directory, and full
+//! the open-addressed coherence directory, the interned cursor's
+//! delta-varint address decode vs the flat walk, and full
 //! flat-vs-segment-vs-data-run replay under every scheduler.
 //!
 //! Run with `cargo bench --bench hotpath`. The `bench` binary
@@ -12,7 +13,11 @@ use addict_core::replay::ReplayConfig;
 use addict_core::sched::{run_scheduler, SchedulerKind};
 use addict_sim::coherence::Directory;
 use addict_sim::{BlockAddr, CacheGeometry, CoreId, Machine, SetAssocCache, SimConfig};
-use addict_trace::{OpKind, TraceEvent, XctTrace, XctTypeId};
+use addict_trace::event::FlatEvent;
+use addict_trace::{
+    DataRun, Fetched, InternedSet, InternedTrace, OpKind, SlicePool, TraceEvent, TraceSet,
+    XctTrace, XctTypeId,
+};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn bench_cache_walks(c: &mut Criterion) {
@@ -135,6 +140,63 @@ fn bench_replay_modes(c: &mut Criterion) {
     }
 }
 
+/// Drive a [`TraceSet`] cursor through every event of every trace the way
+/// the replay inner loop does — `fetch`, whole-run `advance_run`,
+/// `gather_data_run` + `advance_data_run` for data bursts — returning an
+/// address checksum so nothing folds away. On the interned set this is
+/// exactly the delta-varint decode path: every data address re-derived
+/// from the region-base cursor state, zero allocation.
+fn cursor_walk<T: TraceSet + ?Sized>(set: &T) -> u64 {
+    let mut sum = 0u64;
+    let mut run = DataRun::new();
+    for idx in 0..set.len() {
+        let mut cur = T::Cursor::default();
+        loop {
+            match set.fetch(idx, cur) {
+                Fetched::Run { block, rem, ipb } => {
+                    sum = sum.wrapping_add(block.0).wrapping_add(u64::from(ipb));
+                    set.advance_run(idx, &mut cur, rem, rem);
+                }
+                Fetched::Event(ev) => {
+                    if let FlatEvent::Data { .. } = ev {
+                        run.clear();
+                        let k = set.gather_data_run(idx, cur, &mut run);
+                        for a in run.accesses() {
+                            sum = sum.wrapping_add(a.block.0);
+                        }
+                        set.advance_data_run(idx, &mut cur, k);
+                    } else {
+                        set.advance_event(idx, &mut cur, ev);
+                    }
+                }
+                Fetched::End => break,
+            }
+        }
+    }
+    sum
+}
+
+fn bench_cursor_decode(c: &mut Criterion) {
+    let traces: Vec<XctTrace> = (0..64).map(synthetic_trace).collect();
+    let mut pool = SlicePool::new();
+    let interned: Vec<InternedTrace> = traces
+        .iter()
+        .map(|t| InternedTrace::intern(t, &mut pool))
+        .collect();
+    let set = InternedSet {
+        pool: &pool,
+        xcts: &interned,
+    };
+    let flat_sum = cursor_walk(traces.as_slice());
+    assert_eq!(flat_sum, cursor_walk(&set), "decode diverged from flat");
+    c.bench_function("cursor/flat_walk_64_xcts", |b| {
+        b.iter(|| black_box(cursor_walk(black_box(traces.as_slice()))))
+    });
+    c.bench_function("cursor/interned_delta_decode_64_xcts", |b| {
+        b.iter(|| black_box(cursor_walk(black_box(&set))))
+    });
+}
+
 fn bench_machine_data_runs(c: &mut Criterion) {
     use addict_sim::DataAccess;
     let cfg = SimConfig::paper_default().with_cores(2);
@@ -191,6 +253,6 @@ fn bench_machine_fetch(c: &mut Criterion) {
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_cache_walks, bench_directory, bench_machine_fetch, bench_machine_data_runs, bench_replay_modes
+    targets = bench_cache_walks, bench_directory, bench_machine_fetch, bench_machine_data_runs, bench_cursor_decode, bench_replay_modes
 );
 criterion_main!(benches);

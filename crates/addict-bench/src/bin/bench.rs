@@ -18,13 +18,23 @@
 //!
 //! then times the **full (benchmark × scheduler) grid** through the sweep
 //! engine at one thread vs `--threads N`, with the interned grid sharing
-//! one `Arc`'d pool per workload. Writes `BENCH_5.json` with events/sec
+//! one `Arc`'d pool per workload. Writes `BENCH_6.json` with events/sec
 //! and sim-cycles/sec per workload, scheduler, and mode, the trace-memory
-//! footprint (flat vs interned resident bytes, pool dedup ratio), and the
-//! parallel-sweep wall times + speedup.
+//! footprint (flat vs interned resident bytes, delta-encoded address
+//! bytes, pool dedup ratio), and the parallel-sweep wall times + speedup.
+//!
+//! The interned evaluation traces come from the **streamed pipeline**
+//! (`generate_interned_chunked`: generate → intern → retire flat traces,
+//! chunk by chunk), and `--scaling` appends the trace-memory-vs-throughput
+//! ladder: streamed generation and interned replay at 400 / 10k / 100k /
+//! ... up to `--xcts`, with per-rung footprint, events/s and peak RSS —
+//! the million-transaction run the flat path cannot hold in memory.
 //!
 //! Determinism guards run on every invocation (CI's `--smoke` included)
 //! and can fail the process:
+//! * the streamed, delta-encoded eval workload must **decode back
+//!   bit-identical** to the flat-generated one (the `streaming-equivalence`
+//!   CI gate),
 //! * flat, segment, **data_run**, and **interned** execution must produce
 //!   bit-identical simulation output (a speedup can never be bought with
 //!   accuracy) — the `data-run-equivalence` CI gate, and
@@ -34,16 +44,20 @@
 //!   handwritten ones.
 //!
 //! Usage: `cargo run --release --bin bench -- [n_xcts] [out.json]
-//! [--threads N] [--benchmarks tpcb,tatp,...] [--smoke]` (defaults: 400
-//! transactions, `BENCH_5.json`; `--smoke` is the CI-sized run: 60
-//! transactions, one rep, `bench_smoke.json`).
+//! [--xcts N] [--threads N] [--benchmarks tpcb,tatp,...] [--smoke]
+//! [--scaling]` (defaults: 400 transactions, `BENCH_6.json`; `--smoke` is
+//! the CI-sized run: 60 transactions, one rep, `bench_smoke.json`;
+//! `--scaling` caps the fixed-size matrix at 400 and ladders the first
+//! selected benchmark up to `--xcts`).
 
+use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use addict_bench::{
-    generate, migration_map, parse_bench_args, profile_eval_ranges, run_grid, run_point, run_sweep,
-    GenRange, SweepPoint, SweepTraces,
+    generate, generate_interned_chunked, migration_map, parse_bench_args, profile_eval_ranges,
+    run_grid, run_point, run_sweep, GenRange, SweepPoint, SweepTraces, DEFAULT_GEN_CHUNK,
+    EVAL_SEED,
 };
 use addict_core::algorithm1::MigrationMap;
 use addict_core::replay::{ReplayConfig, ReplayResult};
@@ -61,6 +75,57 @@ fn total_events(traces: &[XctTrace]) -> u64 {
             _ => 1,
         })
         .sum()
+}
+
+/// [`total_events`] of an interned workload without flattening it (a
+/// million-transaction set never materializes flat). Each distinct pool
+/// slice is expanded once and cached.
+fn total_events_interned(iw: &InternedWorkload) -> u64 {
+    let mut per_slice: HashMap<(u32, u32), u64> = HashMap::new();
+    iw.xcts
+        .iter()
+        .flat_map(|t| t.slice_refs().iter())
+        .map(|&r| {
+            *per_slice.entry((r.pool_idx, r.len)).or_insert_with(|| {
+                iw.pool
+                    .resolve(r)
+                    .iter()
+                    .map(|e| match e {
+                        TraceEvent::Instr { n_blocks, .. } => u64::from(*n_blocks),
+                        _ => 1,
+                    })
+                    .sum()
+            })
+        })
+        .sum()
+}
+
+/// Peak resident set size of this process so far (Linux `VmHWM`), if the
+/// platform exposes it.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Assert the streamed generate→intern pipeline's decoded form is
+/// bit-identical to the flat-generated workload — the runtime
+/// decoded-vs-flat gate (`streaming-equivalence` in CI).
+fn assert_decodes_to(interned: &InternedWorkload, flat: &WorkloadTrace, what: &str) {
+    let decoded = interned.flatten();
+    assert_eq!(
+        decoded.xcts.len(),
+        flat.xcts.len(),
+        "{what}: streamed pipeline trace count diverged"
+    );
+    for (i, (d, f)) in decoded.xcts.iter().zip(&flat.xcts).enumerate() {
+        assert_eq!(d.xct_type, f.xct_type, "{what}: trace {i} type diverged");
+        assert_eq!(
+            d.events, f.events,
+            "{what}: streamed+decoded trace {i} diverged from flat"
+        );
+    }
 }
 
 struct ModeTiming {
@@ -130,12 +195,19 @@ struct Prepared {
 
 fn main() {
     let args = parse_bench_args(400);
-    let n = args.n_xcts;
+    // In scaling mode the fixed-size matrix stays at its standard 400 so
+    // the ladder's base rung has a reference; the big `--xcts` applies to
+    // the ladder only.
+    let n = if args.scaling {
+        args.n_xcts.min(400)
+    } else {
+        args.n_xcts
+    };
     let out_path = args.out.clone().unwrap_or_else(|| {
         if args.smoke {
             "bench_smoke.json".to_owned()
         } else {
-            "BENCH_5.json".to_owned()
+            "BENCH_6.json".to_owned()
         }
     });
     // Best-of-N per mode: this container is a single shared core whose
@@ -164,7 +236,18 @@ fn main() {
         .map(|&bench| {
             let profile = generated.next().expect("one profile range per benchmark");
             let eval = generated.next().expect("one eval range per benchmark");
-            let interned = InternedWorkload::from_flat(&eval);
+            // The interned eval comes from the streamed pipeline — its own
+            // engine, chunked generate→intern→retire — and must decode
+            // back bit-identical to the flat-generated eval above: the
+            // runtime decoded-vs-flat gate.
+            let interned = generate_interned_chunked(
+                &[GenRange::new(bench, n, EVAL_SEED)],
+                args.threads,
+                DEFAULT_GEN_CHUNK,
+            )
+            .pop()
+            .expect("one streamed eval range");
+            assert_decodes_to(&interned, &eval, bench.name());
             let map = migration_map(&profile, &cfg);
             let events = total_events(&eval.xcts);
             Prepared {
@@ -176,12 +259,16 @@ fn main() {
             }
         })
         .collect();
+    eprintln!(
+        "bench: streamed pipeline (chunk {DEFAULT_GEN_CHUNK}) decoded bit-identical to flat generation for {}",
+        bench_names.join(", ")
+    );
 
     let mut out = String::new();
     out.push_str("{\n");
     let _ = write!(
         out,
-        "  \"artifact\": \"BENCH_5\",\n  \"n_xcts\": {n},\n  \"n_cores\": {},\n  \"reps_best_of\": {reps},\n  \"workloads\": [\n",
+        "  \"artifact\": \"BENCH_6\",\n  \"n_xcts\": {n},\n  \"n_cores\": {},\n  \"reps_best_of\": {reps},\n  \"gen_chunk\": {DEFAULT_GEN_CHUNK},\n  \"workloads\": [\n",
         cfg.sim.n_cores
     );
 
@@ -193,7 +280,7 @@ fn main() {
     for (wi, p) in prepared.iter().enumerate() {
         let footprint = p.interned.footprint();
         eprintln!(
-            "bench: {} — {} eval transactions, {} block-granular events; trace bytes {} flat -> {} interned ({:.2}x smaller; dedup {:.1}x over {} unique slices)",
+            "bench: {} — {} eval transactions, {} block-granular events; trace bytes {} flat -> {} interned ({:.2}x smaller; dedup {:.1}x over {} unique slices; {} data addresses in {} delta bytes, {:.2}x under raw)",
             p.bench.name(),
             p.eval.xcts.len(),
             p.events,
@@ -201,7 +288,10 @@ fn main() {
             footprint.resident_bytes(),
             footprint.reduction(),
             footprint.dedup_ratio(),
-            footprint.unique_slices
+            footprint.unique_slices,
+            footprint.data_accesses,
+            footprint.data_bytes,
+            footprint.address_reduction()
         );
         let _ = write!(
             out,
@@ -212,11 +302,14 @@ fn main() {
         );
         let _ = write!(
             out,
-            "    \"trace_memory\": {{\n      \"flat_bytes\": {},\n      \"interned_resident_bytes\": {},\n      \"pool_bytes\": {},\n      \"per_trace_bytes\": {},\n      \"reduction\": {:.3},\n      \"unique_slices\": {},\n      \"slices_interned\": {},\n      \"dedup_ratio\": {:.2}\n    }},\n    \"schedulers\": [\n",
+            "    \"trace_memory\": {{\n      \"flat_bytes\": {},\n      \"interned_resident_bytes\": {},\n      \"pool_bytes\": {},\n      \"per_trace_bytes\": {},\n      \"data_address_bytes\": {},\n      \"data_addresses\": {},\n      \"address_reduction\": {:.3},\n      \"reduction\": {:.3},\n      \"unique_slices\": {},\n      \"slices_interned\": {},\n      \"dedup_ratio\": {:.2}\n    }},\n    \"schedulers\": [\n",
             footprint.flat_bytes,
             footprint.resident_bytes(),
             footprint.pool_bytes,
             footprint.trace_bytes,
+            footprint.data_bytes,
+            footprint.data_accesses,
+            footprint.address_reduction(),
             footprint.reduction(),
             footprint.unique_slices,
             footprint.slices_interned,
@@ -391,8 +484,153 @@ fn main() {
             if i + 1 < timed_par.len() { ",\n" } else { "\n" }
         );
     }
-    out.push_str("    ]\n  }\n}\n");
+    out.push_str("    ]\n  }");
+
+    if args.scaling {
+        out.push_str(",\n");
+        scaling_section(&mut out, &args, &cfg, &prepared[0], reps);
+    } else {
+        out.push('\n');
+    }
+    out.push_str("}\n");
 
     std::fs::write(&out_path, out).expect("write benchmark artifact");
     eprintln!("bench: wrote {out_path}");
+}
+
+/// The `--scaling` ladder: streamed generate→intern→replay of the first
+/// selected benchmark at 400 / 10k / 100k / ... up to `--xcts`
+/// transactions, recording per-rung trace memory, generation and replay
+/// wall time, events/s per scheduler, and the process's peak RSS. The
+/// flat trace set never materializes — each rung's eval exists only in
+/// streamed interned form (at 1M TPC-B transactions the flat form alone
+/// would be ~4 GB of events) — and rungs small enough to afford a flat
+/// reference (≤ 10k) are decoded and replayed against it bit-identically
+/// before being timed.
+fn scaling_section(
+    out: &mut String,
+    args: &addict_bench::BenchArgs,
+    cfg: &ReplayConfig,
+    p0: &Prepared,
+    base_reps: usize,
+) {
+    const LADDER: [usize; 4] = [400, 10_000, 100_000, 1_000_000];
+    let bench = p0.bench;
+    let rungs: Vec<usize> = LADDER
+        .iter()
+        .copied()
+        .filter(|&r| r < args.n_xcts)
+        .chain([args.n_xcts])
+        .collect();
+    eprintln!(
+        "bench: scaling ladder {rungs:?} for {} (streamed pipeline, chunk {DEFAULT_GEN_CHUNK}, profile fixed at {} traces)",
+        bench.name(),
+        p0.eval.xcts.len()
+    );
+    let run_cfg = ReplayConfig {
+        segment_exec: true,
+        data_run_exec: true,
+        ..cfg.clone()
+    };
+    let flat_cfg = ReplayConfig {
+        segment_exec: false,
+        data_run_exec: false,
+        ..cfg.clone()
+    };
+    let _ = write!(
+        out,
+        "  \"scaling\": {{\n    \"workload\": \"{}\",\n    \"gen_chunk\": {DEFAULT_GEN_CHUNK},\n    \"rungs\": [\n",
+        bench.name()
+    );
+    for (ri, &rung) in rungs.iter().enumerate() {
+        let t = Instant::now();
+        let iw = generate_interned_chunked(
+            &[GenRange::new(bench, rung, EVAL_SEED)],
+            args.threads,
+            DEFAULT_GEN_CHUNK,
+        )
+        .pop()
+        .expect("one ladder range");
+        let gen_seconds = t.elapsed().as_secs_f64();
+        let fp = iw.footprint();
+        let events = total_events_interned(&iw);
+        let iset = iw.as_set();
+        eprintln!(
+            "bench: scaling {} @ {rung} — generated+interned in {gen_seconds:.1}s; {} events; resident {} B ({} B/xct, addresses {:.2}x under raw)",
+            bench.name(),
+            events,
+            fp.resident_bytes(),
+            fp.resident_bytes() / rung.max(1),
+            fp.address_reduction()
+        );
+        // Rungs that fit flat get the full decoded-vs-flat gate before
+        // any timing; beyond that the equivalence is carried by these
+        // gated rungs plus chunk-invariance (the pipeline's output does
+        // not depend on scale, only on the transaction stream).
+        let verified = rung <= 10_000;
+        if verified {
+            let flat = generate(&[GenRange::new(bench, rung, EVAL_SEED)], args.threads)
+                .pop()
+                .expect("one flat reference range");
+            assert_decodes_to(&iw, &flat, &format!("{} scaling@{rung}", bench.name()));
+            for kind in SchedulerKind::ALL {
+                let fr = run_scheduler(kind, &flat.xcts, Some(&p0.map), &flat_cfg);
+                let ir = run_scheduler(kind, &iset, Some(&p0.map), &run_cfg);
+                assert_identical(
+                    &ir,
+                    &fr,
+                    &format!("{}/{} scaling@{rung}", bench.name(), kind.name()),
+                );
+            }
+            eprintln!("bench: scaling @ {rung} decoded + replayed bit-identical to flat");
+        }
+        // Small rungs take best-of like the fixed-size matrix; big rungs
+        // run once — a single 10^8-event replay is its own steady state.
+        let reps = if rung > 10_000 { 1 } else { base_reps.min(5) };
+        let _ = write!(
+            out,
+            "      {{\n        \"n_xcts\": {rung},\n        \"events\": {events},\n        \"gen_seconds\": {gen_seconds:.3},\n        \"decoded_vs_flat\": \"{}\",\n        \"trace_memory\": {{ \"resident_bytes\": {}, \"pool_bytes\": {}, \"per_trace_bytes\": {}, \"data_address_bytes\": {}, \"data_addresses\": {}, \"address_reduction\": {:.3} }},\n",
+            if verified { "verified" } else { "gated_at_smaller_rungs" },
+            fp.resident_bytes(),
+            fp.pool_bytes,
+            fp.trace_bytes,
+            fp.data_bytes,
+            fp.data_accesses,
+            fp.address_reduction()
+        );
+        out.push_str("        \"schedulers\": [\n");
+        for (i, kind) in SchedulerKind::ALL.iter().enumerate() {
+            let (timing, _) = time_mode(
+                || run_scheduler(*kind, &iset, Some(&p0.map), &run_cfg),
+                events,
+                reps,
+            );
+            eprintln!(
+                "bench: scaling {:<6} @ {rung:>8} {:<9} {:>9.0} ev/s ({:.2}s)",
+                bench.name(),
+                kind.name(),
+                timing.events_per_sec,
+                timing.seconds
+            );
+            let _ = write!(
+                out,
+                "          {{ \"scheduler\": \"{}\", \"reps\": {reps}, \"seconds\": {:.3}, \"events_per_sec\": {:.1} }}{}",
+                kind.name(),
+                timing.seconds,
+                timing.events_per_sec,
+                if i + 1 < SchedulerKind::ALL.len() {
+                    ",\n"
+                } else {
+                    "\n"
+                }
+            );
+        }
+        let rss = peak_rss_bytes().unwrap_or(0);
+        let _ = write!(
+            out,
+            "        ],\n        \"peak_rss_bytes\": {rss}\n      }}{}",
+            if ri + 1 < rungs.len() { ",\n" } else { "\n" }
+        );
+    }
+    out.push_str("    ]\n  }\n");
 }

@@ -30,7 +30,7 @@
 use std::sync::Arc;
 
 use addict_trace::{InternedTrace, InternedWorkload, SlicePool, WorkloadTrace};
-use addict_workloads::{collect_traces, collect_traces_interned, Benchmark};
+use addict_workloads::{collect_traces, collect_traces_interned_chunked, Benchmark};
 
 use crate::sweep::run_grid;
 
@@ -105,14 +105,46 @@ pub fn generate(ranges: &[GenRange], threads: usize) -> Vec<WorkloadTrace> {
     })
 }
 
+/// Default recorder-drain granularity of [`generate_interned`]: large
+/// enough to amortize the per-drain engine round trip, small enough that
+/// a chunk of flat traces stays a rounding error next to the interned
+/// set it feeds.
+pub const DEFAULT_GEN_CHUNK: usize = 64;
+
 /// [`generate`] in interned form: workers intern as they collect (the flat
 /// trace set never materializes), worker-local pools merge in range order,
 /// and every returned workload shares the single master arena.
 pub fn generate_interned(ranges: &[GenRange], threads: usize) -> Vec<InternedWorkload> {
+    generate_interned_chunked(ranges, threads, DEFAULT_GEN_CHUNK)
+}
+
+/// [`generate_interned`] with an explicit drain granularity (see
+/// [`collect_traces_interned_chunked`]): the generate→intern→replay
+/// pipeline's memory knob. Peak resident memory is O(chunk flat traces +
+/// pool + encoded per-trace residue) instead of O(total flat events), so
+/// million-transaction eval sets fit where the batch path would swap.
+///
+/// Output is bit-identical for every `chunk` and thread count: chunking
+/// never reorders transactions, and the merge consumes worker-local
+/// pools in range order. A single-range run skips the merge entirely —
+/// re-interning a lone local pool in order reproduces its layout
+/// byte-for-byte, so the local pool *is* the master.
+pub fn generate_interned_chunked(
+    ranges: &[GenRange],
+    threads: usize,
+    chunk: usize,
+) -> Vec<InternedWorkload> {
     let parts = run_grid(ranges, threads, |_, r| {
         let (mut engine, mut workload) = r.setup();
         let mut pool = SlicePool::new();
-        let xcts = collect_traces_interned(&mut engine, workload.as_mut(), r.n, r.seed, &mut pool);
+        let xcts = collect_traces_interned_chunked(
+            &mut engine,
+            workload.as_mut(),
+            r.n,
+            r.seed,
+            &mut pool,
+            chunk,
+        );
         (
             workload.name().to_owned(),
             workload.xct_type_names(),
@@ -120,12 +152,27 @@ pub fn generate_interned(ranges: &[GenRange], threads: usize) -> Vec<InternedWor
             xcts,
         )
     });
+    let mut parts = parts;
+    if parts.len() == 1 {
+        // Single range: its local pool is already the master arena (no
+        // reintern copy of a million-trace set).
+        let (name, xct_type_names, pool, xcts) = parts.pop().expect("one part");
+        return vec![InternedWorkload {
+            name,
+            xct_type_names,
+            pool: Arc::new(pool),
+            xcts,
+        }];
+    }
     let mut master = SlicePool::new();
     let merged: Vec<(String, Vec<String>, Vec<InternedTrace>)> = parts
         .into_iter()
         .map(|(name, type_names, pool, xcts)| {
+            // Consume each range's traces and drop its local pool before
+            // touching the next, so transient merge memory is one range's
+            // worth, never the whole grid's.
             let remapped = xcts
-                .iter()
+                .into_iter()
                 .map(|t| t.reintern(&pool, &mut master))
                 .collect();
             (name, type_names, remapped)

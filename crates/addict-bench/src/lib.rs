@@ -38,7 +38,10 @@ use addict_core::sched::{run_scheduler, SchedulerKind};
 use addict_trace::WorkloadTrace;
 use addict_workloads::Benchmark;
 
-pub use gen::{generate, generate_interned, profile_eval_ranges, GenRange};
+pub use gen::{
+    generate, generate_interned, generate_interned_chunked, profile_eval_ranges, GenRange,
+    DEFAULT_GEN_CHUNK,
+};
 pub use sweep::{run_grid, run_point, run_sweep, threads_from, SweepPoint, SweepTraces};
 
 /// Profiling seed (the paper's traces 1–1000).
@@ -68,6 +71,9 @@ pub struct BenchArgs {
     pub threads: usize,
     /// `--smoke`: a fast CI-sized run (small trace count, single rep).
     pub smoke: bool,
+    /// `--scaling`: run the `bench` binary's trace-memory-vs-throughput
+    /// scaling ladder instead of (only) the fixed-size matrix.
+    pub scaling: bool,
     /// Benchmarks to run (`--benchmarks tpcb,tatp,...`, case-insensitive
     /// names; default: every registry entry, in registry order).
     pub benchmarks: Vec<Benchmark>,
@@ -77,16 +83,16 @@ pub struct BenchArgs {
     pub benchmarks_explicit: bool,
 }
 
-/// Parse `[n_xcts] [out] [--threads N] [--benchmarks a,b,...] [--smoke]`
-/// in any order, exiting with a usage message on a malformed flag.
-/// `--smoke` shrinks the default trace count to 60 unless one was given
-/// explicitly.
+/// Parse `[n_xcts] [out] [--xcts N] [--threads N] [--benchmarks a,b,...]
+/// [--smoke] [--scaling]` in any order, exiting with a usage message on a
+/// malformed flag. `--smoke` shrinks the default trace count to 60 unless
+/// one was given explicitly.
 pub fn parse_bench_args(default_n: usize) -> BenchArgs {
     let args: Vec<String> = std::env::args().collect();
     parse_bench_args_from(&args, default_n).unwrap_or_else(|e| {
         eprintln!("error: {e}");
         eprintln!(
-            "usage: {} [n_xcts] [out] [--threads N] [--benchmarks name,name,...] [--smoke]",
+            "usage: {} [n_xcts] [out] [--xcts N] [--threads N] [--benchmarks name,name,...] [--smoke] [--scaling]",
             args.first().map(String::as_str).unwrap_or("bench")
         );
         std::process::exit(2);
@@ -94,19 +100,28 @@ pub fn parse_bench_args(default_n: usize) -> BenchArgs {
 }
 
 /// [`parse_bench_args`] over an explicit argument list (args[0] is the
-/// program name). A `--threads` or `--benchmarks` flag with a missing or
-/// invalid value is an explicit error, never a silent fallback — a typo'd
-/// thread count must not quietly serialize a sweep.
+/// program name). A `--xcts`, `--threads` or `--benchmarks` flag with a
+/// missing or invalid value is an explicit error, never a silent fallback
+/// — a typo'd thread count must not quietly serialize a sweep, and a
+/// typo'd `--xcts` must not quietly run a million-transaction ladder at
+/// the default size.
 pub fn parse_bench_args_from(args: &[String], default_n: usize) -> Result<BenchArgs, String> {
     let mut threads = None;
     let mut benchmarks = None;
     let mut smoke = false;
+    let mut scaling = false;
     let mut n_xcts = None;
     let mut out = None;
     let parse_threads = |v: &str| -> Result<usize, String> {
         match v.parse::<usize>() {
             Ok(n) if n >= 1 => Ok(n),
             _ => Err(format!("--threads requires a positive integer, got {v:?}")),
+        }
+    };
+    let parse_xcts = |v: &str| -> Result<usize, String> {
+        match v.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(format!("--xcts requires a positive integer, got {v:?}")),
         }
     };
     let parse_benchmarks = |v: &str| -> Result<Vec<Benchmark>, String> {
@@ -122,8 +137,26 @@ pub fn parse_bench_args_from(args: &[String], default_n: usize) -> Result<BenchA
     };
     let mut it = args.iter().skip(1);
     while let Some(a) = it.next() {
+        // A `--xcts` flag and a numeric positional both set the trace
+        // count; two sources (or two flags) are ambiguous — reject.
+        let mut set_xcts = |n: usize| -> Result<(), String> {
+            if n_xcts.replace(n).is_some() {
+                return Err("trace count given more than once".to_owned());
+            }
+            Ok(())
+        };
         match a.as_str() {
             "--smoke" => smoke = true,
+            "--scaling" => scaling = true,
+            "--xcts" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--xcts requires a value".to_owned())?;
+                set_xcts(parse_xcts(v)?)?;
+            }
+            s if s.starts_with("--xcts=") => {
+                set_xcts(parse_xcts(&s["--xcts=".len()..])?)?;
+            }
             "--threads" => {
                 let v = it
                     .next()
@@ -148,8 +181,8 @@ pub fn parse_bench_args_from(args: &[String], default_n: usize) -> Result<BenchA
             // Positionals are type-directed so flags can reorder them:
             // a number is the trace count, anything else the output path.
             s => match s.parse::<usize>() {
-                Ok(n) if n_xcts.is_none() => n_xcts = Some(n),
-                _ => {
+                Ok(n) => set_xcts(n)?,
+                Err(_) => {
                     out.get_or_insert_with(|| s.to_owned());
                 }
             },
@@ -160,6 +193,7 @@ pub fn parse_bench_args_from(args: &[String], default_n: usize) -> Result<BenchA
         out,
         threads: threads.unwrap_or_else(sweep::default_threads),
         smoke,
+        scaling,
         benchmarks_explicit: benchmarks.is_some(),
         benchmarks: benchmarks.unwrap_or_else(|| Benchmark::ALL.to_vec()),
     })
@@ -304,6 +338,47 @@ mod tests {
         }
         // Unknown flags are errors too, not output paths.
         assert!(parse_bench_args_from(&argv(&["bench", "--jobs", "4"]), 600).is_err());
+    }
+
+    #[test]
+    fn bench_args_parse_xcts_flag() {
+        let argv = |v: &[&str]| v.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>();
+        // --xcts sets the trace count like the numeric positional does,
+        // and beats the smoke default.
+        let a =
+            parse_bench_args_from(&argv(&["bench", "--xcts", "2000", "out.json"]), 600).unwrap();
+        assert_eq!(a.n_xcts, 2000);
+        assert_eq!(a.out.as_deref(), Some("out.json"));
+        let b = parse_bench_args_from(&argv(&["bench", "--smoke", "--xcts=1000000"]), 600).unwrap();
+        assert_eq!(b.n_xcts, 1_000_000);
+        assert!(b.smoke);
+        assert!(!b.scaling);
+        let c =
+            parse_bench_args_from(&argv(&["bench", "--scaling", "--xcts", "400"]), 600).unwrap();
+        assert!(c.scaling);
+        assert_eq!(c.n_xcts, 400);
+        // Garbage, zero, a missing value, and a flag swallowed as the
+        // value are explicit errors — same contract as --threads.
+        for bad in [
+            vec!["bench", "--xcts"],
+            vec!["bench", "--xcts", "--smoke"],
+            vec!["bench", "--xcts", "1e6"],
+            vec!["bench", "--xcts=0"],
+            vec!["bench", "--xcts=many"],
+        ] {
+            let err = parse_bench_args_from(&argv(&bad), 600).unwrap_err();
+            assert!(err.contains("--xcts"), "{bad:?} gave {err:?}");
+        }
+        // Two trace counts (flag twice, or flag + positional) are
+        // ambiguous, not last-one-wins.
+        for twice in [
+            vec!["bench", "--xcts", "5", "--xcts", "6"],
+            vec!["bench", "400", "--xcts", "5"],
+            vec!["bench", "--xcts=5", "400"],
+        ] {
+            let err = parse_bench_args_from(&argv(&twice), 600).unwrap_err();
+            assert!(err.contains("more than once"), "{twice:?} gave {err:?}");
+        }
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! `collect_traces` on a fresh engine — parallelism reorders execution,
 //! never content.
 
-use addict_bench::{generate, generate_interned, GenRange};
+use addict_bench::{generate, generate_interned, generate_interned_chunked, GenRange};
 use addict_trace::WorkloadTrace;
 use addict_workloads::{collect_traces, Benchmark};
 
@@ -82,6 +82,41 @@ fn interned_generation_is_bit_identical_across_thread_counts() {
             canon(threads),
             "interned generation changed at {threads} threads"
         );
+    }
+}
+
+#[test]
+fn interned_generation_is_chunk_size_invariant() {
+    let ranges = ranges();
+    // The streaming pipeline's drain granularity is a pure memory knob:
+    // draining the recorder after every transaction (chunk 1), at an odd
+    // stride (7), at the default (64), or only once at the end (0 = batch)
+    // must all produce byte-identical interned sets — pool layout, slice
+    // refs, and delta-encoded data bytes alike — at any thread count.
+    let canon = |threads: usize, chunk: usize| -> Vec<u8> {
+        let out = generate_interned_chunked(&ranges, threads, chunk);
+        let pool = &out[0].pool;
+        format!(
+            "{:#?} events={} unique={} interned={}",
+            out.iter().map(|w| &w.xcts).collect::<Vec<_>>(),
+            pool.n_events(),
+            pool.unique_slices(),
+            pool.slices_interned()
+        )
+        .into_bytes()
+    };
+    let reference = canon(1, 0);
+    for threads in [1usize, 2, 8] {
+        for chunk in [1usize, 7, 64, 0] {
+            if (threads, chunk) == (1, 0) {
+                continue;
+            }
+            assert_eq!(
+                reference,
+                canon(threads, chunk),
+                "interned generation changed at {threads} threads, chunk {chunk}"
+            );
+        }
     }
 }
 

@@ -119,6 +119,59 @@ proptest! {
         }
     }
 
+    /// The delta-varint address encoding round-trips adversarial
+    /// streams: arbitrary `u64` addresses (non-monotone, negative and
+    /// >32-bit deltas, region-boundary values) with occasional immediate
+    /// duplicates (a region's first touch re-touched, delta 0). Both
+    /// decode paths — `flatten` and the cursor walk — must reproduce
+    /// every address bit-identically.
+    #[test]
+    fn extreme_addresses_roundtrip(
+        addrs in prop::collection::vec(
+            (
+                prop_oneof![
+                    any::<u64>(),
+                    Just(0u64),
+                    Just(u64::MAX),
+                    Just(i64::MAX as u64),
+                    Just(i64::MAX as u64 + 1),
+                    (0u32..64).prop_map(|s| 1u64 << s),
+                    (0u32..64).prop_map(|s| (1u64 << s).wrapping_sub(1)),
+                ],
+                any::<bool>(),
+            ),
+            0..40,
+        )
+    ) {
+        let mut events = vec![TraceEvent::XctBegin { xct_type: XctTypeId(0) }];
+        events.push(TraceEvent::OpBegin { op: OpKind::Update });
+        for (i, &(a, dup)) in addrs.iter().enumerate() {
+            events.push(TraceEvent::Data { block: BlockAddr(a), write: i % 2 == 0 });
+            if dup {
+                events.push(TraceEvent::Data { block: BlockAddr(a), write: i % 2 != 0 });
+            }
+            // Split across op bodies so the stream also crosses slice
+            // boundaries mid-decode.
+            if i % 5 == 4 {
+                events.push(TraceEvent::OpEnd { op: OpKind::Update });
+                events.push(TraceEvent::OpBegin { op: OpKind::Update });
+            }
+        }
+        events.push(TraceEvent::OpEnd { op: OpKind::Update });
+        events.push(TraceEvent::XctEnd);
+        let trace = XctTrace { xct_type: XctTypeId(0), events };
+
+        let mut pool = SlicePool::new();
+        let interned = InternedTrace::intern(&trace, &mut pool);
+        prop_assert_eq!(&interned.flatten(&pool).events, &trace.events);
+        let traces = [interned];
+        let set = InternedSet { pool: &pool, xcts: &traces };
+        prop_assert_eq!(
+            flat_events_of(&set, 0),
+            flat_events_of(std::slice::from_ref(&trace), 0)
+        );
+    }
+
     /// Interning never grows the arena beyond the flat form, and repeats
     /// of one trace shape cost no pool events at all.
     #[test]

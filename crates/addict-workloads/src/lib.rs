@@ -254,12 +254,43 @@ pub fn collect_traces_interned(
     seed: u64,
     pool: &mut SlicePool,
 ) -> Vec<InternedTrace> {
+    collect_traces_interned_chunked(engine, workload, n, seed, pool, 1)
+}
+
+/// [`collect_traces_interned`] with an explicit drain granularity: run
+/// `chunk` transactions, drain their flat traces from the recorder,
+/// intern them, repeat. Peak flat-trace memory is bounded by one chunk;
+/// larger chunks amortize the recorder drain, `chunk == 0` means "drain
+/// once at the end" (the unbounded batch shape, for comparison runs).
+///
+/// The traces, their order, and the resulting pool layout are
+/// **independent of `chunk`** — transactions run and intern in the same
+/// order regardless of how the drains are batched (asserted by
+/// `gen_determinism`'s chunk-invariance test). Deterministic in `seed`.
+pub fn collect_traces_interned_chunked(
+    engine: &mut Engine,
+    workload: &mut dyn WorkloadRunner,
+    n: usize,
+    seed: u64,
+    pool: &mut SlicePool,
+    chunk: usize,
+) -> Vec<InternedTrace> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut xcts = Vec::with_capacity(n);
+    let mut pending = 0usize;
     for i in 0..n {
         workload
             .run_one(engine, &mut rng)
             .unwrap_or_else(|e| panic!("transaction {i} of {} failed: {e}", workload.name()));
+        pending += 1;
+        if pending == chunk {
+            for trace in engine.take_traces() {
+                xcts.push(InternedTrace::intern(&trace, pool));
+            }
+            pending = 0;
+        }
+    }
+    if pending > 0 {
         for trace in engine.take_traces() {
             xcts.push(InternedTrace::intern(&trace, pool));
         }
