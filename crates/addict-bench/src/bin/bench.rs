@@ -18,10 +18,12 @@
 //!
 //! then times the **full (benchmark × scheduler) grid** through the sweep
 //! engine at one thread vs `--threads N`, with the interned grid sharing
-//! one `Arc`'d pool per workload. Writes `BENCH_6.json` with events/sec
+//! one `Arc`'d pool per workload. Writes `BENCH_7.json` with events/sec
 //! and sim-cycles/sec per workload, scheduler, and mode, the trace-memory
 //! footprint (flat vs interned resident bytes, delta-encoded address
-//! bytes, pool dedup ratio), and the parallel-sweep wall times + speedup.
+//! bytes, pool dedup ratio), the parallel-sweep wall times + speedup, and
+//! a `service` section timing the same job cold vs warm through the
+//! replay-as-a-service layer's trace-pool cache (PR 7; see SERVICE.md).
 //!
 //! The interned evaluation traces come from the **streamed pipeline**
 //! (`generate_interned_chunked`: generate → intern → retire flat traces,
@@ -45,19 +47,19 @@
 //!
 //! Usage: `cargo run --release --bin bench -- [n_xcts] [out.json]
 //! [--xcts N] [--threads N] [--benchmarks tpcb,tatp,...] [--smoke]
-//! [--scaling]` (defaults: 400 transactions, `BENCH_6.json`; `--smoke` is
+//! [--scaling]` (defaults: 400 transactions, `BENCH_7.json`; `--smoke` is
 //! the CI-sized run: 60 transactions, one rep, `bench_smoke.json`;
 //! `--scaling` caps the fixed-size matrix at 400 and ladders the first
 //! selected benchmark up to `--xcts`).
 
-use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use addict_bench::job::total_events_interned;
 use addict_bench::{
     generate, generate_interned_chunked, migration_map, parse_bench_args, profile_eval_ranges,
-    run_grid, run_point, run_sweep, GenRange, SweepPoint, SweepTraces, DEFAULT_GEN_CHUNK,
-    EVAL_SEED,
+    run_grid, run_job, run_point, run_sweep, GenRange, JobSpec, SweepPoint, SweepTraces, TracePool,
+    DEFAULT_GEN_CHUNK, EVAL_SEED,
 };
 use addict_core::algorithm1::MigrationMap;
 use addict_core::replay::{ReplayConfig, ReplayResult};
@@ -73,29 +75,6 @@ fn total_events(traces: &[XctTrace]) -> u64 {
         .map(|e| match e {
             TraceEvent::Instr { n_blocks, .. } => u64::from(*n_blocks),
             _ => 1,
-        })
-        .sum()
-}
-
-/// [`total_events`] of an interned workload without flattening it (a
-/// million-transaction set never materializes flat). Each distinct pool
-/// slice is expanded once and cached.
-fn total_events_interned(iw: &InternedWorkload) -> u64 {
-    let mut per_slice: HashMap<(u32, u32), u64> = HashMap::new();
-    iw.xcts
-        .iter()
-        .flat_map(|t| t.slice_refs().iter())
-        .map(|&r| {
-            *per_slice.entry((r.pool_idx, r.len)).or_insert_with(|| {
-                iw.pool
-                    .resolve(r)
-                    .iter()
-                    .map(|e| match e {
-                        TraceEvent::Instr { n_blocks, .. } => u64::from(*n_blocks),
-                        _ => 1,
-                    })
-                    .sum()
-            })
         })
         .sum()
 }
@@ -207,7 +186,7 @@ fn main() {
         if args.smoke {
             "bench_smoke.json".to_owned()
         } else {
-            "BENCH_6.json".to_owned()
+            "BENCH_7.json".to_owned()
         }
     });
     // Best-of-N per mode: this container is a single shared core whose
@@ -268,7 +247,7 @@ fn main() {
     out.push_str("{\n");
     let _ = write!(
         out,
-        "  \"artifact\": \"BENCH_6\",\n  \"n_xcts\": {n},\n  \"n_cores\": {},\n  \"reps_best_of\": {reps},\n  \"gen_chunk\": {DEFAULT_GEN_CHUNK},\n  \"workloads\": [\n",
+        "  \"artifact\": \"BENCH_7\",\n  \"n_xcts\": {n},\n  \"n_cores\": {},\n  \"reps_best_of\": {reps},\n  \"gen_chunk\": {DEFAULT_GEN_CHUNK},\n  \"workloads\": [\n",
         cfg.sim.n_cores
     );
 
@@ -484,7 +463,9 @@ fn main() {
             if i + 1 < timed_par.len() { ",\n" } else { "\n" }
         );
     }
-    out.push_str("    ]\n  }");
+    out.push_str("    ]\n  },\n");
+
+    service_section(&mut out, &args, &prepared[0], n, &reference_results[0]);
 
     if args.scaling {
         out.push_str(",\n");
@@ -496,6 +477,77 @@ fn main() {
 
     std::fs::write(&out_path, out).expect("write benchmark artifact");
     eprintln!("bench: wrote {out_path}");
+}
+
+/// The `service` section: the first selected benchmark's (scheduler ×
+/// paper-default) job executed twice through the replay-as-a-service
+/// layer — once against a cold [`TracePool`] (both trace ranges
+/// generate) and once warm (pure cache hits, zero regeneration). Records
+/// cold vs warm job latency and the cache counters, and asserts the
+/// service path's contracts on every run: cold and warm results
+/// serialize **byte-identical**, and every job point is bit-identical to
+/// the directly-timed matrix reference above (the service adds caching
+/// and transport, never semantics).
+fn service_section(
+    out: &mut String,
+    args: &addict_bench::BenchArgs,
+    p0: &Prepared,
+    n: usize,
+    reference: &[ReplayResult],
+) {
+    let mut spec = JobSpec::new(vec![p0.bench], n);
+    spec.threads = args.threads;
+    let pool = TracePool::unbounded();
+    let quiet = |_: &str| {};
+    let t = Instant::now();
+    let cold = run_job(&spec, &pool, &quiet).expect("cold service job");
+    let cold_seconds = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let warm = run_job(&spec, &pool, &quiet).expect("warm service job");
+    let warm_seconds = t.elapsed().as_secs_f64();
+
+    let stats = pool.stats();
+    assert_eq!(
+        (stats.misses, stats.generations, stats.hits),
+        (2, 2, 2),
+        "service: cold job must generate profile+eval once, warm job must hit both"
+    );
+    assert_eq!(
+        cold.to_json(),
+        warm.to_json(),
+        "service: cold and warm jobs must serialize byte-identical"
+    );
+    for (point, reference) in cold.points.iter().zip(reference) {
+        assert_identical(
+            &point.result,
+            reference,
+            &format!(
+                "{}/{}: service job vs matrix",
+                p0.bench.name(),
+                point.scheduler.name()
+            ),
+        );
+        assert_eq!(point.events, p0.events, "service: event count diverged");
+    }
+
+    let warm_speedup = cold_seconds / warm_seconds;
+    eprintln!(
+        "bench: service job ({} x {} schedulers @ {n}) cold {cold_seconds:.3}s | warm {warm_seconds:.3}s | warm speedup {warm_speedup:.1}x | cache {}H/{}M | results byte-identical",
+        p0.bench.name(),
+        cold.points.len(),
+        stats.hits,
+        stats.misses
+    );
+    let _ = write!(
+        out,
+        "  \"service\": {{\n    \"workload\": \"{}\",\n    \"schedulers\": {},\n    \"n_xcts\": {n},\n    \"threads\": {},\n    \"cold_seconds\": {cold_seconds:.6},\n    \"warm_seconds\": {warm_seconds:.6},\n    \"warm_speedup\": {warm_speedup:.3},\n    \"cache\": {{ \"hits\": {}, \"misses\": {}, \"generations\": {} }},\n    \"byte_identical\": true,\n    \"bit_identical_to_matrix\": true\n  }}",
+        p0.bench.name(),
+        cold.points.len(),
+        args.threads,
+        stats.hits,
+        stats.misses,
+        stats.generations
+    );
 }
 
 /// The `--scaling` ladder: streamed generate→intern→replay of the first

@@ -1,0 +1,801 @@
+//! The job layer: grid/sweep execution as a reusable library.
+//!
+//! Before PR 7 the (benchmark × scheduler × config) sweep recipe — fetch
+//! traces, build the migration map, construct the grid, fan it out, and
+//! serialize the outcome — lived inline in `src/bin/*`. This module
+//! extracts it so the batch binaries and the resident evaluation server
+//! (`addict-service`) share **one code path**:
+//!
+//! * [`JobSpec`] — a declarative job: benchmark selection × scheduler set
+//!   × config grid (batch sizes) × transaction count, with a hand-rolled
+//!   JSON round-trip ([`JobSpec::to_json`] / [`JobSpec::from_json`]) and
+//!   the same strict-flag surface as the bench binaries
+//!   ([`JobSpec::from_args`]);
+//! * [`SpecError`] — the single error type of both surfaces: every
+//!   malformed flag *and* every malformed job field reports through it,
+//!   tagged with the offending field, so CLI and server strictness cannot
+//!   drift;
+//! * [`run_job`] — the executor: traces come from a
+//!   [`TracePool`](crate::cache::TracePool) (cache hit or generate), the
+//!   migration map from Algorithm 1 over the cached profile set, and the
+//!   grid fans out through [`run_grid`](crate::sweep::run_grid);
+//! * [`JobResult`] — the serialized outcome. Its [`JobResult::to_json`]
+//!   output is a pure function of the spec — wall-clock timings travel in
+//!   progress callbacks, never in the result — so a job executed via the
+//!   server serializes **byte-identical** to the same job executed via
+//!   the batch path (asserted by `addict-service/tests/service_roundtrip.rs`
+//!   and re-checked on every `bench` run).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use addict_core::algorithm1::{find_migration_points_interned, MigrationMap};
+use addict_core::replay::{ReplayConfig, ReplayResult};
+use addict_core::sched::SchedulerKind;
+use addict_trace::{InternedWorkload, TraceEvent};
+use addict_workloads::Benchmark;
+
+use crate::cache::{TraceKey, TracePool};
+use crate::jsontext::{escape, JsonValue};
+use crate::sweep::{run_grid, run_point, SweepPoint, SweepTraces};
+use crate::{EVAL_SEED, PROFILE_SEED};
+
+/// A job-spec or argument error: the single strictness policy shared by
+/// the bench binaries' flags and the server's job parsing. `field` names
+/// the offending input (`"xcts"`, `"threads"`, `"benchmarks"`, ...) so
+/// the server can answer with a structured error response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// The spec field or flag at fault.
+    pub field: &'static str,
+    /// Human-readable diagnosis (includes the offending value).
+    pub message: String,
+}
+
+impl SpecError {
+    /// Build an error for `field`.
+    pub fn new(field: &'static str, message: impl Into<String>) -> Self {
+        SpecError {
+            field,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Parse a transaction count: a positive integer, never a silent
+/// fallback. Shared by `--xcts`, the numeric positional, and the job
+/// spec's `n_xcts` field — the strict semantics from PR 6.
+pub fn xcts_value(v: &str) -> Result<usize, SpecError> {
+    match v.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(SpecError::new(
+            "xcts",
+            format!("--xcts requires a positive integer, got {v:?}"),
+        )),
+    }
+}
+
+/// Parse a worker-thread count: a positive integer, never a silent
+/// fallback. Shared by `--threads` and the job spec's `threads` field.
+pub fn threads_value(v: &str) -> Result<usize, SpecError> {
+    match v.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(SpecError::new(
+            "threads",
+            format!("--threads requires a positive integer, got {v:?}"),
+        )),
+    }
+}
+
+/// Parse a comma-separated benchmark list: known names only, never empty.
+/// Shared by `--benchmarks` and (name-by-name) the job spec's
+/// `benchmarks` field.
+pub fn benchmarks_value(v: &str) -> Result<Vec<Benchmark>, SpecError> {
+    let list: Vec<Benchmark> = v
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(str::parse)
+        .collect::<Result<_, _>>()
+        .map_err(|e: String| SpecError::new("benchmarks", e))?;
+    if list.is_empty() {
+        return Err(SpecError::new(
+            "benchmarks",
+            "--benchmarks requires a comma-separated list of names",
+        ));
+    }
+    Ok(list)
+}
+
+/// A declarative evaluation job: which benchmarks to replay, under which
+/// schedulers, over which config grid, at what size. The unit the batch
+/// binaries and the resident server both execute through [`run_job`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Benchmarks to replay (registry order is not required).
+    pub benchmarks: Vec<Benchmark>,
+    /// Schedulers to replay under (default: all four).
+    pub schedulers: Vec<SchedulerKind>,
+    /// Evaluation (and profiling) transactions per benchmark.
+    pub n_xcts: usize,
+    /// Sweep/generation worker threads (results are thread-count
+    /// invariant; this is purely a latency knob).
+    pub threads: usize,
+    /// Batch sizes to sweep for the batching schedulers; empty = the
+    /// paper default (one grid point per benchmark × scheduler).
+    pub batch_sizes: Vec<usize>,
+    /// Generation→interning drain granularity (0 = batch interning).
+    pub chunk: usize,
+    /// Use the reduced test-scale populations (`setup_small`).
+    pub small: bool,
+    /// Evaluation-trace seed (profiling always uses [`PROFILE_SEED`]).
+    pub seed: u64,
+}
+
+impl JobSpec {
+    /// The smallest useful job: one benchmark, all four schedulers, the
+    /// paper-default config, [`DEFAULT_GEN_CHUNK`](crate::DEFAULT_GEN_CHUNK)
+    /// streaming.
+    pub fn new(benchmarks: Vec<Benchmark>, n_xcts: usize) -> Self {
+        JobSpec {
+            benchmarks,
+            schedulers: SchedulerKind::ALL.to_vec(),
+            n_xcts,
+            threads: 1,
+            batch_sizes: Vec::new(),
+            chunk: crate::DEFAULT_GEN_CHUNK,
+            small: false,
+            seed: EVAL_SEED,
+        }
+    }
+
+    /// Build a job from the bench binaries' argument surface
+    /// (`[n_xcts] [--xcts N] [--threads N] [--benchmarks a,b,...]`),
+    /// sharing [`parse_bench_args_from`](crate::parse_bench_args_from)'s
+    /// parsing — one strictness policy, one error type — so server job
+    /// parsing and CLI flags cannot drift.
+    pub fn from_args(args: &[String], default_n: usize) -> Result<JobSpec, SpecError> {
+        let a = crate::parse_bench_args_from(args, default_n)?;
+        let mut spec = JobSpec::new(a.benchmarks, a.n_xcts);
+        spec.threads = a.threads;
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Enforce the spec invariants the flag parsers enforce for the CLI:
+    /// positive transaction and thread counts, non-empty benchmark and
+    /// scheduler sets, positive batch sizes. The server rejects a job
+    /// failing any of these with a structured error before touching the
+    /// cache or worker pool.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.n_xcts == 0 {
+            return Err(SpecError::new(
+                "n_xcts",
+                "n_xcts must be a positive transaction count (the strict --xcts semantics)",
+            ));
+        }
+        if self.threads == 0 {
+            return Err(SpecError::new(
+                "threads",
+                "threads must be a positive worker count (the strict --threads semantics)",
+            ));
+        }
+        if self.benchmarks.is_empty() {
+            return Err(SpecError::new(
+                "benchmarks",
+                "benchmarks must name at least one registry entry",
+            ));
+        }
+        if self.schedulers.is_empty() {
+            return Err(SpecError::new(
+                "schedulers",
+                "schedulers must name at least one scheduler",
+            ));
+        }
+        if self.batch_sizes.contains(&0) {
+            return Err(SpecError::new(
+                "batch_sizes",
+                "batch sizes must be positive",
+            ));
+        }
+        Ok(())
+    }
+
+    /// One grid point per (benchmark × scheduler × config): the job's
+    /// shape, independent of trace storage. `None` is the paper-default
+    /// config; `Some(b)` overrides the batch size. Benchmark-major, then
+    /// scheduler, then batch — the order results serialize in.
+    pub fn grid_shape(&self) -> Vec<(usize, SchedulerKind, Option<usize>)> {
+        let mut shape = Vec::new();
+        for (bi, _) in self.benchmarks.iter().enumerate() {
+            for &sched in &self.schedulers {
+                if self.batch_sizes.is_empty() {
+                    shape.push((bi, sched, None));
+                } else {
+                    for &b in &self.batch_sizes {
+                        shape.push((bi, sched, Some(b)));
+                    }
+                }
+            }
+        }
+        shape
+    }
+
+    /// Canonical single-line JSON form. [`JobSpec::from_json`] inverts it
+    /// exactly (round-trip tested).
+    pub fn to_json(&self) -> String {
+        let benches: Vec<String> = self
+            .benchmarks
+            .iter()
+            .map(|b| format!("\"{}\"", b.id()))
+            .collect();
+        let scheds: Vec<String> = self
+            .schedulers
+            .iter()
+            .map(|s| format!("\"{}\"", s.id()))
+            .collect();
+        let batches: Vec<String> = self.batch_sizes.iter().map(usize::to_string).collect();
+        format!(
+            "{{\"benchmarks\":[{}],\"schedulers\":[{}],\"n_xcts\":{},\"threads\":{},\"batch_sizes\":[{}],\"chunk\":{},\"small\":{},\"seed\":{}}}",
+            benches.join(","),
+            scheds.join(","),
+            self.n_xcts,
+            self.threads,
+            batches.join(","),
+            self.chunk,
+            self.small,
+            self.seed
+        )
+    }
+
+    /// Parse a job from its JSON form. Strict: unknown fields are
+    /// rejected (a typo'd field must not silently fall back to a
+    /// default), `benchmarks` and `n_xcts` are required, everything else
+    /// defaults as [`JobSpec::new`]. The parsed spec is [`validate`]d.
+    ///
+    /// [`validate`]: JobSpec::validate
+    pub fn from_json(s: &str) -> Result<JobSpec, SpecError> {
+        let doc = JsonValue::parse(s).map_err(|e| SpecError::new("spec", e))?;
+        let fields = doc
+            .as_obj("job spec")
+            .map_err(|e| SpecError::new("spec", e))?;
+        let mut spec = JobSpec::new(Vec::new(), 0);
+        let mut saw_benchmarks = false;
+        let mut saw_n = false;
+        for (key, value) in fields {
+            match key.as_str() {
+                "benchmarks" => {
+                    let arr = value
+                        .as_arr("benchmarks")
+                        .map_err(|e| SpecError::new("benchmarks", e))?;
+                    spec.benchmarks = arr
+                        .iter()
+                        .map(|v| {
+                            v.as_str("benchmarks entry")
+                                .map_err(|e| SpecError::new("benchmarks", e))?
+                                .parse::<Benchmark>()
+                                .map_err(|e| SpecError::new("benchmarks", e))
+                        })
+                        .collect::<Result<_, _>>()?;
+                    saw_benchmarks = true;
+                }
+                "schedulers" => {
+                    let arr = value
+                        .as_arr("schedulers")
+                        .map_err(|e| SpecError::new("schedulers", e))?;
+                    spec.schedulers = arr
+                        .iter()
+                        .map(|v| {
+                            v.as_str("schedulers entry")
+                                .map_err(|e| SpecError::new("schedulers", e))?
+                                .parse::<SchedulerKind>()
+                                .map_err(|e| SpecError::new("schedulers", e))
+                        })
+                        .collect::<Result<_, _>>()?;
+                }
+                "n_xcts" => {
+                    spec.n_xcts = value
+                        .as_u64("n_xcts")
+                        .map_err(|e| SpecError::new("n_xcts", e))?
+                        as usize;
+                    saw_n = true;
+                }
+                "threads" => {
+                    spec.threads = value
+                        .as_u64("threads")
+                        .map_err(|e| SpecError::new("threads", e))?
+                        as usize;
+                }
+                "batch_sizes" => {
+                    let arr = value
+                        .as_arr("batch_sizes")
+                        .map_err(|e| SpecError::new("batch_sizes", e))?;
+                    spec.batch_sizes = arr
+                        .iter()
+                        .map(|v| {
+                            v.as_u64("batch_sizes entry")
+                                .map(|n| n as usize)
+                                .map_err(|e| SpecError::new("batch_sizes", e))
+                        })
+                        .collect::<Result<_, _>>()?;
+                }
+                "chunk" => {
+                    spec.chunk = value
+                        .as_u64("chunk")
+                        .map_err(|e| SpecError::new("chunk", e))?
+                        as usize;
+                }
+                "small" => {
+                    spec.small = value
+                        .as_bool("small")
+                        .map_err(|e| SpecError::new("small", e))?;
+                }
+                "seed" => {
+                    spec.seed = value
+                        .as_u64("seed")
+                        .map_err(|e| SpecError::new("seed", e))?;
+                }
+                other => {
+                    return Err(SpecError::new(
+                        "spec",
+                        format!("unknown job field {other:?}"),
+                    ));
+                }
+            }
+        }
+        if !saw_benchmarks {
+            return Err(SpecError::new(
+                "benchmarks",
+                "job is missing \"benchmarks\"",
+            ));
+        }
+        if !saw_n {
+            return Err(SpecError::new("n_xcts", "job is missing \"n_xcts\""));
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// The cache key of this job's profiling traces for `bench`.
+    pub fn profile_key(&self, bench: Benchmark) -> TraceKey {
+        TraceKey {
+            bench,
+            seed: PROFILE_SEED,
+            n_xcts: self.n_xcts,
+            chunk: self.chunk,
+            small: self.small,
+        }
+    }
+
+    /// The cache key of this job's evaluation traces for `bench`.
+    pub fn eval_key(&self, bench: Benchmark) -> TraceKey {
+        TraceKey {
+            bench,
+            seed: self.seed,
+            n_xcts: self.n_xcts,
+            chunk: self.chunk,
+            small: self.small,
+        }
+    }
+}
+
+/// One grid point's outcome. `seconds` is wall clock as achieved in this
+/// run — it is deliberately **not** part of the serialized result (see
+/// [`JobResult::to_json`]).
+#[derive(Debug, Clone)]
+pub struct JobPoint {
+    /// Benchmark of this point.
+    pub benchmark: Benchmark,
+    /// Scheduler of this point.
+    pub scheduler: SchedulerKind,
+    /// Batch-size override (`None` = paper default).
+    pub batch_size: Option<usize>,
+    /// Block-granular events replayed.
+    pub events: u64,
+    /// Wall-clock seconds of this point in this run (not serialized).
+    pub seconds: f64,
+    /// The replay outcome.
+    pub result: ReplayResult,
+}
+
+/// A finished job: the spec it ran and its points, in
+/// [`JobSpec::grid_shape`] order.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// The spec this result answers.
+    pub spec: JobSpec,
+    /// One entry per grid point, in grid order.
+    pub points: Vec<JobPoint>,
+}
+
+/// FNV-1a over a byte string — the digest `result_fnv64` carries so the
+/// serialized point commits to *every* field of the replay result
+/// (per-core counters, power, the full latency vector) without shipping
+/// megabytes of JSON.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl JobResult {
+    /// Deterministic JSON form: a pure function of the executed spec.
+    /// Floats print with Rust's shortest-roundtrip formatting (two
+    /// results serialize identically iff they are bit-identical), and
+    /// wall-clock timings are excluded — so server-side and batch-side
+    /// executions of the same job serialize **byte-identical**, which is
+    /// the service's end-to-end determinism gate.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = write!(
+            out,
+            "  \"spec\": {},\n  \"points\": [\n",
+            self.spec.to_json()
+        );
+        for (i, p) in self.points.iter().enumerate() {
+            let digest = fnv64(format!("{:#?}", p.result).as_bytes());
+            let _ = write!(
+                out,
+                "    {{ \"workload\": \"{}\", \"scheduler\": \"{}\", \"batch_size\": {}, \"n_xcts\": {}, \"events\": {}, \"instructions\": {}, \"total_cycles\": {}, \"avg_latency_cycles\": {}, \"l1i_mpki\": {}, \"l1d_mpki\": {}, \"llc_mpki\": {}, \"switches_per_ki\": {}, \"overhead_fraction\": {}, \"result_fnv64\": \"{:016x}\" }}{}",
+                escape(p.benchmark.name()),
+                escape(p.scheduler.name()),
+                p.batch_size
+                    .map_or_else(|| "null".to_owned(), |b| b.to_string()),
+                p.result.n_xcts,
+                p.events,
+                p.result.instructions,
+                p.result.total_cycles,
+                p.result.avg_latency_cycles,
+                p.result.stats.l1i_mpki(),
+                p.result.stats.l1d_mpki(),
+                p.result.stats.llc_mpki(),
+                p.result.stats.switches_per_ki(),
+                p.result.overhead_fraction(),
+                digest,
+                if i + 1 < self.points.len() { ",\n" } else { "\n" }
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// One row of a rendered result table (what `addict-cli` prints).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummaryRow {
+    /// Workload display name.
+    pub workload: String,
+    /// Scheduler display name.
+    pub scheduler: String,
+    /// Batch-size override, if any.
+    pub batch_size: Option<usize>,
+    /// Events replayed.
+    pub events: u64,
+    /// Simulated makespan.
+    pub total_cycles: f64,
+    /// L1-I misses per kilo-instruction.
+    pub l1i_mpki: f64,
+    /// Context switches per kilo-instruction.
+    pub switches_per_ki: f64,
+}
+
+/// Parse the summary rows back out of a serialized [`JobResult`] — the
+/// client side of the protocol (render a table without re-running
+/// anything).
+pub fn summary_rows(result_json: &str) -> Result<Vec<SummaryRow>, SpecError> {
+    let doc = JsonValue::parse(result_json).map_err(|e| SpecError::new("result", e))?;
+    let points = doc
+        .get("points")
+        .ok_or_else(|| SpecError::new("result", "result is missing \"points\""))?
+        .as_arr("points")
+        .map_err(|e| SpecError::new("result", e))?;
+    points
+        .iter()
+        .map(|p| {
+            let field = |name: &str| {
+                p.get(name)
+                    .ok_or_else(|| SpecError::new("result", format!("point missing {name:?}")))
+            };
+            Ok(SummaryRow {
+                workload: field("workload")?
+                    .as_str("workload")
+                    .map_err(|e| SpecError::new("result", e))?
+                    .to_owned(),
+                scheduler: field("scheduler")?
+                    .as_str("scheduler")
+                    .map_err(|e| SpecError::new("result", e))?
+                    .to_owned(),
+                batch_size: match field("batch_size")? {
+                    JsonValue::Null => None,
+                    v => Some(
+                        v.as_u64("batch_size")
+                            .map_err(|e| SpecError::new("result", e))?
+                            as usize,
+                    ),
+                },
+                events: field("events")?
+                    .as_u64("events")
+                    .map_err(|e| SpecError::new("result", e))?,
+                total_cycles: field("total_cycles")?
+                    .as_f64("total_cycles")
+                    .map_err(|e| SpecError::new("result", e))?,
+                l1i_mpki: field("l1i_mpki")?
+                    .as_f64("l1i_mpki")
+                    .map_err(|e| SpecError::new("result", e))?,
+                switches_per_ki: field("switches_per_ki")?
+                    .as_f64("switches_per_ki")
+                    .map_err(|e| SpecError::new("result", e))?,
+            })
+        })
+        .collect()
+}
+
+/// Block-granular events in an interned workload without flattening it
+/// (a million-transaction set never materializes flat). Each distinct
+/// pool slice is expanded once and memoized.
+pub fn total_events_interned(iw: &InternedWorkload) -> u64 {
+    let mut per_slice: std::collections::HashMap<(u32, u32), u64> =
+        std::collections::HashMap::new();
+    iw.xcts
+        .iter()
+        .flat_map(|t| t.slice_refs().iter())
+        .map(|&r| {
+            *per_slice.entry((r.pool_idx, r.len)).or_insert_with(|| {
+                iw.pool
+                    .resolve(r)
+                    .iter()
+                    .map(|e| match e {
+                        TraceEvent::Instr { n_blocks, .. } => u64::from(*n_blocks),
+                        _ => 1,
+                    })
+                    .sum()
+            })
+        })
+        .sum()
+}
+
+/// Execute `spec` against `pool`, reporting progress lines through
+/// `progress` (called from worker threads; the callback must tolerate
+/// concurrent invocation — the server serializes writes with a lock).
+///
+/// The executor is the shared code path of the batch binaries and the
+/// server: traces come from the trace-pool cache (hit or generate), the
+/// ADDICT migration map from Algorithm 1 over the cached profile set,
+/// and the grid fans out through [`run_grid`] on `spec.threads` workers.
+/// The returned result's serialized form depends only on the spec —
+/// never on cache state, thread count, or timing.
+pub fn run_job(
+    spec: &JobSpec,
+    pool: &TracePool,
+    progress: &(dyn Fn(&str) + Sync),
+) -> Result<JobResult, SpecError> {
+    spec.validate()?;
+    let cfg = ReplayConfig::paper_default();
+
+    struct Traces {
+        eval: std::sync::Arc<InternedWorkload>,
+        map: MigrationMap,
+        events: u64,
+    }
+    let mut sets: Vec<Traces> = Vec::with_capacity(spec.benchmarks.len());
+    for &bench in &spec.benchmarks {
+        let (profile, profile_hit) = pool.get(&spec.profile_key(bench), spec.threads);
+        let (eval, eval_hit) = pool.get(&spec.eval_key(bench), spec.threads);
+        progress(&format!(
+            "traces {}: profile {} | eval {}",
+            bench.id(),
+            if profile_hit {
+                "cache hit"
+            } else {
+                "generated"
+            },
+            if eval_hit { "cache hit" } else { "generated" },
+        ));
+        let map = find_migration_points_interned(profile.as_set(), cfg.sim.l1i);
+        let events = total_events_interned(&eval);
+        sets.push(Traces { eval, map, events });
+    }
+
+    let shape = spec.grid_shape();
+    let grid: Vec<SweepPoint<'_>> = shape
+        .iter()
+        .map(|&(bi, scheduler, batch)| SweepPoint {
+            benchmark: spec.benchmarks[bi],
+            scheduler,
+            replay_cfg: match batch {
+                Some(b) => cfg.clone().with_batch_size(b),
+                None => cfg.clone(),
+            },
+            label: "job",
+            traces: SweepTraces::Interned(sets[bi].eval.as_set()),
+            map: Some(&sets[bi].map),
+        })
+        .collect();
+
+    let total = grid.len();
+    let done = AtomicUsize::new(0);
+    let timed: Vec<(f64, ReplayResult)> = run_grid(&grid, spec.threads, |i, p| {
+        let t = Instant::now();
+        let r = run_point(p);
+        let seconds = t.elapsed().as_secs_f64();
+        let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+        progress(&format!(
+            "point {finished}/{total} {} in {seconds:.3}s",
+            p.describe()
+        ));
+        let _ = i;
+        (seconds, r)
+    });
+
+    let points = shape
+        .into_iter()
+        .zip(timed)
+        .map(|((bi, scheduler, batch), (seconds, result))| JobPoint {
+            benchmark: spec.benchmarks[bi],
+            scheduler,
+            batch_size: batch,
+            events: sets[bi].events,
+            seconds,
+            result,
+        })
+        .collect();
+    Ok(JobResult {
+        spec: spec.clone(),
+        points,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> JobSpec {
+        let mut s = JobSpec::new(vec![Benchmark::TpcB, Benchmark::Tatp], 60);
+        s.schedulers = vec![SchedulerKind::Baseline, SchedulerKind::Addict];
+        s.threads = 2;
+        s.batch_sizes = vec![2, 16];
+        s.chunk = 7;
+        s.small = true;
+        s.seed = 5;
+        s
+    }
+
+    #[test]
+    fn spec_json_round_trips() {
+        let s = spec();
+        assert_eq!(JobSpec::from_json(&s.to_json()).unwrap(), s);
+        // Defaults round-trip too.
+        let d = JobSpec::new(vec![Benchmark::TpcC], 400);
+        assert_eq!(JobSpec::from_json(&d.to_json()).unwrap(), d);
+        // Whitespace and field order are free; omitted fields default.
+        let loose = JobSpec::from_json(
+            " {\n  \"n_xcts\": 60 ,\n  \"benchmarks\": [\"TPC-B\", \"tatp\"]\n } ",
+        )
+        .unwrap();
+        assert_eq!(loose.benchmarks, vec![Benchmark::TpcB, Benchmark::Tatp]);
+        assert_eq!(loose.n_xcts, 60);
+        assert_eq!(loose.schedulers, SchedulerKind::ALL.to_vec());
+        assert_eq!(loose.threads, 1);
+        assert_eq!(loose.seed, EVAL_SEED);
+    }
+
+    #[test]
+    fn spec_json_rejects_malformed_jobs() {
+        // The structured-rejection satellite: zero/absent counts, empty
+        // benchmark lists, unknown names and fields are all explicit
+        // errors tagged with the offending field.
+        for (doc, field) in [
+            ("{\"benchmarks\":[\"tpcb\"],\"n_xcts\":0}", "n_xcts"),
+            ("{\"benchmarks\":[\"tpcb\"]}", "n_xcts"),
+            ("{\"n_xcts\":60}", "benchmarks"),
+            ("{\"benchmarks\":[],\"n_xcts\":60}", "benchmarks"),
+            ("{\"benchmarks\":[\"tpcz\"],\"n_xcts\":60}", "benchmarks"),
+            (
+                "{\"benchmarks\":[\"tpcb\"],\"n_xcts\":60,\"threads\":0}",
+                "threads",
+            ),
+            (
+                "{\"benchmarks\":[\"tpcb\"],\"n_xcts\":60,\"schedulers\":[]}",
+                "schedulers",
+            ),
+            (
+                "{\"benchmarks\":[\"tpcb\"],\"n_xcts\":60,\"batch_sizes\":[0]}",
+                "batch_sizes",
+            ),
+            (
+                "{\"benchmarks\":[\"tpcb\"],\"n_xcts\":60,\"xcts\":9}",
+                "spec",
+            ),
+            ("[1,2]", "spec"),
+            ("not json", "spec"),
+        ] {
+            let err = JobSpec::from_json(doc).unwrap_err();
+            assert_eq!(err.field, field, "{doc} gave {err:?}");
+        }
+    }
+
+    #[test]
+    fn from_args_matches_flag_surface() {
+        let argv = |v: &[&str]| v.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>();
+        let s = JobSpec::from_args(
+            &argv(&[
+                "job",
+                "--xcts",
+                "200",
+                "--threads",
+                "3",
+                "--benchmarks",
+                "tatp",
+            ]),
+            600,
+        )
+        .unwrap();
+        assert_eq!(s.n_xcts, 200);
+        assert_eq!(s.threads, 3);
+        assert_eq!(s.benchmarks, vec![Benchmark::Tatp]);
+        assert_eq!(s.schedulers, SchedulerKind::ALL.to_vec());
+        // The same strictness as the bench binaries, same error type.
+        let err = JobSpec::from_args(&argv(&["job", "--xcts", "0"]), 600).unwrap_err();
+        assert_eq!(err.field, "xcts");
+        let err = JobSpec::from_args(&argv(&["job", "--threads", "zap"]), 600).unwrap_err();
+        assert_eq!(err.field, "threads");
+    }
+
+    #[test]
+    fn grid_shape_enumerates_benchmark_major() {
+        let s = spec();
+        let shape = s.grid_shape();
+        assert_eq!(shape.len(), 2 * 2 * 2);
+        assert_eq!(shape[0], (0, SchedulerKind::Baseline, Some(2)));
+        assert_eq!(shape[1], (0, SchedulerKind::Baseline, Some(16)));
+        assert_eq!(shape[4], (1, SchedulerKind::Baseline, Some(2)));
+        let mut d = JobSpec::new(vec![Benchmark::TpcB], 10);
+        d.schedulers = vec![SchedulerKind::Slicc];
+        assert_eq!(d.grid_shape(), vec![(0, SchedulerKind::Slicc, None)]);
+    }
+
+    #[test]
+    fn job_runs_and_serializes_deterministically() {
+        use crate::cache::TracePool;
+        let mut s = JobSpec::new(vec![Benchmark::TpcB], 12);
+        s.small = true;
+        s.threads = 2;
+        let pool = TracePool::unbounded();
+        let quiet = |_: &str| {};
+        let a = run_job(&s, &pool, &quiet).unwrap();
+        // A repeat on a warm pool and a cold pool serialize identically:
+        // the result is a pure function of the spec.
+        let b = run_job(&s, &pool, &quiet).unwrap();
+        let cold = TracePool::unbounded();
+        let mut s1 = s.clone();
+        s1.threads = 1;
+        let c = run_job(&s1, &cold, &quiet).unwrap();
+        assert_eq!(a.to_json(), b.to_json());
+        // Across thread counts, the replayed points are byte-identical
+        // (threads is a latency knob); only the echoed spec differs.
+        let points = |j: &JobResult| {
+            let json = j.to_json();
+            let at = json.find("\"points\"").expect("points section");
+            json[at..].to_owned()
+        };
+        assert_eq!(points(&a), points(&c), "thread count leaked into points");
+        assert_eq!(a.points.len(), 4);
+        // And the summary parses back out.
+        let rows = summary_rows(&a.to_json()).unwrap();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].workload, "TPC-B");
+        assert_eq!(rows[0].scheduler, "Baseline");
+        assert!(rows.iter().all(|r| r.total_cycles > 0.0));
+    }
+}

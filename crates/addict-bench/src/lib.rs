@@ -28,7 +28,10 @@
 //! profiles, seed 2 evaluates, matching the paper's disjoint trace
 //! ranges.
 
+pub mod cache;
 pub mod gen;
+pub mod job;
+pub mod jsontext;
 pub mod sweep;
 
 use addict_core::algorithm1::MigrationMap;
@@ -38,10 +41,12 @@ use addict_core::sched::{run_scheduler, SchedulerKind};
 use addict_trace::WorkloadTrace;
 use addict_workloads::Benchmark;
 
+pub use cache::{CacheStats, TraceKey, TracePool};
 pub use gen::{
     generate, generate_interned, generate_interned_chunked, profile_eval_ranges, GenRange,
     DEFAULT_GEN_CHUNK,
 };
+pub use job::{run_job, summary_rows, JobPoint, JobResult, JobSpec, SpecError, SummaryRow};
 pub use sweep::{run_grid, run_point, run_sweep, threads_from, SweepPoint, SweepTraces};
 
 /// Profiling seed (the paper's traces 1–1000).
@@ -104,44 +109,23 @@ pub fn parse_bench_args(default_n: usize) -> BenchArgs {
 /// missing or invalid value is an explicit error, never a silent fallback
 /// — a typo'd thread count must not quietly serialize a sweep, and a
 /// typo'd `--xcts` must not quietly run a million-transaction ladder at
-/// the default size.
-pub fn parse_bench_args_from(args: &[String], default_n: usize) -> Result<BenchArgs, String> {
+/// the default size. Value parsing is shared with the service's job specs
+/// ([`job::xcts_value`] and friends): one strictness policy, one error
+/// type ([`SpecError`]) for flags and jobs alike.
+pub fn parse_bench_args_from(args: &[String], default_n: usize) -> Result<BenchArgs, SpecError> {
     let mut threads = None;
     let mut benchmarks = None;
     let mut smoke = false;
     let mut scaling = false;
     let mut n_xcts = None;
     let mut out = None;
-    let parse_threads = |v: &str| -> Result<usize, String> {
-        match v.parse::<usize>() {
-            Ok(n) if n >= 1 => Ok(n),
-            _ => Err(format!("--threads requires a positive integer, got {v:?}")),
-        }
-    };
-    let parse_xcts = |v: &str| -> Result<usize, String> {
-        match v.parse::<usize>() {
-            Ok(n) if n >= 1 => Ok(n),
-            _ => Err(format!("--xcts requires a positive integer, got {v:?}")),
-        }
-    };
-    let parse_benchmarks = |v: &str| -> Result<Vec<Benchmark>, String> {
-        let list: Vec<Benchmark> = v
-            .split(',')
-            .filter(|s| !s.is_empty())
-            .map(str::parse)
-            .collect::<Result<_, _>>()?;
-        if list.is_empty() {
-            return Err("--benchmarks requires a comma-separated list of names".to_owned());
-        }
-        Ok(list)
-    };
     let mut it = args.iter().skip(1);
     while let Some(a) = it.next() {
         // A `--xcts` flag and a numeric positional both set the trace
         // count; two sources (or two flags) are ambiguous — reject.
-        let mut set_xcts = |n: usize| -> Result<(), String> {
+        let mut set_xcts = |n: usize| -> Result<(), SpecError> {
             if n_xcts.replace(n).is_some() {
-                return Err("trace count given more than once".to_owned());
+                return Err(SpecError::new("xcts", "trace count given more than once"));
             }
             Ok(())
         };
@@ -151,32 +135,32 @@ pub fn parse_bench_args_from(args: &[String], default_n: usize) -> Result<BenchA
             "--xcts" => {
                 let v = it
                     .next()
-                    .ok_or_else(|| "--xcts requires a value".to_owned())?;
-                set_xcts(parse_xcts(v)?)?;
+                    .ok_or_else(|| SpecError::new("xcts", "--xcts requires a value"))?;
+                set_xcts(job::xcts_value(v)?)?;
             }
             s if s.starts_with("--xcts=") => {
-                set_xcts(parse_xcts(&s["--xcts=".len()..])?)?;
+                set_xcts(job::xcts_value(&s["--xcts=".len()..])?)?;
             }
             "--threads" => {
                 let v = it
                     .next()
-                    .ok_or_else(|| "--threads requires a value".to_owned())?;
-                threads = Some(parse_threads(v)?);
+                    .ok_or_else(|| SpecError::new("threads", "--threads requires a value"))?;
+                threads = Some(job::threads_value(v)?);
             }
             s if s.starts_with("--threads=") => {
-                threads = Some(parse_threads(&s["--threads=".len()..])?);
+                threads = Some(job::threads_value(&s["--threads=".len()..])?);
             }
             "--benchmarks" => {
                 let v = it
                     .next()
-                    .ok_or_else(|| "--benchmarks requires a value".to_owned())?;
-                benchmarks = Some(parse_benchmarks(v)?);
+                    .ok_or_else(|| SpecError::new("benchmarks", "--benchmarks requires a value"))?;
+                benchmarks = Some(job::benchmarks_value(v)?);
             }
             s if s.starts_with("--benchmarks=") => {
-                benchmarks = Some(parse_benchmarks(&s["--benchmarks=".len()..])?);
+                benchmarks = Some(job::benchmarks_value(&s["--benchmarks=".len()..])?);
             }
             s if s.starts_with("--") => {
-                return Err(format!("unknown flag {s:?}"));
+                return Err(SpecError::new("args", format!("unknown flag {s:?}")));
             }
             // Positionals are type-directed so flags can reorder them:
             // a number is the trace count, anything else the output path.
@@ -334,7 +318,8 @@ mod tests {
             vec!["bench", "--threads=zap"],
         ] {
             let err = parse_bench_args_from(&argv(&bad), 600).unwrap_err();
-            assert!(err.contains("--threads"), "{bad:?} gave {err:?}");
+            assert_eq!(err.field, "threads", "{bad:?} gave {err:?}");
+            assert!(err.message.contains("--threads"), "{bad:?} gave {err:?}");
         }
         // Unknown flags are errors too, not output paths.
         assert!(parse_bench_args_from(&argv(&["bench", "--jobs", "4"]), 600).is_err());
@@ -367,7 +352,8 @@ mod tests {
             vec!["bench", "--xcts=many"],
         ] {
             let err = parse_bench_args_from(&argv(&bad), 600).unwrap_err();
-            assert!(err.contains("--xcts"), "{bad:?} gave {err:?}");
+            assert_eq!(err.field, "xcts", "{bad:?} gave {err:?}");
+            assert!(err.message.contains("--xcts"), "{bad:?} gave {err:?}");
         }
         // Two trace counts (flag twice, or flag + positional) are
         // ambiguous, not last-one-wins.
@@ -377,7 +363,10 @@ mod tests {
             vec!["bench", "--xcts=5", "400"],
         ] {
             let err = parse_bench_args_from(&argv(&twice), 600).unwrap_err();
-            assert!(err.contains("more than once"), "{twice:?} gave {err:?}");
+            assert!(
+                err.message.contains("more than once"),
+                "{twice:?} gave {err:?}"
+            );
         }
     }
 
@@ -396,7 +385,8 @@ mod tests {
         // Unknown names and empty lists are explicit errors.
         let err =
             parse_bench_args_from(&argv(&["bench", "--benchmarks", "tpcz"]), 600).unwrap_err();
-        assert!(err.contains("unknown benchmark"), "{err}");
+        assert_eq!(err.field, "benchmarks", "{err}");
+        assert!(err.message.contains("unknown benchmark"), "{err}");
         assert!(parse_bench_args_from(&argv(&["bench", "--benchmarks"]), 600).is_err());
         assert!(parse_bench_args_from(&argv(&["bench", "--benchmarks="]), 600).is_err());
     }

@@ -50,6 +50,37 @@ impl SchedulerKind {
             SchedulerKind::Addict => "ADDICT",
         }
     }
+
+    /// Canonical lowercase token for serialized forms (job specs, cache
+    /// keys). Round-trips through [`FromStr`](std::str::FromStr).
+    pub fn id(self) -> &'static str {
+        match self {
+            SchedulerKind::Baseline => "baseline",
+            SchedulerKind::Strex => "strex",
+            SchedulerKind::Slicc => "slicc",
+            SchedulerKind::Addict => "addict",
+        }
+    }
+}
+
+impl std::str::FromStr for SchedulerKind {
+    type Err = String;
+
+    /// Case-insensitive parse of a scheduler name (`ADDICT`, `addict`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let canon = s.to_ascii_lowercase();
+        SchedulerKind::ALL
+            .iter()
+            .copied()
+            .find(|k| k.id() == canon)
+            .ok_or_else(|| {
+                let ids: Vec<&str> = SchedulerKind::ALL.iter().map(|k| k.id()).collect();
+                format!(
+                    "unknown scheduler {s:?} (expected one of {})",
+                    ids.join(", ")
+                )
+            })
+    }
 }
 
 /// Replay `traces` under the chosen scheduler.
@@ -75,5 +106,20 @@ pub fn run_scheduler<T: TraceSet + ?Sized>(
             let plan = AssignmentPlan::build(map, PlanConfig::new(cfg.sim.n_cores));
             addict::run(traces, &plan, cfg)
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheduler_ids_round_trip() {
+        for kind in SchedulerKind::ALL {
+            assert_eq!(kind.id().parse::<SchedulerKind>().unwrap(), kind);
+            assert_eq!(kind.name().parse::<SchedulerKind>().unwrap(), kind);
+        }
+        assert!("stress".parse::<SchedulerKind>().is_err());
+        assert!("".parse::<SchedulerKind>().is_err());
     }
 }

@@ -1,0 +1,124 @@
+//! `addict-cli`: submit evaluation jobs and render the results.
+//!
+//! ```text
+//! addict-cli submit <job.json> [--addr HOST:PORT] [--out result.json]
+//! addict-cli batch  <job.json> [--out result.json]
+//! addict-cli stats  [--addr HOST:PORT]
+//! ```
+//!
+//! `submit` posts the job to a resident `addict-serve`; `batch` executes
+//! the *same* spec in-process through the same job layer (no server) —
+//! the two produce byte-identical result JSON, which makes `batch` the
+//! reference comparator for the service. `stats` dumps the server's
+//! cache counters.
+
+use std::io::Write as _;
+
+use addict_bench::{run_job, JobSpec, TracePool};
+use addict_service::{get, render_table, submit};
+
+const DEFAULT_ADDR: &str = "127.0.0.1:7171";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1)
+}
+
+fn usage() -> ! {
+    eprintln!("usage: addict-cli submit <job.json> [--addr HOST:PORT] [--out result.json]");
+    eprintln!("       addict-cli batch  <job.json> [--out result.json]");
+    eprintln!("       addict-cli stats  [--addr HOST:PORT]");
+    std::process::exit(2)
+}
+
+struct Opts {
+    file: Option<String>,
+    addr: String,
+    out: Option<String>,
+}
+
+fn parse_opts(args: &[String]) -> Opts {
+    let mut opts = Opts {
+        file: None,
+        addr: DEFAULT_ADDR.to_owned(),
+        out: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => match it.next() {
+                Some(v) => opts.addr = v.clone(),
+                None => fail("--addr requires a value"),
+            },
+            "--out" => match it.next() {
+                Some(v) => opts.out = Some(v.clone()),
+                None => fail("--out requires a value"),
+            },
+            s if s.starts_with("--") => fail(&format!("unknown flag {s:?}")),
+            s => {
+                if opts.file.replace(s.to_owned()).is_some() {
+                    usage();
+                }
+            }
+        }
+    }
+    opts
+}
+
+fn read_job(opts: &Opts) -> String {
+    let path = opts.file.as_deref().unwrap_or_else(|| usage());
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("reading {path}: {e}")));
+    // Validate client-side too: a typo'd job earns a local diagnosis,
+    // not a round trip.
+    if let Err(e) = JobSpec::from_json(&text) {
+        fail(&format!("{path}: invalid job ({}): {}", e.field, e.message));
+    }
+    text
+}
+
+fn emit(result_json: &str, out: Option<&str>) {
+    match render_table(result_json) {
+        Ok(table) => print!("{table}"),
+        Err(e) => fail(&format!("malformed result: {e}")),
+    }
+    if let Some(path) = out {
+        std::fs::write(path, result_json).unwrap_or_else(|e| fail(&format!("writing {path}: {e}")));
+        println!("result written to {path}");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(command) = args.get(1) else { usage() };
+    let opts = parse_opts(&args[2..]);
+    match command.as_str() {
+        "submit" => {
+            let job = read_job(&opts);
+            let result = submit(&opts.addr, &job, |line| {
+                eprintln!("  {line}");
+                let _ = std::io::stderr().flush();
+            })
+            .unwrap_or_else(|e| fail(&e));
+            emit(&result, opts.out.as_deref());
+        }
+        "batch" => {
+            // The in-process reference path: same spec, same executor,
+            // fresh single-job trace pool.
+            let job = read_job(&opts);
+            let spec = JobSpec::from_json(&job).expect("validated above");
+            let pool = TracePool::unbounded();
+            let result = run_job(&spec, &pool, &|line: &str| eprintln!("  {line}"))
+                .unwrap_or_else(|e| fail(&format!("job failed ({}): {}", e.field, e.message)));
+            emit(&result.to_json(), opts.out.as_deref());
+        }
+        "stats" => {
+            if opts.file.is_some() {
+                usage();
+            }
+            let body = get(&opts.addr, "/stats").unwrap_or_else(|e| fail(&e));
+            print!("{body}");
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,61 @@
+//! `addict-serve`: the resident evaluation server.
+//!
+//! ```text
+//! addict-serve [--addr HOST:PORT] [--workers N] [--cache-bytes N]
+//! ```
+//!
+//! Binds (default `127.0.0.1:7171`), prints the bound address, and
+//! serves until killed. See SERVICE.md for the protocol.
+
+use addict_service::{Server, ServerConfig};
+
+fn main() {
+    let mut addr = "127.0.0.1:7171".to_owned();
+    let mut config = ServerConfig::default();
+    let args: Vec<String> = std::env::args().collect();
+    let mut it = args.iter().skip(1);
+    while let Some(a) = it.next() {
+        let value = |it: &mut dyn Iterator<Item = &String>, flag: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("error: {flag} requires a value");
+                std::process::exit(2);
+            })
+        };
+        let positive = |v: &str, flag: &str| -> usize {
+            match v.parse::<usize>() {
+                Ok(n) if n >= 1 => n,
+                _ => {
+                    eprintln!("error: {flag} requires a positive integer, got {v:?}");
+                    std::process::exit(2);
+                }
+            }
+        };
+        match a.as_str() {
+            "--addr" => addr = value(&mut it, "--addr"),
+            "--workers" => config.workers = positive(&value(&mut it, "--workers"), "--workers"),
+            "--cache-bytes" => {
+                config.cache_budget = positive(&value(&mut it, "--cache-bytes"), "--cache-bytes");
+            }
+            other => {
+                eprintln!("error: unknown flag {other:?}");
+                eprintln!("usage: addict-serve [--addr HOST:PORT] [--workers N] [--cache-bytes N]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let server = Server::bind(&addr, config).unwrap_or_else(|e| {
+        eprintln!("error: binding {addr}: {e}");
+        std::process::exit(1);
+    });
+    let bound = server.local_addr().expect("bound listener has an address");
+    println!(
+        "addict-serve listening on {bound} ({} workers, {} MiB trace cache)",
+        config.workers,
+        config.cache_budget >> 20
+    );
+    if let Err(e) = server.serve() {
+        eprintln!("error: serving: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,147 @@
+//! Client side of the service protocol: submit a job, stream progress,
+//! render the result table. `addict-cli` is a thin shell over this.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use addict_bench::{summary_rows, SummaryRow};
+
+use crate::http::read_response;
+
+/// POST `spec_json` to the server's `/jobs` and return the result JSON.
+/// Progress lines (the `#`-prefixed stream before the result) are handed
+/// to `on_progress` as they arrive.
+pub fn submit<A: ToSocketAddrs>(
+    addr: A,
+    spec_json: &str,
+    mut on_progress: impl FnMut(&str),
+) -> Result<String, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| format!("clone: {e}"))?;
+    write!(
+        writer,
+        "POST /jobs HTTP/1.1\r\nHost: addict\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        spec_json.len(),
+        spec_json
+    )
+    .map_err(|e| format!("send: {e}"))?;
+    writer.flush().map_err(|e| format!("send: {e}"))?;
+
+    let mut reader = BufReader::new(stream);
+    // Status line + headers.
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("read status: {e}"))?;
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line {line:?}"))?;
+    loop {
+        let mut header = String::new();
+        reader
+            .read_line(&mut header)
+            .map_err(|e| format!("read header: {e}"))?;
+        if header.trim_end().is_empty() {
+            break;
+        }
+    }
+    if status != 200 {
+        let mut body = String::new();
+        let _ = reader.read_to_string(&mut body);
+        return Err(format!("server answered {status}: {}", body.trim()));
+    }
+    // Progress lines until the blank separator, then the result document.
+    loop {
+        let mut line = String::new();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read progress: {e}"))?;
+        if n == 0 {
+            return Err("connection closed before the result".to_owned());
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        on_progress(line.strip_prefix("# ").unwrap_or(line));
+    }
+    let mut result = String::new();
+    reader
+        .read_to_string(&mut result)
+        .map_err(|e| format!("read result: {e}"))?;
+    Ok(result)
+}
+
+/// GET an endpoint (`/stats`, `/healthz`) and return its body.
+pub fn get<A: ToSocketAddrs>(addr: A, path: &str) -> Result<String, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| format!("clone: {e}"))?;
+    write!(
+        writer,
+        "GET {path} HTTP/1.1\r\nHost: addict\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(|e| format!("send: {e}"))?;
+    writer.flush().map_err(|e| format!("send: {e}"))?;
+    let (status, body) = read_response(&mut BufReader::new(stream))?;
+    if status != 200 {
+        return Err(format!("server answered {status}: {}", body.trim()));
+    }
+    Ok(body)
+}
+
+/// Render a serialized [`JobResult`](addict_bench::JobResult) as the
+/// summary table `addict-cli` prints.
+pub fn render_table(result_json: &str) -> Result<String, String> {
+    let rows = summary_rows(result_json).map_err(|e| e.message)?;
+    Ok(format_rows(&rows))
+}
+
+fn format_rows(rows: &[SummaryRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<8} {:<9} {:>6} {:>10} {:>14} {:>10} {:>12}",
+        "workload", "scheduler", "batch", "events", "total_cycles", "l1i_mpki", "switches/ki"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<8} {:<9} {:>6} {:>10} {:>14.0} {:>10.2} {:>12.3}",
+            r.workload,
+            r.scheduler,
+            r.batch_size
+                .map_or_else(|| "-".to_owned(), |b| b.to_string()),
+            r.events,
+            r.total_cycles,
+            r.l1i_mpki,
+            r.switches_per_ki,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_one_row_per_point() {
+        let doc = r#"{
+  "spec": {"benchmarks":["tpcb"],"schedulers":["baseline"],"n_xcts":2,"threads":1,"batch_sizes":[],"chunk":64,"small":true,"seed":2},
+  "points": [
+    { "workload": "TPC-B", "scheduler": "Baseline", "batch_size": null, "n_xcts": 2, "events": 100, "instructions": 900, "total_cycles": 1234.5, "avg_latency_cycles": 10.0, "l1i_mpki": 7.25, "l1d_mpki": 1.0, "llc_mpki": 0.5, "switches_per_ki": 0.125, "overhead_fraction": 0, "result_fnv64": "00000000deadbeef" },
+    { "workload": "TPC-B", "scheduler": "ADDICT", "batch_size": 8, "n_xcts": 2, "events": 100, "instructions": 900, "total_cycles": 900.0, "avg_latency_cycles": 9.0, "l1i_mpki": 3.5, "l1d_mpki": 1.0, "llc_mpki": 0.5, "switches_per_ki": 0.25, "overhead_fraction": 0.01, "result_fnv64": "00000000deadbeef" }
+  ]
+}"#;
+        let table = render_table(doc).unwrap();
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 3, "{table}");
+        assert!(lines[0].contains("total_cycles"));
+        assert!(lines[1].contains("Baseline") && lines[1].contains('-'));
+        assert!(lines[2].contains("ADDICT") && lines[2].contains('8'));
+        assert!(render_table("{}").is_err());
+    }
+}

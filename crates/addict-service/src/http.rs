@@ -1,0 +1,217 @@
+//! Minimal HTTP/1.1 plumbing for the evaluation service.
+//!
+//! The workspace is offline, so the wire layer is hand-rolled over
+//! `std::net`: enough HTTP/1.1 to serve `curl` and the bundled client —
+//! request line, headers, `Content-Length` bodies, `Connection: close`
+//! responses. Responses stream: progress lines flush as the job executes
+//! (`Transfer-Encoding` is avoided by closing the connection to delimit
+//! the body, which every HTTP/1.1 client understands). Deliberately *not*
+//! a web framework: no keep-alive, no chunked encoding, no routing table
+//! — the service has three endpoints.
+
+use std::io::{BufRead, Write};
+
+/// Largest accepted request body. A job spec is a few hundred bytes; a
+/// megabyte bound keeps a misbehaving client from ballooning the server.
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// A parsed HTTP request: method, path, body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// `GET`, `POST`, ...
+    pub method: String,
+    /// Request target (`/jobs`, `/stats`).
+    pub path: String,
+    /// Body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// Read one request off `r`. Errors are client-facing diagnostics (the
+/// server answers them with 400).
+pub fn read_request<R: BufRead>(r: &mut R) -> Result<Request, String> {
+    let mut line = String::new();
+    r.read_line(&mut line)
+        .map_err(|e| format!("reading request line: {e}"))?;
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or("empty request line")?
+        .to_ascii_uppercase();
+    let path = parts.next().ok_or("request line missing path")?.to_owned();
+    let version = parts.next().ok_or("request line missing version")?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("unsupported protocol {version:?}"));
+    }
+
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        r.read_line(&mut header)
+            .map_err(|e| format!("reading header: {e}"))?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(format!("malformed header {header:?}"));
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad Content-Length {value:?}"))?;
+            if content_length > MAX_BODY_BYTES {
+                return Err(format!(
+                    "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+                ));
+            }
+        }
+    }
+
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        std::io::Read::read_exact(r, &mut body)
+            .map_err(|e| format!("reading {content_length}-byte body: {e}"))?;
+    }
+    Ok(Request { method, path, body })
+}
+
+/// Write a complete response with a known body.
+pub fn respond<W: Write>(
+    w: &mut W,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    w.flush()
+}
+
+/// Start a streaming response: status and headers only, no
+/// `Content-Length` — the connection close delimits the body. The caller
+/// writes (and flushes) body text as it becomes available.
+pub fn start_streaming<W: Write>(w: &mut W, content_type: &str) -> std::io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nConnection: close\r\n\r\n"
+    )?;
+    w.flush()
+}
+
+/// Parse a response off `r`: `(status, body)`. Reads to EOF when no
+/// `Content-Length` is present (the server's streaming mode).
+pub fn read_response<R: BufRead>(r: &mut R) -> Result<(u16, String), String> {
+    let mut line = String::new();
+    r.read_line(&mut line)
+        .map_err(|e| format!("reading status line: {e}"))?;
+    let status = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| format!("malformed status line {line:?}"))?;
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut header = String::new();
+        r.read_line(&mut header)
+            .map_err(|e| format!("reading header: {e}"))?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok();
+            }
+        }
+    }
+    let mut body = Vec::new();
+    match content_length {
+        Some(n) => {
+            body.resize(n, 0);
+            std::io::Read::read_exact(r, &mut body)
+                .map_err(|e| format!("reading {n}-byte body: {e}"))?;
+        }
+        None => {
+            std::io::Read::read_to_end(r, &mut body)
+                .map_err(|e| format!("reading streamed body: {e}"))?;
+        }
+    }
+    String::from_utf8(body)
+        .map(|b| (status, b))
+        .map_err(|_| "response body is not UTF-8".to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_post_with_body() {
+        let raw = "POST /jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 11\r\n\r\nhello world";
+        let req = read_request(&mut Cursor::new(raw)).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/jobs");
+        assert_eq!(req.body, b"hello world");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = read_request(&mut Cursor::new("GET /stats HTTP/1.1\r\n\r\n")).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/stats");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for bad in [
+            "",
+            "GET\r\n\r\n",
+            "GET /\r\n\r\n",                                      // no version
+            "GET / SPDY/3\r\n\r\n",                               // wrong protocol
+            "GET / HTTP/1.1\r\nbroken header\r\n\r\n",            // no colon
+            "POST / HTTP/1.1\r\nContent-Length: x\r\n\r\n",       // bad length
+            "POST / HTTP/1.1\r\nContent-Length: 99\r\n\r\nshort", // truncated body
+        ] {
+            assert!(
+                read_request(&mut Cursor::new(bad)).is_err(),
+                "accepted {bad:?}"
+            );
+        }
+        let huge = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", 1 << 30);
+        let err = read_request(&mut Cursor::new(huge)).unwrap_err();
+        assert!(err.contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let mut wire = Vec::new();
+        respond(
+            &mut wire,
+            400,
+            "Bad Request",
+            "application/json",
+            "{\"e\":1}",
+        )
+        .unwrap();
+        let (status, body) = read_response(&mut Cursor::new(&wire)).unwrap();
+        assert_eq!(status, 400);
+        assert_eq!(body, "{\"e\":1}");
+    }
+
+    #[test]
+    fn streamed_response_reads_to_eof() {
+        let mut wire = Vec::new();
+        start_streaming(&mut wire, "text/plain").unwrap();
+        wire.extend_from_slice(b"# progress\n\nresult");
+        let (status, body) = read_response(&mut Cursor::new(&wire)).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "# progress\n\nresult");
+    }
+}

@@ -1,0 +1,30 @@
+//! # addict-service
+//!
+//! Replay-as-a-service: a resident evaluation server (and its client)
+//! over the `addict-bench` job layer. The batch binaries pay trace
+//! generation — seconds to minutes of storage-engine population — on
+//! every invocation; a resident server pays it once per
+//! `(benchmark, seed, n_xcts, chunking)` and serves every later job from
+//! the shared in-memory [`TracePool`](addict_bench::TracePool).
+//!
+//! The crate adds **no** evaluation logic of its own: jobs parse into
+//! [`JobSpec`](addict_bench::JobSpec) and execute through
+//! [`run_job`](addict_bench::run_job) — exactly the code path the batch
+//! binaries use — so a server-executed job serializes byte-identical to
+//! its batch twin (asserted end-to-end by `tests/service_roundtrip.rs`).
+//!
+//! | Piece | What it is |
+//! |-------|------------|
+//! | [`http`] | minimal hand-rolled HTTP/1.1 (no external deps) |
+//! | [`server`] | `addict-serve`: bounded worker pool + shared trace cache |
+//! | [`client`] | `addict-cli`: submit, stream progress, render tables |
+//!
+//! Protocol and cache semantics are documented in `SERVICE.md` at the
+//! repo root.
+
+pub mod client;
+pub mod http;
+pub mod server;
+
+pub use client::{get, render_table, submit};
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,295 @@
+//! The resident evaluation server.
+//!
+//! Three endpoints over the hand-rolled HTTP layer ([`crate::http`]):
+//!
+//! * `POST /jobs` — body is a [`JobSpec`] JSON document. Invalid specs
+//!   answer `400` with a structured error (`code`/`field`/`message`)
+//!   before any work starts; valid jobs stream a `text/plain` response:
+//!   `#`-prefixed progress lines as the grid executes, then a blank
+//!   line, then the [`JobResult`] JSON — byte-identical to what the
+//!   batch path serializes for the same spec.
+//! * `GET /stats` — trace-pool cache counters plus the jobs-served
+//!   count, as JSON.
+//! * `GET /healthz` — liveness probe.
+//!
+//! One accept loop feeds a bounded channel drained by a fixed pool of
+//! connection workers, so a burst of jobs queues instead of spawning
+//! unbounded threads (each job may itself fan out over `spec.threads`
+//! replay workers — admission stays bounded either way). The
+//! [`TracePool`] is shared across all workers: that sharing *is* the
+//! point of residency — the second job over a trace range replays
+//! immediately instead of re-populating a storage engine.
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+
+use addict_bench::jsontext::escape;
+use addict_bench::{run_job, JobSpec, SpecError, TracePool};
+
+use crate::http::{read_request, respond, start_streaming, Request};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Concurrent connection workers (jobs execute on these; each job
+    /// may additionally fan out over its spec's `threads`).
+    pub workers: usize,
+    /// Trace-pool cache budget in bytes ([`TracePool::new`]).
+    pub cache_budget: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 2,
+            cache_budget: 256 << 20,
+        }
+    }
+}
+
+struct State {
+    pool: TracePool,
+    jobs: AtomicU64,
+}
+
+/// A bound, not-yet-serving evaluation server.
+pub struct Server {
+    listener: TcpListener,
+    config: ServerConfig,
+    state: Arc<State>,
+}
+
+/// The structured error body every non-200 answer carries.
+fn error_json(code: &str, field: &str, message: &str) -> String {
+    format!(
+        "{{\"error\":{{\"code\":\"{}\",\"field\":\"{}\",\"message\":\"{}\"}}}}",
+        escape(code),
+        escape(field),
+        escape(message)
+    )
+}
+
+impl Server {
+    /// Bind to `addr` (port 0 picks an ephemeral port — the tests' mode).
+    pub fn bind<A: ToSocketAddrs>(addr: A, config: ServerConfig) -> std::io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            config,
+            state: Arc::new(State {
+                pool: TracePool::new(config.cache_budget),
+                jobs: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serve forever: accept connections and hand them to the worker
+    /// pool. Never returns under normal operation — run it on a
+    /// dedicated thread.
+    pub fn serve(self) -> std::io::Result<()> {
+        let workers = self.config.workers.max(1);
+        // A small admission queue: a burst beyond workers + backlog
+        // blocks the accept loop (and ultimately the clients' connects)
+        // instead of growing without bound.
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(workers * 2);
+        let rx = Arc::new(Mutex::new(rx));
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                let rx = Arc::clone(&rx);
+                let state = Arc::clone(&self.state);
+                s.spawn(move || {
+                    loop {
+                        let stream = match rx.lock().expect("connection queue lock").recv() {
+                            Ok(stream) => stream,
+                            Err(_) => break, // accept loop gone
+                        };
+                        handle_connection(stream, &state);
+                    }
+                });
+            }
+            for stream in self.listener.incoming() {
+                match stream {
+                    Ok(stream) => {
+                        if tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("accept error: {e}");
+                    }
+                }
+            }
+            drop(tx);
+            Ok(())
+        })
+    }
+}
+
+/// Serve one connection: parse, route, answer. All errors are answered
+/// on the wire; I/O failures mid-response mean the client hung up, which
+/// is its prerogative.
+fn handle_connection(stream: TcpStream, state: &State) {
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    let request = match read_request(&mut reader) {
+        Ok(request) => request,
+        Err(e) => {
+            let _ = respond(
+                &mut writer,
+                400,
+                "Bad Request",
+                "application/json",
+                &error_json("bad_request", "request", &e),
+            );
+            return;
+        }
+    };
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/jobs") => handle_job(&request, writer, state),
+        ("GET", "/stats") => {
+            let _ = respond(
+                &mut writer,
+                200,
+                "OK",
+                "application/json",
+                &stats_json(state),
+            );
+        }
+        ("GET", "/healthz") => {
+            let _ = respond(&mut writer, 200, "OK", "text/plain", "ok\n");
+        }
+        (_, path) => {
+            let _ = respond(
+                &mut writer,
+                404,
+                "Not Found",
+                "application/json",
+                &error_json("not_found", "path", &format!("no route for {path}")),
+            );
+        }
+    }
+}
+
+/// The `/stats` payload: jobs served plus the cache counter snapshot.
+fn stats_json(state: &State) -> String {
+    let c = state.pool.stats();
+    format!(
+        "{{\"jobs\":{},\"cache\":{{\"hits\":{},\"misses\":{},\"generations\":{},\"evictions\":{},\"entries\":{},\"resident_bytes\":{},\"budget_bytes\":{}}}}}\n",
+        state.jobs.load(Ordering::Relaxed),
+        c.hits,
+        c.misses,
+        c.generations,
+        c.evictions,
+        c.entries,
+        c.resident_bytes,
+        c.budget_bytes,
+    )
+}
+
+fn handle_job(request: &Request, mut writer: TcpStream, state: &State) {
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(body) => body,
+        Err(_) => {
+            let _ = respond(
+                &mut writer,
+                400,
+                "Bad Request",
+                "application/json",
+                &error_json("invalid_spec", "spec", "job body is not UTF-8"),
+            );
+            return;
+        }
+    };
+    // Parse + validate *before* committing to a 200: a malformed or
+    // invalid spec (n_xcts 0, no benchmarks, unknown names...) is a
+    // structured 400, never a half-streamed failure.
+    let spec = match JobSpec::from_json(body) {
+        Ok(spec) => spec,
+        Err(SpecError { field, message }) => {
+            let _ = respond(
+                &mut writer,
+                400,
+                "Bad Request",
+                "application/json",
+                &error_json("invalid_spec", field, &message),
+            );
+            return;
+        }
+    };
+
+    if start_streaming(&mut writer, "text/plain").is_err() {
+        return;
+    }
+    // Progress lines arrive from the job's replay workers concurrently;
+    // serialize them onto the socket. A client that hangs up mid-job
+    // just stops receiving — the job itself runs to completion (its
+    // traces stay cached for the retry).
+    let shared = Mutex::new(writer);
+    let progress = |line: &str| {
+        let mut w = shared.lock().expect("progress writer lock");
+        let _ = writeln!(w, "# {line}");
+        let _ = w.flush();
+    };
+    let result = run_job(&spec, &state.pool, &progress);
+    state.jobs.fetch_add(1, Ordering::Relaxed);
+    let mut writer = shared.into_inner().expect("progress writer lock");
+    match result {
+        Ok(result) => {
+            let _ = write!(writer, "\n{}", result.to_json());
+        }
+        Err(e) => {
+            // Unreachable in practice (the spec was validated above),
+            // but never leave a client hanging without a diagnosis.
+            let _ = write!(writer, "\n# job failed: {e}\n");
+        }
+    }
+    let _ = writer.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_body_is_valid_json() {
+        use addict_bench::jsontext::JsonValue;
+        let body = error_json("invalid_spec", "n_xcts", "must be \"positive\"");
+        let doc = JsonValue::parse(&body).unwrap();
+        let err = doc.get("error").unwrap();
+        assert_eq!(err.get("field").unwrap().as_str("field").unwrap(), "n_xcts");
+        assert_eq!(
+            err.get("message").unwrap().as_str("message").unwrap(),
+            "must be \"positive\""
+        );
+    }
+
+    #[test]
+    fn stats_body_is_valid_json() {
+        use addict_bench::jsontext::JsonValue;
+        let state = State {
+            pool: TracePool::unbounded(),
+            jobs: AtomicU64::new(3),
+        };
+        let doc = JsonValue::parse(stats_json(&state).trim()).unwrap();
+        assert_eq!(doc.get("jobs").unwrap().as_u64("jobs").unwrap(), 3);
+        let cache = doc.get("cache").unwrap();
+        assert_eq!(cache.get("hits").unwrap().as_u64("hits").unwrap(), 0);
+        assert_eq!(
+            cache
+                .get("budget_bytes")
+                .unwrap()
+                .as_u64("budget_bytes")
+                .unwrap(),
+            u64::MAX
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! End-to-end service gate: a real server on an ephemeral port, real TCP
+//! round trips, and the three contracts that make the service trustworthy:
+//!
+//! 1. **Byte identity** — the same job submitted twice, and executed
+//!    once more through the in-process batch path, serializes to the
+//!    same bytes all three times. The server adds transport, never
+//!    semantics.
+//! 2. **Cache effectiveness** — the second submission regenerates
+//!    nothing: the `/stats` generation counter is unchanged and both
+//!    trace fetches count as hits.
+//! 3. **Strict admission** — invalid specs (zero transactions, zero
+//!    threads, an empty benchmark list) answer 400 with a structured
+//!    error naming the offending field, and never touch the counters.
+
+use addict_bench::jsontext::JsonValue;
+use addict_bench::{run_job, JobSpec, TracePool};
+use addict_service::{get, submit, Server, ServerConfig};
+
+/// Bind on port 0, serve on a background thread, return the address.
+fn spawn_server() -> std::net::SocketAddr {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            cache_budget: 256 << 20,
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().expect("bound address");
+    std::thread::spawn(move || server.serve());
+    addr
+}
+
+/// The smoke job: small-scale TPC-B under all four schedulers — big
+/// enough to exercise profiling, Algorithm 1, and every scheduler;
+/// small enough for a debug-build CI run.
+const SMOKE_JOB: &str = r#"{"benchmarks": ["tpcb"], "n_xcts": 24, "threads": 2, "small": true}"#;
+
+fn cache_counters(addr: std::net::SocketAddr) -> (u64, u64, u64, u64) {
+    let body = get(addr, "/stats").expect("GET /stats");
+    let doc = JsonValue::parse(body.trim()).expect("stats is valid JSON");
+    let cache = doc.get("cache").expect("cache section");
+    let n = |k: &str| cache.get(k).expect(k).as_u64(k).unwrap();
+    (n("hits"), n("misses"), n("generations"), n("evictions"))
+}
+
+#[test]
+fn server_jobs_are_byte_identical_and_cached() {
+    let addr = spawn_server();
+
+    let body = get(addr, "/healthz").expect("GET /healthz");
+    assert_eq!(body, "ok\n");
+
+    // Cold: both trace ranges (profile + eval) generate.
+    let mut progress_cold = Vec::new();
+    let first = submit(addr, SMOKE_JOB, |line| progress_cold.push(line.to_owned()))
+        .expect("first submission");
+    let (hits, misses, generations, _) = cache_counters(addr);
+    assert_eq!(misses, 2, "profile + eval ranges generate once each");
+    assert_eq!(generations, 2);
+    assert_eq!(hits, 0);
+    assert!(
+        progress_cold.iter().any(|l| l.contains("generated")),
+        "cold run must report generation: {progress_cold:?}"
+    );
+    // Progress streamed one line per trace fetch + one per grid point.
+    assert_eq!(progress_cold.len(), 1 + 4, "{progress_cold:?}");
+
+    // Warm: byte-identical result, zero regeneration, pure cache hits.
+    let mut progress_warm = Vec::new();
+    let second = submit(addr, SMOKE_JOB, |line| progress_warm.push(line.to_owned()))
+        .expect("second submission");
+    assert_eq!(
+        first, second,
+        "same spec must serialize byte-identical across submissions"
+    );
+    let (hits, misses, generations, _) = cache_counters(addr);
+    assert_eq!(generations, 2, "warm run regenerated traces");
+    assert_eq!(misses, 2);
+    assert_eq!(hits, 2, "warm run must hit for profile and eval");
+    assert!(
+        progress_warm.iter().any(|l| l.contains("cache hit")),
+        "warm run must report hits: {progress_warm:?}"
+    );
+
+    // The batch path — same spec, same executor, no server — produces
+    // the same bytes: the service adds transport, never semantics.
+    let spec = JobSpec::from_json(SMOKE_JOB).expect("smoke job parses");
+    let pool = TracePool::unbounded();
+    let batch = run_job(&spec, &pool, &|_: &str| {}).expect("batch run");
+    assert_eq!(
+        first,
+        batch.to_json(),
+        "server and batch executions must serialize byte-identical"
+    );
+
+    // And the jobs counter saw both submissions.
+    let stats = get(addr, "/stats").expect("GET /stats");
+    let doc = JsonValue::parse(stats.trim()).unwrap();
+    assert_eq!(doc.get("jobs").unwrap().as_u64("jobs").unwrap(), 2);
+}
+
+#[test]
+fn invalid_specs_answer_structured_400s() {
+    let addr = spawn_server();
+    for (job, field) in [
+        // Zero transactions.
+        (r#"{"benchmarks": ["tpcb"], "n_xcts": 0}"#, "n_xcts"),
+        // Zero worker threads.
+        (
+            r#"{"benchmarks": ["tpcb"], "n_xcts": 8, "threads": 0}"#,
+            "threads",
+        ),
+        // Empty benchmark list.
+        (r#"{"benchmarks": [], "n_xcts": 8}"#, "benchmarks"),
+        // Unknown benchmark name.
+        (r#"{"benchmarks": ["tpcz"], "n_xcts": 8}"#, "benchmarks"),
+        // Unknown field (strict parsing: typos never default silently).
+        (
+            r#"{"benchmarks": ["tpcb"], "n_xcts": 8, "xcts": 9}"#,
+            "spec",
+        ),
+        // Not JSON at all.
+        ("queue me a job", "spec"),
+    ] {
+        let err = submit(addr, job, |_| {}).expect_err(job);
+        assert!(err.contains("400"), "{job} gave {err}");
+        let body = err.split_once(": ").map(|x| x.1).expect("error body");
+        let doc = JsonValue::parse(body).unwrap_or_else(|e| panic!("{job}: {e} in {body:?}"));
+        let error = doc.get("error").expect("error object");
+        assert_eq!(
+            error.get("code").unwrap().as_str("code").unwrap(),
+            "invalid_spec",
+            "{job}"
+        );
+        assert_eq!(
+            error.get("field").unwrap().as_str("field").unwrap(),
+            field,
+            "{job}"
+        );
+    }
+    // Rejected jobs never touch the trace cache or the jobs counter.
+    let (hits, misses, generations, _) = cache_counters(addr);
+    assert_eq!((hits, misses, generations), (0, 0, 0));
+    let stats = get(addr, "/stats").expect("GET /stats");
+    let doc = JsonValue::parse(stats.trim()).unwrap();
+    assert_eq!(doc.get("jobs").unwrap().as_u64("jobs").unwrap(), 0);
+
+    // Unknown routes are structured 404s.
+    let err = get(addr, "/nope").expect_err("404 route");
+    assert!(err.contains("404"), "{err}");
+}

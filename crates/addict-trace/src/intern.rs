@@ -479,6 +479,22 @@ impl InternedWorkload {
         }
     }
 
+    /// Total resident bytes of this workload for cache accounting: the
+    /// shared pool's backing store plus every trace's refs/addresses plus
+    /// the container and name overhead. This is what a trace-pool cache
+    /// charges against its byte budget — when several workloads share one
+    /// pool (`Arc`), each cached entry still charges the full pool (the
+    /// budget bounds worst-case retention, so double-counting a shared
+    /// arena errs on the safe side).
+    pub fn resident_bytes(&self) -> usize {
+        let names: usize = self
+            .xct_type_names
+            .iter()
+            .map(|n| n.len() + std::mem::size_of::<String>())
+            .sum();
+        std::mem::size_of::<Self>() + self.name.len() + names + self.footprint().resident_bytes()
+    }
+
     /// The borrowed `(pool, traces)` view replay walks.
     pub fn as_set(&self) -> InternedSet<'_> {
         InternedSet {
@@ -1040,6 +1056,9 @@ mod tests {
             "encoded addresses must beat raw u64s: {fp:?}"
         );
         assert!(fp.address_reduction() > 1.0, "{fp:?}");
+        // Cache accounting covers the footprint plus container overhead.
+        assert!(iw.resident_bytes() > fp.resident_bytes());
+        assert!(iw.resident_bytes() < fp.resident_bytes() + 4096);
     }
 
     #[test]

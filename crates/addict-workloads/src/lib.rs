@@ -104,6 +104,21 @@ impl Benchmark {
         }
     }
 
+    /// Canonical lowercase token for serialized forms — job specs,
+    /// `--benchmarks` lists, trace-pool cache keys. Round-trips through
+    /// [`FromStr`](std::str::FromStr) (which also accepts the dashed
+    /// display names).
+    pub fn id(self) -> &'static str {
+        match self {
+            Benchmark::TpcB => "tpcb",
+            Benchmark::TpcC => "tpcc",
+            Benchmark::TpcE => "tpce",
+            Benchmark::Tatp => "tatp",
+            Benchmark::YcsbA => "ycsba",
+            Benchmark::YcsbB => "ycsbb",
+        }
+    }
+
     /// Build and populate the benchmark at its default (paper-shaped)
     /// scale, returning the engine and a runner.
     pub fn setup(self) -> (Engine, Box<dyn WorkloadRunner>) {
@@ -320,6 +335,19 @@ mod tests {
         assert_eq!(Benchmark::Tatp.name(), "TATP");
         assert_eq!(Benchmark::YcsbA.name(), "YCSB-A");
         assert_eq!(Benchmark::ALL.len(), 6);
+    }
+
+    #[test]
+    fn benchmark_ids_round_trip() {
+        // The serialized-form contract: every canonical id parses back to
+        // its variant, and ids are distinct lowercase tokens.
+        for b in Benchmark::ALL {
+            assert_eq!(b.id().parse::<Benchmark>().unwrap(), b);
+            assert_eq!(b.id(), b.id().to_ascii_lowercase());
+        }
+        let mut ids: Vec<&str> = Benchmark::ALL.iter().map(|b| b.id()).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), Benchmark::ALL.len());
     }
 
     #[test]
