@@ -69,6 +69,37 @@ impl TraceKey {
             small: self.small,
         }
     }
+
+    /// Predicted resident bytes of this key's interned workload,
+    /// **before** generating it — the admission-control input: a server
+    /// can refuse a job whose traces would not fit the pool budget
+    /// without first paying seconds of generation to find out.
+    ///
+    /// The model is linear per benchmark, `pool + slope × n_xcts`, with
+    /// constants measured from the BENCH_6 scaling ladder and the
+    /// BENCH_7 per-workload `trace_memory` sections: the shared slice
+    /// pool is constant in `n_xcts` (BENCH_6 measured it flat from 400
+    /// to 1M transactions), and per-trace bytes grow linearly (the
+    /// delta-varint address share dominates at ~1.5 B/address).
+    /// Slopes are the measured 400-transaction values rounded **up** —
+    /// the 1M-rung slope is slightly smaller (281 vs 305 B/xct on
+    /// TPC-B), so the estimate is conservative at scale, which is the
+    /// right direction for admission control. `small` populations
+    /// produce traces of comparable shape (fewer *distinct* pages, not
+    /// shorter transactions), so they share the full-scale constants.
+    pub fn estimated_resident_bytes(&self) -> usize {
+        // (pool bytes, per-transaction slope in bytes) per registry
+        // entry, from BENCH_7.json `trace_memory` at n_xcts = 400.
+        let (pool, slope) = match self.bench {
+            Benchmark::TpcB => (10_336, 280),
+            Benchmark::TpcC => (470_704, 1_151),
+            Benchmark::TpcE => (298_544, 481),
+            Benchmark::Tatp => (46_576, 139),
+            Benchmark::YcsbA => (14_080, 143),
+            Benchmark::YcsbB => (12_608, 136),
+        };
+        pool + slope * self.n_xcts
+    }
 }
 
 /// Counter snapshot of a [`TracePool`] (the `/stats` payload).
@@ -84,6 +115,10 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Resident entries right now.
     pub entries: usize,
+    /// Resident entries still pinned by a borrower (a running job holds
+    /// the entry's `Arc`); these are never evicted. A cancelled or
+    /// finished job must return this to 0 — the chaos tests' leak probe.
+    pub pinned_entries: usize,
     /// Resident bytes right now (sum of entry [`InternedWorkload::resident_bytes`]).
     pub resident_bytes: usize,
     /// Byte budget (`usize::MAX` = unbounded).
@@ -114,6 +149,12 @@ pub struct TracePool {
     inner: Mutex<Inner>,
     cond: Condvar,
     budget: usize,
+    /// Fault-injection countdown: each pending generation decrements it,
+    /// and a nonzero value panics *instead of* generating — exercising
+    /// the panic-clears-pending-slot path from outside. Only chaos tests
+    /// arm it ([`TracePool::fail_next_generations`]); it is always 0 in
+    /// production, costing one relaxed load per miss.
+    gen_faults: std::sync::atomic::AtomicU32,
 }
 
 /// Removes a pending slot (and wakes waiters) if generation unwinds, so
@@ -148,7 +189,26 @@ impl TracePool {
             }),
             cond: Condvar::new(),
             budget: budget_bytes,
+            gen_faults: std::sync::atomic::AtomicU32::new(0),
         }
+    }
+
+    /// Arm the generation fault injector: the next `n` generations panic
+    /// instead of generating (chaos-test hook; see the `gen_faults`
+    /// field). The panic unwinds through [`TracePool::get`]'s pending
+    /// guard, so waiters wake and retry — exactly the code path a real
+    /// engine-population panic takes.
+    pub fn fail_next_generations(&self, n: u32) {
+        self.gen_faults
+            .store(n, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// True when `key`'s traces are resident right now (an in-flight
+    /// pending generation does not count). Admission control uses this
+    /// to skip charging a job for bytes that already exist.
+    pub fn contains(&self, key: &TraceKey) -> bool {
+        let inner = self.inner.lock().expect("trace pool lock");
+        matches!(inner.slots.get(key), Some(Slot::Ready { .. }))
     }
 
     /// A pool that never evicts (the batch binaries' configuration — a
@@ -202,6 +262,19 @@ impl TracePool {
             key: *key,
             armed: true,
         };
+        // Chaos hook: an armed fault panics here, inside the pending
+        // guard, simulating a generation that died mid-population.
+        if self
+            .gen_faults
+            .fetch_update(
+                std::sync::atomic::Ordering::SeqCst,
+                std::sync::atomic::Ordering::SeqCst,
+                |n| n.checked_sub(1),
+            )
+            .is_ok()
+        {
+            panic!("injected generation fault for {}", key.describe());
+        }
         let mut out = generate_interned_chunked(&[key.range()], threads, key.chunk);
         let workload = Arc::new(out.pop().expect("one range generated"));
         let bytes = workload.resident_bytes();
@@ -268,6 +341,14 @@ impl TracePool {
             .slots
             .values()
             .filter(|s| matches!(s, Slot::Ready { .. }))
+            .count();
+        inner.stats.pinned_entries = inner
+            .slots
+            .values()
+            .filter(|s| match s {
+                Slot::Ready { workload, .. } => Arc::strong_count(workload) > 1,
+                Slot::Pending => false,
+            })
             .count();
         inner.stats.resident_bytes = inner
             .slots
@@ -383,6 +464,67 @@ mod tests {
         assert!(s.evictions >= 2, "stats: {s:?}");
         assert_eq!(s.entries, 0);
         assert_eq!(s.resident_bytes, 0);
+    }
+
+    #[test]
+    fn estimate_is_conservative_for_small_keys() {
+        // The admission model must never under-predict (a job admitted on
+        // an optimistic estimate defeats the point of admission control).
+        // Generate a couple of real small-scale workloads and compare.
+        let pool = TracePool::unbounded();
+        for (bench, n) in [(Benchmark::TpcB, 12), (Benchmark::TpcB, 40)] {
+            let k = TraceKey {
+                bench,
+                seed: 1,
+                n_xcts: n,
+                chunk: 4,
+                small: true,
+            };
+            let (w, _) = pool.get(&k, 1);
+            assert!(
+                k.estimated_resident_bytes() >= w.resident_bytes(),
+                "{}: estimated {} < actual {}",
+                k.describe(),
+                k.estimated_resident_bytes(),
+                w.resident_bytes()
+            );
+        }
+        // And the model is monotone in n_xcts.
+        let at = |n| {
+            TraceKey {
+                bench: Benchmark::TpcC,
+                seed: 2,
+                n_xcts: n,
+                chunk: 64,
+                small: false,
+            }
+            .estimated_resident_bytes()
+        };
+        assert!(at(400) < at(10_000) && at(10_000) < at(1_000_000));
+    }
+
+    #[test]
+    fn injected_generation_fault_clears_slot_and_recovers() {
+        let pool = TracePool::unbounded();
+        let k = key(6, 9);
+        pool.fail_next_generations(1);
+        let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pool.get(&k, 1)))
+            .expect_err("armed fault must panic");
+        let msg = panic.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("injected generation fault"), "{msg}");
+        assert!(!pool.contains(&k), "panicked generation left a slot");
+        // The fault was consumed: the retry generates for real.
+        let (w, hit) = pool.get(&k, 1);
+        assert!(!hit);
+        assert!(pool.contains(&k));
+        assert!(w.resident_bytes() > 0);
+        let s = pool.stats();
+        assert_eq!(s.misses, 2, "both attempts are misses");
+        assert_eq!(s.generations, 1, "only the retry generated");
+        // Pinned while we hold the Arc, idle after.
+        assert_eq!(s.pinned_entries, 1);
+        drop(w);
+        assert_eq!(pool.stats().pinned_entries, 0);
     }
 
     #[test]

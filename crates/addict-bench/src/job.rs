@@ -26,8 +26,9 @@
 //!   the batch path (asserted by `addict-service/tests/service_roundtrip.rs`
 //!   and re-checked on every `bench` run).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use addict_core::algorithm1::{find_migration_points_interned, MigrationMap};
 use addict_core::replay::{ReplayConfig, ReplayResult};
@@ -37,7 +38,7 @@ use addict_workloads::Benchmark;
 
 use crate::cache::{TraceKey, TracePool};
 use crate::jsontext::{escape, JsonValue};
-use crate::sweep::{run_grid, run_point, SweepPoint, SweepTraces};
+use crate::sweep::{run_grid_abortable, run_point, SweepPoint, SweepTraces};
 use crate::{EVAL_SEED, PROFILE_SEED};
 
 /// A job-spec or argument error: the single strictness policy shared by
@@ -69,6 +70,104 @@ impl std::fmt::Display for SpecError {
 }
 
 impl std::error::Error for SpecError {}
+
+/// Why a running job stopped early: an explicit cancellation or an
+/// expired deadline. The two are distinct lifecycle outcomes — a client
+/// that asked for the stop should not be told the job "timed out".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interrupt {
+    /// [`CancelToken::cancel`] was called.
+    Cancelled,
+    /// The token's deadline passed.
+    DeadlineExceeded,
+}
+
+/// A cooperative cancellation/deadline token threaded through
+/// [`run_job_with`] and checked between sweep points (and between trace
+/// fetches). Cancellation is *cooperative*: a point already replaying
+/// finishes (points are milliseconds to seconds), but no further point
+/// starts, no further trace range generates, and the job's trace-pool
+/// pins drop as `run_job_with` returns — which is what lets a server
+/// reclaim a cancelled job's memory promptly.
+#[derive(Debug, Default)]
+pub struct CancelToken {
+    cancelled: AtomicBool,
+    /// Absolute deadline, if armed. Armed by the owner (typically at
+    /// admission time, so queue wait counts against the budget).
+    deadline: Mutex<Option<Instant>>,
+}
+
+impl CancelToken {
+    /// A token that never fires (the batch binaries' configuration).
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Request cancellation. Idempotent; checked at the next sweep point.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// True once [`cancel`](CancelToken::cancel) has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+
+    /// Arm a deadline `deadline_ms` milliseconds from now. A zero value
+    /// clears the deadline.
+    pub fn arm_deadline_ms(&self, deadline_ms: u64) {
+        let mut slot = self.deadline.lock().expect("deadline lock");
+        *slot = if deadline_ms == 0 {
+            None
+        } else {
+            Some(Instant::now() + Duration::from_millis(deadline_ms))
+        };
+    }
+
+    /// Poll the token: `Ok(())` to keep going, or the [`Interrupt`] that
+    /// should end the job. Cancellation wins over an expired deadline
+    /// (the client's explicit request is the stronger signal).
+    pub fn check(&self) -> Result<(), Interrupt> {
+        if self.is_cancelled() {
+            return Err(Interrupt::Cancelled);
+        }
+        let deadline = *self.deadline.lock().expect("deadline lock");
+        match deadline {
+            Some(d) if Instant::now() >= d => Err(Interrupt::DeadlineExceeded),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Why [`run_job_with`] did not produce a result: the spec was invalid,
+/// or the job was interrupted mid-flight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The spec failed validation (the structured-400 path).
+    Spec(SpecError),
+    /// The job's [`CancelToken`] fired between sweep points.
+    Interrupted(Interrupt),
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Spec(e) => e.fmt(f),
+            JobError::Interrupted(Interrupt::Cancelled) => f.write_str("job cancelled"),
+            JobError::Interrupted(Interrupt::DeadlineExceeded) => {
+                f.write_str("job deadline exceeded")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+impl From<SpecError> for JobError {
+    fn from(e: SpecError) -> Self {
+        JobError::Spec(e)
+    }
+}
 
 /// Parse a transaction count: a positive integer, never a silent
 /// fallback. Shared by `--xcts`, the numeric positional, and the job
@@ -137,6 +236,12 @@ pub struct JobSpec {
     pub small: bool,
     /// Evaluation-trace seed (profiling always uses [`PROFILE_SEED`]).
     pub seed: u64,
+    /// Wall-clock budget in milliseconds, measured from admission
+    /// (queue wait counts); 0 = no deadline. Enforced cooperatively by
+    /// the job's [`CancelToken`] between sweep points. The deadline is
+    /// an *execution* knob like `threads`: it never changes what a
+    /// completed job's points contain, only whether the job completes.
+    pub deadline_ms: u64,
 }
 
 impl JobSpec {
@@ -153,6 +258,7 @@ impl JobSpec {
             chunk: crate::DEFAULT_GEN_CHUNK,
             small: false,
             seed: EVAL_SEED,
+            deadline_ms: 0,
         }
     }
 
@@ -243,7 +349,7 @@ impl JobSpec {
             .collect();
         let batches: Vec<String> = self.batch_sizes.iter().map(usize::to_string).collect();
         format!(
-            "{{\"benchmarks\":[{}],\"schedulers\":[{}],\"n_xcts\":{},\"threads\":{},\"batch_sizes\":[{}],\"chunk\":{},\"small\":{},\"seed\":{}}}",
+            "{{\"benchmarks\":[{}],\"schedulers\":[{}],\"n_xcts\":{},\"threads\":{},\"batch_sizes\":[{}],\"chunk\":{},\"small\":{},\"seed\":{},\"deadline_ms\":{}}}",
             benches.join(","),
             scheds.join(","),
             self.n_xcts,
@@ -251,7 +357,8 @@ impl JobSpec {
             batches.join(","),
             self.chunk,
             self.small,
-            self.seed
+            self.seed,
+            self.deadline_ms
         )
     }
 
@@ -341,6 +448,11 @@ impl JobSpec {
                     spec.seed = value
                         .as_u64("seed")
                         .map_err(|e| SpecError::new("seed", e))?;
+                }
+                "deadline_ms" => {
+                    spec.deadline_ms = value
+                        .as_u64("deadline_ms")
+                        .map_err(|e| SpecError::new("deadline_ms", e))?;
                 }
                 other => {
                     return Err(SpecError::new(
@@ -580,6 +692,28 @@ pub fn run_job(
     pool: &TracePool,
     progress: &(dyn Fn(&str) + Sync),
 ) -> Result<JobResult, SpecError> {
+    match run_job_with(spec, pool, progress, &CancelToken::new()) {
+        Ok(r) => Ok(r),
+        Err(JobError::Spec(e)) => Err(e),
+        // A fresh private token never fires.
+        Err(JobError::Interrupted(i)) => unreachable!("un-armed token fired: {i:?}"),
+    }
+}
+
+/// [`run_job`] under a cooperative [`CancelToken`]: the token is polled
+/// between trace fetches and between sweep points, so a cancellation or
+/// an expired deadline stops the job at the next point boundary — the
+/// server's `DELETE /jobs/<id>` and `deadline_ms` paths. On interrupt
+/// the partially-executed grid is discarded (results are all-or-nothing:
+/// a partial grid would serialize differently from the same spec run to
+/// completion, breaking byte-identity) and the trace-pool `Arc` pins
+/// drop with this frame.
+pub fn run_job_with(
+    spec: &JobSpec,
+    pool: &TracePool,
+    progress: &(dyn Fn(&str) + Sync),
+    token: &CancelToken,
+) -> Result<JobResult, JobError> {
     spec.validate()?;
     let cfg = ReplayConfig::paper_default();
 
@@ -590,7 +724,13 @@ pub fn run_job(
     }
     let mut sets: Vec<Traces> = Vec::with_capacity(spec.benchmarks.len());
     for &bench in &spec.benchmarks {
+        // Generation is the expensive phase: poll before committing to
+        // each range so a cancelled job never starts another engine
+        // population (an in-flight generation finishes — it may be
+        // shared with concurrent jobs via the pool's pending slot).
+        token.check().map_err(JobError::Interrupted)?;
         let (profile, profile_hit) = pool.get(&spec.profile_key(bench), spec.threads);
+        token.check().map_err(JobError::Interrupted)?;
         let (eval, eval_hit) = pool.get(&spec.eval_key(bench), spec.threads);
         progress(&format!(
             "traces {}: profile {} | eval {}",
@@ -625,29 +765,38 @@ pub fn run_job(
 
     let total = grid.len();
     let done = AtomicUsize::new(0);
-    let timed: Vec<(f64, ReplayResult)> = run_grid(&grid, spec.threads, |i, p| {
-        let t = Instant::now();
-        let r = run_point(p);
-        let seconds = t.elapsed().as_secs_f64();
-        let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
-        progress(&format!(
-            "point {finished}/{total} {} in {seconds:.3}s",
-            p.describe()
-        ));
-        let _ = i;
-        (seconds, r)
-    });
+    let timed: Vec<Option<(f64, ReplayResult)>> =
+        run_grid_abortable(&grid, spec.threads, &|| token.check().is_err(), |i, p| {
+            let t = Instant::now();
+            let r = run_point(p);
+            let seconds = t.elapsed().as_secs_f64();
+            let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+            progress(&format!(
+                "point {finished}/{total} {} in {seconds:.3}s",
+                p.describe()
+            ));
+            let _ = i;
+            (seconds, r)
+        });
+    if timed.iter().any(Option::is_none) {
+        // At least one point was skipped by the abort probe: report why.
+        let interrupt = token.check().expect_err("aborted grid with a quiet token");
+        return Err(JobError::Interrupted(interrupt));
+    }
 
     let points = shape
         .into_iter()
         .zip(timed)
-        .map(|((bi, scheduler, batch), (seconds, result))| JobPoint {
-            benchmark: spec.benchmarks[bi],
-            scheduler,
-            batch_size: batch,
-            events: sets[bi].events,
-            seconds,
-            result,
+        .map(|((bi, scheduler, batch), timed)| {
+            let (seconds, result) = timed.expect("checked above");
+            JobPoint {
+                benchmark: spec.benchmarks[bi],
+                scheduler,
+                batch_size: batch,
+                events: sets[bi].events,
+                seconds,
+                result,
+            }
         })
         .collect();
     Ok(JobResult {
@@ -763,6 +912,81 @@ mod tests {
         let mut d = JobSpec::new(vec![Benchmark::TpcB], 10);
         d.schedulers = vec![SchedulerKind::Slicc];
         assert_eq!(d.grid_shape(), vec![(0, SchedulerKind::Slicc, None)]);
+    }
+
+    #[test]
+    fn cancel_token_is_sticky_and_orders_cancel_over_deadline() {
+        let t = CancelToken::new();
+        assert_eq!(t.check(), Ok(()));
+        t.arm_deadline_ms(0); // explicit zero = no deadline
+        assert_eq!(t.check(), Ok(()));
+        t.arm_deadline_ms(60_000);
+        assert_eq!(t.check(), Ok(()));
+        t.cancel();
+        assert_eq!(t.check(), Err(Interrupt::Cancelled));
+        // Sticky: still cancelled on re-poll, and cancellation wins even
+        // once the deadline also expires.
+        assert_eq!(t.check(), Err(Interrupt::Cancelled));
+
+        let d = CancelToken::new();
+        d.arm_deadline_ms(1);
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        assert_eq!(d.check(), Err(Interrupt::DeadlineExceeded));
+        assert_eq!(d.check(), Err(Interrupt::DeadlineExceeded));
+    }
+
+    #[test]
+    fn cancelled_job_stops_before_generating() {
+        use crate::cache::TracePool;
+        let mut s = JobSpec::new(vec![Benchmark::TpcB], 8);
+        s.small = true;
+        let pool = TracePool::unbounded();
+        let token = CancelToken::new();
+        token.cancel();
+        let lines = Mutex::new(Vec::<String>::new());
+        let progress = |l: &str| lines.lock().unwrap().push(l.to_owned());
+        let err = run_job_with(&s, &pool, &progress, &token).unwrap_err();
+        assert_eq!(err, JobError::Interrupted(Interrupt::Cancelled));
+        // Nothing generated, nothing replayed, nothing pinned.
+        let stats = pool.stats();
+        assert_eq!((stats.misses, stats.generations), (0, 0));
+        assert_eq!(stats.pinned_entries, 0);
+        assert!(lines.lock().unwrap().is_empty());
+
+        // An expired deadline reports as DeadlineExceeded, not Cancelled.
+        let t2 = CancelToken::new();
+        t2.arm_deadline_ms(1);
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let err = run_job_with(&s, &pool, &progress, &t2).unwrap_err();
+        assert_eq!(err, JobError::Interrupted(Interrupt::DeadlineExceeded));
+    }
+
+    #[test]
+    fn deadline_ms_round_trips_and_stays_out_of_points() {
+        use crate::cache::TracePool;
+        let mut s = JobSpec::new(vec![Benchmark::TpcB], 12);
+        s.small = true;
+        s.deadline_ms = 30_000;
+        assert_eq!(JobSpec::from_json(&s.to_json()).unwrap(), s);
+        // A generous deadline changes nothing about the replayed points
+        // (it is an execution knob, not a result input).
+        let pool = TracePool::unbounded();
+        let quiet = |_: &str| {};
+        let with = run_job(&s, &pool, &quiet).unwrap();
+        let mut bare = s.clone();
+        bare.deadline_ms = 0;
+        let without = run_job(&bare, &pool, &quiet).unwrap();
+        let points = |j: &JobResult| {
+            let json = j.to_json();
+            let at = json.find("\"points\"").expect("points section");
+            json[at..].to_owned()
+        };
+        assert_eq!(points(&with), points(&without));
+        // Malformed deadlines are structured errors.
+        let err =
+            JobSpec::from_json("{\"benchmarks\":[\"tpcb\"],\"n_xcts\":8,\"deadline_ms\":\"soon\"}")
+                .unwrap_err();
+        assert_eq!(err.field, "deadline_ms");
     }
 
     #[test]

@@ -46,8 +46,13 @@ pub use gen::{
     generate, generate_interned, generate_interned_chunked, profile_eval_ranges, GenRange,
     DEFAULT_GEN_CHUNK,
 };
-pub use job::{run_job, summary_rows, JobPoint, JobResult, JobSpec, SpecError, SummaryRow};
-pub use sweep::{run_grid, run_point, run_sweep, threads_from, SweepPoint, SweepTraces};
+pub use job::{
+    run_job, run_job_with, summary_rows, CancelToken, Interrupt, JobError, JobPoint, JobResult,
+    JobSpec, SpecError, SummaryRow,
+};
+pub use sweep::{
+    run_grid, run_grid_abortable, run_point, run_sweep, threads_from, SweepPoint, SweepTraces,
+};
 
 /// Profiling seed (the paper's traces 1–1000).
 pub const PROFILE_SEED: u64 = 1;

@@ -199,6 +199,56 @@ where
     out.into_iter().map(|(_, r)| r).collect()
 }
 
+/// [`run_grid`] with a cooperative abort probe: before *claiming* each
+/// item, workers poll `abort`; once it reports true, every unclaimed
+/// item yields `None` instead of running (claimed items finish — the
+/// unit of cooperation is one grid point). Result order is item order
+/// either way, with `None` holes where the abort landed. This is the
+/// sweep half of job cancellation/deadlines: [`run_job_with`]
+/// (`crate::job`) maps a fired token to an aborted grid, then discards
+/// the partial results.
+///
+/// The probe must be *sticky* (once true, true forever) — workers poll
+/// it independently, and a flapping probe would produce an arbitrary
+/// subset rather than a prefix-closed cut. The determinism contract of
+/// [`run_grid`] is preserved for completed runs: `abort` never firing
+/// reproduces `run_grid` exactly.
+pub fn run_grid_abortable<T, R, F>(
+    items: &[T],
+    threads: usize,
+    abort: &(dyn Fn() -> bool + Sync),
+    work: F,
+) -> Vec<Option<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| if abort() { None } else { Some(work(i, t)) })
+            .collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, Option<R>)>> = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(items.len()) {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let r = if abort() { None } else { Some(work(i, item)) };
+                done.lock().expect("no poisoned result lock").push((i, r));
+            });
+        }
+    });
+    let mut out = done.into_inner().expect("scope joined all workers");
+    debug_assert_eq!(out.len(), items.len());
+    out.sort_unstable_by_key(|&(i, _)| i);
+    out.into_iter().map(|(_, r)| r).collect()
+}
+
 /// Replay every [`SweepPoint`] of `grid` on `threads` threads, returning
 /// the [`ReplayResult`]s in grid order. Flat and interned points dispatch
 /// to their own monomorphized replay loop — the layout match happens once
@@ -247,6 +297,37 @@ mod tests {
         let none: Vec<u32> = Vec::new();
         assert!(run_grid(&none, 8, |_, &x| x).is_empty());
         assert_eq!(run_grid(&[7u32], 8, |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn abortable_grid_is_grid_when_quiet_and_cuts_when_fired() {
+        let items: Vec<u64> = (0..12).collect();
+        // A probe that never fires reproduces run_grid exactly.
+        for threads in [1, 4] {
+            let quiet = run_grid_abortable(&items, threads, &|| false, |_, &x| x * 3);
+            assert_eq!(
+                quiet,
+                items.iter().map(|&x| Some(x * 3)).collect::<Vec<_>>()
+            );
+        }
+        // A sticky probe flipped after the fourth claim yields None for
+        // everything not yet claimed, in both execution modes.
+        for threads in [1, 3] {
+            let fired = AtomicUsize::new(0);
+            let out = run_grid_abortable(
+                &items,
+                threads,
+                &|| fired.load(Ordering::Relaxed) >= 4,
+                |_, &x| {
+                    fired.fetch_add(1, Ordering::Relaxed);
+                    x
+                },
+            );
+            assert_eq!(out.len(), items.len());
+            let ran = out.iter().flatten().count();
+            assert!(ran >= 4, "abort fired before it could have: {out:?}");
+            assert!(ran < items.len(), "abort never cut the grid: {out:?}");
+        }
     }
 
     #[test]

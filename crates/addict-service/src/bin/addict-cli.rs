@@ -2,22 +2,34 @@
 //!
 //! ```text
 //! addict-cli submit <job.json> [--addr HOST:PORT] [--out result.json]
+//!                              [--retry N] [--detach]
+//! addict-cli poll   <job-id>   [--addr HOST:PORT] [--out result.json]
+//! addict-cli cancel <job-id>   [--addr HOST:PORT]
 //! addict-cli batch  <job.json> [--out result.json]
 //! addict-cli stats  [--addr HOST:PORT]
+//! addict-cli shutdown [--addr HOST:PORT]
 //! ```
 //!
 //! `submit` posts the job to a resident `addict-serve`; `batch` executes
 //! the *same* spec in-process through the same job layer (no server) —
 //! the two produce byte-identical result JSON, which makes `batch` the
-//! reference comparator for the service. `stats` dumps the server's
-//! cache counters.
+//! reference comparator for the service. `--retry N` retries retryable
+//! failures (connect errors, 408/429/5xx) with exponential backoff and
+//! jitter, honoring the server's `Retry-After`. `--detach` returns the
+//! job id immediately; `poll` follows it to completion later (surviving
+//! client restarts — the server keeps the result). `stats` dumps the
+//! server's counters; `shutdown` asks it to drain and exit.
 
 use std::io::Write as _;
 
 use addict_bench::{run_job, JobSpec, TracePool};
-use addict_service::{get, render_table, submit};
+use addict_service::{
+    cancel_job, get, poll_job, render_table, shutdown, submit, submit_detached, submit_with_retry,
+};
 
 const DEFAULT_ADDR: &str = "127.0.0.1:7171";
+/// First backoff step for `--retry` (doubles per attempt).
+const RETRY_BASE_MS: u64 = 250;
 
 fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}");
@@ -25,9 +37,14 @@ fn fail(msg: &str) -> ! {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: addict-cli submit <job.json> [--addr HOST:PORT] [--out result.json]");
+    eprintln!(
+        "usage: addict-cli submit <job.json> [--addr HOST:PORT] [--out result.json] [--retry N] [--detach]"
+    );
+    eprintln!("       addict-cli poll   <job-id>   [--addr HOST:PORT] [--out result.json]");
+    eprintln!("       addict-cli cancel <job-id>   [--addr HOST:PORT]");
     eprintln!("       addict-cli batch  <job.json> [--out result.json]");
     eprintln!("       addict-cli stats  [--addr HOST:PORT]");
+    eprintln!("       addict-cli shutdown [--addr HOST:PORT]");
     std::process::exit(2)
 }
 
@@ -35,6 +52,8 @@ struct Opts {
     file: Option<String>,
     addr: String,
     out: Option<String>,
+    retry: u32,
+    detach: bool,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -42,6 +61,8 @@ fn parse_opts(args: &[String]) -> Opts {
         file: None,
         addr: DEFAULT_ADDR.to_owned(),
         out: None,
+        retry: 0,
+        detach: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -54,6 +75,11 @@ fn parse_opts(args: &[String]) -> Opts {
                 Some(v) => opts.out = Some(v.clone()),
                 None => fail("--out requires a value"),
             },
+            "--retry" => match it.next().map(|v| v.parse::<u32>()) {
+                Some(Ok(n)) => opts.retry = n,
+                _ => fail("--retry requires a non-negative integer"),
+            },
+            "--detach" => opts.detach = true,
             s if s.starts_with("--") => fail(&format!("unknown flag {s:?}")),
             s => {
                 if opts.file.replace(s.to_owned()).is_some() {
@@ -77,6 +103,12 @@ fn read_job(opts: &Opts) -> String {
     text
 }
 
+fn job_id(opts: &Opts) -> u64 {
+    let raw = opts.file.as_deref().unwrap_or_else(|| usage());
+    raw.parse()
+        .unwrap_or_else(|_| fail(&format!("job ids are integers, got {raw:?}")))
+}
+
 fn emit(result_json: &str, out: Option<&str>) {
     match render_table(result_json) {
         Ok(table) => print!("{table}"),
@@ -88,6 +120,11 @@ fn emit(result_json: &str, out: Option<&str>) {
     }
 }
 
+fn progress_line(line: &str) {
+    eprintln!("  {line}");
+    let _ = std::io::stderr().flush();
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let Some(command) = args.get(1) else { usage() };
@@ -95,12 +132,39 @@ fn main() {
     match command.as_str() {
         "submit" => {
             let job = read_job(&opts);
-            let result = submit(&opts.addr, &job, |line| {
-                eprintln!("  {line}");
-                let _ = std::io::stderr().flush();
-            })
+            if opts.detach {
+                let id = submit_detached(opts.addr.as_str(), &job).unwrap_or_else(|e| fail(&e));
+                println!("{id}");
+                eprintln!("job {id} accepted; follow it with: addict-cli poll {id}");
+                return;
+            }
+            let result = if opts.retry > 0 {
+                submit_with_retry(
+                    opts.addr.as_str(),
+                    &job,
+                    opts.retry,
+                    RETRY_BASE_MS,
+                    progress_line,
+                    |attempt, delay_ms, error| {
+                        eprintln!("retry {attempt}/{} in {delay_ms} ms: {error}", opts.retry);
+                    },
+                )
+            } else {
+                submit(opts.addr.as_str(), &job, progress_line)
+            }
             .unwrap_or_else(|e| fail(&e));
             emit(&result, opts.out.as_deref());
+        }
+        "poll" => {
+            let id = job_id(&opts);
+            let result =
+                poll_job(opts.addr.as_str(), id, progress_line).unwrap_or_else(|e| fail(&e));
+            emit(&result, opts.out.as_deref());
+        }
+        "cancel" => {
+            let id = job_id(&opts);
+            let ack = cancel_job(opts.addr.as_str(), id).unwrap_or_else(|e| fail(&e));
+            print!("{ack}");
         }
         "batch" => {
             // The in-process reference path: same spec, same executor,
@@ -116,8 +180,15 @@ fn main() {
             if opts.file.is_some() {
                 usage();
             }
-            let body = get(&opts.addr, "/stats").unwrap_or_else(|e| fail(&e));
+            let body = get(opts.addr.as_str(), "/stats").unwrap_or_else(|e| fail(&e));
             print!("{body}");
+        }
+        "shutdown" => {
+            if opts.file.is_some() {
+                usage();
+            }
+            let ack = shutdown(opts.addr.as_str()).unwrap_or_else(|e| fail(&e));
+            print!("{ack}");
         }
         _ => usage(),
     }

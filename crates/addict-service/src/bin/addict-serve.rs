@@ -1,11 +1,15 @@
 //! `addict-serve`: the resident evaluation server.
 //!
 //! ```text
-//! addict-serve [--addr HOST:PORT] [--workers N] [--cache-bytes N]
+//! addict-serve [--addr HOST:PORT] [--workers N] [--job-workers N]
+//!              [--cache-bytes N] [--queue N] [--result-bytes N]
+//!              [--io-timeout-ms N] [--dump-dir PATH]
 //! ```
 //!
 //! Binds (default `127.0.0.1:7171`), prints the bound address, and
-//! serves until killed. See SERVICE.md for the protocol.
+//! serves until `POST /shutdown` drains it (results are persisted to
+//! `--dump-dir` on the way out, when set). See SERVICE.md for the
+//! protocol and failure semantics.
 
 use addict_service::{Server, ServerConfig};
 
@@ -33,29 +37,52 @@ fn main() {
         match a.as_str() {
             "--addr" => addr = value(&mut it, "--addr"),
             "--workers" => config.workers = positive(&value(&mut it, "--workers"), "--workers"),
+            "--job-workers" => {
+                config.job_workers = positive(&value(&mut it, "--job-workers"), "--job-workers");
+            }
             "--cache-bytes" => {
                 config.cache_budget = positive(&value(&mut it, "--cache-bytes"), "--cache-bytes");
             }
+            "--queue" => config.queue_cap = positive(&value(&mut it, "--queue"), "--queue"),
+            "--result-bytes" => {
+                config.result_budget =
+                    positive(&value(&mut it, "--result-bytes"), "--result-bytes");
+            }
+            "--io-timeout-ms" => {
+                // 0 is meaningful here: no deadline.
+                let v = value(&mut it, "--io-timeout-ms");
+                config.io_timeout_ms = v.parse().unwrap_or_else(|_| {
+                    eprintln!("error: --io-timeout-ms requires an integer, got {v:?}");
+                    std::process::exit(2);
+                });
+            }
+            "--dump-dir" => {
+                config.dump_dir = Some(value(&mut it, "--dump-dir").into());
+            }
             other => {
                 eprintln!("error: unknown flag {other:?}");
-                eprintln!("usage: addict-serve [--addr HOST:PORT] [--workers N] [--cache-bytes N]");
+                eprintln!(
+                    "usage: addict-serve [--addr HOST:PORT] [--workers N] [--job-workers N] [--cache-bytes N] [--queue N] [--result-bytes N] [--io-timeout-ms N] [--dump-dir PATH]"
+                );
                 std::process::exit(2);
             }
         }
     }
 
-    let server = Server::bind(&addr, config).unwrap_or_else(|e| {
+    let server = Server::bind(&addr, config.clone()).unwrap_or_else(|e| {
         eprintln!("error: binding {addr}: {e}");
         std::process::exit(1);
     });
     let bound = server.local_addr().expect("bound listener has an address");
     println!(
-        "addict-serve listening on {bound} ({} workers, {} MiB trace cache)",
+        "addict-serve listening on {bound} ({} connection workers, {} job executors, {} MiB trace cache)",
         config.workers,
+        config.job_workers,
         config.cache_budget >> 20
     );
     if let Err(e) = server.serve() {
         eprintln!("error: serving: {e}");
         std::process::exit(1);
     }
+    println!("addict-serve drained; exiting");
 }

@@ -1,0 +1,187 @@
+//! Fault injection for the chaos test suite.
+//!
+//! A [`FaultPlan`] is wired into every server and is a no-op until a
+//! test arms it (production code never does). Two fault families live
+//! here; the third — forced trace-generation failures — already lives in
+//! the pool itself ([`TracePool::fail_next_generations`]):
+//!
+//! * **worker panics** — [`FaultPlan::panic_next_jobs`] makes the next
+//!   `n` jobs panic at execution start, exercising the `catch_unwind`
+//!   containment path (structured 500, executor survives, pool at full
+//!   strength);
+//! * **deterministic stalls** — [`FaultPlan::stall_after_progress`]
+//!   parks the executing job on a condvar latch after its n-th progress
+//!   line. Cancellation, deadline, and overload races become
+//!   deterministic: the test arms the gate, submits, waits until the job
+//!   is provably parked ([`FaultPlan::wait_until_stalled`]), performs
+//!   the racing action, then [`FaultPlan::release_stall`]s. No sleeps,
+//!   no timing assumptions.
+//!
+//! [`TracePool::fail_next_generations`]: addict_bench::TracePool::fail_next_generations
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Safety valve: a stalled job self-releases after this long, so an
+/// arming bug in a test fails loudly (assertions fire) instead of
+/// deadlocking the suite.
+const STALL_SAFETY: Duration = Duration::from_secs(30);
+
+#[derive(Debug, Default)]
+struct Gate {
+    /// Progress lines remaining before the stall engages (`None` =
+    /// disarmed).
+    after_lines: Option<u32>,
+    /// A job is currently parked on the latch.
+    stalled: bool,
+    /// The test released the latch.
+    released: bool,
+}
+
+/// Injectable faults, shared between the server's executors and the
+/// chaos tests. All methods are cheap and lock-free in the disarmed
+/// state except the stall gate's per-progress-line mutex hop.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    panic_jobs: AtomicU32,
+    gate: Mutex<Gate>,
+    cv: Condvar,
+}
+
+impl FaultPlan {
+    /// A disarmed plan (every hook is a no-op).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Arm the next `n` jobs to panic at execution start (before any
+    /// progress line), as if the executor hit a bug mid-job.
+    pub fn panic_next_jobs(&self, n: u32) {
+        self.panic_jobs.store(n, Ordering::SeqCst);
+    }
+
+    /// Executor-side: consume one armed panic, if any.
+    pub(crate) fn take_job_panic(&self) -> bool {
+        self.panic_jobs
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .is_ok()
+    }
+
+    /// Arm the stall gate: the job that emits the `lines`-th progress
+    /// line (1-based) parks on it until [`release_stall`]
+    /// (re-arming replaces any previous arming).
+    ///
+    /// [`release_stall`]: FaultPlan::release_stall
+    pub fn stall_after_progress(&self, lines: u32) {
+        let mut gate = self.gate.lock().expect("fault gate lock");
+        *gate = Gate {
+            after_lines: Some(lines),
+            stalled: false,
+            released: false,
+        };
+    }
+
+    /// Open the latch: the parked job (if any) resumes, and the gate
+    /// disarms.
+    pub fn release_stall(&self) {
+        let mut gate = self.gate.lock().expect("fault gate lock");
+        gate.released = true;
+        gate.after_lines = None;
+        self.cv.notify_all();
+    }
+
+    /// Test-side: block until a job is parked on the gate (or `timeout`
+    /// passes). Returns whether the stall was observed.
+    pub fn wait_until_stalled(&self, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut gate = self.gate.lock().expect("fault gate lock");
+        while !gate.stalled {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (g, _) = self
+                .cv
+                .wait_timeout(gate, deadline - now)
+                .expect("fault gate lock");
+            gate = g;
+        }
+        true
+    }
+
+    /// Executor-side: account one progress line; park if it trips the
+    /// armed threshold.
+    pub(crate) fn on_progress(&self) {
+        let mut gate = self.gate.lock().expect("fault gate lock");
+        let Some(remaining) = gate.after_lines else {
+            return;
+        };
+        match remaining.checked_sub(1) {
+            Some(left) if left > 0 => {
+                gate.after_lines = Some(left);
+            }
+            _ => {
+                // This line trips the gate: announce the stall and park.
+                gate.after_lines = None;
+                gate.stalled = true;
+                self.cv.notify_all();
+                let deadline = std::time::Instant::now() + STALL_SAFETY;
+                while !gate.released {
+                    let now = std::time::Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let (g, _) = self
+                        .cv
+                        .wait_timeout(gate, deadline - now)
+                        .expect("fault gate lock");
+                    gate = g;
+                }
+                gate.stalled = false;
+                self.cv.notify_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_plan_is_a_no_op() {
+        let plan = FaultPlan::new();
+        assert!(!plan.take_job_panic());
+        plan.on_progress(); // returns immediately
+        assert!(!plan.wait_until_stalled(Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn panic_countdown_consumes_exactly_n() {
+        let plan = FaultPlan::new();
+        plan.panic_next_jobs(2);
+        assert!(plan.take_job_panic());
+        assert!(plan.take_job_panic());
+        assert!(!plan.take_job_panic());
+    }
+
+    #[test]
+    fn stall_gate_parks_the_nth_line_and_releases() {
+        let plan = FaultPlan::new();
+        plan.stall_after_progress(2);
+        std::thread::scope(|s| {
+            let worker = s.spawn(|| {
+                plan.on_progress(); // line 1: passes
+                plan.on_progress(); // line 2: parks here
+                plan.on_progress(); // disarmed after release: passes
+            });
+            assert!(plan.wait_until_stalled(Duration::from_secs(5)));
+            plan.release_stall();
+            worker.join().unwrap();
+        });
+        // Releasing disarms: nothing parks anymore.
+        plan.on_progress();
+        assert!(!plan.wait_until_stalled(Duration::from_millis(10)));
+    }
+}

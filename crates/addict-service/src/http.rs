@@ -7,7 +7,12 @@
 //! (`Transfer-Encoding` is avoided by closing the connection to delimit
 //! the body, which every HTTP/1.1 client understands). Deliberately *not*
 //! a web framework: no keep-alive, no chunked encoding, no routing table
-//! — the service has three endpoints.
+//! — the service has a handful of endpoints.
+//!
+//! Sockets carry read/write deadlines (set by the server before parsing):
+//! a stalled or slow-loris client surfaces as [`ReadError::Timeout`],
+//! which the server answers with `408` instead of pinning a connection
+//! worker forever.
 
 use std::io::{BufRead, Write};
 
@@ -15,55 +20,104 @@ use std::io::{BufRead, Write};
 /// megabyte bound keeps a misbehaving client from ballooning the server.
 pub const MAX_BODY_BYTES: usize = 1 << 20;
 
-/// A parsed HTTP request: method, path, body.
+/// A parsed HTTP request: method, path (query split off), body.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
     /// `GET`, `POST`, ...
     pub method: String,
-    /// Request target (`/jobs`, `/stats`).
+    /// Request target without the query string (`/jobs`, `/stats`).
     pub path: String,
+    /// Raw query string after `?` (empty when absent). The service's
+    /// only query knob is `wait=1`; see [`Request::query_flag`].
+    pub query: String,
     /// Body bytes (empty when no `Content-Length`).
     pub body: Vec<u8>,
 }
 
-/// Read one request off `r`. Errors are client-facing diagnostics (the
-/// server answers them with 400).
-pub fn read_request<R: BufRead>(r: &mut R) -> Result<Request, String> {
+impl Request {
+    /// True when the query string carries `name=1` (exact token match —
+    /// `wait=2` or `wait` alone is not a flag).
+    pub fn query_flag(&self, name: &str) -> bool {
+        self.query
+            .split('&')
+            .any(|kv| kv.strip_prefix(name).and_then(|r| r.strip_prefix('=')) == Some("1"))
+    }
+}
+
+/// Why a request could not be read. The server's answer differs per
+/// variant: `Closed` is silence (the client never sent anything worth
+/// diagnosing), `Timeout` is `408`, `Malformed` is `400`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadError {
+    /// Clean EOF before any request byte — the client connected and hung
+    /// up (health probes and port scans do this); nothing to answer.
+    Closed,
+    /// The socket's read deadline expired mid-request (slow-loris or a
+    /// stalled client).
+    Timeout,
+    /// The bytes that did arrive are not a valid request; the payload is
+    /// the client-facing diagnostic.
+    Malformed(String),
+}
+
+fn io_read_error(context: &str, e: &std::io::Error) -> ReadError {
+    use std::io::ErrorKind;
+    match e.kind() {
+        ErrorKind::WouldBlock | ErrorKind::TimedOut => ReadError::Timeout,
+        _ => ReadError::Malformed(format!("{context}: {e}")),
+    }
+}
+
+/// Read one request off `r`.
+pub fn read_request<R: BufRead>(r: &mut R) -> Result<Request, ReadError> {
     let mut line = String::new();
-    r.read_line(&mut line)
-        .map_err(|e| format!("reading request line: {e}"))?;
+    let n = r
+        .read_line(&mut line)
+        .map_err(|e| io_read_error("reading request line", &e))?;
+    if n == 0 {
+        return Err(ReadError::Closed);
+    }
+    let malformed = |m: String| ReadError::Malformed(m);
     let mut parts = line.split_whitespace();
     let method = parts
         .next()
-        .ok_or("empty request line")?
+        .ok_or_else(|| malformed("empty request line".into()))?
         .to_ascii_uppercase();
-    let path = parts.next().ok_or("request line missing path")?.to_owned();
-    let version = parts.next().ok_or("request line missing version")?;
+    let target = parts
+        .next()
+        .ok_or_else(|| malformed("request line missing path".into()))?;
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_owned(), q.to_owned()),
+        None => (target.to_owned(), String::new()),
+    };
+    let version = parts
+        .next()
+        .ok_or_else(|| malformed("request line missing version".into()))?;
     if !version.starts_with("HTTP/1.") {
-        return Err(format!("unsupported protocol {version:?}"));
+        return Err(malformed(format!("unsupported protocol {version:?}")));
     }
 
     let mut content_length = 0usize;
     loop {
         let mut header = String::new();
         r.read_line(&mut header)
-            .map_err(|e| format!("reading header: {e}"))?;
+            .map_err(|e| io_read_error("reading header", &e))?;
         let header = header.trim_end();
         if header.is_empty() {
             break;
         }
         let Some((name, value)) = header.split_once(':') else {
-            return Err(format!("malformed header {header:?}"));
+            return Err(malformed(format!("malformed header {header:?}")));
         };
         if name.eq_ignore_ascii_case("content-length") {
             content_length = value
                 .trim()
                 .parse()
-                .map_err(|_| format!("bad Content-Length {value:?}"))?;
+                .map_err(|_| malformed(format!("bad Content-Length {value:?}")))?;
             if content_length > MAX_BODY_BYTES {
-                return Err(format!(
+                return Err(malformed(format!(
                     "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
-                ));
+                )));
             }
         }
     }
@@ -71,9 +125,14 @@ pub fn read_request<R: BufRead>(r: &mut R) -> Result<Request, String> {
     let mut body = vec![0u8; content_length];
     if content_length > 0 {
         std::io::Read::read_exact(r, &mut body)
-            .map_err(|e| format!("reading {content_length}-byte body: {e}"))?;
+            .map_err(|e| io_read_error(&format!("reading {content_length}-byte body"), &e))?;
     }
-    Ok(Request { method, path, body })
+    Ok(Request {
+        method,
+        path,
+        query,
+        body,
+    })
 }
 
 /// Write a complete response with a known body.
@@ -84,11 +143,28 @@ pub fn respond<W: Write>(
     content_type: &str,
     body: &str,
 ) -> std::io::Result<()> {
+    respond_with_headers(w, status, reason, content_type, &[], body)
+}
+
+/// [`respond`] with extra headers (`Retry-After`, `Location`, ...), each
+/// a `(name, value)` pair.
+pub fn respond_with_headers<W: Write>(
+    w: &mut W,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra: &[(&str, String)],
+    body: &str,
+) -> std::io::Result<()> {
     write!(
         w,
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
         body.len()
     )?;
+    for (name, value) in extra {
+        write!(w, "{name}: {value}\r\n")?;
+    }
+    write!(w, "\r\n{body}")?;
     w.flush()
 }
 
@@ -96,16 +172,41 @@ pub fn respond<W: Write>(
 /// `Content-Length` — the connection close delimits the body. The caller
 /// writes (and flushes) body text as it becomes available.
 pub fn start_streaming<W: Write>(w: &mut W, content_type: &str) -> std::io::Result<()> {
+    start_streaming_with_headers(w, content_type, &[])
+}
+
+/// [`start_streaming`] with extra headers (`X-Job-Id`, ...).
+pub fn start_streaming_with_headers<W: Write>(
+    w: &mut W,
+    content_type: &str,
+    extra: &[(&str, String)],
+) -> std::io::Result<()> {
     write!(
         w,
-        "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nConnection: close\r\n\r\n"
+        "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nConnection: close\r\n"
     )?;
+    for (name, value) in extra {
+        write!(w, "{name}: {value}\r\n")?;
+    }
+    write!(w, "\r\n")?;
     w.flush()
 }
 
-/// Parse a response off `r`: `(status, body)`. Reads to EOF when no
-/// `Content-Length` is present (the server's streaming mode).
-pub fn read_response<R: BufRead>(r: &mut R) -> Result<(u16, String), String> {
+/// A parsed response with the headers the client cares about.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// `Retry-After` in seconds, when the server sent one (the overload
+    /// answers do) and it parsed as an integer.
+    pub retry_after: Option<u64>,
+    /// Body text.
+    pub body: String,
+}
+
+/// Parse a response off `r`. Reads to EOF when no `Content-Length` is
+/// present (the server's streaming mode).
+pub fn read_response_meta<R: BufRead>(r: &mut R) -> Result<Response, String> {
     let mut line = String::new();
     r.read_line(&mut line)
         .map_err(|e| format!("reading status line: {e}"))?;
@@ -115,6 +216,7 @@ pub fn read_response<R: BufRead>(r: &mut R) -> Result<(u16, String), String> {
         .and_then(|s| s.parse::<u16>().ok())
         .ok_or_else(|| format!("malformed status line {line:?}"))?;
     let mut content_length: Option<usize> = None;
+    let mut retry_after: Option<u64> = None;
     loop {
         let mut header = String::new();
         r.read_line(&mut header)
@@ -126,6 +228,8 @@ pub fn read_response<R: BufRead>(r: &mut R) -> Result<(u16, String), String> {
         if let Some((name, value)) = header.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
                 content_length = value.trim().parse().ok();
+            } else if name.eq_ignore_ascii_case("retry-after") {
+                retry_after = value.trim().parse().ok();
             }
         }
     }
@@ -141,9 +245,17 @@ pub fn read_response<R: BufRead>(r: &mut R) -> Result<(u16, String), String> {
                 .map_err(|e| format!("reading streamed body: {e}"))?;
         }
     }
-    String::from_utf8(body)
-        .map(|b| (status, b))
-        .map_err(|_| "response body is not UTF-8".to_owned())
+    let body = String::from_utf8(body).map_err(|_| "response body is not UTF-8".to_owned())?;
+    Ok(Response {
+        status,
+        retry_after,
+        body,
+    })
+}
+
+/// Parse a response off `r`: `(status, body)`.
+pub fn read_response<R: BufRead>(r: &mut R) -> Result<(u16, String), String> {
+    read_response_meta(r).map(|r| (r.status, r.body))
 }
 
 #[cfg(test)]
@@ -157,6 +269,7 @@ mod tests {
         let req = read_request(&mut Cursor::new(raw)).unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/jobs");
+        assert_eq!(req.query, "");
         assert_eq!(req.body, b"hello world");
     }
 
@@ -169,9 +282,22 @@ mod tests {
     }
 
     #[test]
+    fn splits_query_and_matches_flags_exactly() {
+        let req = read_request(&mut Cursor::new("POST /jobs?wait=1&x=2 HTTP/1.1\r\n\r\n")).unwrap();
+        assert_eq!(req.path, "/jobs");
+        assert_eq!(req.query, "wait=1&x=2");
+        assert!(req.query_flag("wait"));
+        assert!(!req.query_flag("x"));
+        for not_a_flag in ["/jobs?wait=2", "/jobs?wait", "/jobs?await=1", "/jobs"] {
+            let raw = format!("POST {not_a_flag} HTTP/1.1\r\n\r\n");
+            let req = read_request(&mut Cursor::new(raw)).unwrap();
+            assert!(!req.query_flag("wait"), "{not_a_flag}");
+        }
+    }
+
+    #[test]
     fn rejects_malformed_requests() {
         for bad in [
-            "",
             "GET\r\n\r\n",
             "GET /\r\n\r\n",                                      // no version
             "GET / SPDY/3\r\n\r\n",                               // wrong protocol
@@ -180,13 +306,21 @@ mod tests {
             "POST / HTTP/1.1\r\nContent-Length: 99\r\n\r\nshort", // truncated body
         ] {
             assert!(
-                read_request(&mut Cursor::new(bad)).is_err(),
+                matches!(
+                    read_request(&mut Cursor::new(bad)),
+                    Err(ReadError::Malformed(_))
+                ),
                 "accepted {bad:?}"
             );
         }
         let huge = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", 1 << 30);
-        let err = read_request(&mut Cursor::new(huge)).unwrap_err();
-        assert!(err.contains("exceeds"), "{err}");
+        match read_request(&mut Cursor::new(huge)) {
+            Err(ReadError::Malformed(m)) => assert!(m.contains("exceeds"), "{m}"),
+            other => panic!("accepted oversized body: {other:?}"),
+        }
+        // Clean EOF before any byte is Closed, not Malformed — the
+        // server drops it silently.
+        assert_eq!(read_request(&mut Cursor::new("")), Err(ReadError::Closed));
     }
 
     #[test]
@@ -203,6 +337,24 @@ mod tests {
         let (status, body) = read_response(&mut Cursor::new(&wire)).unwrap();
         assert_eq!(status, 400);
         assert_eq!(body, "{\"e\":1}");
+    }
+
+    #[test]
+    fn extra_headers_round_trip() {
+        let mut wire = Vec::new();
+        respond_with_headers(
+            &mut wire,
+            503,
+            "Service Unavailable",
+            "application/json",
+            &[("Retry-After", "5".to_owned())],
+            "{}",
+        )
+        .unwrap();
+        let resp = read_response_meta(&mut Cursor::new(&wire)).unwrap();
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.retry_after, Some(5));
+        assert_eq!(resp.body, "{}");
     }
 
     #[test]

@@ -1,57 +1,104 @@
 //! The resident evaluation server.
 //!
-//! Three endpoints over the hand-rolled HTTP layer ([`crate::http`]):
+//! Endpoints over the hand-rolled HTTP layer ([`crate::http`]):
 //!
 //! * `POST /jobs` — body is a [`JobSpec`] JSON document. Invalid specs
-//!   answer `400` with a structured error (`code`/`field`/`message`)
-//!   before any work starts; valid jobs stream a `text/plain` response:
-//!   `#`-prefixed progress lines as the grid executes, then a blank
-//!   line, then the [`JobResult`] JSON — byte-identical to what the
-//!   batch path serializes for the same spec.
-//! * `GET /stats` — trace-pool cache counters plus the jobs-served
-//!   count, as JSON.
-//! * `GET /healthz` — liveness probe.
+//!   answer `400` (structured `code`/`field`/`message`); admission
+//!   overload answers `429`/`503` with `Retry-After` *before* any trace
+//!   generation starts. An admitted job detaches by default: `202` with
+//!   the job id and a `Location` header. With `?wait=1` the connection
+//!   stays open and streams `text/plain`: `#`-prefixed progress lines as
+//!   the grid executes, then a blank line, then the
+//!   [`JobResult`](addict_bench::JobResult) JSON — byte-identical to the
+//!   batch path and to the stored result `GET /jobs/<id>/result` serves.
+//! * `GET /jobs` — id → state listing. `GET /jobs/<id>` — status/progress
+//!   snapshot. `GET /jobs/<id>/result` — the stored result bytes.
+//!   `DELETE /jobs/<id>` — cooperative cancel (idempotent).
+//! * `POST /shutdown` — drain: refuse new admissions, finish admitted
+//!   jobs, then `serve` returns (persisting results when
+//!   [`ServerConfig::dump_dir`] is set).
+//! * `GET /stats` — job/lifecycle/result/cache counters. `GET /healthz`
+//!   — liveness probe (answers even while draining).
 //!
-//! One accept loop feeds a bounded channel drained by a fixed pool of
-//! connection workers, so a burst of jobs queues instead of spawning
-//! unbounded threads (each job may itself fan out over `spec.threads`
-//! replay workers — admission stays bounded either way). The
-//! [`TracePool`] is shared across all workers: that sharing *is* the
-//! point of residency — the second job over a trace range replays
-//! immediately instead of re-populating a storage engine.
+//! Two fixed pools share the work: **connection workers** parse and
+//! route requests (sockets carry read/write deadlines, so a stalled
+//! client costs one worker at most [`ServerConfig::io_timeout_ms`]), and
+//! **job executors** drain the admission queue through
+//! [`run_job_with`] under `catch_unwind` — a panicking job answers a
+//! structured `500` and the executor survives. The [`TracePool`] is
+//! shared across all executors: that sharing *is* the point of residency
+//! — the second job over a trace range replays immediately instead of
+//! re-populating a storage engine.
 
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
 
 use addict_bench::jsontext::escape;
-use addict_bench::{run_job, JobSpec, SpecError, TracePool};
+use addict_bench::{run_job_with, JobError, JobSpec, SpecError, TraceKey, TracePool};
 
-use crate::http::{read_request, respond, start_streaming, Request};
+use crate::faults::FaultPlan;
+use crate::http::{
+    read_request, respond, respond_with_headers, start_streaming_with_headers, ReadError, Request,
+};
+use crate::jobs::{AdmitError, JobId, JobState, Outcome, Registry, RegistryConfig, ResultFetch};
+
+/// `Retry-After` seconds for a full admission queue (`429`): queue slots
+/// turn over at point granularity, so retrying quickly is right.
+const RETRY_AFTER_QUEUE_S: u64 = 1;
+/// `Retry-After` seconds for a byte-budget rejection (`503`): freeing
+/// trace bytes takes a job completion, so back off harder.
+const RETRY_AFTER_BYTES_S: u64 = 5;
 
 /// Server tuning knobs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Concurrent connection workers (jobs execute on these; each job
-    /// may additionally fan out over its spec's `threads`).
+    /// Connection workers (request parsing, routing, streaming).
     pub workers: usize,
-    /// Trace-pool cache budget in bytes ([`TracePool::new`]).
+    /// Job executors (each job may additionally fan out over its spec's
+    /// `threads` replay workers).
+    pub job_workers: usize,
+    /// Trace-pool cache budget in bytes ([`TracePool::new`]) — also the
+    /// admission ledger's reservation budget.
     pub cache_budget: usize,
+    /// Maximum queued (admitted, not yet running) jobs; beyond it,
+    /// `429`.
+    pub queue_cap: usize,
+    /// Result-store byte budget (completed result JSON kept for
+    /// polling).
+    pub result_budget: usize,
+    /// Maximum retained job records (oldest terminal records evict).
+    pub max_records: usize,
+    /// Socket read/write deadline in milliseconds (0 = none). A request
+    /// that does not arrive within it answers `408`.
+    pub io_timeout_ms: u64,
+    /// When set, a graceful shutdown writes every completed result to
+    /// `<dump_dir>/job_<id>.json` before `serve` returns.
+    pub dump_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
-            workers: 2,
+            workers: 4,
+            job_workers: 2,
             cache_budget: 256 << 20,
+            queue_cap: 32,
+            result_budget: 64 << 20,
+            max_records: 512,
+            io_timeout_ms: 10_000,
+            dump_dir: None,
         }
     }
 }
 
 struct State {
     pool: TracePool,
-    jobs: AtomicU64,
+    registry: Registry,
+    faults: FaultPlan,
 }
 
 /// A bound, not-yet-serving evaluation server.
@@ -59,6 +106,26 @@ pub struct Server {
     listener: TcpListener,
     config: ServerConfig,
     state: Arc<State>,
+}
+
+/// A handle onto a server's shared state, usable while (and after)
+/// `serve` runs — the chaos tests' fault-injection surface.
+#[derive(Clone)]
+pub struct ServerHandle {
+    state: Arc<State>,
+}
+
+impl ServerHandle {
+    /// The fault plan (stalls, worker panics).
+    pub fn faults(&self) -> &FaultPlan {
+        &self.state.faults
+    }
+
+    /// Arm the trace pool's next `n` generations to fail
+    /// ([`TracePool::fail_next_generations`]).
+    pub fn fail_next_generations(&self, n: u32) {
+        self.state.pool.fail_next_generations(n);
+    }
 }
 
 /// The structured error body every non-200 answer carries.
@@ -72,15 +139,23 @@ fn error_json(code: &str, field: &str, message: &str) -> String {
 }
 
 impl Server {
-    /// Bind to `addr` (port 0 picks an ephemeral port — the tests' mode).
+    /// Bind to `addr` (port 0 picks an ephemeral port — the tests'
+    /// mode).
     pub fn bind<A: ToSocketAddrs>(addr: A, config: ServerConfig) -> std::io::Result<Server> {
+        let registry = Registry::new(RegistryConfig {
+            admission_budget: config.cache_budget,
+            max_queued: config.queue_cap.max(1),
+            result_budget: config.result_budget,
+            max_records: config.max_records.max(1),
+        });
         Ok(Server {
             listener: TcpListener::bind(addr)?,
-            config,
             state: Arc::new(State {
                 pool: TracePool::new(config.cache_budget),
-                jobs: AtomicU64::new(0),
+                registry,
+                faults: FaultPlan::new(),
             }),
+            config,
         })
     }
 
@@ -89,31 +164,57 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Serve forever: accept connections and hand them to the worker
-    /// pool. Never returns under normal operation — run it on a
-    /// dedicated thread.
+    /// A shared-state handle (grab it before [`Server::serve`] consumes
+    /// the server).
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// Serve until drained: accept connections into the connection-worker
+    /// pool while the executor pool drains the job queue. Returns after
+    /// a graceful shutdown (`POST /shutdown`) finishes every admitted
+    /// job — run it on a dedicated thread.
     pub fn serve(self) -> std::io::Result<()> {
-        let workers = self.config.workers.max(1);
-        // A small admission queue: a burst beyond workers + backlog
-        // blocks the accept loop (and ultimately the clients' connects)
-        // instead of growing without bound.
-        let (tx, rx) = mpsc::sync_channel::<TcpStream>(workers * 2);
-        let rx = Arc::new(Mutex::new(rx));
+        let Server {
+            listener,
+            config,
+            state,
+        } = self;
+        let addr = listener.local_addr()?;
         std::thread::scope(|s| {
+            for _ in 0..config.job_workers.max(1) {
+                let state = Arc::clone(&state);
+                s.spawn(move || executor_loop(&state, addr));
+            }
+            // A small admission queue for raw connections: a burst
+            // beyond workers + backlog blocks the accept loop (and
+            // ultimately the clients' connects) instead of spawning
+            // unbounded threads.
+            let workers = config.workers.max(1);
+            let (tx, rx) = mpsc::sync_channel::<TcpStream>(workers * 2);
+            let rx = Arc::new(Mutex::new(rx));
             for _ in 0..workers {
                 let rx = Arc::clone(&rx);
-                let state = Arc::clone(&self.state);
+                let state = Arc::clone(&state);
+                let config = &config;
                 s.spawn(move || {
                     loop {
                         let stream = match rx.lock().expect("connection queue lock").recv() {
                             Ok(stream) => stream,
                             Err(_) => break, // accept loop gone
                         };
-                        handle_connection(stream, &state);
+                        handle_connection(stream, &state, config, addr);
                     }
                 });
             }
-            for stream in self.listener.incoming() {
+            for stream in listener.incoming() {
+                // The drain's last finisher pokes the loop awake with a
+                // dummy connection; re-check before dispatching.
+                if state.registry.drained() {
+                    break;
+                }
                 match stream {
                     Ok(stream) => {
                         if tx.send(stream).is_err() {
@@ -126,15 +227,101 @@ impl Server {
                 }
             }
             drop(tx);
-            Ok(())
-        })
+        });
+        if let Some(dir) = &config.dump_dir {
+            dump_results(&state, dir);
+        }
+        Ok(())
+    }
+}
+
+/// Wake the accept loop (it blocks in `accept`) so it can observe a
+/// completed drain and exit.
+fn poke_accept_loop(addr: SocketAddr) {
+    let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
+}
+
+/// Persist every completed result to `<dir>/job_<id>.json`.
+fn dump_results(state: &State, dir: &std::path::Path) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("shutdown dump: creating {}: {e}", dir.display());
+        return;
+    }
+    for (id, bytes) in state.registry.done_results() {
+        let path = dir.join(format!("job_{id}.json"));
+        if let Err(e) = std::fs::write(&path, bytes.as_bytes()) {
+            eprintln!("shutdown dump: writing {}: {e}", path.display());
+        }
+    }
+}
+
+/// Human-readable panic payload.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
+/// One executor: claim queued jobs, run them contained, finalize. Exits
+/// when the registry drains.
+fn executor_loop(state: &State, addr: SocketAddr) {
+    while let Some((id, spec, token)) = state.registry.next_job() {
+        let outcome = match token.check() {
+            // Cancelled or deadline-expired while queued: finalize
+            // without touching the pool.
+            Err(interrupt) => Outcome::Interrupted(interrupt),
+            Ok(()) => {
+                let progress = |line: &str| {
+                    state.faults.on_progress();
+                    state.registry.progress(id, line);
+                };
+                // catch_unwind contains both injected and genuine
+                // panics: the job fails structurally, the executor
+                // survives at full pool strength, and the trace pool's
+                // pending-slot guard has already cleared any in-flight
+                // generation slot.
+                let run = catch_unwind(AssertUnwindSafe(|| {
+                    if state.faults.take_job_panic() {
+                        panic!("injected worker panic");
+                    }
+                    run_job_with(&spec, &state.pool, &progress, &token)
+                }));
+                match run {
+                    Ok(Ok(result)) => Outcome::Done(result.to_json()),
+                    Ok(Err(JobError::Interrupted(interrupt))) => Outcome::Interrupted(interrupt),
+                    Ok(Err(JobError::Spec(e))) => {
+                        // Unreachable in practice: admission validated
+                        // the spec. Still a structured failure.
+                        Outcome::Failed(format!("invalid spec ({}): {}", e.field, e.message))
+                    }
+                    Err(payload) => {
+                        Outcome::Failed(format!("worker panic: {}", panic_text(payload.as_ref())))
+                    }
+                }
+            }
+        };
+        if state.registry.finish(id, outcome) {
+            poke_accept_loop(addr);
+        }
     }
 }
 
 /// Serve one connection: parse, route, answer. All errors are answered
 /// on the wire; I/O failures mid-response mean the client hung up, which
 /// is its prerogative.
-fn handle_connection(stream: TcpStream, state: &State) {
+fn handle_connection(stream: TcpStream, state: &State, config: &ServerConfig, addr: SocketAddr) {
+    let io_timeout = match config.io_timeout_ms {
+        0 => None,
+        ms => Some(Duration::from_millis(ms)),
+    };
+    if stream.set_read_timeout(io_timeout).is_err() || stream.set_write_timeout(io_timeout).is_err()
+    {
+        return;
+    }
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(clone) => clone,
         Err(_) => return,
@@ -142,7 +329,22 @@ fn handle_connection(stream: TcpStream, state: &State) {
     let mut writer = stream;
     let request = match read_request(&mut reader) {
         Ok(request) => request,
-        Err(e) => {
+        Err(ReadError::Closed) => return, // probe/scan: nothing to say
+        Err(ReadError::Timeout) => {
+            let _ = respond(
+                &mut writer,
+                408,
+                "Request Timeout",
+                "application/json",
+                &error_json(
+                    "timeout",
+                    "request",
+                    "request did not arrive within the read deadline",
+                ),
+            );
+            return;
+        }
+        Err(ReadError::Malformed(e)) => {
             let _ = respond(
                 &mut writer,
                 400,
@@ -154,7 +356,16 @@ fn handle_connection(stream: TcpStream, state: &State) {
         }
     };
     match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/jobs") => handle_job(&request, writer, state),
+        ("POST", "/jobs") => handle_submit(&request, writer, state),
+        ("GET", "/jobs") => {
+            let _ = respond(
+                &mut writer,
+                200,
+                "OK",
+                "application/json",
+                &list_json(state),
+            );
+        }
         ("GET", "/stats") => {
             let _ = respond(
                 &mut writer,
@@ -166,6 +377,22 @@ fn handle_connection(stream: TcpStream, state: &State) {
         }
         ("GET", "/healthz") => {
             let _ = respond(&mut writer, 200, "OK", "text/plain", "ok\n");
+        }
+        ("POST", "/shutdown") => {
+            let (drained_now, running, queued) = state.registry.begin_drain();
+            let _ = respond(
+                &mut writer,
+                200,
+                "OK",
+                "application/json",
+                &format!("{{\"draining\":true,\"running\":{running},\"queued\":{queued}}}\n"),
+            );
+            if drained_now {
+                poke_accept_loop(addr);
+            }
+        }
+        (method, path) if path.starts_with("/jobs/") => {
+            handle_job_entity(method, path, writer, state);
         }
         (_, path) => {
             let _ = respond(
@@ -179,23 +406,186 @@ fn handle_connection(stream: TcpStream, state: &State) {
     }
 }
 
-/// The `/stats` payload: jobs served plus the cache counter snapshot.
-fn stats_json(state: &State) -> String {
-    let c = state.pool.stats();
-    format!(
-        "{{\"jobs\":{},\"cache\":{{\"hits\":{},\"misses\":{},\"generations\":{},\"evictions\":{},\"entries\":{},\"resident_bytes\":{},\"budget_bytes\":{}}}}}\n",
-        state.jobs.load(Ordering::Relaxed),
-        c.hits,
-        c.misses,
-        c.generations,
-        c.evictions,
-        c.entries,
-        c.resident_bytes,
-        c.budget_bytes,
-    )
+/// `/jobs/<id>` and `/jobs/<id>/result`.
+fn handle_job_entity(method: &str, path: &str, mut writer: TcpStream, state: &State) {
+    let rest = path.strip_prefix("/jobs/").expect("checked by the router");
+    let (id_text, sub) = match rest.split_once('/') {
+        Some((id, sub)) => (id, Some(sub)),
+        None => (rest, None),
+    };
+    let Ok(id) = id_text.parse::<JobId>() else {
+        let _ = respond(
+            &mut writer,
+            404,
+            "Not Found",
+            "application/json",
+            &error_json(
+                "not_found",
+                "job",
+                &format!("job ids are integers, got {id_text:?}"),
+            ),
+        );
+        return;
+    };
+    match (method, sub) {
+        ("GET", None) => handle_status(id, writer, state),
+        ("GET", Some("result")) => handle_result(id, writer, state),
+        ("DELETE", None) => handle_cancel(id, writer, state),
+        _ => {
+            let _ = respond(
+                &mut writer,
+                404,
+                "Not Found",
+                "application/json",
+                &error_json(
+                    "not_found",
+                    "path",
+                    &format!("no route for {method} {path}"),
+                ),
+            );
+        }
+    }
 }
 
-fn handle_job(request: &Request, mut writer: TcpStream, state: &State) {
+/// Status code, reason, and error code for a job that ended without a
+/// result — the "Failure semantics" table in SERVICE.md.
+fn terminal_error(state: JobState) -> (u16, &'static str, &'static str) {
+    match state {
+        JobState::Cancelled => (409, "Conflict", "cancelled"),
+        JobState::DeadlineExceeded => (504, "Gateway Timeout", "deadline_exceeded"),
+        _ => (500, "Internal Server Error", "job_failed"),
+    }
+}
+
+fn handle_status(id: JobId, mut writer: TcpStream, state: &State) {
+    let Some(snap) = state.registry.snapshot(id) else {
+        let _ = respond(
+            &mut writer,
+            404,
+            "Not Found",
+            "application/json",
+            &error_json("not_found", "job", &format!("no job {id}")),
+        );
+        return;
+    };
+    let progress: Vec<String> = snap
+        .progress
+        .iter()
+        .map(|l| format!("\"{}\"", escape(l)))
+        .collect();
+    let body = format!(
+        "{{\"id\":{},\"state\":\"{}\",\"cancel_requested\":{},\"error\":{},\"result_fnv64\":{},\"spec\":{},\"progress\":[{}]}}\n",
+        snap.id,
+        snap.state.id(),
+        snap.cancel_requested,
+        snap.error
+            .as_deref()
+            .map_or_else(|| "null".to_owned(), |e| format!("\"{}\"", escape(e))),
+        snap.result_fnv64
+            .map_or_else(|| "null".to_owned(), |d| format!("\"{d:016x}\"")),
+        snap.spec.to_json(),
+        progress.join(","),
+    );
+    let _ = respond(&mut writer, 200, "OK", "application/json", &body);
+}
+
+fn handle_result(id: JobId, mut writer: TcpStream, state: &State) {
+    match state.registry.result(id) {
+        ResultFetch::NotFound => {
+            let _ = respond(
+                &mut writer,
+                404,
+                "Not Found",
+                "application/json",
+                &error_json("not_found", "job", &format!("no job {id}")),
+            );
+        }
+        ResultFetch::NotReady(job_state) => {
+            let _ = respond(
+                &mut writer,
+                409,
+                "Conflict",
+                "application/json",
+                &error_json(
+                    "not_ready",
+                    "job",
+                    &format!("job {id} is {}; poll until done", job_state.id()),
+                ),
+            );
+        }
+        ResultFetch::Evicted => {
+            let _ = respond(
+                &mut writer,
+                410,
+                "Gone",
+                "application/json",
+                &error_json(
+                    "result_evicted",
+                    "job",
+                    "result was evicted from the bounded store; resubmit the job (its traces are likely still cached)",
+                ),
+            );
+        }
+        ResultFetch::Ended(job_state, error) => {
+            let (status, reason, code) = terminal_error(job_state);
+            let message = error.unwrap_or_else(|| format!("job ended {}", job_state.id()));
+            let _ = respond(
+                &mut writer,
+                status,
+                reason,
+                "application/json",
+                &error_json(code, "job", &message),
+            );
+        }
+        ResultFetch::Ready(bytes) => {
+            let _ = respond(&mut writer, 200, "OK", "application/json", &bytes);
+        }
+    }
+}
+
+fn handle_cancel(id: JobId, mut writer: TcpStream, state: &State) {
+    match state.registry.cancel(id) {
+        None => {
+            let _ = respond(
+                &mut writer,
+                404,
+                "Not Found",
+                "application/json",
+                &error_json("not_found", "job", &format!("no job {id}")),
+            );
+        }
+        Some(after) => {
+            let _ = respond(
+                &mut writer,
+                200,
+                "OK",
+                "application/json",
+                &format!("{{\"id\":{id},\"state\":\"{}\"}}\n", after.id()),
+            );
+        }
+    }
+}
+
+/// Estimate the trace-pool bytes `spec` will newly pin: the footprint
+/// model summed over its cache keys, skipping keys already resident
+/// (re-running a warm job reserves ~nothing — residency is the service's
+/// whole point). Duplicate keys (profile seed == eval seed) count once.
+fn estimate_new_bytes(spec: &JobSpec, pool: &TracePool) -> usize {
+    let mut keys: Vec<TraceKey> = Vec::with_capacity(spec.benchmarks.len() * 2);
+    for &bench in &spec.benchmarks {
+        for key in [spec.profile_key(bench), spec.eval_key(bench)] {
+            if !keys.contains(&key) {
+                keys.push(key);
+            }
+        }
+    }
+    keys.iter()
+        .filter(|k| !pool.contains(k))
+        .map(TraceKey::estimated_resident_bytes)
+        .sum()
+}
+
+fn handle_submit(request: &Request, mut writer: TcpStream, state: &State) {
     let body = match std::str::from_utf8(&request.body) {
         Ok(body) => body,
         Err(_) => {
@@ -209,9 +599,9 @@ fn handle_job(request: &Request, mut writer: TcpStream, state: &State) {
             return;
         }
     };
-    // Parse + validate *before* committing to a 200: a malformed or
-    // invalid spec (n_xcts 0, no benchmarks, unknown names...) is a
-    // structured 400, never a half-streamed failure.
+    // Parse + validate *before* admission: a malformed or invalid spec
+    // (n_xcts 0, no benchmarks, unknown names...) is a structured 400,
+    // never a queued failure.
     let spec = match JobSpec::from_json(body) {
         Ok(spec) => spec,
         Err(SpecError { field, message }) => {
@@ -226,38 +616,200 @@ fn handle_job(request: &Request, mut writer: TcpStream, state: &State) {
         }
     };
 
-    if start_streaming(&mut writer, "text/plain").is_err() {
+    // Admission: reserve the estimated footprint, or reject *before*
+    // any generation starts.
+    let estimated = estimate_new_bytes(&spec, &state.pool);
+    let id = match state.registry.admit(spec, estimated) {
+        Ok(id) => id,
+        Err(AdmitError::QueueFull { queued, cap }) => {
+            let _ = respond_with_headers(
+                &mut writer,
+                429,
+                "Too Many Requests",
+                "application/json",
+                &[("Retry-After", RETRY_AFTER_QUEUE_S.to_string())],
+                &error_json(
+                    "queue_full",
+                    "queue",
+                    &format!("{queued} jobs queued (cap {cap}); retry shortly"),
+                ),
+            );
+            return;
+        }
+        Err(AdmitError::OverBudget {
+            estimated,
+            reserved,
+            budget,
+        }) => {
+            let _ = respond_with_headers(
+                &mut writer,
+                503,
+                "Service Unavailable",
+                "application/json",
+                &[("Retry-After", RETRY_AFTER_BYTES_S.to_string())],
+                &error_json(
+                    "over_capacity",
+                    "n_xcts",
+                    &format!(
+                        "job needs ~{estimated} trace bytes but {reserved} of {budget} are reserved; retry after running jobs finish"
+                    ),
+                ),
+            );
+            return;
+        }
+        Err(AdmitError::Draining) => {
+            let _ = respond(
+                &mut writer,
+                503,
+                "Service Unavailable",
+                "application/json",
+                &error_json(
+                    "shutting_down",
+                    "server",
+                    "server is draining; submit elsewhere",
+                ),
+            );
+            return;
+        }
+    };
+
+    if request.query_flag("wait") {
+        stream_job(writer, state, id);
+    } else {
+        let _ = respond_with_headers(
+            &mut writer,
+            202,
+            "Accepted",
+            "application/json",
+            &[("Location", format!("/jobs/{id}"))],
+            &format!("{{\"id\":{id},\"state\":\"queued\"}}\n"),
+        );
+    }
+}
+
+/// The `?wait=1` path: follow the job through the registry, streaming
+/// progress as it lands. The `200` header is deferred until the first
+/// progress line, so a job that dies *before* doing any work (panic at
+/// start, cancelled in queue, deadline expired) still answers a proper
+/// structured status. A client that hangs up mid-stream stops receiving
+/// — the job itself runs on, and its stored result stays pollable
+/// (detached semantics underneath).
+fn stream_job(mut writer: TcpStream, state: &State, id: JobId) {
+    let job_header = [("X-Job-Id", id.to_string())];
+    let mut seen = 0usize;
+    let mut streamed = false;
+    loop {
+        let Some((lines, job_state, error)) = state.registry.wait_progress(id, seen) else {
+            return; // record evicted mid-stream (cap pressure): give up
+        };
+        seen += lines.len();
+        if !lines.is_empty() && !streamed {
+            if start_streaming_with_headers(&mut writer, "text/plain", &job_header).is_err() {
+                return;
+            }
+            streamed = true;
+        }
+        for line in &lines {
+            if writeln!(writer, "# {line}")
+                .and_then(|()| writer.flush())
+                .is_err()
+            {
+                return; // client hung up; the job runs on
+            }
+        }
+        if !job_state.is_terminal() {
+            continue;
+        }
+        match job_state {
+            JobState::Done => {
+                let ResultFetch::Ready(bytes) = state.registry.result(id) else {
+                    return; // evicted in the instant since finish: poll answers 410
+                };
+                if !streamed
+                    && start_streaming_with_headers(&mut writer, "text/plain", &job_header).is_err()
+                {
+                    return;
+                }
+                let _ = write!(writer, "\n{bytes}");
+                let _ = writer.flush();
+            }
+            ended => {
+                let (status, reason, code) = terminal_error(ended);
+                let message = error.unwrap_or_else(|| format!("job ended {}", ended.id()));
+                if streamed {
+                    // Headers are gone; a trailer line is the best the
+                    // wire allows. The client surfaces it.
+                    let _ = writeln!(writer, "# error: {message}");
+                    let _ = writer.flush();
+                } else {
+                    let _ = respond_with_headers(
+                        &mut writer,
+                        status,
+                        reason,
+                        "application/json",
+                        &job_header,
+                        &error_json(code, "job", &message),
+                    );
+                }
+            }
+        }
         return;
     }
-    // Progress lines arrive from the job's replay workers concurrently;
-    // serialize them onto the socket. A client that hangs up mid-job
-    // just stops receiving — the job itself runs to completion (its
-    // traces stay cached for the retry).
-    let shared = Mutex::new(writer);
-    let progress = |line: &str| {
-        let mut w = shared.lock().expect("progress writer lock");
-        let _ = writeln!(w, "# {line}");
-        let _ = w.flush();
-    };
-    let result = run_job(&spec, &state.pool, &progress);
-    state.jobs.fetch_add(1, Ordering::Relaxed);
-    let mut writer = shared.into_inner().expect("progress writer lock");
-    match result {
-        Ok(result) => {
-            let _ = write!(writer, "\n{}", result.to_json());
-        }
-        Err(e) => {
-            // Unreachable in practice (the spec was validated above),
-            // but never leave a client hanging without a diagnosis.
-            let _ = write!(writer, "\n# job failed: {e}\n");
-        }
-    }
-    let _ = writer.flush();
+}
+
+/// The `GET /jobs` payload: id → state, in admission order.
+fn list_json(state: &State) -> String {
+    let entries: Vec<String> = state
+        .registry
+        .list()
+        .into_iter()
+        .map(|(id, s)| format!("{{\"id\":{id},\"state\":\"{}\"}}", s.id()))
+        .collect();
+    format!("{{\"jobs\":[{}]}}\n", entries.join(","))
+}
+
+/// The `/stats` payload: jobs served plus lifecycle, result-store, and
+/// cache counters.
+fn stats_json(state: &State) -> String {
+    let c = state.pool.stats();
+    let r = state.registry.stats();
+    format!(
+        concat!(
+            "{{\"jobs\":{},",
+            "\"lifecycle\":{{\"queued\":{},\"running\":{},\"done\":{},\"cancelled\":{},\"deadline_exceeded\":{},\"failed\":{},\"records\":{},\"reserved_bytes\":{},\"draining\":{}}},",
+            "\"results\":{{\"stored\":{},\"bytes\":{},\"budget_bytes\":{},\"evictions\":{},\"dedups\":{}}},",
+            "\"cache\":{{\"hits\":{},\"misses\":{},\"generations\":{},\"evictions\":{},\"entries\":{},\"pinned_entries\":{},\"resident_bytes\":{},\"budget_bytes\":{}}}}}\n",
+        ),
+        r.done,
+        r.queued,
+        r.running,
+        r.done,
+        r.cancelled,
+        r.deadline_exceeded,
+        r.failed,
+        r.records,
+        r.reserved_bytes,
+        r.draining,
+        r.results_stored,
+        r.result_bytes,
+        r.result_budget,
+        r.result_evictions,
+        r.result_dedups,
+        c.hits,
+        c.misses,
+        c.generations,
+        c.evictions,
+        c.entries,
+        c.pinned_entries,
+        c.resident_bytes,
+        c.budget_bytes,
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use addict_workloads::Benchmark;
 
     #[test]
     fn error_body_is_valid_json() {
@@ -277,19 +829,71 @@ mod tests {
         use addict_bench::jsontext::JsonValue;
         let state = State {
             pool: TracePool::unbounded(),
-            jobs: AtomicU64::new(3),
+            registry: Registry::new(RegistryConfig {
+                admission_budget: usize::MAX,
+                max_queued: 4,
+                result_budget: 1 << 20,
+                max_records: 16,
+            }),
+            faults: FaultPlan::new(),
         };
         let doc = JsonValue::parse(stats_json(&state).trim()).unwrap();
-        assert_eq!(doc.get("jobs").unwrap().as_u64("jobs").unwrap(), 3);
+        assert_eq!(doc.get("jobs").unwrap().as_u64("jobs").unwrap(), 0);
+        let lifecycle = doc.get("lifecycle").unwrap();
+        assert!(!lifecycle
+            .get("draining")
+            .unwrap()
+            .as_bool("draining")
+            .unwrap());
         let cache = doc.get("cache").unwrap();
         assert_eq!(cache.get("hits").unwrap().as_u64("hits").unwrap(), 0);
         assert_eq!(
             cache
+                .get("pinned_entries")
+                .unwrap()
+                .as_u64("pinned_entries")
+                .unwrap(),
+            0
+        );
+        let results = doc.get("results").unwrap();
+        assert_eq!(
+            results
                 .get("budget_bytes")
                 .unwrap()
                 .as_u64("budget_bytes")
                 .unwrap(),
-            u64::MAX
+            1 << 20
         );
+        // And the job listing serializes too.
+        assert!(JsonValue::parse(list_json(&state).trim()).is_ok());
+    }
+
+    #[test]
+    fn estimate_skips_resident_and_duplicate_keys() {
+        let pool = TracePool::unbounded();
+        let mut spec = JobSpec::new(vec![Benchmark::TpcB], 64);
+        spec.small = true;
+        let cold = estimate_new_bytes(&spec, &pool);
+        assert!(cold > 0);
+        // Profile and eval keys differ only by seed: two keys, each
+        // estimated once.
+        assert_eq!(
+            cold,
+            spec.profile_key(Benchmark::TpcB).estimated_resident_bytes()
+                + spec.eval_key(Benchmark::TpcB).estimated_resident_bytes()
+        );
+        // A spec whose eval seed *is* the profile seed counts the shared
+        // key once.
+        let mut same = spec.clone();
+        same.seed = addict_bench::PROFILE_SEED;
+        assert_eq!(
+            estimate_new_bytes(&same, &pool),
+            same.profile_key(Benchmark::TpcB).estimated_resident_bytes()
+        );
+        // Once generated, the footprint is already paid: the estimate
+        // drops to zero and a warm resubmission sails through admission.
+        let quiet = |_: &str| {};
+        addict_bench::run_job(&spec, &pool, &quiet).unwrap();
+        assert_eq!(estimate_new_bytes(&spec, &pool), 0);
     }
 }

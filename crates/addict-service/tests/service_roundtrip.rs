@@ -1,5 +1,5 @@
 //! End-to-end service gate: a real server on an ephemeral port, real TCP
-//! round trips, and the three contracts that make the service trustworthy:
+//! round trips, and the contracts that make the service trustworthy:
 //!
 //! 1. **Byte identity** — the same job submitted twice, and executed
 //!    once more through the in-process batch path, serializes to the
@@ -11,10 +11,15 @@
 //! 3. **Strict admission** — invalid specs (zero transactions, zero
 //!    threads, an empty benchmark list) answer 400 with a structured
 //!    error naming the offending field, and never touch the counters.
+//! 4. **Detach equivalence** — a job submitted detached, with the client
+//!    gone the whole time it runs, polls back byte-identical to the
+//!    synchronous streamed path.
 
 use addict_bench::jsontext::JsonValue;
 use addict_bench::{run_job, JobSpec, TracePool};
-use addict_service::{get, submit, Server, ServerConfig};
+use addict_service::{
+    get, job_result, job_status, poll_job, submit, submit_detached, Server, ServerConfig,
+};
 
 /// Bind on port 0, serve on a background thread, return the address.
 fn spawn_server() -> std::net::SocketAddr {
@@ -22,7 +27,8 @@ fn spawn_server() -> std::net::SocketAddr {
         "127.0.0.1:0",
         ServerConfig {
             workers: 2,
-            cache_budget: 256 << 20,
+            job_workers: 2,
+            ..ServerConfig::default()
         },
     )
     .expect("bind ephemeral port");
@@ -101,6 +107,44 @@ fn server_jobs_are_byte_identical_and_cached() {
 }
 
 #[test]
+fn detached_job_survives_disconnect_and_polls_byte_identical() {
+    let addr = spawn_server();
+
+    // The synchronous reference: stream the job to completion.
+    let streamed = submit(addr, SMOKE_JOB, |_| {}).expect("streamed submission");
+
+    // Detach: POST /jobs answers immediately with an id; the submitting
+    // connection closes right there — the rest of the job's life happens
+    // with no client attached (the simulated disconnect).
+    let id = submit_detached(addr, SMOKE_JOB).expect("detached submission");
+
+    // A later client (same process here, any process in general)
+    // follows the job by id and fetches the stored result.
+    let mut progress = Vec::new();
+    let polled = poll_job(addr, id, |line| progress.push(line.to_owned())).expect("poll to done");
+    assert_eq!(
+        streamed, polled,
+        "detached+polled result must be byte-identical to the streamed path"
+    );
+    // Polling again after done re-serves the exact same bytes.
+    assert_eq!(polled, job_result(addr, id).expect("re-poll"));
+    // The detached run was warm: progress reported cache hits, and the
+    // status body agrees the job is done with a result digest.
+    assert!(
+        progress.iter().any(|l| l.contains("cache hit")),
+        "{progress:?}"
+    );
+    let status = job_status(addr, id).expect("status");
+    let doc = JsonValue::parse(status.trim()).expect("status is valid JSON");
+    assert_eq!(doc.get("state").unwrap().as_str("state").unwrap(), "done");
+    assert!(doc.get("result_fnv64").unwrap().as_str("digest").is_ok());
+
+    // And the listing knows the job.
+    let listing = get(addr, "/jobs").expect("GET /jobs");
+    assert!(listing.contains("\"state\":\"done\""), "{listing}");
+}
+
+#[test]
 fn invalid_specs_answer_structured_400s() {
     let addr = spawn_server();
     for (job, field) in [
@@ -123,10 +167,11 @@ fn invalid_specs_answer_structured_400s() {
         // Not JSON at all.
         ("queue me a job", "spec"),
     ] {
-        let err = submit(addr, job, |_| {}).expect_err(job);
-        assert!(err.contains("400"), "{job} gave {err}");
-        let body = err.split_once(": ").map(|x| x.1).expect("error body");
-        let doc = JsonValue::parse(body).unwrap_or_else(|e| panic!("{job}: {e} in {body:?}"));
+        // The raw wire answer carries the structured body.
+        let resp = raw_post(addr, "/jobs", job);
+        assert_eq!(resp.status, 400, "{job}");
+        let doc = JsonValue::parse(resp.body.trim())
+            .unwrap_or_else(|e| panic!("{job}: {e} in {:?}", resp.body));
         let error = doc.get("error").expect("error object");
         assert_eq!(
             error.get("code").unwrap().as_str("code").unwrap(),
@@ -138,6 +183,12 @@ fn invalid_specs_answer_structured_400s() {
             field,
             "{job}"
         );
+        // The client surfaces the same diagnosis.
+        let err = submit(addr, job, |_| {}).expect_err(job);
+        assert!(
+            err.contains("400") && err.contains("invalid_spec"),
+            "{job} gave {err}"
+        );
     }
     // Rejected jobs never touch the trace cache or the jobs counter.
     let (hits, misses, generations, _) = cache_counters(addr);
@@ -146,7 +197,24 @@ fn invalid_specs_answer_structured_400s() {
     let doc = JsonValue::parse(stats.trim()).unwrap();
     assert_eq!(doc.get("jobs").unwrap().as_u64("jobs").unwrap(), 0);
 
-    // Unknown routes are structured 404s.
+    // Unknown routes and ids are structured 404s.
     let err = get(addr, "/nope").expect_err("404 route");
     assert!(err.contains("404"), "{err}");
+    let err = job_status(addr, 999).expect_err("404 job");
+    assert!(err.contains("404"), "{err}");
+}
+
+/// One raw POST, returning the parsed response (status + Retry-After +
+/// body) — for asserting on wire-level details the client API abstracts.
+fn raw_post(addr: std::net::SocketAddr, path: &str, body: &str) -> addict_service::http::Response {
+    use std::io::Write as _;
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send");
+    addict_service::http::read_response_meta(&mut std::io::BufReader::new(stream))
+        .expect("response parses")
 }
