@@ -2,7 +2,7 @@
 //!
 //! For every selected benchmark (`--benchmarks`, default: the whole
 //! registry — the TPC trio plus the spec-driven TATP and YCSB mixes),
-//! replays the evaluation traces under all four schedulers, timing four
+//! replays the evaluation traces under all five schedulers, timing four
 //! modes against each other:
 //!
 //! * **flat** — per-block, per-event execution over flat
@@ -18,7 +18,7 @@
 //!
 //! then times the **full (benchmark × scheduler) grid** through the sweep
 //! engine at one thread vs `--threads N`, with the interned grid sharing
-//! one `Arc`'d pool per workload. Writes `BENCH_8.json` with events/sec
+//! one `Arc`'d pool per workload. Writes `BENCH_9.json` with events/sec
 //! and sim-cycles/sec per workload, scheduler, and mode, the trace-memory
 //! footprint (flat vs interned resident bytes, delta-encoded address
 //! bytes, pool dedup ratio), the parallel-sweep wall times + speedup, and
@@ -47,7 +47,7 @@
 //!
 //! Usage: `cargo run --release --bin bench -- [n_xcts] [out.json]
 //! [--xcts N] [--threads N] [--benchmarks tpcb,tatp,...] [--smoke]
-//! [--scaling]` (defaults: 400 transactions, `BENCH_8.json`; `--smoke` is
+//! [--scaling]` (defaults: 400 transactions, `BENCH_9.json`; `--smoke` is
 //! the CI-sized run: 60 transactions, one rep, `bench_smoke.json`;
 //! `--scaling` caps the fixed-size matrix at 400 and ladders the first
 //! selected benchmark up to `--xcts`).
@@ -186,7 +186,7 @@ fn main() {
         if args.smoke {
             "bench_smoke.json".to_owned()
         } else {
-            "BENCH_8.json".to_owned()
+            "BENCH_9.json".to_owned()
         }
     });
     // Best-of-N per mode: this container is a single shared core whose
@@ -247,7 +247,7 @@ fn main() {
     out.push_str("{\n");
     let _ = write!(
         out,
-        "  \"artifact\": \"BENCH_8\",\n  \"n_xcts\": {n},\n  \"n_cores\": {},\n  \"reps_best_of\": {reps},\n  \"gen_chunk\": {DEFAULT_GEN_CHUNK},\n  \"workloads\": [\n",
+        "  \"artifact\": \"BENCH_9\",\n  \"n_xcts\": {n},\n  \"n_cores\": {},\n  \"reps_best_of\": {reps},\n  \"gen_chunk\": {DEFAULT_GEN_CHUNK},\n  \"workloads\": [\n",
         cfg.sim.n_cores
     );
 
@@ -466,6 +466,8 @@ fn main() {
     out.push_str("    ]\n  },\n");
 
     service_section(&mut out, &args, &prepared[0], n, &reference_results[0]);
+    out.push_str(",\n");
+    htm_section(&mut out, &prepared, &reference_results);
 
     if args.scaling {
         out.push_str(",\n");
@@ -548,6 +550,76 @@ fn service_section(
         stats.misses,
         stats.generations
     );
+}
+
+/// The `htm` section: per-workload speculation outcomes of the HTMX
+/// scheduler against the ADDICT reference. The abort counters come out of
+/// the stored data-run matrix results (`ReplayResult::spec`, all-zero for
+/// the non-speculative schedulers — asserted here), so the section is a
+/// pure function of the same replays the matrix already timed: abort
+/// rates by cause, retries, fallbacks, discarded speculative cycles, and
+/// the simulated-makespan ratio vs ADDICT (above 1.0 = speculation
+/// overhead cost cycles; the interesting workloads are the short-window,
+/// low-conflict ones like TATP where bounded HTM fits).
+fn htm_section(out: &mut String, prepared: &[Prepared], reference_results: &[Vec<ReplayResult>]) {
+    let idx_of = |k: SchedulerKind| {
+        SchedulerKind::ALL
+            .iter()
+            .position(|&x| x == k)
+            .expect("registered scheduler")
+    };
+    let (hi, ai) = (idx_of(SchedulerKind::Htmx), idx_of(SchedulerKind::Addict));
+    let _ = write!(
+        out,
+        "  \"htm\": {{\n    \"max_spec_lines\": {},\n    \"per_workload\": [\n",
+        addict_sim::MAX_SPEC_LINES
+    );
+    for (wi, (p, results)) in prepared.iter().zip(reference_results).enumerate() {
+        let htmx = &results[hi];
+        let addict = &results[ai];
+        for (kind, r) in SchedulerKind::ALL.iter().zip(results) {
+            assert!(
+                *kind == SchedulerKind::Htmx || r.spec.begins == 0,
+                "{}/{}: non-speculative scheduler reported speculation",
+                p.bench.name(),
+                kind.name()
+            );
+        }
+        let s = &htmx.spec;
+        let cycles_vs_addict = htmx.total_cycles / addict.total_cycles;
+        eprintln!(
+            "bench: htm    {:<6} {} xcts | begins {} | commits {} | aborts {} (conflict {} / capacity {}) | abort rate {:.3} | fallbacks {} | discarded {:.0} cycles | cycles vs ADDICT {:.3}x",
+            p.bench.name(),
+            htmx.n_xcts,
+            s.begins,
+            s.commits,
+            s.aborts(),
+            s.aborts_conflict,
+            s.aborts_capacity,
+            s.abort_rate(),
+            s.fallbacks,
+            s.discarded_cycles,
+            cycles_vs_addict
+        );
+        let _ = write!(
+            out,
+            "      {{ \"workload\": \"{}\", \"n_xcts\": {}, \"begins\": {}, \"commits\": {}, \"aborts_conflict\": {}, \"aborts_capacity\": {}, \"abort_rate\": {:.6}, \"retries\": {}, \"fallbacks\": {}, \"discarded_cycles\": {:.1}, \"htmx_total_cycles\": {:.1}, \"addict_total_cycles\": {:.1}, \"cycles_vs_addict\": {cycles_vs_addict:.6} }}{}",
+            p.bench.name(),
+            htmx.n_xcts,
+            s.begins,
+            s.commits,
+            s.aborts_conflict,
+            s.aborts_capacity,
+            s.abort_rate(),
+            s.retries,
+            s.fallbacks,
+            s.discarded_cycles,
+            htmx.total_cycles,
+            addict.total_cycles,
+            if wi + 1 < prepared.len() { ",\n" } else { "\n" }
+        );
+    }
+    out.push_str("    ]\n  }");
 }
 
 /// The `--scaling` ladder: streamed generate→intern→replay of the first

@@ -220,7 +220,7 @@ pub fn benchmarks_value(v: &str) -> Result<Vec<Benchmark>, SpecError> {
 pub struct JobSpec {
     /// Benchmarks to replay (registry order is not required).
     pub benchmarks: Vec<Benchmark>,
-    /// Schedulers to replay under (default: all four).
+    /// Schedulers to replay under (default: all five).
     pub schedulers: Vec<SchedulerKind>,
     /// Evaluation (and profiling) transactions per benchmark.
     pub n_xcts: usize,
@@ -245,7 +245,7 @@ pub struct JobSpec {
 }
 
 impl JobSpec {
-    /// The smallest useful job: one benchmark, all four schedulers, the
+    /// The smallest useful job: one benchmark, all five schedulers, the
     /// paper-default config, [`DEFAULT_GEN_CHUNK`](crate::DEFAULT_GEN_CHUNK)
     /// streaming.
     pub fn new(benchmarks: Vec<Benchmark>, n_xcts: usize) -> Self {
@@ -559,7 +559,7 @@ impl JobResult {
             let digest = fnv64(format!("{:#?}", p.result).as_bytes());
             let _ = write!(
                 out,
-                "    {{ \"workload\": \"{}\", \"scheduler\": \"{}\", \"batch_size\": {}, \"n_xcts\": {}, \"events\": {}, \"instructions\": {}, \"total_cycles\": {}, \"avg_latency_cycles\": {}, \"l1i_mpki\": {}, \"l1d_mpki\": {}, \"llc_mpki\": {}, \"switches_per_ki\": {}, \"overhead_fraction\": {}, \"result_fnv64\": \"{:016x}\" }}{}",
+                "    {{ \"workload\": \"{}\", \"scheduler\": \"{}\", \"batch_size\": {}, \"n_xcts\": {}, \"events\": {}, \"instructions\": {}, \"total_cycles\": {}, \"avg_latency_cycles\": {}, \"l1i_mpki\": {}, \"l1d_mpki\": {}, \"llc_mpki\": {}, \"switches_per_ki\": {}, \"overhead_fraction\": {}, \"htm_aborts\": {}, \"htm_abort_rate\": {}, \"htm_fallbacks\": {}, \"result_fnv64\": \"{:016x}\" }}{}",
                 escape(p.benchmark.name()),
                 escape(p.scheduler.name()),
                 p.batch_size
@@ -574,6 +574,9 @@ impl JobResult {
                 p.result.stats.llc_mpki(),
                 p.result.stats.switches_per_ki(),
                 p.result.overhead_fraction(),
+                p.result.spec.aborts(),
+                p.result.spec.abort_rate(),
+                p.result.spec.fallbacks,
                 digest,
                 if i + 1 < self.points.len() { ",\n" } else { "\n" }
             );
@@ -1014,10 +1017,10 @@ mod tests {
             json[at..].to_owned()
         };
         assert_eq!(points(&a), points(&c), "thread count leaked into points");
-        assert_eq!(a.points.len(), 4);
+        assert_eq!(a.points.len(), SchedulerKind::ALL.len());
         // And the summary parses back out.
         let rows = summary_rows(&a.to_json()).unwrap();
-        assert_eq!(rows.len(), 4);
+        assert_eq!(rows.len(), SchedulerKind::ALL.len());
         assert_eq!(rows[0].workload, "TPC-B");
         assert_eq!(rows[0].scheduler, "Baseline");
         assert!(rows.iter().all(|r| r.total_cycles > 0.0));

@@ -236,7 +236,7 @@ pub fn migration_map(profile: &WorkloadTrace, cfg: &ReplayConfig) -> MigrationMa
     find_migration_points(&profile.xcts, cfg.sim.l1i)
 }
 
-/// Replay the evaluation traces under all four schedulers, Baseline first.
+/// Replay the evaluation traces under all five schedulers, Baseline first.
 pub fn run_all(eval: &WorkloadTrace, map: &MigrationMap, cfg: &ReplayConfig) -> Vec<ReplayResult> {
     SchedulerKind::ALL
         .iter()
@@ -430,7 +430,7 @@ mod tests {
         let cfg = ReplayConfig::paper_default();
         let map = migration_map(&profile, &cfg);
         let results = run_all(&eval, &map, &cfg);
-        assert_eq!(results.len(), 4);
+        assert_eq!(results.len(), SchedulerKind::ALL.len());
         assert_eq!(results[0].scheduler, "Baseline");
         assert!(results.iter().all(|r| r.n_xcts == 20));
         assert!(results.iter().all(|r| r.total_cycles > 0.0));

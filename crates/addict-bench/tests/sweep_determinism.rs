@@ -31,9 +31,9 @@ fn sweep_is_bit_identical_across_thread_counts() {
     let cfg = ReplayConfig::paper_default();
     let map = migration_map(&profile, &cfg);
 
-    // A grid spanning all four schedulers over both trace layouts (the
+    // A grid spanning every scheduler over both trace layouts (the
     // interned points all borrowing the same pool), two batch sizes, and
-    // both hierarchies: 4 + 4 + 2 + 2 = 12 points.
+    // both hierarchies: 5 + 5 + 2 + 2 = 14 points.
     let mut grid: Vec<SweepPoint<'_>> = SchedulerKind::ALL
         .iter()
         .map(|&scheduler| SweepPoint {
@@ -99,10 +99,11 @@ fn sweep_is_bit_identical_across_thread_counts() {
     assert_eq!(sequential, serialize(&run_sweep(&grid, 1)));
 
     // The flat and interned layouts of the same traces must agree
-    // bit-for-bit, scheduler by scheduler (points 0..4 vs 4..8; reusing
-    // the 2-thread run from above).
+    // bit-for-bit, scheduler by scheduler (the first two scheduler-wide
+    // bands of the grid; reusing the 2-thread run from above).
     let results = two_thread_results.expect("2-thread run executed");
-    for (flat, interned) in results[..4].iter().zip(&results[4..8]) {
+    let n = SchedulerKind::ALL.len();
+    for (flat, interned) in results[..n].iter().zip(&results[n..2 * n]) {
         assert_eq!(
             serialize(std::slice::from_ref(flat)),
             serialize(std::slice::from_ref(interned)),

@@ -1,5 +1,5 @@
 //! End-to-end pipeline sanity check used during development: collect
-//! traces, run Algorithm 1, replay all four schedulers, print the key
+//! traces, run Algorithm 1, replay all five schedulers, print the key
 //! Figure 5/6/9 metrics. Not part of the published benches (those live in
 //! `addict-bench`).
 

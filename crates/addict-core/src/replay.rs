@@ -20,7 +20,9 @@
 
 use std::collections::VecDeque;
 
-use addict_sim::{BlockAddr, CoreId, Machine, MachineStats, PowerModel, PowerReport, SimConfig};
+use addict_sim::{
+    BlockAddr, CoreId, Machine, MachineStats, PowerModel, PowerReport, SimConfig, SpecStats,
+};
 use addict_trace::event::FlatEvent;
 use addict_trace::set::{DataRun, Fetched, TraceSet};
 use addict_trace::XctTypeId;
@@ -117,6 +119,10 @@ pub struct ReplayResult {
     /// Per-transaction latency in cycles, indexed by trace id (start to
     /// finish, queueing included).
     pub latencies: Vec<f64>,
+    /// Speculation counters (HTMX; all-zero for the non-speculative
+    /// schedulers — speculation-free replays report a zeroed block rather
+    /// than an absent one so every result serializes with one shape).
+    pub spec: SpecStats,
 }
 
 impl ReplayResult {
@@ -134,7 +140,7 @@ impl ReplayResult {
 }
 
 /// What a policy tells the engine to do with the pending event.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Action {
     /// Execute the event here.
     Continue,
@@ -143,6 +149,12 @@ pub enum Action {
     Yield,
     /// Move the thread to the given core's queue.
     MigrateTo(usize),
+    /// Charge the thread a policy-decided stall of this many cycles, then
+    /// proceed as [`Action::Continue`] (in `pre`, the event still
+    /// executes). HTMX charges speculation begin/commit/abort costs,
+    /// backoff, and discarded work this way; the cycles are accounted as
+    /// overhead ([`Machine::stall`]).
+    Stall(f64),
 }
 
 /// Scheduling policy: consulted before (`pre`) and after (`post`) each
@@ -501,6 +513,10 @@ pub fn run_des_admitted<T: TraceSet + ?Sized, P: Policy>(
                         true
                     }
                     Action::MigrateTo(_) => false,
+                    Action::Stall(cycles) => {
+                        now += machine.stall(CoreId(core), cycles);
+                        false
+                    }
                 }
             };
         }
@@ -663,6 +679,9 @@ pub fn run_des_admitted<T: TraceSet + ?Sized, P: Policy>(
         stats,
         power,
         latencies,
+        // Speculative schedulers overwrite this with their accumulated
+        // counters after the run (the policy owns the speculation state).
+        spec: SpecStats::default(),
     }
 }
 

@@ -1,4 +1,5 @@
-//! The four scheduling mechanisms of Section 4.1.
+//! The four scheduling mechanisms of Section 4.1, plus the speculative
+//! HTMX scheduler built on the speculation subsystem (beyond the paper).
 //!
 //! | Mechanism | Placement | Movement |
 //! |-----------|-----------|----------|
@@ -6,9 +7,11 @@
 //! | STREX     | one core per same-type batch | yields the core after a burst of L1-I misses (stratified time multiplexing) |
 //! | SLICC     | batch spread over cores | migrates when the L1-I has absorbed a stratum, preferring cores that already hold the current code |
 //! | ADDICT    | batch enters at the planned entry core | migrates at the software-planned migration points (Algorithm 2) |
+//! | HTMX      | one core per transaction | none — each transaction runs as a bounded speculative region with retries and a non-speculative fallback |
 
 pub mod addict;
 pub mod baseline;
+pub mod htmx;
 pub mod slicc;
 pub mod strex;
 
@@ -30,15 +33,19 @@ pub enum SchedulerKind {
     Slicc,
     /// ADDICT (this paper).
     Addict,
+    /// HTMX: bounded-read/write-set hardware-transaction speculation over
+    /// the MESI directory (beyond the paper; see `sched::htmx`).
+    Htmx,
 }
 
 impl SchedulerKind {
-    /// All four, in the paper's presentation order.
-    pub const ALL: [SchedulerKind; 4] = [
+    /// All five: the paper's four in presentation order, then HTMX.
+    pub const ALL: [SchedulerKind; 5] = [
         SchedulerKind::Baseline,
         SchedulerKind::Strex,
         SchedulerKind::Slicc,
         SchedulerKind::Addict,
+        SchedulerKind::Htmx,
     ];
 
     /// Display name.
@@ -48,6 +55,7 @@ impl SchedulerKind {
             SchedulerKind::Strex => "STREX",
             SchedulerKind::Slicc => "SLICC",
             SchedulerKind::Addict => "ADDICT",
+            SchedulerKind::Htmx => "HTMX",
         }
     }
 
@@ -59,6 +67,7 @@ impl SchedulerKind {
             SchedulerKind::Strex => "strex",
             SchedulerKind::Slicc => "slicc",
             SchedulerKind::Addict => "addict",
+            SchedulerKind::Htmx => "htmx",
         }
     }
 }
@@ -106,6 +115,7 @@ pub fn run_scheduler<T: TraceSet + ?Sized>(
             let plan = AssignmentPlan::build(map, PlanConfig::new(cfg.sim.n_cores));
             addict::run(traces, &plan, cfg)
         }
+        SchedulerKind::Htmx => htmx::run(traces, cfg),
     }
 }
 

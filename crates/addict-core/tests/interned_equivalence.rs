@@ -1,6 +1,6 @@
 //! Interned replay must be *observationally identical* to flat replay:
 //! byte-identical serialized `ReplayResult`s — `MachineStats`, makespan,
-//! per-transaction latencies, power — for all four schedulers on real
+//! per-transaction latencies, power — for all five schedulers on real
 //! trace sets from **every registry benchmark** (the TPC trio plus the
 //! spec-driven TATP and YCSB mixes), in both the segment-granular and the
 //! per-block execution mode. The interned form may change memory layout, never a

@@ -1,6 +1,6 @@
 //! Fast-path replay must be *observationally identical* to the per-block,
 //! per-event reference path: byte-identical `MachineStats`, makespan, and
-//! per-transaction latencies for all four schedulers — on generated
+//! per-transaction latencies for all five schedulers — on generated
 //! transaction mixes and, via the full matrix gate below, on real trace
 //! sets from **every registry benchmark**, in **both storage layouts**
 //! (flat and interned), with segment-granular instruction execution and
@@ -129,7 +129,7 @@ fn arb_trace() -> impl Strategy<Value = XctTrace> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// Flat/segment equivalence on generated mixes, all four schedulers,
+    /// Flat/segment equivalence on generated mixes, all five schedulers,
     /// varying core counts and batch sizes.
     #[test]
     fn segment_replay_is_bit_identical(

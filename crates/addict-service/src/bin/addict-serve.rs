@@ -74,6 +74,17 @@ fn main() {
         std::process::exit(1);
     });
     let bound = server.local_addr().expect("bound listener has an address");
+    if server.recovered_results() > 0 {
+        println!(
+            "addict-serve recovered {} dumped result(s) from {}",
+            server.recovered_results(),
+            config
+                .dump_dir
+                .as_deref()
+                .expect("recovery implies --dump-dir")
+                .display()
+        );
+    }
     println!(
         "addict-serve listening on {bound} ({} connection workers, {} job executors, {} MiB trace cache)",
         config.workers,

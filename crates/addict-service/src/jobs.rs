@@ -16,6 +16,14 @@
 //!   copy, and an LRU byte budget bounds memory (evicted results answer
 //!   `410`, never wrong bytes).
 //!
+//! Two adjacencies ride the same lock: an **EWMA of observed job
+//! latency** (fed by [`Registry::next_job`] / [`Registry::finish`],
+//! read by [`Registry::retry_after`]) turns the server's `Retry-After`
+//! hints into load-derived values instead of constants, and
+//! [`Registry::recover`] re-inserts results a previous process dumped
+//! on shutdown, so they stay pollable at their original ids across a
+//! restart.
+//!
 //! Everything lives under one mutex with two condvars: `queue_cv` wakes
 //! executors ([`Registry::next_job`] blocks on it), `changed` wakes
 //! status pollers and `?wait=1` streamers ([`Registry::wait_progress`]).
@@ -26,9 +34,32 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use addict_bench::{CancelToken, Interrupt, JobSpec};
+
+/// `Retry-After` fallback for a full queue until a job latency has been
+/// observed: queue slots turn over at job granularity, so retrying
+/// quickly is right.
+pub const FALLBACK_RETRY_QUEUE_S: u64 = 1;
+/// `Retry-After` fallback for a byte-budget rejection until a job
+/// latency has been observed: freeing trace bytes takes a completion,
+/// so back off harder.
+pub const FALLBACK_RETRY_BYTES_S: u64 = 5;
+/// Cap on derived `Retry-After` hints.
+const MAX_RETRY_AFTER_S: u64 = 600;
+/// EWMA smoothing factor for observed job latency: heavy enough on the
+/// newest observation to track load shifts, light enough that one
+/// outlier job doesn't whipsaw the hints.
+const LATENCY_ALPHA: f64 = 0.3;
+
+/// Fold one observed job latency into the registry's EWMA.
+fn observe_latency(inner: &mut Inner, secs: f64) {
+    inner.latency_ewma_s = Some(match inner.latency_ewma_s {
+        Some(prev) => prev + LATENCY_ALPHA * (secs - prev),
+        None => secs,
+    });
+}
 
 /// Job identifier: dense, starting at 1, never reused within a server.
 pub type JobId = u64;
@@ -224,6 +255,11 @@ struct Inner {
     result_dedups: u64,
     tick: u64,
     draining: bool,
+    /// When each running job was claimed, for latency observation.
+    started: HashMap<JobId, Instant>,
+    /// EWMA of observed job latency in seconds; `None` until the first
+    /// job finishes. Drives the `Retry-After` hints.
+    latency_ewma_s: Option<f64>,
 }
 
 /// The shared job registry. See the module docs.
@@ -267,6 +303,8 @@ impl Registry {
                 result_dedups: 0,
                 tick: 0,
                 draining: false,
+                started: HashMap::new(),
+                latency_ewma_s: None,
             }),
             queue_cv: Condvar::new(),
             changed: Condvar::new(),
@@ -319,6 +357,58 @@ impl Registry {
         Ok(id)
     }
 
+    /// Re-insert a completed job recovered from a `--dump-dir` file a
+    /// previous process wrote on shutdown: a terminal `Done` record
+    /// whose result is immediately pollable at its original id, counted
+    /// under `done`. Ids resume past every recovered id, so new
+    /// admissions never collide. Returns `false` (and changes nothing)
+    /// when the id is already present.
+    pub fn recover(&self, id: JobId, spec: JobSpec, result: String) -> bool {
+        let mut inner = self.inner.lock().expect("registry lock");
+        if inner.jobs.contains_key(&id) {
+            return false;
+        }
+        let key = fnv64(result.as_bytes());
+        inner.jobs.insert(
+            id,
+            Record {
+                spec,
+                state: JobState::Done,
+                progress: Vec::new(),
+                error: None,
+                result_key: Some(key),
+                reserved: 0,
+                token: Arc::new(CancelToken::new()),
+                cancel_requested: false,
+            },
+        );
+        inner.order.push_back(id);
+        inner.next_id = inner.next_id.max(id + 1);
+        inner.done += 1;
+        self.store_result(&mut inner, key, result);
+        self.evict_records(&mut inner);
+        self.changed.notify_all();
+        true
+    }
+
+    /// `Retry-After` hints as `(queue-full seconds, over-budget
+    /// seconds)`, derived from the EWMA of observed job latency: a queue
+    /// slot frees when roughly one job finishes, while reserved bytes
+    /// drain as the whole backlog does — so the byte hint additionally
+    /// scales with queued + running jobs. Until a first job completes,
+    /// the conservative [`FALLBACK_RETRY_QUEUE_S`] /
+    /// [`FALLBACK_RETRY_BYTES_S`] constants apply.
+    pub fn retry_after(&self) -> (u64, u64) {
+        let inner = self.inner.lock().expect("registry lock");
+        let Some(ewma) = inner.latency_ewma_s else {
+            return (FALLBACK_RETRY_QUEUE_S, FALLBACK_RETRY_BYTES_S);
+        };
+        let backlog = (inner.queue.len() + inner.running).max(1);
+        let queue_s = (ewma.ceil() as u64).clamp(1, MAX_RETRY_AFTER_S);
+        let bytes_s = ((ewma * backlog as f64).ceil() as u64).clamp(queue_s, MAX_RETRY_AFTER_S);
+        (queue_s, bytes_s)
+    }
+
     /// Executor-side: block for the next queued job. Returns `None` once
     /// the registry is draining and the queue is empty — the executor's
     /// signal to exit. Queued jobs still run during a drain.
@@ -327,6 +417,7 @@ impl Registry {
         loop {
             if let Some(id) = inner.queue.pop_front() {
                 inner.running += 1;
+                inner.started.insert(id, Instant::now());
                 let record = inner.jobs.get_mut(&id).expect("queued job has a record");
                 record.state = JobState::Running;
                 let spec = record.spec.clone();
@@ -356,6 +447,9 @@ impl Registry {
     pub fn finish(&self, id: JobId, outcome: Outcome) -> bool {
         let mut inner = self.inner.lock().expect("registry lock");
         inner.running -= 1;
+        if let Some(claimed) = inner.started.remove(&id) {
+            observe_latency(&mut inner, claimed.elapsed().as_secs_f64());
+        }
         let record = inner.jobs.get_mut(&id).expect("running job has a record");
         let reserved = record.reserved;
         record.reserved = 0;
@@ -772,6 +866,49 @@ mod tests {
         assert!(reg.snapshot(first).is_none());
         assert!(matches!(reg.result(first), ResultFetch::NotFound));
         assert!(reg.snapshot(live).is_some());
+    }
+
+    #[test]
+    fn recover_restores_done_records_and_advances_ids() {
+        let reg = Registry::new(cfg());
+        assert!(reg.recover(7, spec(), "{\"r\":7}".into()));
+        assert!(!reg.recover(7, spec(), "ignored".into()), "duplicate id");
+        let snap = reg.snapshot(7).unwrap();
+        assert_eq!(snap.state, JobState::Done);
+        assert!(snap.result_fnv64.is_some());
+        match reg.result(7) {
+            ResultFetch::Ready(bytes) => assert_eq!(*bytes, "{\"r\":7}"),
+            other => panic!("expected Ready, got {other:?}"),
+        }
+        assert_eq!(reg.stats().done, 1);
+        // New admissions pick up past the recovered id.
+        assert_eq!(reg.admit(spec(), 0).unwrap(), 8);
+        // A fresh completion with identical bytes dedups onto the
+        // recovered copy — byte identity survives the restart.
+        let (id, _, _) = reg.next_job().unwrap();
+        reg.finish(id, Outcome::Done("{\"r\":7}".into()));
+        assert_eq!(reg.stats().result_dedups, 1);
+        assert_eq!(reg.stats().results_stored, 1);
+    }
+
+    #[test]
+    fn retry_after_derives_from_latency_ewma() {
+        let reg = Registry::new(cfg());
+        // No observations yet: the conservative fallbacks.
+        assert_eq!(
+            reg.retry_after(),
+            (FALLBACK_RETRY_QUEUE_S, FALLBACK_RETRY_BYTES_S)
+        );
+        // One observed latency: the queue hint rounds it up, the byte
+        // hint scales with the backlog (two queued jobs here).
+        observe_latency(&mut reg.inner.lock().unwrap(), 2.5);
+        reg.admit(spec(), 0).unwrap();
+        reg.admit(spec(), 0).unwrap();
+        assert_eq!(reg.retry_after(), (3, 5));
+        // The EWMA smooths toward later observations instead of
+        // jumping: 2.5 + 0.3 * (22.5 - 2.5) = 8.5 → ceil 9.
+        observe_latency(&mut reg.inner.lock().unwrap(), 22.5);
+        assert_eq!(reg.retry_after(), (9, 17));
     }
 
     #[test]

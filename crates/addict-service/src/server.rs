@@ -5,7 +5,9 @@
 //! * `POST /jobs` — body is a [`JobSpec`] JSON document. Invalid specs
 //!   answer `400` (structured `code`/`field`/`message`); admission
 //!   overload answers `429`/`503` with `Retry-After` *before* any trace
-//!   generation starts. An admitted job detaches by default: `202` with
+//!   generation starts — the hint derives from the registry's EWMA of
+//!   observed job latency ([`Registry::retry_after`]), falling back to
+//!   fixed constants until a first job completes. An admitted job detaches by default: `202` with
 //!   the job id and a `Location` header. With `?wait=1` the connection
 //!   stays open and streams `text/plain`: `#`-prefixed progress lines as
 //!   the grid executes, then a blank line, then the
@@ -46,12 +48,11 @@ use crate::http::{
 };
 use crate::jobs::{AdmitError, JobId, JobState, Outcome, Registry, RegistryConfig, ResultFetch};
 
-/// `Retry-After` seconds for a full admission queue (`429`): queue slots
-/// turn over at point granularity, so retrying quickly is right.
-const RETRY_AFTER_QUEUE_S: u64 = 1;
-/// `Retry-After` seconds for a byte-budget rejection (`503`): freeing
-/// trace bytes takes a job completion, so back off harder.
-const RETRY_AFTER_BYTES_S: u64 = 5;
+/// Per-grid-point admission surcharge: beyond its trace ranges, each
+/// point a spec fans out to (benchmarks × schedulers × batch sizes)
+/// costs working and result bytes — so a wide `batch_sizes` grid over
+/// warm traces still reserves more than a narrow one.
+const POINT_RESULT_BYTES: usize = 512;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -76,7 +77,9 @@ pub struct ServerConfig {
     /// that does not arrive within it answers `408`.
     pub io_timeout_ms: u64,
     /// When set, a graceful shutdown writes every completed result to
-    /// `<dump_dir>/job_<id>.json` before `serve` returns.
+    /// `<dump_dir>/job_<id>.json` before `serve` returns — and
+    /// [`Server::bind`] recovers results found there into the registry,
+    /// so they stay pollable at their original ids across a restart.
     pub dump_dir: Option<PathBuf>,
 }
 
@@ -106,6 +109,7 @@ pub struct Server {
     listener: TcpListener,
     config: ServerConfig,
     state: Arc<State>,
+    recovered: usize,
 }
 
 /// A handle onto a server's shared state, usable while (and after)
@@ -140,7 +144,9 @@ fn error_json(code: &str, field: &str, message: &str) -> String {
 
 impl Server {
     /// Bind to `addr` (port 0 picks an ephemeral port — the tests'
-    /// mode).
+    /// mode). When [`ServerConfig::dump_dir`] is set, results a
+    /// previous process dumped there are recovered into the registry
+    /// before the first request can arrive.
     pub fn bind<A: ToSocketAddrs>(addr: A, config: ServerConfig) -> std::io::Result<Server> {
         let registry = Registry::new(RegistryConfig {
             admission_budget: config.cache_budget,
@@ -148,15 +154,28 @@ impl Server {
             result_budget: config.result_budget,
             max_records: config.max_records.max(1),
         });
+        let listener = TcpListener::bind(addr)?;
+        let state = Arc::new(State {
+            pool: TracePool::new(config.cache_budget),
+            registry,
+            faults: FaultPlan::new(),
+        });
+        let recovered = match &config.dump_dir {
+            Some(dir) => recover_dumped(&state, dir),
+            None => 0,
+        };
         Ok(Server {
-            listener: TcpListener::bind(addr)?,
-            state: Arc::new(State {
-                pool: TracePool::new(config.cache_budget),
-                registry,
-                faults: FaultPlan::new(),
-            }),
+            listener,
+            state,
             config,
+            recovered,
         })
+    }
+
+    /// Completed results recovered from [`ServerConfig::dump_dir`] at
+    /// bind time, pollable at their original ids.
+    pub fn recovered_results(&self) -> usize {
+        self.recovered
     }
 
     /// The bound address (useful after binding port 0).
@@ -181,6 +200,7 @@ impl Server {
             listener,
             config,
             state,
+            recovered: _,
         } = self;
         let addr = listener.local_addr()?;
         std::thread::scope(|s| {
@@ -239,6 +259,55 @@ impl Server {
 /// completed drain and exit.
 fn poke_accept_loop(addr: SocketAddr) {
     let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
+}
+
+/// Boot-time recovery: re-load every `<dir>/job_<id>.json` a previous
+/// process dumped into the registry, in id order, so completed results
+/// survive a restart and stay pollable at their original ids. Each dump
+/// embeds its spec verbatim on the `"spec": {...},` line
+/// ([`JobResult::to_json`](addict_bench::JobResult::to_json) writes
+/// [`JobSpec::to_json`] there), which rebuilds the full job record.
+/// Files that don't parse are skipped with a warning, never a failed
+/// boot.
+fn recover_dumped(state: &State, dir: &std::path::Path) -> usize {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0; // absent or unreadable dir: nothing dumped yet
+    };
+    let mut files: Vec<(JobId, PathBuf)> = entries
+        .filter_map(|entry| {
+            let path = entry.ok()?.path();
+            let name = path.file_name()?.to_str()?;
+            let id = name
+                .strip_prefix("job_")?
+                .strip_suffix(".json")?
+                .parse()
+                .ok()?;
+            Some((id, path))
+        })
+        .collect();
+    files.sort();
+    let mut recovered = 0;
+    for (id, path) in files {
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            eprintln!("boot recovery: unreadable {}; skipping", path.display());
+            continue;
+        };
+        let spec = text
+            .lines()
+            .find_map(|line| line.trim_start().strip_prefix("\"spec\": "))
+            .and_then(|rest| JobSpec::from_json(rest.trim_end().trim_end_matches(',')).ok());
+        let Some(spec) = spec else {
+            eprintln!(
+                "boot recovery: no parsable spec in {}; skipping",
+                path.display()
+            );
+            continue;
+        };
+        if state.registry.recover(id, spec, text) {
+            recovered += 1;
+        }
+    }
+    recovered
 }
 
 /// Persist every completed result to `<dir>/job_<id>.json`.
@@ -566,10 +635,12 @@ fn handle_cancel(id: JobId, mut writer: TcpStream, state: &State) {
     }
 }
 
-/// Estimate the trace-pool bytes `spec` will newly pin: the footprint
-/// model summed over its cache keys, skipping keys already resident
-/// (re-running a warm job reserves ~nothing — residency is the service's
-/// whole point). Duplicate keys (profile seed == eval seed) count once.
+/// Estimate the bytes `spec` will newly pin: the trace footprint model
+/// summed over its cache keys — skipping keys already resident
+/// (re-running a warm job re-reserves almost nothing — residency is the
+/// service's whole point; duplicate profile/eval keys count once) —
+/// plus [`POINT_RESULT_BYTES`] per grid point, so admission scales with
+/// the spec's `batch_sizes`/scheduler fan-out, not just its trace keys.
 fn estimate_new_bytes(spec: &JobSpec, pool: &TracePool) -> usize {
     let mut keys: Vec<TraceKey> = Vec::with_capacity(spec.benchmarks.len() * 2);
     for &bench in &spec.benchmarks {
@@ -579,10 +650,12 @@ fn estimate_new_bytes(spec: &JobSpec, pool: &TracePool) -> usize {
             }
         }
     }
-    keys.iter()
+    let traces: usize = keys
+        .iter()
         .filter(|k| !pool.contains(k))
         .map(TraceKey::estimated_resident_bytes)
-        .sum()
+        .sum();
+    traces + spec.grid_shape().len() * POINT_RESULT_BYTES
 }
 
 fn handle_submit(request: &Request, mut writer: TcpStream, state: &State) {
@@ -622,12 +695,13 @@ fn handle_submit(request: &Request, mut writer: TcpStream, state: &State) {
     let id = match state.registry.admit(spec, estimated) {
         Ok(id) => id,
         Err(AdmitError::QueueFull { queued, cap }) => {
+            let (retry_queue_s, _) = state.registry.retry_after();
             let _ = respond_with_headers(
                 &mut writer,
                 429,
                 "Too Many Requests",
                 "application/json",
-                &[("Retry-After", RETRY_AFTER_QUEUE_S.to_string())],
+                &[("Retry-After", retry_queue_s.to_string())],
                 &error_json(
                     "queue_full",
                     "queue",
@@ -641,12 +715,13 @@ fn handle_submit(request: &Request, mut writer: TcpStream, state: &State) {
             reserved,
             budget,
         }) => {
+            let (_, retry_bytes_s) = state.registry.retry_after();
             let _ = respond_with_headers(
                 &mut writer,
                 503,
                 "Service Unavailable",
                 "application/json",
-                &[("Retry-After", RETRY_AFTER_BYTES_S.to_string())],
+                &[("Retry-After", retry_bytes_s.to_string())],
                 &error_json(
                     "over_capacity",
                     "n_xcts",
@@ -873,14 +948,16 @@ mod tests {
         let pool = TracePool::unbounded();
         let mut spec = JobSpec::new(vec![Benchmark::TpcB], 64);
         spec.small = true;
+        let grid = spec.grid_shape().len() * POINT_RESULT_BYTES;
         let cold = estimate_new_bytes(&spec, &pool);
-        assert!(cold > 0);
+        assert!(cold > grid);
         // Profile and eval keys differ only by seed: two keys, each
-        // estimated once.
+        // estimated once, plus the per-point surcharge.
         assert_eq!(
             cold,
             spec.profile_key(Benchmark::TpcB).estimated_resident_bytes()
                 + spec.eval_key(Benchmark::TpcB).estimated_resident_bytes()
+                + grid
         );
         // A spec whose eval seed *is* the profile seed counts the shared
         // key once.
@@ -888,12 +965,23 @@ mod tests {
         same.seed = addict_bench::PROFILE_SEED;
         assert_eq!(
             estimate_new_bytes(&same, &pool),
-            same.profile_key(Benchmark::TpcB).estimated_resident_bytes()
+            same.profile_key(Benchmark::TpcB).estimated_resident_bytes() + grid
         );
-        // Once generated, the footprint is already paid: the estimate
-        // drops to zero and a warm resubmission sails through admission.
+        // Once generated, the footprint is already paid: only the grid
+        // surcharge remains, and a warm resubmission sails through
+        // admission.
         let quiet = |_: &str| {};
         addict_bench::run_job(&spec, &pool, &quiet).unwrap();
-        assert_eq!(estimate_new_bytes(&spec, &pool), 0);
+        assert_eq!(estimate_new_bytes(&spec, &pool), grid);
+        // A wider `batch_sizes` grid over the same (warm) traces
+        // reserves proportionally more: estimates track the fan-out,
+        // not just the trace keys.
+        let mut wide = spec.clone();
+        wide.batch_sizes = vec![1, 2, 4, 8];
+        assert!(wide.grid_shape().len() > spec.grid_shape().len());
+        assert_eq!(
+            estimate_new_bytes(&wide, &pool),
+            wide.grid_shape().len() * POINT_RESULT_BYTES
+        );
     }
 }

@@ -312,3 +312,49 @@ fn shutdown_drains_persists_and_refuses_new_work() {
     assert_eq!(persisted, reference, "persisted result lost byte identity");
     let _ = std::fs::remove_dir_all(&dump);
 }
+
+#[test]
+fn restart_recovers_dumped_results() {
+    let dump = std::env::temp_dir().join(format!("addict-recover-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dump);
+    let config = ServerConfig {
+        job_workers: 1,
+        dump_dir: Some(dump.clone()),
+        ..ServerConfig::default()
+    };
+
+    // First life: run a job to completion, drain, persist.
+    let (addr, _handle, join) = spawn(config.clone());
+    let id = submit_detached(addr, JOB).expect("submit");
+    let bytes = poll_job(addr, id, |_| {}).expect("result");
+    shutdown(addr).expect("POST /shutdown");
+    join.join().expect("serve thread").expect("serve returns");
+
+    // Second life, same dump dir: the result is pollable at its old id
+    // before any new work runs, and the listing/status agree it's done.
+    let (addr, _handle, join) = spawn(config);
+    assert_eq!(
+        job_result(addr, id).expect("recovered result"),
+        bytes,
+        "recovery must serve the persisted bytes verbatim"
+    );
+    assert_eq!(state_of(addr, id), "done");
+    assert!(
+        get(addr, "/jobs")
+            .expect("GET /jobs")
+            .contains(&format!("\"id\":{id}")),
+        "recovered job missing from the listing"
+    );
+
+    // New admissions never collide with recovered ids, and a rerun of
+    // the same spec dedups onto the recovered bytes — byte identity
+    // survives the restart.
+    let fresh = submit_detached(addr, JOB).expect("fresh submit");
+    assert!(fresh > id, "fresh id {fresh} collides with recovered {id}");
+    assert_eq!(poll_job(addr, fresh, |_| {}).expect("fresh result"), bytes);
+    assert_eq!(stat(addr, "results", "dedups"), 1);
+
+    shutdown(addr).expect("second shutdown");
+    join.join().expect("serve thread").expect("serve returns");
+    let _ = std::fs::remove_dir_all(&dump);
+}

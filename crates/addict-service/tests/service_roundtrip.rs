@@ -37,9 +37,9 @@ fn spawn_server() -> std::net::SocketAddr {
     addr
 }
 
-/// The smoke job: small-scale TPC-B under all four schedulers — big
-/// enough to exercise profiling, Algorithm 1, and every scheduler;
-/// small enough for a debug-build CI run.
+/// The smoke job: small-scale TPC-B under every scheduler — big enough
+/// to exercise profiling, Algorithm 1, and every scheduler (speculative
+/// HTMX included); small enough for a debug-build CI run.
 const SMOKE_JOB: &str = r#"{"benchmarks": ["tpcb"], "n_xcts": 24, "threads": 2, "small": true}"#;
 
 fn cache_counters(addr: std::net::SocketAddr) -> (u64, u64, u64, u64) {
@@ -70,7 +70,7 @@ fn server_jobs_are_byte_identical_and_cached() {
         "cold run must report generation: {progress_cold:?}"
     );
     // Progress streamed one line per trace fetch + one per grid point.
-    assert_eq!(progress_cold.len(), 1 + 4, "{progress_cold:?}");
+    assert_eq!(progress_cold.len(), 1 + 5, "{progress_cold:?}");
 
     // Warm: byte-identical result, zero regeneration, pure cache hits.
     let mut progress_warm = Vec::new();

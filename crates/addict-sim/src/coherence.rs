@@ -305,16 +305,41 @@ impl Directory {
         self.tombstones += 1;
     }
 
+    /// The remote work a read by `core` requires, as a pure function of
+    /// one entry's state — shared by [`Directory::on_read`] (which then
+    /// mutates) and [`Directory::peek_read`] (which does not), so the two
+    /// cannot drift.
+    #[inline]
+    fn read_action(core: usize, owner: u8) -> CoherenceAction {
+        let mut action = CoherenceAction::default();
+        if owner != NO_OWNER && owner as usize != core {
+            // M -> S at the owner; it supplies the data.
+            action.supplier = Some(owner as usize);
+        }
+        action
+    }
+
+    /// The remote work a write by `core` requires (see
+    /// [`Directory::read_action`]).
+    #[inline]
+    fn write_action(core: usize, sharers: u64, owner: u8) -> CoherenceAction {
+        let mut action = CoherenceAction::default();
+        if owner != NO_OWNER && owner as usize != core {
+            action.supplier = Some(owner as usize);
+        }
+        // Every remote copy is invalidated, the (remote) supplier included.
+        action.invalidate = SharerMask(sharers & !(1 << core));
+        action
+    }
+
     /// Core `core` reads `block`. Returns the remote work required.
     /// After this call the directory records `core` as a sharer.
     pub fn on_read(&mut self, core: usize, block: BlockAddr) -> CoherenceAction {
         debug_assert!(core < 64);
         let i = self.find_or_insert(block.0);
         let entry = &mut self.slots[i];
-        let mut action = CoherenceAction::default();
-        if entry.owner != NO_OWNER && entry.owner as usize != core {
-            // M -> S at the owner; it supplies the data.
-            action.supplier = Some(entry.owner as usize);
+        let action = Self::read_action(core, entry.owner);
+        if action.supplier.is_some() {
             entry.owner = NO_OWNER;
         }
         entry.sharers |= 1 << core;
@@ -327,15 +352,37 @@ impl Directory {
         debug_assert!(core < 64);
         let i = self.find_or_insert(block.0);
         let entry = &mut self.slots[i];
-        let mut action = CoherenceAction::default();
-        if entry.owner != NO_OWNER && entry.owner as usize != core {
-            action.supplier = Some(entry.owner as usize);
-        }
-        // Every remote copy is invalidated, the (remote) supplier included.
-        action.invalidate = SharerMask(entry.sharers & !(1 << core));
+        let action = Self::write_action(core, entry.sharers, entry.owner);
         entry.sharers = 1 << core;
         entry.owner = core as u8;
         action
+    }
+
+    /// The exact [`CoherenceAction`] [`Directory::on_read`] would return
+    /// for this access, **without** performing it. An untracked block is
+    /// silent. This is the speculation subsystem's conflict oracle: a
+    /// policy peeks the action of the access it is about to execute and
+    /// dooms any speculative window the action's victims hold open.
+    pub fn peek_read(&self, core: usize, block: BlockAddr) -> CoherenceAction {
+        debug_assert!(core < 64);
+        match self.find(block.0) {
+            Some(i) => Self::read_action(core, self.slots[i].owner),
+            None => CoherenceAction::default(),
+        }
+    }
+
+    /// The exact [`CoherenceAction`] [`Directory::on_write`] would return
+    /// for this access, without performing it (see
+    /// [`Directory::peek_read`]).
+    pub fn peek_write(&self, core: usize, block: BlockAddr) -> CoherenceAction {
+        debug_assert!(core < 64);
+        match self.find(block.0) {
+            Some(i) => {
+                let entry = &self.slots[i];
+                Self::write_action(core, entry.sharers, entry.owner)
+            }
+            None => CoherenceAction::default(),
+        }
     }
 
     /// Core `core` evicted `block` from its L1-D (silently for clean lines,
@@ -459,6 +506,37 @@ mod tests {
         d.on_read(1, B);
         d.on_evict(0, B);
         assert!(d.is_sharer(1, B));
+        assert_eq!(d.tracked_blocks(), 1);
+    }
+
+    #[test]
+    fn peek_predicts_mutating_calls_and_leaves_no_trace() {
+        let mut d = Directory::new();
+        d.on_read(0, B);
+        d.on_read(1, B);
+        d.on_write(2, B);
+        // Peeks agree with the action the mutating call then returns, for
+        // reads and writes, local and remote cores alike.
+        for core in 0..4 {
+            let mut replay = Directory::new();
+            replay.on_read(0, B);
+            replay.on_read(1, B);
+            replay.on_write(2, B);
+            assert_eq!(d.peek_read(core, B), replay.on_read(core, B));
+            let mut replay = Directory::new();
+            replay.on_read(0, B);
+            replay.on_read(1, B);
+            replay.on_write(2, B);
+            assert_eq!(d.peek_write(core, B), replay.on_write(core, B));
+        }
+        // Peeking mutated nothing: owner, sharers, and size are as set up.
+        assert_eq!(d.owner(B), Some(2));
+        assert!(d.is_sharer(2, B) && !d.is_sharer(0, B));
+        assert_eq!(d.tracked_blocks(), 1);
+        // An untracked block peeks silent without inserting an entry.
+        let far = BlockAddr(999);
+        assert!(d.peek_read(3, far).is_silent());
+        assert!(d.peek_write(3, far).is_silent());
         assert_eq!(d.tracked_blocks(), 1);
     }
 

@@ -39,6 +39,7 @@ pub mod hierarchy;
 pub mod interconnect;
 pub mod machine;
 pub mod power;
+pub mod speculation;
 pub mod stats;
 pub mod timing;
 
@@ -49,4 +50,7 @@ pub use config::{CacheGeometry, HierarchyKind, SimConfig};
 pub use hierarchy::ServiceLevel;
 pub use machine::{CoreId, Machine, RunOutcome};
 pub use power::{PowerModel, PowerReport};
+pub use speculation::{
+    AbortCause, SpecConfig, SpecStats, Speculation, ARCHIVE_DEPTH, MAX_SPEC_LINES,
+};
 pub use stats::{CoreStats, MachineStats};

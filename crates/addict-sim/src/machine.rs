@@ -323,6 +323,15 @@ impl Machine {
         cost
     }
 
+    /// Charge `core` a policy-decided stall of `cycles` (speculation
+    /// begin/commit/abort costs, backoff, discarded work). Accounted as
+    /// overhead like migrations and context switches; returns the cycles
+    /// so drivers can advance the clock with the same value they charged.
+    pub fn stall(&mut self, core: CoreId, cycles: f64) -> f64 {
+        self.stats.cores[core.0].overhead_cycles += cycles;
+        cycles
+    }
+
     /// Probe whether `core`'s L1-I holds `block` (SLICC heuristic).
     pub fn l1i_contains(&self, core: CoreId, block: BlockAddr) -> bool {
         self.hierarchy.l1i_contains(core.0, block)

@@ -1,0 +1,696 @@
+//! Bounded-read/write-set hardware-transaction speculation.
+//!
+//! Models limited HTM in the style of the bounded read/write-set
+//! proposals (PAPERS.md, arxiv 2510.15888): each core may hold one
+//! *speculative window* open, tracking the cache lines it read and wrote
+//! as fixed-width bitmasks over a bounded address window — at most
+//! [`MAX_SPEC_LINES`] distinct lines, the same 64-wide budget as
+//! [`SharerMask`](crate::coherence::SharerMask). Exceeding the window is
+//! a **capacity abort**; a conflicting remote access is a **conflict
+//! abort**.
+//!
+//! Conflict detection rides the existing MESI directory rather than a
+//! second protocol: before a data access executes, the driving policy
+//! peeks the [`CoherenceAction`] the directory will produce for it
+//! ([`Directory::peek_read`](crate::coherence::Directory::peek_read) /
+//! [`peek_write`](crate::coherence::Directory::peek_write)). The action's
+//! victims — invalidated sharers and the downgraded owner-supplier — are
+//! exactly the cores whose caches currently hold the line, and the
+//! conflict relation is the classic HTM one: a remote write to a
+//! read-set line, or any remote access to a write-set line, conflicts.
+//! Two complementary mechanisms apply it:
+//!
+//! * [`Speculation::observe_action`] dooms every victim whose **open**
+//!   window conflicts (invalidation victims holding the line in either
+//!   set; a modified supplier holding it in the write set) — the
+//!   holder-side, eager-doom direction for concurrently active windows.
+//!   Because every speculative access is recorded immediately before it
+//!   executes (and execution updates the directory), the directory's
+//!   sharer/owner state is always a superset of the open windows, which
+//!   makes the peeked action a complete conflict oracle — the property
+//!   the shadow-model proptest in
+//!   `addict-sim/tests/speculation_shadow.rs` pins down.
+//! * [`Speculation::conflicts`] checks the **requester** against the
+//!   victims' recently *closed* windows whose lifetime overlaps the
+//!   requester's open region in simulated time ("requester loses").
+//!   Trace replay executes threads segment-serially, so transactions
+//!   that overlap in simulated time are consulted one after another; by
+//!   the time the later one runs, the earlier one's window has closed
+//!   and only the requester can still abort. A bounded per-core ring of
+//!   the last [`ARCHIVE_DEPTH`] closed windows (with their time
+//!   intervals) keeps this check O(1); windows falling off the ring are
+//!   forgotten, a bounded-history approximation in the same spirit as
+//!   the bounded read/write sets themselves.
+//!
+//! Evictions are deliberately *not* observed: a speculative line falling
+//! out of the L1-D would be a capacity abort on real hardware, but this
+//! model already bounds the window explicitly, so the directory remains
+//! the sole conflict authority. Trace replay cannot rewind, so an abort
+//! is modeled in **time**, not re-execution: the driving policy charges
+//! the discarded cycles (tracked in [`SpecStats::discarded_cycles`]) plus
+//! the abort cost through [`TimingModel`](crate::timing::TimingModel),
+//! and lets the replay continue as the retry.
+
+use serde::{Deserialize, Serialize};
+
+use crate::block::BlockAddr;
+use crate::coherence::CoherenceAction;
+
+/// Most distinct cache lines one speculative window tracks — the
+/// fixed-width bitmask budget (window slots index bits of a `u64`, the
+/// `SharerMask` idiom applied to addresses instead of cores).
+pub const MAX_SPEC_LINES: usize = 64;
+
+/// Closed windows remembered per core for the time-overlap conflict
+/// check ([`Speculation::conflicts`]). Older windows are forgotten.
+pub const ARCHIVE_DEPTH: usize = 8;
+
+/// Why a speculative window died.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortCause {
+    /// A remote coherence action hit the window (remote write to a
+    /// read/write-set line, or any remote access to a write-set line).
+    Conflict,
+    /// The window overflowed [`SpecConfig::capacity`] distinct lines.
+    Capacity,
+}
+
+/// Tuning knobs of the speculation subsystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpecConfig {
+    /// Distinct lines a window may track before a capacity abort
+    /// (clamped to [`MAX_SPEC_LINES`]).
+    pub capacity: usize,
+    /// Aborted attempts before the policy falls back to a
+    /// non-speculative path.
+    pub max_retries: u32,
+}
+
+impl Default for SpecConfig {
+    fn default() -> Self {
+        SpecConfig {
+            capacity: MAX_SPEC_LINES,
+            max_retries: 3,
+        }
+    }
+}
+
+/// Aggregate speculation counters, reported per replay in
+/// `ReplayResult::spec` (all-zero for non-speculative schedulers).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SpecStats {
+    /// Speculative regions opened (first attempts and retries alike).
+    pub begins: u64,
+    /// Regions that committed.
+    pub commits: u64,
+    /// Aborts caused by a conflicting remote access.
+    pub aborts_conflict: u64,
+    /// Aborts caused by window overflow.
+    pub aborts_capacity: u64,
+    /// Transactions that exhausted their retries and completed on the
+    /// non-speculative fallback path.
+    pub fallbacks: u64,
+    /// Aborted attempts that were retried speculatively.
+    pub retries: u64,
+    /// Committed-then-discarded work: cycles of speculative execution
+    /// thrown away by aborts (charged back to the clock as stalls).
+    pub discarded_cycles: f64,
+}
+
+impl SpecStats {
+    /// Total aborts, both causes.
+    pub fn aborts(&self) -> u64 {
+        self.aborts_conflict + self.aborts_capacity
+    }
+
+    /// Aborts per opened region, 0 for a speculation-free run.
+    pub fn abort_rate(&self) -> f64 {
+        if self.begins == 0 {
+            0.0
+        } else {
+            self.aborts() as f64 / self.begins as f64
+        }
+    }
+}
+
+/// One core's speculative window: up to [`MAX_SPEC_LINES`] distinct line
+/// addresses, with membership in the read and write sets encoded as
+/// bitmasks over the window slots.
+#[derive(Debug, Clone)]
+struct SpecWindow {
+    /// Tracked line addresses; only `addrs[..len]` is meaningful.
+    addrs: [u64; MAX_SPEC_LINES],
+    /// Live window slots.
+    len: usize,
+    /// Bit `i` set = `addrs[i]` is in the read set.
+    read_mask: u64,
+    /// Bit `i` set = `addrs[i]` is in the write set.
+    write_mask: u64,
+    /// A speculative region is open on this core.
+    active: bool,
+    /// A conflicting remote action hit the window; the owner aborts at
+    /// its next policy consultation.
+    doomed: bool,
+    /// Cycle the open region began (for archived interval tracking).
+    since: f64,
+}
+
+impl SpecWindow {
+    const fn new() -> Self {
+        SpecWindow {
+            addrs: [0; MAX_SPEC_LINES],
+            len: 0,
+            read_mask: 0,
+            write_mask: 0,
+            active: false,
+            doomed: false,
+            since: 0.0,
+        }
+    }
+
+    fn begin(&mut self, now: f64) {
+        self.len = 0;
+        self.read_mask = 0;
+        self.write_mask = 0;
+        self.active = true;
+        self.doomed = false;
+        self.since = now;
+    }
+
+    fn close(&mut self) {
+        self.len = 0;
+        self.read_mask = 0;
+        self.write_mask = 0;
+        self.active = false;
+        self.doomed = false;
+    }
+
+    /// Window slot of `block`, if tracked (linear scan — the window is at
+    /// most 64 entries and lives in two cache lines).
+    #[inline]
+    fn slot(&self, block: u64) -> Option<usize> {
+        self.addrs[..self.len].iter().position(|&a| a == block)
+    }
+
+    fn record(&mut self, block: u64, write: bool, capacity: usize) -> Result<(), AbortCause> {
+        let i = match self.slot(block) {
+            Some(i) => i,
+            None => {
+                if self.len >= capacity {
+                    return Err(AbortCause::Capacity);
+                }
+                self.addrs[self.len] = block;
+                self.len += 1;
+                self.len - 1
+            }
+        };
+        if write {
+            self.write_mask |= 1 << i;
+        } else {
+            self.read_mask |= 1 << i;
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn in_read_or_write_set(&self, block: u64) -> bool {
+        self.slot(block)
+            .is_some_and(|i| (self.read_mask | self.write_mask) & (1 << i) != 0)
+    }
+
+    #[inline]
+    fn in_write_set(&self, block: u64) -> bool {
+        self.slot(block)
+            .is_some_and(|i| self.write_mask & (1 << i) != 0)
+    }
+}
+
+/// A closed (committed *or* aborted — either way its accesses executed)
+/// window retained for the time-overlap conflict check: the lines it
+/// touched plus its lifetime interval.
+#[derive(Debug, Clone)]
+struct ClosedWindow {
+    addrs: [u64; MAX_SPEC_LINES],
+    len: usize,
+    read_mask: u64,
+    write_mask: u64,
+    /// Lifetime `[start, end]` in machine cycles.
+    start: f64,
+    end: f64,
+}
+
+impl ClosedWindow {
+    #[inline]
+    fn slot(&self, block: u64) -> Option<usize> {
+        self.addrs[..self.len].iter().position(|&a| a == block)
+    }
+
+    /// Would an access (`write`?) to `block` by another transaction whose
+    /// region overlaps this window's lifetime conflict with it?
+    #[inline]
+    fn conflicts_with(&self, block: u64, write: bool) -> bool {
+        self.slot(block).is_some_and(|i| {
+            let bit = 1u64 << i;
+            self.write_mask & bit != 0 || (write && self.read_mask & bit != 0)
+        })
+    }
+}
+
+/// Per-core speculation state for one simulated machine, plus the
+/// aggregate [`SpecStats`]. Owned by the driving policy (policies see the
+/// machine immutably), not by the machine itself.
+#[derive(Debug, Clone)]
+pub struct Speculation {
+    cfg: SpecConfig,
+    windows: Vec<SpecWindow>,
+    /// Per-core ring of the last [`ARCHIVE_DEPTH`] closed windows,
+    /// oldest first.
+    archive: Vec<Vec<ClosedWindow>>,
+    stats: SpecStats,
+}
+
+impl Speculation {
+    /// Speculation state for `n_cores` cores.
+    pub fn new(n_cores: usize, cfg: SpecConfig) -> Self {
+        let cfg = SpecConfig {
+            capacity: cfg.capacity.clamp(1, MAX_SPEC_LINES),
+            ..cfg
+        };
+        Speculation {
+            cfg,
+            windows: vec![SpecWindow::new(); n_cores],
+            archive: vec![Vec::with_capacity(ARCHIVE_DEPTH); n_cores],
+            stats: SpecStats::default(),
+        }
+    }
+
+    /// The (clamped) configuration in effect.
+    pub fn config(&self) -> SpecConfig {
+        self.cfg
+    }
+
+    /// Open a speculative region on `core` at cycle `now` (fresh window;
+    /// also the retry entry point).
+    pub fn begin(&mut self, core: usize, now: f64) {
+        self.windows[core].begin(now);
+        self.stats.begins += 1;
+    }
+
+    /// Cycle `core`'s open region began.
+    pub fn region_start(&self, core: usize) -> f64 {
+        debug_assert!(self.windows[core].active);
+        self.windows[core].since
+    }
+
+    /// Is a region open on `core`?
+    pub fn is_active(&self, core: usize) -> bool {
+        self.windows[core].active
+    }
+
+    /// Has a conflicting remote action doomed `core`'s open region?
+    pub fn is_doomed(&self, core: usize) -> bool {
+        self.windows[core].doomed
+    }
+
+    /// Record `core`'s own imminent access into its window. `Err` is a
+    /// capacity abort (the caller charges it and decides retry/fallback);
+    /// a core without an open region records nothing.
+    pub fn record_access(
+        &mut self,
+        core: usize,
+        block: BlockAddr,
+        write: bool,
+    ) -> Result<(), AbortCause> {
+        let capacity = self.cfg.capacity;
+        let w = &mut self.windows[core];
+        if !w.active {
+            return Ok(());
+        }
+        w.record(block.0, write, capacity)
+    }
+
+    /// Observe the [`CoherenceAction`] `actor`'s imminent access to
+    /// `block` will produce, dooming every other core whose open window
+    /// conflicts: invalidation victims holding the line in either set
+    /// (the action's `invalidate` mask is non-empty only for writes), and
+    /// a downgraded modified supplier holding it in the write set.
+    pub fn observe_action(&mut self, actor: usize, block: BlockAddr, action: &CoherenceAction) {
+        for victim in action.invalidate {
+            if victim == actor {
+                continue;
+            }
+            let w = &mut self.windows[victim];
+            if w.active && w.in_read_or_write_set(block.0) {
+                w.doomed = true;
+            }
+        }
+        if let Some(supplier) = action.supplier {
+            if supplier != actor {
+                let w = &mut self.windows[supplier];
+                if w.active && w.in_write_set(block.0) {
+                    w.doomed = true;
+                }
+            }
+        }
+    }
+
+    /// Archive `core`'s open window as closed over `[since, end]` and
+    /// reset it. Aborted windows are archived too: their accesses already
+    /// executed against the caches, so they conflict with later
+    /// overlapping transactions just like committed ones.
+    fn close_and_archive(&mut self, core: usize, end: f64) {
+        let w = &mut self.windows[core];
+        let ring = &mut self.archive[core];
+        if ring.len() == ARCHIVE_DEPTH {
+            ring.remove(0);
+        }
+        ring.push(ClosedWindow {
+            addrs: w.addrs,
+            len: w.len,
+            read_mask: w.read_mask,
+            write_mask: w.write_mask,
+            start: w.since,
+            end,
+        });
+        w.close();
+    }
+
+    /// Abort `core`'s open region for `cause` at cycle `now`: count it,
+    /// archive the dead window, and close it. The caller charges the time
+    /// cost and chooses retry ([`Speculation::begin`] again) or fallback.
+    pub fn abort(&mut self, core: usize, cause: AbortCause, now: f64) {
+        debug_assert!(self.windows[core].active);
+        self.close_and_archive(core, now);
+        match cause {
+            AbortCause::Conflict => self.stats.aborts_conflict += 1,
+            AbortCause::Capacity => self.stats.aborts_capacity += 1,
+        }
+    }
+
+    /// Commit `core`'s open region at cycle `now`.
+    pub fn commit(&mut self, core: usize, now: f64) {
+        debug_assert!(self.windows[core].active);
+        self.close_and_archive(core, now);
+        self.stats.commits += 1;
+    }
+
+    /// Requester-side conflict check: would `core`'s imminent access
+    /// (`write`?) to `block` at cycle `now`, producing `action` on the
+    /// directory, conflict with a window that overlapped `core`'s open
+    /// region in simulated time?
+    ///
+    /// The action's victims — invalidated sharers and the downgraded
+    /// owner-supplier — are the cores whose caches currently hold the
+    /// line; for each, the archived windows whose lifetime overlaps
+    /// `[region_start(core), now]` are consulted under the usual
+    /// relation (their write of the line conflicts with any access of
+    /// ours; their read conflicts with our write). Returns `false` for a
+    /// core with no open region — there is nothing to abort.
+    pub fn conflicts(
+        &self,
+        core: usize,
+        block: BlockAddr,
+        write: bool,
+        now: f64,
+        action: &CoherenceAction,
+    ) -> bool {
+        if !self.windows[core].active {
+            return false;
+        }
+        let since = self.windows[core].since;
+        let overlapping_conflict = |victim: usize| {
+            victim != core
+                && self.archive[victim].iter().any(|cw| {
+                    cw.end >= since && cw.start <= now && cw.conflicts_with(block.0, write)
+                })
+        };
+        action.invalidate.into_iter().any(overlapping_conflict)
+            || action.supplier.is_some_and(overlapping_conflict)
+    }
+
+    /// Count an abort that retries speculatively, discarding `discarded`
+    /// cycles of speculative work.
+    pub fn note_retry(&mut self, discarded: f64) {
+        self.stats.retries += 1;
+        self.stats.discarded_cycles += discarded;
+    }
+
+    /// Count a transaction giving up on speculation (non-speculative
+    /// fallback path), discarding `discarded` cycles of its last attempt.
+    pub fn note_fallback(&mut self, discarded: f64) {
+        self.stats.fallbacks += 1;
+        self.stats.discarded_cycles += discarded;
+    }
+
+    /// Aggregate counters so far.
+    pub fn stats(&self) -> &SpecStats {
+        &self.stats
+    }
+
+    /// Distinct lines currently tracked by `core`'s window (diagnostics
+    /// and the shadow-model tests).
+    pub fn tracked_lines(&self, core: usize) -> usize {
+        self.windows[core].len
+    }
+
+    /// Is `block` in `core`'s read set right now?
+    pub fn reads_contain(&self, core: usize, block: BlockAddr) -> bool {
+        let w = &self.windows[core];
+        w.active && w.slot(block.0).is_some_and(|i| w.read_mask & (1 << i) != 0)
+    }
+
+    /// Is `block` in `core`'s write set right now?
+    pub fn writes_contain(&self, core: usize, block: BlockAddr) -> bool {
+        let w = &self.windows[core];
+        w.active && w.in_write_set(block.0)
+    }
+}
+
+// Thread-safety audit: policies carrying speculation state cross thread
+// boundaries with their sweep results.
+const _: () = {
+    const fn shared<T: Send + Sync>() {}
+    shared::<Speculation>();
+    shared::<SpecStats>();
+    shared::<SpecConfig>();
+    shared::<AbortCause>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coherence::Directory;
+
+    const B: BlockAddr = BlockAddr(7);
+
+    fn spec(cores: usize) -> Speculation {
+        Speculation::new(cores, SpecConfig::default())
+    }
+
+    #[test]
+    fn window_tracks_read_and_write_sets() {
+        let mut s = spec(2);
+        s.begin(0, 0.0);
+        assert!(s.is_active(0) && !s.is_active(1));
+        s.record_access(0, B, false).unwrap();
+        s.record_access(0, BlockAddr(9), true).unwrap();
+        assert!(s.reads_contain(0, B) && !s.writes_contain(0, B));
+        assert!(s.writes_contain(0, BlockAddr(9)));
+        assert_eq!(s.tracked_lines(0), 2);
+        // Re-touching a line reuses its slot; a read then write marks both.
+        s.record_access(0, B, true).unwrap();
+        assert!(s.reads_contain(0, B) && s.writes_contain(0, B));
+        assert_eq!(s.tracked_lines(0), 2);
+        s.commit(0, 10.0);
+        assert!(!s.is_active(0));
+        assert_eq!(s.stats().commits, 1);
+        assert_eq!(s.stats().begins, 1);
+    }
+
+    #[test]
+    fn overflowing_the_window_is_a_capacity_abort() {
+        let mut s = Speculation::new(
+            1,
+            SpecConfig {
+                capacity: 4,
+                max_retries: 1,
+            },
+        );
+        s.begin(0, 0.0);
+        for i in 0..4u64 {
+            s.record_access(0, BlockAddr(i), false).unwrap();
+        }
+        // A re-touch of a tracked line still fits...
+        s.record_access(0, BlockAddr(2), true).unwrap();
+        // ...but a fifth distinct line does not.
+        assert_eq!(
+            s.record_access(0, BlockAddr(99), false),
+            Err(AbortCause::Capacity)
+        );
+        s.abort(0, AbortCause::Capacity, 10.0);
+        assert_eq!(s.stats().aborts_capacity, 1);
+        assert!(!s.is_active(0));
+    }
+
+    #[test]
+    fn capacity_clamps_to_the_bitmask_width() {
+        let s = Speculation::new(
+            1,
+            SpecConfig {
+                capacity: 1000,
+                max_retries: 0,
+            },
+        );
+        assert_eq!(s.config().capacity, MAX_SPEC_LINES);
+    }
+
+    #[test]
+    fn remote_write_dooms_readers_and_writers() {
+        let mut dir = Directory::new();
+        let mut s = spec(3);
+        // Core 0 speculatively reads B, core 1 speculatively writes it.
+        s.begin(0, 0.0);
+        s.record_access(0, B, false).unwrap();
+        dir.on_read(0, B);
+        s.begin(1, 0.0);
+        s.record_access(1, B, true).unwrap();
+        s.observe_action(1, B, &dir.peek_write(1, B));
+        // Core 1's own write dooms the core-0 reader...
+        assert!(s.is_doomed(0) && !s.is_doomed(1));
+        dir.on_write(1, B);
+        // ...and a non-speculative write by core 2 dooms core 1 (write
+        // set) — doubly so, as owner-supplier and invalidation victim.
+        s.observe_action(2, B, &dir.peek_write(2, B));
+        dir.on_write(2, B);
+        assert!(s.is_doomed(1));
+        s.abort(0, AbortCause::Conflict, 10.0);
+        s.abort(1, AbortCause::Conflict, 10.0);
+        assert_eq!(s.stats().aborts_conflict, 2);
+    }
+
+    #[test]
+    fn remote_read_dooms_only_the_write_set() {
+        let mut dir = Directory::new();
+        let mut s = spec(3);
+        // Core 0 speculatively *reads* B: a remote read shares fine.
+        s.begin(0, 0.0);
+        s.record_access(0, B, false).unwrap();
+        dir.on_read(0, B);
+        s.observe_action(1, B, &dir.peek_read(1, B));
+        dir.on_read(1, B);
+        assert!(!s.is_doomed(0));
+        // Core 0 upgrades to a speculative write; now a remote read
+        // downgrades it (M -> S supplier) and must doom it.
+        s.record_access(0, B, true).unwrap();
+        dir.on_write(0, B);
+        s.observe_action(2, B, &dir.peek_read(2, B));
+        dir.on_read(2, B);
+        assert!(s.is_doomed(0));
+    }
+
+    #[test]
+    fn own_actions_never_doom_self_and_inactive_windows_ignore() {
+        let mut dir = Directory::new();
+        let mut s = spec(2);
+        s.begin(0, 0.0);
+        s.record_access(0, B, false).unwrap();
+        dir.on_read(0, B);
+        // Upgrading our own read to a write invalidates no one and the
+        // actor filter keeps us alive.
+        s.observe_action(0, B, &dir.peek_write(0, B));
+        dir.on_write(0, B);
+        assert!(!s.is_doomed(0));
+        // A conflicting action against a core with no open window is a
+        // no-op, and recording without a region is too.
+        s.observe_action(1, B, &dir.peek_write(1, B));
+        assert!(!s.is_doomed(1));
+        s.commit(0, 10.0);
+        s.record_access(0, B, true).unwrap();
+        assert_eq!(s.tracked_lines(0), 0);
+    }
+
+    #[test]
+    fn closed_windows_conflict_with_time_overlapping_requesters() {
+        let mut dir = Directory::new();
+        let mut s = spec(3);
+        // Core 0's transaction lives over [0, 50] and writes B.
+        s.begin(0, 0.0);
+        s.record_access(0, B, true).unwrap();
+        dir.on_write(0, B);
+        s.commit(0, 50.0);
+        // Core 1's region opened at 40 overlaps it: its read of B names
+        // core 0 (owner-supplier) and hits the archived write.
+        s.begin(1, 40.0);
+        assert!(s.conflicts(1, B, false, 45.0, &dir.peek_read(1, B)));
+        assert_eq!(s.region_start(1), 40.0);
+        // A different line is silent on the directory: no conflict.
+        assert!(!s.conflicts(
+            1,
+            BlockAddr(999),
+            true,
+            45.0,
+            &dir.peek_write(1, BlockAddr(999))
+        ));
+        s.commit(1, 46.0);
+        // Core 2's region starts after core 0's window ended: no overlap.
+        s.begin(2, 60.0);
+        assert!(!s.conflicts(2, B, false, 70.0, &dir.peek_read(2, B)));
+        // A requester with no open region has nothing to abort.
+        assert!(!s.conflicts(0, B, true, 70.0, &dir.peek_write(0, B)));
+    }
+
+    #[test]
+    fn archived_reads_conflict_only_with_writes() {
+        let mut dir = Directory::new();
+        let mut s = spec(2);
+        // Core 0's window [0, 50] only *reads* B.
+        s.begin(0, 0.0);
+        s.record_access(0, B, false).unwrap();
+        dir.on_read(0, B);
+        s.commit(0, 50.0);
+        s.begin(1, 10.0);
+        // Overlapping read-read shares fine (the read action is silent);
+        // an overlapping write invalidates core 0 and conflicts.
+        assert!(!s.conflicts(1, B, false, 20.0, &dir.peek_read(1, B)));
+        assert!(s.conflicts(1, B, true, 20.0, &dir.peek_write(1, B)));
+    }
+
+    #[test]
+    fn aborted_windows_are_archived_and_the_ring_is_bounded() {
+        let mut dir = Directory::new();
+        let mut s = spec(2);
+        // An *aborted* window still archives: its write to B executed.
+        s.begin(0, 0.0);
+        s.record_access(0, B, true).unwrap();
+        dir.on_write(0, B);
+        s.abort(0, AbortCause::Capacity, 50.0);
+        s.begin(1, 25.0);
+        assert!(s.conflicts(1, B, false, 30.0, &dir.peek_read(1, B)));
+        // The ring forgets beyond ARCHIVE_DEPTH closed windows.
+        for i in 0..(ARCHIVE_DEPTH + 3) as u64 {
+            s.begin(0, 100.0 + i as f64);
+            s.record_access(0, BlockAddr(100 + i), false).unwrap();
+            s.commit(0, 101.0 + i as f64);
+        }
+        assert_eq!(s.archive[0].len(), ARCHIVE_DEPTH);
+    }
+
+    #[test]
+    fn retry_and_fallback_counters_accumulate_discarded_work() {
+        let mut s = spec(1);
+        s.begin(0, 0.0);
+        s.abort(0, AbortCause::Conflict, 10.0);
+        s.note_retry(120.5);
+        s.begin(0, 0.0);
+        s.abort(0, AbortCause::Conflict, 10.0);
+        s.note_fallback(79.5);
+        let st = s.stats();
+        assert_eq!(st.begins, 2);
+        assert_eq!(st.retries, 1);
+        assert_eq!(st.fallbacks, 1);
+        assert_eq!(st.aborts(), 2);
+        assert!((st.discarded_cycles - 200.0).abs() < 1e-12);
+        assert!((st.abort_rate() - 1.0).abs() < 1e-12);
+        assert_eq!(SpecStats::default().abort_rate(), 0.0);
+    }
+}

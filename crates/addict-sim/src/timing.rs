@@ -89,6 +89,27 @@ impl TimingModel {
     pub fn context_switch(&self) -> f64 {
         self.cfg.migration_cycles
     }
+
+    /// Cycles to open a speculative (HTM) region: checkpoint the register
+    /// state and arm the read/write-set trackers. A handful of cycles on
+    /// real hardware (e.g. Intel RTM's XBEGIN); modeled as a small constant.
+    pub fn htm_begin(&self) -> f64 {
+        3.0
+    }
+
+    /// Cycles to commit a speculative region: atomically clear the set
+    /// trackers and retire the buffered stores.
+    pub fn htm_commit(&self) -> f64 {
+        5.0
+    }
+
+    /// Cycles to abort a speculative region: discard buffered stores and
+    /// restore the checkpoint. Modeled at roughly half a migration — the
+    /// checkpoint restore moves architectural state like a context switch
+    /// but stays core-local.
+    pub fn htm_abort(&self) -> f64 {
+        self.cfg.migration_cycles * 0.5
+    }
 }
 
 #[cfg(test)]
@@ -165,6 +186,17 @@ mod tests {
         let t = model();
         assert!((t.migration() - 90.0).abs() < 1e-9);
         assert_eq!(t.migration(), t.context_switch());
+    }
+
+    #[test]
+    fn htm_costs_are_ordered() {
+        let t = model();
+        // Begin is cheaper than commit, both far cheaper than an abort,
+        // and an abort stays under a full migration (core-local restore).
+        assert!(t.htm_begin() < t.htm_commit());
+        assert!(t.htm_commit() < t.htm_abort());
+        assert!(t.htm_abort() < t.migration());
+        assert!((t.htm_abort() - 45.0).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,349 @@
+//! Model-based property tests for the speculation subsystem: arbitrary
+//! interleavings of begin / speculative access / commit / abort / evict
+//! across four cores drive a real [`Speculation`] + [`Directory`] pair
+//! against a naive `HashSet`/`HashMap` shadow model, asserting after
+//! **every** operation:
+//!
+//! * read/write-set membership, tracked-line counts, and active/doomed
+//!   flags per core (the fixed-width bitmask windows vs naive sets);
+//! * capacity-abort results of `record_access` (`Ok` vs `Err(Capacity)`);
+//! * the peeked [`CoherenceAction`] against a protocol model of the
+//!   directory (supplier and invalidate mask, byte-for-byte);
+//! * holder-side dooming (`observe_action`) and requester-side
+//!   time-overlap conflicts (`conflicts`) against the shadow's archive
+//!   of closed windows;
+//! * directory sharer/owner state over the whole block universe (the
+//!   speculative protocol must leave the directory exactly as the plain
+//!   block path would);
+//! * the aggregate [`SpecStats`] ledger.
+//!
+//! Evictions deliberately touch only the directory: the model pins down
+//! that speculation windows survive them (the documented
+//! directory-as-sole-conflict-authority semantics).
+
+use std::collections::{HashMap, HashSet};
+
+use addict_sim::coherence::Directory;
+use addict_sim::{
+    AbortCause, BlockAddr, CoherenceAction, SpecConfig, SpecStats, Speculation, ARCHIVE_DEPTH,
+};
+use proptest::prelude::*;
+
+const CORES: usize = 4;
+const CAPACITY: usize = 6;
+
+/// Protocol model of the directory: block -> (sharer mask, owner).
+#[derive(Default)]
+struct DirModel {
+    blocks: HashMap<u64, (u64, Option<usize>)>,
+}
+
+impl DirModel {
+    /// The action a read/write by `core` produces (pure, like the peeks).
+    fn peek(&self, core: usize, block: u64, write: bool) -> (Option<usize>, u64) {
+        let Some(&(sharers, owner)) = self.blocks.get(&block) else {
+            return (None, 0);
+        };
+        let supplier = owner.filter(|&o| o != core);
+        let invalidate = if write { sharers & !(1 << core) } else { 0 };
+        (supplier, invalidate)
+    }
+
+    fn apply(&mut self, core: usize, block: u64, write: bool) {
+        let entry = self.blocks.entry(block).or_insert((0, None));
+        if write {
+            *entry = (1 << core, Some(core));
+        } else {
+            if entry.1.is_some_and(|o| o != core) {
+                entry.1 = None;
+            }
+            entry.0 |= 1 << core;
+        }
+    }
+
+    fn evict(&mut self, core: usize, block: u64) {
+        if let Some(entry) = self.blocks.get_mut(&block) {
+            entry.0 &= !(1 << core);
+            if entry.1 == Some(core) {
+                entry.1 = None;
+            }
+            if entry.0 == 0 {
+                self.blocks.remove(&block);
+            }
+        }
+    }
+}
+
+/// Shadow of one closed window: its sets plus lifetime interval.
+struct ShadowClosed {
+    reads: HashSet<u64>,
+    writes: HashSet<u64>,
+    start: f64,
+    end: f64,
+}
+
+/// Naive shadow of the whole speculation subsystem.
+struct Shadow {
+    dir: DirModel,
+    active: Vec<bool>,
+    doomed: Vec<bool>,
+    since: Vec<f64>,
+    reads: Vec<HashSet<u64>>,
+    writes: Vec<HashSet<u64>>,
+    archive: Vec<Vec<ShadowClosed>>,
+    stats: SpecStats,
+}
+
+impl Shadow {
+    fn new() -> Self {
+        Shadow {
+            dir: DirModel::default(),
+            active: vec![false; CORES],
+            doomed: vec![false; CORES],
+            since: vec![0.0; CORES],
+            reads: vec![HashSet::new(); CORES],
+            writes: vec![HashSet::new(); CORES],
+            archive: (0..CORES).map(|_| Vec::new()).collect(),
+            stats: SpecStats::default(),
+        }
+    }
+
+    fn begin(&mut self, core: usize, now: f64) {
+        self.active[core] = true;
+        self.doomed[core] = false;
+        self.since[core] = now;
+        self.reads[core].clear();
+        self.writes[core].clear();
+        self.stats.begins += 1;
+    }
+
+    fn close(&mut self, core: usize, end: f64) {
+        let ring = &mut self.archive[core];
+        if ring.len() == ARCHIVE_DEPTH {
+            ring.remove(0);
+        }
+        ring.push(ShadowClosed {
+            reads: std::mem::take(&mut self.reads[core]),
+            writes: std::mem::take(&mut self.writes[core]),
+            start: self.since[core],
+            end,
+        });
+        self.active[core] = false;
+        self.doomed[core] = false;
+    }
+
+    /// Mirrors `Speculation::record_access` (no-op when inactive).
+    fn record(&mut self, core: usize, block: u64, write: bool) -> Result<(), AbortCause> {
+        if !self.active[core] {
+            return Ok(());
+        }
+        let tracked: HashSet<&u64> = self.reads[core].union(&self.writes[core]).collect();
+        if !tracked.contains(&block) && tracked.len() >= CAPACITY {
+            return Err(AbortCause::Capacity);
+        }
+        if write {
+            self.writes[core].insert(block);
+        } else {
+            self.reads[core].insert(block);
+        }
+        Ok(())
+    }
+
+    /// Mirrors `Speculation::observe_action` over the model's action.
+    fn observe(&mut self, actor: usize, block: u64, supplier: Option<usize>, invalidate: u64) {
+        for victim in 0..CORES {
+            if victim != actor
+                && invalidate & (1 << victim) != 0
+                && self.active[victim]
+                && (self.reads[victim].contains(&block) || self.writes[victim].contains(&block))
+            {
+                self.doomed[victim] = true;
+            }
+        }
+        if let Some(s) = supplier {
+            if s != actor && self.active[s] && self.writes[s].contains(&block) {
+                self.doomed[s] = true;
+            }
+        }
+    }
+
+    /// Mirrors `Speculation::conflicts` over the model's action.
+    fn conflicts(
+        &self,
+        core: usize,
+        block: u64,
+        write: bool,
+        now: f64,
+        supplier: Option<usize>,
+        invalidate: u64,
+    ) -> bool {
+        if !self.active[core] {
+            return false;
+        }
+        let since = self.since[core];
+        let check = |victim: usize| {
+            victim != core
+                && self.archive[victim].iter().any(|cw| {
+                    cw.end >= since
+                        && cw.start <= now
+                        && (cw.writes.contains(&block) || (write && cw.reads.contains(&block)))
+                })
+        };
+        (0..CORES).any(|v| invalidate & (1 << v) != 0 && check(v)) || supplier.is_some_and(check)
+    }
+}
+
+/// One generated operation; `b` encodes a block from a small colliding
+/// universe, `dt` advances the logical clock.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Begin,
+    Access { write: bool },
+    Commit,
+    AbortConflict,
+    Evict,
+}
+
+fn arb_op() -> impl Strategy<Value = (Op, usize, u64, u32)> {
+    (
+        prop_oneof![
+            1 => Just(Op::Begin),
+            5 => any::<bool>().prop_map(|write| Op::Access { write }),
+            2 => Just(Op::Commit),
+            1 => Just(Op::AbortConflict),
+            1 => Just(Op::Evict),
+        ],
+        0usize..CORES,
+        // 12 distinct lines: small enough to conflict and overflow the
+        // 6-line capacity, large enough to form disjoint windows.
+        0u64..12,
+        1u32..50,
+    )
+}
+
+proptest! {
+    /// The real bitmask/archive implementation agrees with the naive
+    /// set-based shadow after every operation, peeked actions, conflict
+    /// verdicts, stats ledger, directory state, and all.
+    #[test]
+    fn speculation_matches_shadow_model(
+        ops in prop::collection::vec(arb_op(), 1..120),
+    ) {
+        let mut spec = Speculation::new(CORES, SpecConfig {
+            capacity: CAPACITY,
+            max_retries: 3,
+        });
+        let mut dir = Directory::new();
+        let mut shadow = Shadow::new();
+        let mut now = 0.0f64;
+
+        for (op, core, block, dt) in ops {
+            now += f64::from(dt);
+            let b = BlockAddr(block);
+            match op {
+                Op::Begin => {
+                    spec.begin(core, now);
+                    shadow.begin(core, now);
+                }
+                Op::Access { write } => {
+                    // Peek: the real action must match the protocol model.
+                    let action: CoherenceAction = if write {
+                        dir.peek_write(core, b)
+                    } else {
+                        dir.peek_read(core, b)
+                    };
+                    let (m_supplier, m_invalidate) = shadow.dir.peek(core, block, write);
+                    prop_assert_eq!(action.supplier, m_supplier);
+                    prop_assert_eq!(action.invalidate.0, m_invalidate);
+
+                    // Requester-side conflict verdicts agree...
+                    prop_assert_eq!(
+                        spec.conflicts(core, b, write, now, &action),
+                        shadow.conflicts(core, block, write, now, m_supplier, m_invalidate),
+                        "conflict verdict diverged: core {} block {} write {}", core, block, write
+                    );
+                    // ...then holder-side dooming applies identically.
+                    spec.observe_action(core, b, &action);
+                    shadow.observe(core, block, m_supplier, m_invalidate);
+
+                    // Recording the access aborts (capacity) identically.
+                    let real = spec.record_access(core, b, write);
+                    let model = shadow.record(core, block, write);
+                    prop_assert_eq!(real, model, "record diverged on core {}", core);
+                    if let Err(cause) = real {
+                        spec.abort(core, cause, now);
+                        shadow.close(core, now);
+                        shadow.stats.aborts_capacity += 1;
+                    }
+
+                    // The access executes: both directories advance.
+                    if write {
+                        dir.on_write(core, b);
+                    } else {
+                        dir.on_read(core, b);
+                    }
+                    shadow.dir.apply(core, block, write);
+                }
+                Op::Commit => {
+                    if spec.is_active(core) {
+                        spec.commit(core, now);
+                        shadow.close(core, now);
+                        shadow.stats.commits += 1;
+                    }
+                }
+                Op::AbortConflict => {
+                    if spec.is_active(core) {
+                        spec.abort(core, AbortCause::Conflict, now);
+                        shadow.close(core, now);
+                        shadow.stats.aborts_conflict += 1;
+                    }
+                }
+                Op::Evict => {
+                    // Evictions touch only the directory; windows survive.
+                    dir.on_evict(core, b);
+                    shadow.dir.evict(core, block);
+                }
+            }
+
+            // Per-core window state agrees over the whole block universe.
+            for c in 0..CORES {
+                prop_assert_eq!(spec.is_active(c), shadow.active[c], "active flag, core {}", c);
+                prop_assert_eq!(spec.is_doomed(c), shadow.doomed[c], "doomed flag, core {}", c);
+                if shadow.active[c] {
+                    let tracked: HashSet<&u64> =
+                        shadow.reads[c].union(&shadow.writes[c]).collect();
+                    prop_assert_eq!(spec.tracked_lines(c), tracked.len(), "tracked, core {}", c);
+                }
+                for probe in 0u64..12 {
+                    let pb = BlockAddr(probe);
+                    prop_assert_eq!(
+                        spec.reads_contain(c, pb),
+                        shadow.active[c] && shadow.reads[c].contains(&probe),
+                        "read set, core {} block {}", c, probe
+                    );
+                    prop_assert_eq!(
+                        spec.writes_contain(c, pb),
+                        shadow.active[c] && shadow.writes[c].contains(&probe),
+                        "write set, core {} block {}", c, probe
+                    );
+                }
+            }
+            // Directory state matches the protocol model: speculation
+            // peeks must have left no trace.
+            for probe in 0u64..12 {
+                let pb = BlockAddr(probe);
+                let expected = shadow.dir.blocks.get(&probe).copied();
+                for c in 0..CORES {
+                    prop_assert_eq!(
+                        dir.is_sharer(c, pb),
+                        expected.is_some_and(|(s, _)| s & (1 << c) != 0)
+                    );
+                }
+                prop_assert_eq!(dir.owner(pb), expected.and_then(|(_, o)| o));
+            }
+            prop_assert_eq!(dir.tracked_blocks(), shadow.dir.blocks.len());
+            // The stats ledger never drifts.
+            prop_assert_eq!(spec.stats(), &shadow.stats);
+        }
+    }
+}
