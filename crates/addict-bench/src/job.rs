@@ -194,6 +194,19 @@ pub fn threads_value(v: &str) -> Result<usize, SpecError> {
     }
 }
 
+/// Parse an intra-replay shard count: a positive integer, never a silent
+/// fallback. Used by `--shards` (the replay engine clamps it to the
+/// simulated core count per machine).
+pub fn shards_value(v: &str) -> Result<usize, SpecError> {
+    match v.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(SpecError::new(
+            "shards",
+            format!("--shards requires a positive integer, got {v:?}"),
+        )),
+    }
+}
+
 /// Parse a comma-separated benchmark list: known names only, never empty.
 /// Shared by `--benchmarks` and (name-by-name) the job spec's
 /// `benchmarks` field.
@@ -271,8 +284,36 @@ impl JobSpec {
         let a = crate::parse_bench_args_from(args, default_n)?;
         let mut spec = JobSpec::new(a.benchmarks, a.n_xcts);
         spec.threads = a.threads;
+        spec.dedup_lists();
         spec.validate()?;
         Ok(spec)
+    }
+
+    /// Collapse duplicate `benchmarks`/`schedulers`/`batch_sizes` entries,
+    /// keeping first-occurrence order. A repeated entry adds nothing to a
+    /// result (the grid would just replay the identical point), but it
+    /// *does* multiply [`JobSpec::grid_shape`] — and with it the admission
+    /// controller's reserved-bytes estimate and the deadline-relevant
+    /// sweep length — so a sloppy spec like `"benchmarks": ["tatp",
+    /// "tatp"]` would burn double the budget to say the same thing and
+    /// could tip an otherwise-admissible job into a 503. Both structured
+    /// entry points ([`JobSpec::from_json`], [`JobSpec::from_args`])
+    /// normalize through this before validating.
+    pub fn dedup_lists(&mut self) {
+        fn dedup_in_place<T: PartialEq + Copy>(v: &mut Vec<T>) {
+            let mut seen: Vec<T> = Vec::with_capacity(v.len());
+            v.retain(|&x| {
+                if seen.contains(&x) {
+                    false
+                } else {
+                    seen.push(x);
+                    true
+                }
+            });
+        }
+        dedup_in_place(&mut self.benchmarks);
+        dedup_in_place(&mut self.schedulers);
+        dedup_in_place(&mut self.batch_sizes);
     }
 
     /// Enforce the spec invariants the flag parsers enforce for the CLI:
@@ -471,6 +512,7 @@ impl JobSpec {
         if !saw_n {
             return Err(SpecError::new("n_xcts", "job is missing \"n_xcts\""));
         }
+        spec.dedup_lists();
         spec.validate()?;
         Ok(spec)
     }
@@ -840,6 +882,41 @@ mod tests {
         assert_eq!(loose.schedulers, SchedulerKind::ALL.to_vec());
         assert_eq!(loose.threads, 1);
         assert_eq!(loose.seed, EVAL_SEED);
+    }
+
+    /// Duplicate list entries collapse at the structured entry points:
+    /// the deduped spec's grid — and so the admission controller's
+    /// reserved-bytes estimate — matches the spec with each entry listed
+    /// once, in first-occurrence order.
+    #[test]
+    fn spec_json_dedupes_repeated_list_entries() {
+        let dup = JobSpec::from_json(
+            "{\"benchmarks\":[\"tatp\",\"tpcb\",\"tatp\",\"tpcb\",\"tatp\"],\
+             \"schedulers\":[\"addict\",\"baseline\",\"addict\"],\
+             \"batch_sizes\":[4,8,4],\"n_xcts\":60}",
+        )
+        .unwrap();
+        assert_eq!(dup.benchmarks, vec![Benchmark::Tatp, Benchmark::TpcB]);
+        assert_eq!(
+            dup.schedulers,
+            vec![SchedulerKind::Addict, SchedulerKind::Baseline]
+        );
+        assert_eq!(dup.batch_sizes, vec![4, 8]);
+        let once = JobSpec::from_json(
+            "{\"benchmarks\":[\"tatp\",\"tpcb\"],\
+             \"schedulers\":[\"addict\",\"baseline\"],\
+             \"batch_sizes\":[4,8],\"n_xcts\":60}",
+        )
+        .unwrap();
+        assert_eq!(dup, once);
+        assert_eq!(dup.grid_shape(), once.grid_shape());
+        // The CLI surface normalizes identically.
+        let argv: Vec<String> = ["job", "--xcts", "60", "--benchmarks", "tatp,tatp,tpcb,tatp"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        let s = JobSpec::from_args(&argv, 60).unwrap();
+        assert_eq!(s.benchmarks, vec![Benchmark::Tatp, Benchmark::TpcB]);
     }
 
     #[test]

@@ -54,6 +54,16 @@ pub struct ReplayConfig {
     /// per-block path; `false` forces per-event data execution (kept for
     /// the equivalence tests and the hot-path benchmarks).
     pub data_run_exec: bool,
+    /// Worker threads one replay's trace decoding is sharded across
+    /// (1 = the serial engine). Cores partition into contiguous shard
+    /// ranges the way blocks partition into LLC banks; each shard's
+    /// worker advances its threads' cursors independently up to a
+    /// conservative decode-ahead horizon, and the merge layer serializes
+    /// every machine effect in exactly the [`Cluster::earliest_of`] total
+    /// order (penalty, then lowest core id) — so N-shard replays
+    /// serialize **byte-identical** [`ReplayResult`]s to 1-shard runs.
+    /// Clamped to the core count.
+    pub shards: usize,
 }
 
 impl ReplayConfig {
@@ -68,12 +78,19 @@ impl ReplayConfig {
             power: PowerModel::default(),
             segment_exec: true,
             data_run_exec: true,
+            shards: 1,
         }
     }
 
     /// Same configuration with a different batch size (Section 4.5).
     pub fn with_batch_size(mut self, b: usize) -> Self {
         self.batch_size = b.max(1);
+        self
+    }
+
+    /// Same configuration sharded across `s` worker threads.
+    pub fn with_shards(mut self, s: usize) -> Self {
+        self.shards = s.max(1);
         self
     }
 }
@@ -340,7 +357,7 @@ pub fn batch_order<T: TraceSet + ?Sized>(traces: &T, batch_size: usize) -> Vec<V
 /// after that. Generic over the trace storage layout ([`TraceSet`]): the
 /// flat and interned forms replay through the identical engine, so they
 /// are bit-identical by construction.
-pub fn run_des<T: TraceSet + ?Sized, P: Policy>(
+pub fn run_des<T: TraceSet + Sync + ?Sized, P: Policy>(
     machine: &mut Machine,
     traces: &T,
     order: &[usize],
@@ -385,7 +402,7 @@ pub enum Admission {
 /// does not change the data contention patterns"). `None` admits everything
 /// immediately (Baseline dispatch, STREX's overloaded cores).
 #[allow(clippy::too_many_arguments)]
-pub fn run_des_admitted<T: TraceSet + ?Sized, P: Policy>(
+pub fn run_des_admitted<T: TraceSet + Sync + ?Sized, P: Policy>(
     machine: &mut Machine,
     traces: &T,
     order: &[usize],
@@ -394,6 +411,60 @@ pub fn run_des_admitted<T: TraceSet + ?Sized, P: Policy>(
     scheduler_name: &str,
     cfg: &ReplayConfig,
     admission: Admission,
+) -> ReplayResult {
+    // Admission queue: (tid, initial core, batch id) in dispatch order.
+    let pending: VecDeque<(usize, usize, usize)> = order
+        .iter()
+        .enumerate()
+        .map(|(dispatch_idx, &tid)| {
+            let batch = match &admission {
+                Admission::BatchSerial { batch_of, .. } => batch_of[dispatch_idx],
+                _ => 0,
+            };
+            (tid, placement(dispatch_idx, traces.xct_type(tid)), batch)
+        })
+        .collect();
+
+    let shards = cfg.shards.clamp(1, machine.n_cores().max(1));
+    if shards > 1 && !pending.is_empty() {
+        crate::shard::run_sharded(
+            machine,
+            traces,
+            pending,
+            policy,
+            scheduler_name,
+            cfg,
+            &admission,
+            shards,
+        )
+    } else {
+        des_loop(
+            machine,
+            traces,
+            pending,
+            policy,
+            scheduler_name,
+            cfg,
+            &admission,
+        )
+    }
+}
+
+/// The serial discrete-event loop over a pre-built admission queue: one
+/// [`TraceSet::fetch`] per step, machine effects applied in exactly the
+/// [`Cluster::earliest_of`] total order. Sharded replays run this same
+/// loop over a [`crate::shard::ShardedView`] — that is the whole
+/// byte-identity argument: only the trace *decoding* moves off-thread,
+/// never the merge.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn des_loop<T: TraceSet + ?Sized, P: Policy>(
+    machine: &mut Machine,
+    traces: &T,
+    mut pending: VecDeque<(usize, usize, usize)>,
+    policy: &mut P,
+    scheduler_name: &str,
+    cfg: &ReplayConfig,
+    admission: &Admission,
 ) -> ReplayResult {
     let n_cores = machine.n_cores();
     let mut cluster = Cluster::new(n_cores);
@@ -405,24 +476,26 @@ pub fn run_des_admitted<T: TraceSet + ?Sized, P: Policy>(
             finished_at: None,
         })
         .collect();
-
-    // Admission queue: (tid, initial core, batch id) in dispatch order.
-    let mut pending: VecDeque<(usize, usize, usize)> = order
-        .iter()
-        .enumerate()
-        .map(|(dispatch_idx, &tid)| {
-            let batch = match &admission {
-                Admission::BatchSerial { batch_of, .. } => batch_of[dispatch_idx],
-                _ => 0,
-            };
-            (tid, placement(dispatch_idx, traces.xct_type(tid)), batch)
-        })
-        .collect();
     let mut inflight = 0usize;
     let mut inflight_batch = 0usize; // id of the oldest in-flight batch
     let mut inflight_of_batch = 0usize;
+    // Cached earliest-start per core: `free_at[c].max(ready_at[head_c])`,
+    // `INFINITY` for an empty queue. The pick below is the hottest read in
+    // the whole engine — once per segment — and recomputing it from the
+    // queue heads touches 16 scattered `threads[tid]` entries, which fall
+    // out of the host cache as soon as the workload outgrows a few hundred
+    // traces (the STREX scaling falloff: an Admission::All scheduler keeps
+    // every queue non-empty, so each of its ~0.6-switches-per-ki picks
+    // paid 16 cold loads into a 10k-thread array). Every queue/clock
+    // mutation refreshes the 1-2 cores it touched; the cached value is
+    // always exactly the recomputed one, so the pick — same values, same
+    // scan order, same strict-< tie-break — is bit-identical to the
+    // uncached scan.
+    let mut head_start: Vec<f64> = vec![f64::INFINITY; n_cores];
     let admit = |pending: &mut VecDeque<(usize, usize, usize)>,
                  cluster: &mut Cluster,
+                 head_start: &mut [f64],
+                 threads: &[Thread<T::Cursor>],
                  inflight: &mut usize,
                  inflight_batch: &mut usize,
                  inflight_of_batch: &mut usize| {
@@ -430,7 +503,7 @@ pub fn run_des_admitted<T: TraceSet + ?Sized, P: Policy>(
             let Some(&(tid, core, batch)) = pending.front() else {
                 return;
             };
-            let admit_ok = match &admission {
+            let admit_ok = match admission {
                 Admission::All => true,
                 Admission::Bounded(max) => *inflight < (*max).max(1),
                 Admission::BatchSerial { inflight: max, .. } => {
@@ -453,11 +526,16 @@ pub fn run_des_admitted<T: TraceSet + ?Sized, P: Policy>(
             *inflight += 1;
             *inflight_of_batch += 1;
             cluster.queues[core].push_back(tid);
+            if cluster.queues[core].len() == 1 {
+                head_start[core] = cluster.free_at[core].max(threads[tid].ready_at);
+            }
         }
     };
     admit(
         &mut pending,
         &mut cluster,
+        &mut head_start,
+        &threads,
         &mut inflight,
         &mut inflight_batch,
         &mut inflight_of_batch,
@@ -471,19 +549,28 @@ pub fn run_des_admitted<T: TraceSet + ?Sized, P: Policy>(
     let mut data_run = DataRun::new();
 
     loop {
-        // Pick the runnable queue head that can start earliest.
+        // Pick the runnable queue head that can start earliest (the cached
+        // per-core starts; finite = non-empty queue).
         let mut best: Option<(usize, f64)> = None;
-        for core in 0..n_cores {
-            if let Some(&tid) = cluster.queues[core].front() {
-                let start = cluster.free_at[core].max(threads[tid].ready_at);
-                if best.is_none_or(|(_, b)| start < b) {
-                    best = Some((core, start));
-                }
+        for (core, &start) in head_start.iter().enumerate() {
+            if start.is_finite() && best.is_none_or(|(_, b)| start < b) {
+                best = Some((core, start));
             }
         }
         let Some((core, start)) = best else { break };
         let tid = cluster.queues[core].pop_front().expect("non-empty queue");
+        // Warm the next queued trace's storage while this segment replays.
+        // At scale the resident set outgrows L2, and yield-heavy admission
+        // (STREX rotates every ready trace) resumes a cold trace each
+        // pick; a pure prefetch hint hides that chain without touching
+        // any observable state, so bit-identity holds by construction.
+        if let Some(&next) = cluster.queues[core].front() {
+            traces.prefetch(next);
+        }
         cluster.busy[core] = true;
+        // Cores whose queue or clock this iteration touches; their cached
+        // starts refresh at the bottom of the loop.
+        let mut moved_to: Option<usize> = None;
 
         let mut now = start;
         threads[tid].started_at.get_or_insert(now);
@@ -509,6 +596,7 @@ pub fn run_des_admitted<T: TraceSet + ?Sized, P: Policy>(
                         let cost = machine.migrate(CoreId(core), CoreId(dest));
                         threads[tid].ready_at = now + cost;
                         cluster.queues[dest].push_back(tid);
+                        moved_to = Some(dest);
                         policy.on_moved(tid, dest);
                         true
                     }
@@ -605,6 +693,8 @@ pub fn run_des_admitted<T: TraceSet + ?Sized, P: Policy>(
                     admit(
                         &mut pending,
                         &mut cluster,
+                        &mut head_start,
+                        &threads,
                         &mut inflight,
                         &mut inflight_batch,
                         &mut inflight_of_batch,
@@ -654,6 +744,16 @@ pub fn run_des_admitted<T: TraceSet + ?Sized, P: Policy>(
         }
         cluster.busy[core] = false;
         cluster.free_at[core] = cluster.free_at[core].max(now);
+        // Refresh the cached starts of the touched cores: the executed
+        // core (popped head, possibly a yield re-queue, clock advanced)
+        // and a migration destination, if any. Admission refreshed its
+        // own pushes inside `admit`.
+        for c in std::iter::once(core).chain(moved_to) {
+            head_start[c] = match cluster.queues[c].front() {
+                Some(&t) => cluster.free_at[c].max(threads[t].ready_at),
+                None => f64::INFINITY,
+            };
+        }
     }
 
     let total_cycles = cluster.free_at.iter().copied().fold(0.0f64, f64::max);

@@ -1,0 +1,741 @@
+//! Intra-replay parallelism: shard one replay's trace decoding across
+//! worker threads without moving a single simulated event out of the
+//! serial discrete-event order.
+//!
+//! The obvious way to parallelize the replay — splitting the simulated
+//! cores into independently-clocked timestamp domains — changes results:
+//! every machine effect (directory transactions, queue pushes, policy
+//! consultations) is applied in the [`Cluster::earliest_of`] total order,
+//! and any speculation/rollback scheme that reorders them produces a
+//! *different*, not just differently-computed, `ReplayResult`. So this
+//! module parallelizes the one phase that is order-free: **decoding**.
+//! Walking a trace — resolving interned slices through the pool, splitting
+//! instruction runs, gathering data runs — touches no shared machine
+//! state and is a pure function of the trace. Workers pre-decode whole
+//! traces into flat [`DecodedTrace`] packet lists; the merge thread runs
+//! the *unchanged* serial engine ([`des_loop`]) over a [`ShardedView`]
+//! that serves fetches from decoded packets when a worker got there
+//! first and falls back to the underlying [`TraceSet`] inline otherwise.
+//! Byte-identity is therefore by construction, not by protocol: the
+//! engine observes the exact same [`Fetched`] sequence either way.
+//!
+//! Cores partition into contiguous shard ranges exactly the way block
+//! addresses partition into LLC banks (`shard = core * shards / n_cores`);
+//! each shard's worker decodes the traces initially placed on its cores,
+//! in dispatch order, throttled to [`DECODE_AHEAD`] traces past the merge
+//! frontier so memory stays bounded.
+//!
+//! [`Cluster::earliest_of`]: crate::replay::Cluster::earliest_of
+
+use std::cell::{Cell, RefCell, UnsafeCell};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use addict_sim::{BlockAddr, DataAccess, Machine};
+use addict_trace::event::FlatEvent;
+use addict_trace::set::{DataRun, Fetched, TraceSet};
+use addict_trace::XctTypeId;
+
+use crate::replay::{des_loop, Admission, Policy, ReplayConfig, ReplayResult};
+
+/// How many traces a shard's worker may decode past the merge frontier.
+/// Bounds resident decoded memory to `shards * DECODE_AHEAD` traces.
+const DECODE_AHEAD: usize = 64;
+
+/// One replay step's worth of pre-decoded trace, exactly as the serial
+/// engine would fetch it: instruction runs whole, markers singly, and
+/// consecutive data accesses coalesced into maximal runs (so a decoded
+/// gather returns the same run length the underlying layout would).
+#[derive(Debug, Clone, Copy)]
+enum Packet {
+    /// A whole instruction run (`fetch` at offset `off` inside it reports
+    /// `Run { block + off, n_blocks - off, ipb }`, like the flat layout).
+    Run {
+        /// First instruction block of the run.
+        block: BlockAddr,
+        /// Blocks in the run.
+        n_blocks: u16,
+        /// Dynamic instructions charged per block visit.
+        ipb: u16,
+    },
+    /// A non-data, non-run event (transaction/operation markers).
+    Marker(FlatEvent),
+    /// A maximal run of consecutive data accesses, stored out-of-line in
+    /// [`DecodedTrace::data`]. Maximality matters: two `Data` packets are
+    /// never adjacent, so a decoded gather at offset `dpos` reports
+    /// `len - dpos` accesses — identical to the underlying layout's scan.
+    Data {
+        /// Start index into [`DecodedTrace::data`].
+        start: u32,
+        /// Accesses in the run.
+        len: u32,
+    },
+}
+
+/// A fully decoded trace: the packet sequence plus the flattened data
+/// accesses the `Data` packets point into.
+#[derive(Debug, Default)]
+struct DecodedTrace {
+    packets: Vec<Packet>,
+    data: Vec<DataAccess>,
+}
+
+/// Decode one whole trace by walking it through the [`TraceSet`] cursor
+/// API — the same walk the serial engine performs, minus the machine.
+fn decode_trace<T: TraceSet + ?Sized>(set: &T, tid: usize) -> DecodedTrace {
+    let mut out = DecodedTrace::default();
+    let mut run = DataRun::new();
+    let mut cur = T::Cursor::default();
+    loop {
+        match set.fetch(tid, cur) {
+            Fetched::End => break,
+            Fetched::Run { block, rem, ipb } => {
+                // The cursor always stands at a run head here (runs are
+                // consumed whole below), so `rem` is the full run length.
+                out.packets.push(Packet::Run {
+                    block,
+                    n_blocks: rem,
+                    ipb,
+                });
+                set.advance_run(tid, &mut cur, rem, rem);
+            }
+            Fetched::Event(ev @ FlatEvent::Data { .. }) => {
+                let n = set.gather_data_run(tid, cur, &mut run);
+                if n == 0 {
+                    // Defensive: a layout whose gather disagrees with its
+                    // fetch. Fall back to a per-event packet.
+                    out.packets.push(Packet::Marker(ev));
+                    set.advance_event(tid, &mut cur, ev);
+                    continue;
+                }
+                let start = out.data.len() as u32;
+                out.data.extend_from_slice(run.accesses());
+                out.packets.push(Packet::Data {
+                    start,
+                    len: n as u32,
+                });
+                set.advance_data_run(tid, &mut cur, n);
+            }
+            Fetched::Event(ev) => {
+                out.packets.push(Packet::Marker(ev));
+                set.advance_event(tid, &mut cur, ev);
+            }
+        }
+    }
+    out
+}
+
+/// Slot states: who owns `Slot::buf`.
+const EMPTY: u8 = 0; // nobody started; worker may CAS to FILLING, merge to CLAIMED
+const FILLING: u8 = 1; // the worker owns the buffer (mid-decode)
+const READY: u8 = 2; // the worker published a decoded buffer
+const CLAIMED: u8 = 3; // the merge thread owns the outcome; terminal
+
+/// One trace's handoff cell between its shard worker and the merge thread.
+///
+/// The state machine makes buffer access exclusive: only the thread that
+/// CASes `EMPTY -> FILLING` writes `buf`, and only the thread that CASes
+/// `READY -> CLAIMED` (acquiring the worker's release store) reads it.
+struct Slot {
+    state: AtomicU8,
+    buf: UnsafeCell<Option<Box<DecodedTrace>>>,
+}
+
+// SAFETY: `buf` is only touched under the state-machine ownership
+// protocol documented on the type — never by two threads at once.
+unsafe impl Sync for Slot {}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            state: AtomicU8::new(EMPTY),
+            buf: UnsafeCell::new(None),
+        }
+    }
+}
+
+/// Per-shard merge progress, used to throttle that shard's worker.
+struct ShardProgress {
+    /// Traces of this shard the merge has finished replaying.
+    done: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl ShardProgress {
+    fn new() -> Self {
+        ShardProgress {
+            done: Mutex::new(0),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// Block until decoding trace `pos` of this shard is within
+/// [`DECODE_AHEAD`] of the merge frontier. Returns `false` on shutdown.
+fn wait_for_headroom(progress: &ShardProgress, pos: usize, shutdown: &AtomicBool) -> bool {
+    let mut done = progress.done.lock().unwrap_or_else(|e| e.into_inner());
+    while pos >= *done + DECODE_AHEAD {
+        if shutdown.load(Ordering::Relaxed) {
+            return false;
+        }
+        done = progress.cv.wait(done).unwrap_or_else(|e| e.into_inner());
+    }
+    true
+}
+
+/// A shard's worker: decode the traces initially placed on this shard's
+/// cores, in dispatch order, skipping any the merge already started
+/// inline.
+fn decode_worker<T: TraceSet + ?Sized>(
+    set: &T,
+    owned: &[usize],
+    slots: &[Slot],
+    progress: &ShardProgress,
+    shutdown: &AtomicBool,
+) {
+    for (pos, &tid) in owned.iter().enumerate() {
+        if !wait_for_headroom(progress, pos, shutdown) || shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        let slot = &slots[tid];
+        if slot
+            .state
+            .compare_exchange(EMPTY, FILLING, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            // The merge fetched this trace first (it replays inline) or
+            // already finished it. Either way our decode would be wasted.
+            continue;
+        }
+        let decoded = Box::new(decode_trace(set, tid));
+        // SAFETY: we won the EMPTY -> FILLING CAS, so we exclusively own
+        // `buf` until the release store below publishes it.
+        unsafe { *slot.buf.get() = Some(decoded) };
+        slot.state.store(READY, Ordering::Release);
+    }
+}
+
+/// How the merge thread replays a given trace.
+const MODE_UNSET: u8 = 0;
+const MODE_INLINE: u8 = 1; // straight off the underlying TraceSet
+const MODE_DECODED: u8 = 2; // off a worker's DecodedTrace
+
+/// Cursor over a [`ShardedView`]: the underlying cursor (driven in inline
+/// mode) plus the decoded-packet position (driven in decoded mode). Which
+/// half is live is a per-trace property fixed at the first fetch, so the
+/// dead half simply stays at its default.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ShardedCursor<C> {
+    inner: C,
+    /// Index into [`DecodedTrace::packets`].
+    pkt: u32,
+    /// Block offset inside the current `Run` packet.
+    off: u16,
+    /// Access offset inside the current `Data` packet.
+    dpos: u32,
+}
+
+/// The merge thread's [`TraceSet`]: serves each trace either from its
+/// worker-decoded packet list or straight from the underlying set —
+/// whichever is available at the *first* fetch. Crucially the merge
+/// **never blocks on a worker**: a trace still mid-decode (`FILLING`)
+/// replays inline, so a slow worker can delay nothing, only waste its
+/// own decode.
+///
+/// Deliberately `!Sync` (interior mutability via `Cell`/`RefCell`): it
+/// lives on the merge thread only, which is exactly why [`des_loop`]
+/// carries no `Sync` bound.
+pub(crate) struct ShardedView<'a, T: ?Sized> {
+    inner: &'a T,
+    slots: &'a [Slot],
+    progress: &'a [ShardProgress],
+    /// Shard each trace's decode belongs to (by initial core placement).
+    shard_of_tid: Vec<u16>,
+    /// Replay mode per trace, resolved at first fetch.
+    modes: Vec<Cell<u8>>,
+    /// Whether the trace reached `End` (guards double-counting progress).
+    finished: Vec<Cell<bool>>,
+    /// Claimed decoded buffers, dropped as soon as their trace finishes.
+    decoded: Vec<RefCell<Option<Box<DecodedTrace>>>>,
+}
+
+impl<'a, T: TraceSet + ?Sized> ShardedView<'a, T> {
+    fn new(
+        inner: &'a T,
+        slots: &'a [Slot],
+        progress: &'a [ShardProgress],
+        shard_of_tid: Vec<u16>,
+    ) -> Self {
+        let n = inner.len();
+        ShardedView {
+            inner,
+            slots,
+            progress,
+            shard_of_tid,
+            modes: (0..n).map(|_| Cell::new(MODE_UNSET)).collect(),
+            finished: (0..n).map(|_| Cell::new(false)).collect(),
+            decoded: (0..n).map(|_| RefCell::new(None)).collect(),
+        }
+    }
+
+    /// The trace's replay mode, locked in at the first call: claim the
+    /// decoded buffer if the worker published one, otherwise go inline —
+    /// never wait.
+    fn mode_of(&self, idx: usize) -> u8 {
+        let m = self.modes[idx].get();
+        if m != MODE_UNSET {
+            return m;
+        }
+        let slot = &self.slots[idx];
+        let m = if slot
+            .state
+            .compare_exchange(EMPTY, CLAIMED, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            // Claimed before the worker got there: it will skip this tid.
+            MODE_INLINE
+        } else if slot
+            .state
+            .compare_exchange(READY, CLAIMED, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            // SAFETY: the acquire CAS from READY pairs with the worker's
+            // release store; we now exclusively own `buf`.
+            let buf = unsafe { (*slot.buf.get()).take() };
+            let got = buf.is_some();
+            *self.decoded[idx].borrow_mut() = buf;
+            if got {
+                MODE_DECODED
+            } else {
+                MODE_INLINE
+            }
+        } else {
+            // FILLING: the worker is mid-decode. Replaying inline is
+            // always correct, so never wait (its buffer, published later,
+            // is freed by `note_end` or when the slots drop).
+            MODE_INLINE
+        };
+        self.modes[idx].set(m);
+        m
+    }
+
+    /// Record that trace `idx` fetched `End`: release its decoded buffer,
+    /// retire its slot, and advance its shard's merge frontier so the
+    /// worker may decode further ahead. Idempotent.
+    fn note_end(&self, idx: usize) {
+        if self.finished[idx].get() {
+            return;
+        }
+        self.finished[idx].set(true);
+        *self.decoded[idx].borrow_mut() = None;
+        let slot = &self.slots[idx];
+        if slot
+            .state
+            .compare_exchange(EMPTY, CLAIMED, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+            && slot
+                .state
+                .compare_exchange(READY, CLAIMED, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+        {
+            // An inline-replayed trace whose decode finished anyway:
+            // free the unused buffer now rather than at teardown.
+            // SAFETY: the acquire CAS from READY grants buffer ownership.
+            unsafe { *slot.buf.get() = None };
+        }
+        if let Some(p) = self.progress.get(usize::from(self.shard_of_tid[idx])) {
+            let mut done = p.done.lock().unwrap_or_else(|e| e.into_inner());
+            *done += 1;
+            p.cv.notify_all();
+        }
+    }
+}
+
+impl<T: TraceSet + ?Sized> TraceSet for ShardedView<'_, T> {
+    type Cursor = ShardedCursor<T::Cursor>;
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn xct_type(&self, idx: usize) -> XctTypeId {
+        self.inner.xct_type(idx)
+    }
+
+    fn instructions_of(&self, idx: usize) -> u64 {
+        self.inner.instructions_of(idx)
+    }
+
+    fn fetch(&self, idx: usize, cur: Self::Cursor) -> Fetched {
+        let fetched = if self.mode_of(idx) == MODE_DECODED {
+            let d = self.decoded[idx].borrow();
+            match d.as_deref() {
+                // Finished already (buffer released): only `End` remains.
+                None => Fetched::End,
+                Some(d) => match d.packets.get(cur.pkt as usize) {
+                    None => Fetched::End,
+                    Some(&Packet::Run {
+                        block,
+                        n_blocks,
+                        ipb,
+                    }) => Fetched::Run {
+                        block: BlockAddr(block.0 + u64::from(cur.off)),
+                        rem: n_blocks - cur.off,
+                        ipb,
+                    },
+                    Some(&Packet::Marker(ev)) => Fetched::Event(ev),
+                    Some(&Packet::Data { start, .. }) => {
+                        let a = d.data[(start + cur.dpos) as usize];
+                        Fetched::Event(FlatEvent::Data {
+                            block: a.block,
+                            write: a.write,
+                        })
+                    }
+                },
+            }
+        } else {
+            self.inner.fetch(idx, cur.inner)
+        };
+        if matches!(fetched, Fetched::End) {
+            self.note_end(idx);
+        }
+        fetched
+    }
+
+    fn advance_run(&self, idx: usize, cur: &mut Self::Cursor, rem: u16, k: u16) {
+        if self.mode_of(idx) == MODE_DECODED {
+            debug_assert!(k >= 1 && k <= rem);
+            if k == rem {
+                cur.pkt += 1;
+                cur.off = 0;
+            } else {
+                cur.off += k;
+            }
+        } else {
+            self.inner.advance_run(idx, &mut cur.inner, rem, k);
+        }
+    }
+
+    fn advance_event(&self, idx: usize, cur: &mut Self::Cursor, ev: FlatEvent) {
+        if self.mode_of(idx) == MODE_DECODED {
+            let d = self.decoded[idx].borrow();
+            let Some(d) = d.as_deref() else { return };
+            match d.packets.get(cur.pkt as usize) {
+                Some(&Packet::Data { len, .. }) => {
+                    cur.dpos += 1;
+                    if cur.dpos == len {
+                        cur.pkt += 1;
+                        cur.dpos = 0;
+                    }
+                }
+                _ => {
+                    cur.pkt += 1;
+                    cur.dpos = 0;
+                }
+            }
+        } else {
+            self.inner.advance_event(idx, &mut cur.inner, ev);
+        }
+    }
+
+    fn gather_data_run(&self, idx: usize, cur: Self::Cursor, run: &mut DataRun) -> usize {
+        if self.mode_of(idx) == MODE_DECODED {
+            run.clear();
+            let d = self.decoded[idx].borrow();
+            let Some(d) = d.as_deref() else { return 0 };
+            let Some(&Packet::Data { start, len }) = d.packets.get(cur.pkt as usize) else {
+                return 0;
+            };
+            // `Data` packets are maximal runs, so the gather is exactly
+            // this packet's remainder — same length the underlying
+            // layout's scan would report.
+            for a in &d.data[(start + cur.dpos) as usize..(start + len) as usize] {
+                run.push(*a);
+            }
+            (len - cur.dpos) as usize
+        } else {
+            self.inner.gather_data_run(idx, cur.inner, run)
+        }
+    }
+
+    fn advance_data_run(&self, idx: usize, cur: &mut Self::Cursor, k: usize) {
+        if self.mode_of(idx) == MODE_DECODED {
+            let d = self.decoded[idx].borrow();
+            let Some(d) = d.as_deref() else { return };
+            let Some(&Packet::Data { len, .. }) = d.packets.get(cur.pkt as usize) else {
+                debug_assert!(false, "advance_data_run off a data packet");
+                return;
+            };
+            debug_assert!(k as u32 <= len - cur.dpos);
+            cur.dpos += k as u32;
+            if cur.dpos == len {
+                cur.pkt += 1;
+                cur.dpos = 0;
+            }
+        } else {
+            self.inner.advance_data_run(idx, &mut cur.inner, k);
+        }
+    }
+
+    #[inline]
+    fn prefetch(&self, idx: usize) {
+        // Decoded traces live in per-shard buffers the merge just
+        // claimed (still warm); only inline-fallback traces walk the
+        // inner set's cold storage.
+        if self.mode_of(idx) != MODE_DECODED {
+            self.inner.prefetch(idx);
+        }
+    }
+}
+
+/// On drop (normal return or merge panic), wake every parked worker so
+/// the scope's implicit join can never deadlock.
+struct ShutdownGuard<'a> {
+    shutdown: &'a AtomicBool,
+    progress: &'a [ShardProgress],
+}
+
+impl Drop for ShutdownGuard<'_> {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        for p in self.progress {
+            let _done = p.done.lock().unwrap_or_else(|e| e.into_inner());
+            p.cv.notify_all();
+        }
+    }
+}
+
+/// Run one replay with its trace decoding sharded across `shards` worker
+/// threads (the merge — the serial engine itself — runs on the calling
+/// thread). Byte-identical to [`des_loop`] over `traces` directly.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_sharded<T: TraceSet + Sync + ?Sized, P: Policy>(
+    machine: &mut Machine,
+    traces: &T,
+    pending: VecDeque<(usize, usize, usize)>,
+    policy: &mut P,
+    scheduler_name: &str,
+    cfg: &ReplayConfig,
+    admission: &Admission,
+    shards: usize,
+) -> ReplayResult {
+    let n_cores = machine.n_cores().max(1);
+    let n = traces.len();
+    // Contiguous core ranges map to shards the way blocks map to LLC
+    // banks; a trace decodes on the shard of its initial placement core.
+    let mut shard_of_tid = vec![0u16; n];
+    let mut owned: Vec<Vec<usize>> = vec![Vec::new(); shards];
+    for &(tid, core, _batch) in &pending {
+        let s = (core.min(n_cores - 1) * shards) / n_cores;
+        shard_of_tid[tid] = s as u16;
+        owned[s].push(tid);
+    }
+    let slots: Vec<Slot> = (0..n).map(|_| Slot::new()).collect();
+    let progress: Vec<ShardProgress> = (0..shards).map(|_| ShardProgress::new()).collect();
+    let shutdown = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        for (s, tids) in owned.iter().enumerate() {
+            if tids.is_empty() {
+                continue;
+            }
+            let (slots, progress, shutdown) = (&slots, &progress[s], &shutdown);
+            scope.spawn(move || decode_worker(traces, tids, slots, progress, shutdown));
+        }
+        // Declared after the spawns, inside the scope closure: drops (and
+        // wakes the workers) before the scope's implicit join, even if
+        // the merge below panics.
+        let _guard = ShutdownGuard {
+            shutdown: &shutdown,
+            progress: &progress,
+        };
+        let view = ShardedView::new(traces, &slots, &progress, shard_of_tid);
+        des_loop(
+            machine,
+            &view,
+            pending,
+            policy,
+            scheduler_name,
+            cfg,
+            admission,
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use addict_sim::SimConfig;
+    use addict_trace::event::{OpKind, TraceEvent, XctTrace};
+    use addict_trace::set::flat_events_of;
+
+    fn mini_traces() -> Vec<XctTrace> {
+        (0..6u64)
+            .map(|i| XctTrace {
+                xct_type: XctTypeId((i % 2) as u16),
+                events: vec![
+                    TraceEvent::XctBegin {
+                        xct_type: XctTypeId((i % 2) as u16),
+                    },
+                    TraceEvent::OpBegin { op: OpKind::Probe },
+                    TraceEvent::Instr {
+                        block: BlockAddr(0x40 + i * 0x100),
+                        n_blocks: 4,
+                        ipb: 5,
+                    },
+                    TraceEvent::Data {
+                        block: BlockAddr(0x9000 + i * 64),
+                        write: i % 2 == 0,
+                    },
+                    TraceEvent::Data {
+                        block: BlockAddr(0x9000),
+                        write: true,
+                    },
+                    TraceEvent::Instr {
+                        block: BlockAddr(0x80 + i * 0x100),
+                        n_blocks: 2,
+                        ipb: 3,
+                    },
+                    TraceEvent::OpEnd { op: OpKind::Probe },
+                    TraceEvent::XctEnd,
+                ],
+            })
+            .collect()
+    }
+
+    /// A view whose every trace was decoded (worker won every slot) walks
+    /// to the identical flat event sequence as the underlying set, and
+    /// its gathers report the identical runs at every position.
+    #[test]
+    fn decoded_view_is_observationally_identical() {
+        let traces = mini_traces();
+        let set = traces.as_slice();
+        let n = TraceSet::len(set);
+        let slots: Vec<Slot> = (0..n).map(|_| Slot::new()).collect();
+        for (tid, slot) in slots.iter().enumerate() {
+            unsafe { *slot.buf.get() = Some(Box::new(decode_trace(set, tid))) };
+            slot.state.store(READY, Ordering::Release);
+        }
+        let progress = [ShardProgress::new()];
+        let view = ShardedView::new(set, &slots, &progress, vec![0u16; n]);
+        for tid in 0..n {
+            assert_eq!(flat_events_of(&view, tid), flat_events_of(set, tid));
+            assert_eq!(view.modes[tid].get(), MODE_DECODED, "decode was claimed");
+        }
+        // Gather equivalence at every data position of trace 0 — on a
+        // fresh view, since the walk above already retired every trace
+        // (a finished trace only fetches `End`).
+        let slots: Vec<Slot> = (0..n).map(|_| Slot::new()).collect();
+        for (tid, slot) in slots.iter().enumerate() {
+            unsafe { *slot.buf.get() = Some(Box::new(decode_trace(set, tid))) };
+            slot.state.store(READY, Ordering::Release);
+        }
+        let view = ShardedView::new(set, &slots, &progress, vec![0u16; n]);
+        let mut vc = <ShardedView<'_, [XctTrace]> as TraceSet>::Cursor::default();
+        let mut uc = <[XctTrace] as TraceSet>::Cursor::default();
+        let mut vrun = DataRun::new();
+        let mut urun = DataRun::new();
+        loop {
+            let n = view.gather_data_run(0, vc, &mut vrun);
+            assert_eq!(set.gather_data_run(0, uc, &mut urun), n);
+            assert_eq!(vrun.accesses(), urun.accesses());
+            if n > 0 {
+                // Consume partially so mid-run positions are exercised.
+                let k = 1.max(n / 2);
+                view.advance_data_run(0, &mut vc, k);
+                set.advance_data_run(0, &mut uc, k);
+                continue;
+            }
+            match set.fetch(0, uc) {
+                Fetched::End => {
+                    assert!(matches!(view.fetch(0, vc), Fetched::End));
+                    break;
+                }
+                Fetched::Run { rem, .. } => {
+                    view.advance_run(0, &mut vc, rem, 1);
+                    set.advance_run(0, &mut uc, rem, 1);
+                }
+                Fetched::Event(ev) => {
+                    view.advance_event(0, &mut vc, ev);
+                    set.advance_event(0, &mut uc, ev);
+                }
+            }
+        }
+    }
+
+    /// A merge that claims a slot first replays inline and the worker
+    /// skips it; `note_end` retires slots and frees unused buffers.
+    #[test]
+    fn inline_claim_beats_worker_and_end_retires_slots() {
+        let traces = mini_traces();
+        let set = traces.as_slice();
+        let n = TraceSet::len(set);
+        let slots: Vec<Slot> = (0..n).map(|_| Slot::new()).collect();
+        let progress = [ShardProgress::new()];
+        let view = ShardedView::new(set, &slots, &progress, vec![0u16; n]);
+        // First fetch claims EMPTY -> inline mode.
+        assert!(matches!(
+            view.fetch(0, Default::default()),
+            Fetched::Event(_)
+        ));
+        assert_eq!(view.modes[0].get(), MODE_INLINE);
+        assert_eq!(slots[0].state.load(Ordering::Relaxed), CLAIMED);
+        // The worker now skips tid 0 entirely and decodes the rest.
+        let shutdown = AtomicBool::new(false);
+        let owned: Vec<usize> = (0..n).collect();
+        decode_worker(set, &owned, &slots, &progress[0], &shutdown);
+        assert_eq!(slots[0].state.load(Ordering::Relaxed), CLAIMED);
+        assert_eq!(slots[1].state.load(Ordering::Relaxed), READY);
+        // Replay trace 1 from its decode, to End: slot retires, the
+        // buffer is released, and the shard frontier advances.
+        assert_eq!(flat_events_of(&view, 1), flat_events_of(set, 1));
+        assert_eq!(view.modes[1].get(), MODE_DECODED);
+        assert_eq!(slots[1].state.load(Ordering::Relaxed), CLAIMED);
+        assert!(view.decoded[1].borrow().is_none());
+        assert_eq!(*progress[0].done.lock().unwrap(), 1);
+    }
+
+    /// The tentpole contract, end to end on the real engine: a sharded
+    /// replay serializes byte-identically to the serial one.
+    #[test]
+    fn sharded_replay_is_byte_identical() {
+        struct Noop;
+        impl Policy for Noop {
+            fn segment_granular(&self) -> bool {
+                true
+            }
+            fn data_run_granular(&self) -> bool {
+                true
+            }
+            fn observes_misses(&self) -> bool {
+                false
+            }
+        }
+        let traces = mini_traces();
+        let order: Vec<usize> = (0..traces.len()).collect();
+        let run = |shards: usize| {
+            let cfg = ReplayConfig {
+                sim: SimConfig::paper_default().with_cores(4),
+                ..ReplayConfig::paper_default()
+            }
+            .with_shards(shards);
+            let mut machine = Machine::new(&cfg.sim);
+            let r = crate::replay::run_des(
+                &mut machine,
+                traces.as_slice(),
+                &order,
+                |i, _| i % 4,
+                &mut Noop,
+                "noop",
+                &cfg,
+            );
+            format!("{r:#?}")
+        };
+        let serial = run(1);
+        assert_eq!(run(2), serial, "2-shard replay diverged");
+        assert_eq!(run(4), serial, "4-shard replay diverged");
+        // Over-asking is clamped to the core count, not an error.
+        assert_eq!(run(64), serial, "clamped-shard replay diverged");
+    }
+}

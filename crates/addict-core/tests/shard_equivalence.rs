@@ -1,0 +1,225 @@
+//! Sharded replay must be *observationally identical* to serial replay:
+//! byte-identical serialized `ReplayResult`s — `MachineStats`, makespan,
+//! per-transaction latencies, power, speculation counters — whether one
+//! simulation's trace decoding runs on the merge thread (`shards = 1`) or
+//! is sharded across worker threads (`shards = 2, 4`). The shard layer
+//! moves *decoding* off-thread, never the discrete-event merge, so any
+//! divergence is a bug in the decoded-packet view, not a tolerated race.
+//!
+//! Same obligation for the banked coherence directory: partitioning the
+//! block-address space across per-bank tables may never change a single
+//! coherence action, sharer set, or owner relative to the monolithic
+//! directory.
+
+use addict_core::algorithm1::find_migration_points;
+use addict_core::replay::{ReplayConfig, ReplayResult};
+use addict_core::sched::{run_scheduler, SchedulerKind};
+use addict_sim::coherence::Directory;
+use addict_sim::{BlockAddr, SimConfig};
+use addict_trace::{InternedWorkload, OpKind, TraceEvent, XctTrace, XctTypeId};
+use addict_workloads::{collect_traces, Benchmark};
+use proptest::prelude::*;
+
+/// Canonical byte form of a replay outcome: `Debug` covers every field and
+/// renders `f64` shortest-roundtrip, so byte equality is bit equality.
+fn serialize(r: &ReplayResult) -> Vec<u8> {
+    format!("{r:#?}").into_bytes()
+}
+
+/// Run one scheduler at 1, 2, and 4 shards and assert every sharded
+/// replay serializes byte-identically to the serial one.
+fn assert_shard_equivalent(kind: SchedulerKind, traces: &[XctTrace], cfg: &ReplayConfig) {
+    let map = find_migration_points(traces, cfg.sim.l1i);
+    let run = |shards: usize| -> Vec<u8> {
+        let cfg = cfg.clone().with_shards(shards);
+        serialize(&run_scheduler(kind, traces, Some(&map), &cfg))
+    };
+    let serial = run(1);
+    for shards in [2usize, 4] {
+        assert_eq!(run(shards), serial, "{kind:?} diverged at {shards} shards");
+    }
+}
+
+/// A transaction with multi-block instruction runs interleaved with data
+/// runs — the shape that exercises decoded `Run` packet splitting at
+/// watched blocks, mid-run yields, and partial data-run consumption.
+fn arb_trace() -> impl Strategy<Value = XctTrace> {
+    let op = prop_oneof![
+        Just(OpKind::Probe),
+        Just(OpKind::Scan),
+        Just(OpKind::Update),
+        Just(OpKind::Insert),
+    ];
+    (
+        0u16..3,
+        prop::collection::vec((op, 1u16..80, 0u64..4, 0u8..7), 1..6),
+    )
+        .prop_map(|(ty, ops)| {
+            let mut events = vec![TraceEvent::XctBegin {
+                xct_type: XctTypeId(ty),
+            }];
+            for (kind, blocks, base_sel, data) in ops {
+                events.push(TraceEvent::OpBegin { op: kind });
+                events.push(TraceEvent::Instr {
+                    block: BlockAddr(0x1000 + base_sel * 0x90),
+                    n_blocks: blocks,
+                    ipb: 8,
+                });
+                // The `ty % 2` overlap makes different types write the
+                // same blocks, so shards race decode against traces whose
+                // replays conflict in the directory.
+                for d in 0..u64::from(data) {
+                    events.push(TraceEvent::Data {
+                        block: BlockAddr(0x100_000 + u64::from(ty % 2) * 4 + d),
+                        write: d % 2 == 0,
+                    });
+                }
+                events.push(TraceEvent::OpEnd { op: kind });
+            }
+            events.push(TraceEvent::XctEnd);
+            XctTrace {
+                xct_type: XctTypeId(ty),
+                events,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The tentpole property: 1-, 2-, and 4-shard replays of generated
+    /// mixes are byte-identical for all five schedulers across core
+    /// counts and batch sizes.
+    #[test]
+    fn sharded_replay_is_byte_identical(
+        traces in prop::collection::vec(arb_trace(), 1..16),
+        cores in 2usize..8,
+    ) {
+        let cfg = ReplayConfig {
+            sim: SimConfig::paper_default().with_cores(cores),
+            ..ReplayConfig::paper_default()
+        }
+        .with_batch_size(cores);
+        for kind in SchedulerKind::ALL {
+            assert_shard_equivalent(kind, &traces, &cfg);
+        }
+    }
+
+    /// The banked directory is a shadow model of the monolithic one:
+    /// random read/write/evict/peek storms observe identical coherence
+    /// actions, sharer sets, owners, and tracked-block counts at every
+    /// bank count — including non-power-of-two banking.
+    #[test]
+    fn banked_directory_shadows_monolithic(
+        ops in prop::collection::vec((0u64..512, 0usize..8, 0u8..5), 1..400),
+    ) {
+        let mut mono = Directory::new();
+        let mut banked = [
+            Directory::with_shards(2),
+            Directory::with_shards(3),
+            Directory::with_shards(16),
+        ];
+        for (blk, core, op) in ops {
+            let block = BlockAddr(blk * 64);
+            for b in banked.iter_mut() {
+                match op {
+                    0 | 1 => assert_eq!(b.on_read(core, block), mono.peek_read(core, block)),
+                    2 => assert_eq!(b.on_write(core, block), mono.peek_write(core, block)),
+                    3 => b.on_evict(core, block),
+                    _ => {
+                        assert_eq!(b.peek_read(core, block), mono.peek_read(core, block));
+                        assert_eq!(b.peek_write(core, block), mono.peek_write(core, block));
+                    }
+                }
+            }
+            match op {
+                0 | 1 => {
+                    mono.on_read(core, block);
+                }
+                2 => {
+                    mono.on_write(core, block);
+                }
+                3 => mono.on_evict(core, block),
+                _ => {}
+            }
+            for b in banked.iter() {
+                assert_eq!(b.is_sharer(core, block), mono.is_sharer(core, block));
+                assert_eq!(b.owner(block), mono.owner(block));
+                assert_eq!(b.tracked_blocks(), mono.tracked_blocks());
+            }
+        }
+    }
+}
+
+/// The full matrix gate: every scheduler × every registry benchmark ×
+/// both storage layouts, sharded replays byte-identical to serial.
+#[test]
+fn shard_matrix_is_byte_identical_on_all_benchmarks() {
+    for bench in Benchmark::ALL {
+        let (mut engine, mut workload) = bench.setup_small();
+        let profile = collect_traces(&mut engine, workload.as_mut(), 24, 1);
+        let eval = collect_traces(&mut engine, workload.as_mut(), 24, 2);
+        let interned = InternedWorkload::from_flat(&eval);
+        let iset = interned.as_set();
+        let cfg = ReplayConfig {
+            sim: SimConfig::paper_default().with_cores(8),
+            ..ReplayConfig::paper_default()
+        }
+        .with_batch_size(8);
+        let map = find_migration_points(&profile.xcts, cfg.sim.l1i);
+        for kind in SchedulerKind::ALL {
+            let serial = serialize(&run_scheduler(kind, &eval.xcts, Some(&map), &cfg));
+            for shards in [2usize, 4] {
+                let scfg = cfg.clone().with_shards(shards);
+                assert_eq!(
+                    serialize(&run_scheduler(kind, &eval.xcts, Some(&map), &scfg)),
+                    serial,
+                    "{kind:?} on {} (flat, {shards} shards) diverged",
+                    bench.name()
+                );
+                assert_eq!(
+                    serialize(&run_scheduler(kind, &iset, Some(&map), &scfg)),
+                    serial,
+                    "{kind:?} on {} (interned, {shards} shards) diverged",
+                    bench.name()
+                );
+            }
+        }
+    }
+}
+
+/// Degenerate shapes shard cleanly: a single trace, more shards than
+/// cores (clamped), and an empty workload.
+#[test]
+fn shard_edge_cases() {
+    let (mut engine, mut workload) = Benchmark::Tatp.setup_small();
+    let eval = collect_traces(&mut engine, workload.as_mut(), 1, 3);
+    let cfg = ReplayConfig {
+        sim: SimConfig::paper_default().with_cores(2),
+        ..ReplayConfig::paper_default()
+    };
+    let map = find_migration_points(&eval.xcts, cfg.sim.l1i);
+    let serial = serialize(&run_scheduler(
+        SchedulerKind::Addict,
+        &eval.xcts,
+        Some(&map),
+        &cfg,
+    ));
+    for shards in [2usize, 7, 64] {
+        let scfg = cfg.clone().with_shards(shards);
+        assert_eq!(
+            serialize(&run_scheduler(
+                SchedulerKind::Addict,
+                &eval.xcts,
+                Some(&map),
+                &scfg
+            )),
+            serial,
+            "single-trace replay diverged at {shards} shards"
+        );
+    }
+    let empty: Vec<XctTrace> = Vec::new();
+    let scfg = cfg.with_shards(4);
+    let r = run_scheduler(SchedulerKind::Baseline, &empty, None, &scfg);
+    assert_eq!(r.n_xcts, 0);
+}

@@ -201,12 +201,14 @@ fn submit_once<A: ToSocketAddrs>(
 }
 
 /// Backoff before retry `attempt` (0-based): the server's `Retry-After`
-/// verbatim when present, else exponential from `base_ms` with
+/// when present (floored at 1 s — a server emitting `Retry-After: 0`
+/// must not turn the client into a zero-delay reconnect spin against an
+/// already-overloaded server), else exponential from `base_ms` with
 /// deterministic jitter derived from `salt` (no RNG dependency; distinct
 /// salts decorrelate a client fleet). Capped at 30 s.
 pub fn backoff_ms(attempt: u32, base_ms: u64, retry_after_s: Option<u64>, salt: u64) -> u64 {
     if let Some(s) = retry_after_s {
-        return s.saturating_mul(1000).min(30_000);
+        return s.max(1).saturating_mul(1000).min(30_000);
     }
     let base = base_ms.max(1);
     let exp = base.saturating_mul(1u64 << attempt.min(10));
@@ -418,6 +420,22 @@ mod tests {
         assert!(spread.len() > 8, "jitter collapsed: {spread:?}");
         // Capped at 30 s even for huge attempts.
         assert_eq!(backoff_ms(31, 10_000, None, 7), 30_000);
+    }
+
+    /// A server-sent `Retry-After: 0` must not become a zero-millisecond
+    /// reconnect spin: the client floors the hint at one second.
+    #[test]
+    fn retry_after_zero_floors_at_one_second() {
+        assert_eq!(backoff_ms(0, 100, Some(0), 7), 1000);
+        for attempt in 0..4 {
+            assert!(
+                backoff_ms(attempt, 1, Some(0), attempt.into()) >= 1000,
+                "attempt {attempt} spun"
+            );
+        }
+        // Non-zero hints are still honored verbatim.
+        assert_eq!(backoff_ms(0, 100, Some(1), 7), 1000);
+        assert_eq!(backoff_ms(0, 100, Some(2), 7), 2000);
     }
 
     #[test]

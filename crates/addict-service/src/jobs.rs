@@ -911,6 +911,22 @@ mod tests {
         assert_eq!(reg.retry_after(), (9, 17));
     }
 
+    /// Sub-second (even zero) latency EWMAs still hint a full second:
+    /// `Retry-After: 0` would license clients to reconnect instantly
+    /// against a server that just told them it is overloaded.
+    #[test]
+    fn retry_after_floors_at_one_second() {
+        let reg = Registry::new(cfg());
+        observe_latency(&mut reg.inner.lock().unwrap(), 0.0);
+        assert_eq!(reg.retry_after(), (1, 1));
+        let reg = Registry::new(cfg());
+        observe_latency(&mut reg.inner.lock().unwrap(), 0.2);
+        reg.admit(spec(), 0).unwrap();
+        reg.admit(spec(), 0).unwrap();
+        let (queue_s, bytes_s) = reg.retry_after();
+        assert!(queue_s >= 1 && bytes_s >= 1, "({queue_s}, {bytes_s})");
+    }
+
     #[test]
     fn drain_refuses_admissions_and_releases_executors() {
         let reg = Registry::new(cfg());

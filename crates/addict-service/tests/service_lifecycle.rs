@@ -13,7 +13,7 @@ use std::time::Duration;
 use addict_bench::jsontext::JsonValue;
 use addict_bench::{run_job, JobSpec, TracePool};
 use addict_service::{
-    cancel_job, get, job_result, job_status, poll_job, shutdown, submit_detached, Server,
+    cancel_job, get, job_result, job_status, poll_job, shutdown, submit, submit_detached, Server,
     ServerConfig, ServerHandle,
 };
 
@@ -161,6 +161,29 @@ fn cancel_queued_job_never_runs() {
         doc.get("state").unwrap().as_str("state").unwrap(),
         "cancelled"
     );
+}
+
+/// A spec with duplicated list entries is one job's worth of work, not
+/// N: it admits, reserves, executes, and serializes exactly like its
+/// deduped form instead of replaying repeated grid points — so a sloppy
+/// client cannot inflate the admission reservation (or the sweep length)
+/// by listing the same benchmark three times.
+#[test]
+fn duplicated_spec_entries_admit_and_run_deduped() {
+    let (addr, _handle, _join) = spawn(ServerConfig::default());
+    let dup = r#"{"benchmarks": ["tpcb", "tpcb", "tpcb"], "schedulers": ["baseline", "addict", "baseline"], "n_xcts": 12, "small": true}"#;
+    let once = r#"{"benchmarks": ["tpcb"], "schedulers": ["baseline", "addict"], "n_xcts": 12, "small": true}"#;
+    let mut dup_progress = Vec::new();
+    let dup_result = submit(addr, dup, |line| dup_progress.push(line.to_owned()))
+        .expect("duplicated spec admits");
+    let once_result = submit(addr, once, |_| {}).expect("deduped spec admits");
+    assert_eq!(
+        dup_result, once_result,
+        "duplicate list entries changed the result"
+    );
+    // The grid is 1 benchmark × 2 schedulers: one trace-fetch progress
+    // line plus one per point — not the 3 × 3 grid the raw lists imply.
+    assert_eq!(dup_progress.len(), 1 + 2, "{dup_progress:?}");
 }
 
 #[test]

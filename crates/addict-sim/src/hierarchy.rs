@@ -90,7 +90,14 @@ pub struct Hierarchy {
     cores: Vec<CoreCaches>,
     llc_banks: Vec<SetAssocCache>,
     directory: Directory,
-    torus: Torus,
+    /// Precomputed torus hop distances, indexed `core * n_banks + bank`.
+    /// Every LLC access needs one, and the torus arithmetic (divs plus
+    /// wrap-around min chains) is pure — resolve it once at build time.
+    hops: Vec<u32>,
+    /// `log2(n_banks)` when the bank count is a power of two (the paper
+    /// machine: 16 cores, one bank each): [`Hierarchy::bank_of`] becomes
+    /// mask/shift instead of mod/div.
+    bank_shift: Option<u32>,
     next_line_prefetch: bool,
     prefetches_issued: u64,
     data_run_fast_hits: u64,
@@ -107,14 +114,22 @@ impl Hierarchy {
                     .then(|| SetAssocCache::new(cfg.l2_private)),
             })
             .collect();
-        let llc_banks = (0..cfg.n_cores)
+        let llc_banks: Vec<SetAssocCache> = (0..cfg.n_cores)
             .map(|_| SetAssocCache::new(cfg.llc_per_core))
+            .collect();
+        let torus = Torus::for_nodes(cfg.n_cores);
+        let n_banks = llc_banks.len();
+        let hops = (0..cfg.n_cores)
+            .flat_map(|c| (0..n_banks).map(move |b| torus.hops(c, b)))
             .collect();
         Hierarchy {
             cores,
             llc_banks,
-            directory: Directory::new(),
-            torus: Torus::for_nodes(cfg.n_cores),
+            // One directory shard per core, mirroring the LLC bank layout
+            // (per-block behavior is shard-count independent).
+            directory: Directory::with_shards(cfg.n_cores),
+            hops,
+            bank_shift: n_banks.is_power_of_two().then(|| n_banks.trailing_zeros()),
             next_line_prefetch: cfg.l1i_next_line_prefetch,
             prefetches_issued: 0,
             data_run_fast_hits: 0,
@@ -134,15 +149,46 @@ impl Hierarchy {
     #[inline]
     fn bank_of(&self, block: BlockAddr) -> (usize, BlockAddr) {
         // Low bits interleave blocks across banks; the remaining bits index
-        // within the bank so bank sets are used uniformly.
+        // within the bank so bank sets are used uniformly. Mask/shift and
+        // mod/div agree exactly for power-of-two bank counts.
         let n = self.llc_banks.len() as u64;
-        ((block.0 % n) as usize, BlockAddr(block.0 / n))
+        match self.bank_shift {
+            Some(s) => ((block.0 & (n - 1)) as usize, BlockAddr(block.0 >> s)),
+            None => ((block.0 % n) as usize, BlockAddr(block.0 / n)),
+        }
+    }
+
+    /// The LLC bank `block` maps to — pure, for callers that group a data
+    /// run's coherent tail by bank before servicing it.
+    #[inline]
+    pub fn bank_of_block(&self, block: BlockAddr) -> usize {
+        self.bank_of(block).0
+    }
+
+    /// Warm the host cache lines a coherent access to `block` will chase:
+    /// the LLC bank set and the directory probe head (best-effort hints;
+    /// nothing simulated is read or written, so behavior and results are
+    /// bit-identical with or without the call). The per-core L1 tag
+    /// arrays are small enough to stay host-resident on their own; the
+    /// LLC tag arrays and directory tables are the structures that fall
+    /// out of the host cache once the workload's footprint outgrows it.
+    #[inline]
+    pub fn prefetch_data(&self, block: BlockAddr) {
+        let (bank, bank_block) = self.bank_of(block);
+        self.llc_banks[bank].prefetch(bank_block);
+        self.directory.prefetch(block);
+    }
+
+    /// Precomputed torus hop distance from `core` to `bank`.
+    #[inline]
+    fn hops_of(&self, core: usize, bank: usize) -> u32 {
+        self.hops[core * self.llc_banks.len() + bank]
     }
 
     /// Look up the LLC, filling on miss. Returns (hit, hops).
     fn llc_access(&mut self, core: usize, block: BlockAddr) -> (bool, u32) {
         let (bank, bank_block) = self.bank_of(block);
-        let hops = self.torus.hops(core, bank);
+        let hops = self.hops_of(core, bank);
         let out = self.llc_banks[bank].access(bank_block);
         (out.hit, hops)
     }
@@ -266,7 +312,7 @@ impl Hierarchy {
             res.llc_accessed = true;
             res.llc_hit = true;
             let (bank, _) = self.bank_of(block);
-            res.hops = self.torus.hops(core, bank);
+            res.hops = self.hops_of(core, bank);
             if let Some(l2p) = self.cores[core].l2p.as_mut() {
                 l2p.access(block);
             }
@@ -570,5 +616,43 @@ mod tests {
         let (b4, _) = h.bank_of(BlockAddr(4));
         assert_ne!(b0, b1);
         assert_eq!(b0, b4); // 4 cores -> 4 banks, wraps around
+    }
+
+    #[test]
+    fn pow2_bank_mapping_matches_mod_div() {
+        // The mask/shift fast path must agree with the generic mod/div
+        // mapping for every block, and the odd-bank-count config must
+        // still take the generic path.
+        let h = Hierarchy::new(&SimConfig::paper_default().with_cores(16));
+        assert!(h.bank_shift.is_some());
+        let g = Hierarchy::new(&SimConfig::paper_default().with_cores(6));
+        assert!(g.bank_shift.is_none());
+        for b in (0..4096u64).chain([u64::MAX - 17, 1 << 40, (1 << 52) + 3]) {
+            let block = BlockAddr(b);
+            assert_eq!(
+                h.bank_of(block),
+                (((b % 16) as usize), BlockAddr(b / 16)),
+                "block {b}"
+            );
+            assert_eq!(h.bank_of_block(block), (b % 16) as usize);
+            assert_eq!(g.bank_of(block), (((b % 6) as usize), BlockAddr(b / 6)));
+        }
+    }
+
+    #[test]
+    fn hops_table_matches_torus() {
+        for n in [1usize, 4, 6, 16] {
+            let h = Hierarchy::new(&SimConfig::paper_default().with_cores(n));
+            let t = Torus::for_nodes(n);
+            for core in 0..n {
+                for bank in 0..n {
+                    assert_eq!(
+                        h.hops_of(core, bank),
+                        t.hops(core, bank),
+                        "{n} {core} {bank}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -194,6 +194,12 @@ pub struct InternedTrace {
     data: Vec<u8>,
     /// Number of addresses encoded in `data`.
     n_data: u32,
+    /// Total dynamic instructions, cached at intern time. Schedulers that
+    /// weigh placement by work (STREX's load balancer) ask for this once
+    /// per transaction; resolving it through the pool would be O(events)
+    /// per call and turns the dispatch pre-pass into an O(total events)
+    /// scan of the whole workload.
+    instructions: u64,
 }
 
 /// Blank the per-trace varying part of a data event.
@@ -353,6 +359,7 @@ impl InternedTrace {
             slices,
             data,
             n_data,
+            instructions: trace.instructions(),
         }
     }
 
@@ -392,6 +399,7 @@ impl InternedTrace {
             // The encoded side table is pool-independent: copy verbatim.
             data: self.data.clone(),
             n_data: self.n_data,
+            instructions: self.instructions,
         }
     }
 
@@ -417,15 +425,9 @@ impl InternedTrace {
     }
 
     /// Total dynamic instructions (matches `XctTrace::instructions`).
-    pub fn instructions(&self, pool: &SlicePool) -> u64 {
-        self.slices
-            .iter()
-            .flat_map(|&r| pool.resolve(r))
-            .map(|e| match e {
-                TraceEvent::Instr { n_blocks, ipb, .. } => u64::from(*n_blocks) * u64::from(*ipb),
-                _ => 0,
-            })
-            .sum()
+    /// Cached at intern time — O(1), never touches the pool.
+    pub fn instructions(&self, _pool: &SlicePool) -> u64 {
+        self.instructions
     }
 
     /// Per-trace resident bytes (slice refs + data addresses + the struct
@@ -684,7 +686,7 @@ impl TraceSet for InternedSet<'_> {
     }
 
     fn instructions_of(&self, idx: usize) -> u64 {
-        self.xcts[idx].instructions(self.pool)
+        self.xcts[idx].instructions
     }
 
     #[inline]
@@ -844,6 +846,19 @@ impl TraceSet for InternedSet<'_> {
                 return;
             }
         }
+    }
+
+    // A resumed trace's first fetch chases `InternedTrace` -> `slices[0]`
+    // -> pool storage -> `data` varints; at scale every link is cold (the
+    // resident set outgrows L2 long before the 10k rung). Warming the
+    // chain heads one pick ahead overlaps those misses with the previous
+    // segment's replay.
+    #[inline]
+    fn prefetch(&self, idx: usize) {
+        let t = &self.xcts[idx];
+        crate::set::prefetch_ptr(t);
+        crate::set::prefetch_ptr(t.slices.as_ptr());
+        crate::set::prefetch_ptr(t.data.as_ptr());
     }
 }
 
